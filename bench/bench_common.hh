@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared harness code for the figure/table regenerators: run one
+ * workload under the paper's four schedulers (conventional, offline
+ * exhaustive, dynamic throttling, online exhaustive) and collect the
+ * numbers every figure reports.
+ */
+
+#ifndef TT_BENCH_BENCH_COMMON_HH
+#define TT_BENCH_BENCH_COMMON_HH
+
+#include <string>
+
+#include "core/dynamic_policy.hh"
+#include "core/online_exhaustive_policy.hh"
+#include "core/policy.hh"
+#include "cpu/machine_config.hh"
+#include "simrt/sim_runtime.hh"
+#include "stream/task_graph.hh"
+
+namespace tt::bench {
+
+/** One workload's results under all four schedulers. */
+struct PolicyComparison
+{
+    double conventional_seconds = 0.0;
+
+    double offline_seconds = 0.0;
+    int offline_mtl = 0;
+
+    double dynamic_seconds = 0.0;
+    int dynamic_final_mtl = 0;
+    double dynamic_probe_fraction = 0.0;
+    long dynamic_selections = 0;
+
+    double online_seconds = 0.0;
+    int online_final_mtl = 0;
+    double online_probe_fraction = 0.0;
+
+    double offlineSpeedup() const
+    {
+        return conventional_seconds / offline_seconds;
+    }
+    double dynamicSpeedup() const
+    {
+        return conventional_seconds / dynamic_seconds;
+    }
+    double onlineSpeedup() const
+    {
+        return conventional_seconds / online_seconds;
+    }
+};
+
+/**
+ * Run `graph` under all four schedulers on fresh machines built from
+ * `config`. `w_dynamic` / `w_online` are the monitoring windows (the
+ * paper reports each policy at its best W).
+ */
+inline PolicyComparison
+comparePolicies(const cpu::MachineConfig &config,
+                const stream::TaskGraph &graph, int w_dynamic,
+                int w_online)
+{
+    PolicyComparison cmp;
+    const int n = config.contexts();
+
+    core::ConventionalPolicy conventional(n);
+    cmp.conventional_seconds =
+        simrt::runOnce(config, graph, conventional).seconds;
+
+    const auto offline = simrt::offlineExhaustiveSearch(config, graph);
+    cmp.offline_seconds = offline.best_seconds;
+    cmp.offline_mtl = offline.best_mtl;
+
+    core::DynamicThrottlePolicy dynamic(n, w_dynamic);
+    const auto dyn = simrt::runOnce(config, graph, dynamic);
+    cmp.dynamic_seconds = dyn.seconds;
+    cmp.dynamic_final_mtl =
+        dyn.mtl_trace.empty() ? n : dyn.mtl_trace.back().second;
+    cmp.dynamic_probe_fraction = dyn.monitor_overhead;
+    cmp.dynamic_selections = dyn.policy_stats.selections;
+
+    core::OnlineExhaustivePolicy online(n, w_online);
+    const auto onl = simrt::runOnce(config, graph, online);
+    cmp.online_seconds = onl.seconds;
+    cmp.online_final_mtl =
+        onl.mtl_trace.empty() ? n : onl.mtl_trace.back().second;
+    cmp.online_probe_fraction = onl.monitor_overhead;
+
+    return cmp;
+}
+
+} // namespace tt::bench
+
+#endif // TT_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 17 regenerator: streamcluster speedup and selected MTL
+ * across input array dimensions (128/72/48/36/32/20), dynamic
+ * throttling versus offline exhaustive search (Sec. VI-D2).
+ *
+ * Paper reference points: input sets change T_m1/T_c (Table II) and
+ * hence the right MTL -- d32 (24.6% <= 33%) runs at D-MTL=1 while
+ * d36 (54.1% > 33%) picks D-MTL=2.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hh"
+#include "util/table.hh"
+#include "workloads/streamcluster.hh"
+#include "workloads/tables.hh"
+
+int
+main()
+{
+    const auto machine = tt::cpu::MachineConfig::i7_860_1dimm();
+    const int w = 16;
+
+    std::printf("=== Figure 17: streamcluster across input "
+                "dimensions ===\n\n");
+
+    tt::TablePrinter table({"input", "Tm1/Tc(paper)",
+                            "offline(speedup,MTL)",
+                            "dynamic(speedup,MTL)"});
+    for (const auto &entry : tt::workloads::tables::kStreamcluster) {
+        const auto graph =
+            tt::workloads::streamclusterSim(machine, entry.dim);
+        const auto cmp =
+            tt::bench::comparePolicies(machine, graph, w, w);
+        table.addRow(
+            {"SC_d" + std::to_string(entry.dim),
+             tt::TablePrinter::pct(entry.ratio),
+             tt::TablePrinter::num(cmp.offlineSpeedup(), 3) + "  (" +
+                 std::to_string(cmp.offline_mtl) + ")",
+             tt::TablePrinter::num(cmp.dynamicSpeedup(), 3) + "  (" +
+                 std::to_string(cmp.dynamic_final_mtl) + ")"});
+    }
+    table.print(std::cout);
+    std::printf("\npaper: ratios <= 33%% (d48, d32) pick D-MTL=1; "
+                "ratios > 33%% (d128, d72, d36, d20) pick D-MTL=2\n");
+    return 0;
+}

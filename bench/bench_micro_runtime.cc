@@ -1,0 +1,180 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the runtime primitives: the
+ * analytical model evaluation, phase detector and selector state
+ * machines, the event queue, the DRAM channel, and host-runtime
+ * pair dispatch. These bound the per-decision overhead the dynamic
+ * mechanism adds to an application (the paper argues that overhead
+ * is negligible; here it is nanoseconds per event).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/analytical_model.hh"
+#include "core/dynamic_policy.hh"
+#include "core/mtl_selector.hh"
+#include "core/phase_detector.hh"
+#include "core/policy.hh"
+#include "cpu/machine_config.hh"
+#include "mem/dram_channel.hh"
+#include "runtime/runtime.hh"
+#include "sim/event_queue.hh"
+#include "simrt/sim_runtime.hh"
+#include "stream/builder.hh"
+
+namespace {
+
+void
+BM_ModelSpeedup(benchmark::State &state)
+{
+    double tm = 0.1;
+    for (auto _ : state) {
+        tm += 1e-9;
+        benchmark::DoNotOptimize(
+            tt::core::AnalyticalModel::speedup(tm, 0.5, 1.0, 2, 4));
+    }
+}
+BENCHMARK(BM_ModelSpeedup);
+
+void
+BM_ModelIdleBound(benchmark::State &state)
+{
+    double tm = 0.1;
+    for (auto _ : state) {
+        tm += 1e-9;
+        benchmark::DoNotOptimize(
+            tt::core::AnalyticalModel::idleBound(tm, 1.0, 4));
+    }
+}
+BENCHMARK(BM_ModelIdleBound);
+
+void
+BM_PhaseDetectorSample(benchmark::State &state)
+{
+    tt::core::PhaseDetector detector(16, 4);
+    tt::core::PairSample sample;
+    sample.tm = 0.2;
+    sample.tc = 1.0;
+    sample.mtl = 4;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(detector.addSample(sample, 4));
+}
+BENCHMARK(BM_PhaseDetectorSample);
+
+void
+BM_FullMtlSelection(benchmark::State &state)
+{
+    const auto cores = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        tt::core::MtlSelector selector(cores);
+        while (auto mtl = selector.nextProbe())
+            selector.reportProbe(*mtl, 0.4 + 0.05 * *mtl, 1.0);
+        benchmark::DoNotOptimize(selector.result());
+    }
+}
+BENCHMARK(BM_FullMtlSelection)->Arg(4)->Arg(8)->Arg(64);
+
+void
+BM_DynamicPolicyPair(benchmark::State &state)
+{
+    tt::core::DynamicThrottlePolicy policy(4, 16);
+    tt::core::PairSample sample;
+    sample.tm = 0.2;
+    sample.tc = 1.0;
+    double clock = 0.0;
+    for (auto _ : state) {
+        clock += 1.2;
+        sample.end_time = clock;
+        sample.mtl = policy.currentMtl();
+        policy.onPairMeasured(sample);
+    }
+}
+BENCHMARK(BM_DynamicPolicyPair);
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        tt::sim::EventQueue queue;
+        for (int i = 0; i < 1024; ++i)
+            queue.schedule(static_cast<tt::sim::Tick>(i * 7 % 997),
+                           [] {});
+        queue.run();
+        benchmark::DoNotOptimize(queue.executed());
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_DramChannelStream(benchmark::State &state)
+{
+    for (auto _ : state) {
+        tt::sim::EventQueue queue;
+        tt::mem::DramChannel channel(queue, tt::mem::DramConfig{});
+        int done = 0;
+        for (std::uint64_t line = 0; line < 512; ++line) {
+            tt::mem::DramRequest req;
+            req.line_addr = line;
+            req.on_complete = [&done] { ++done; };
+            channel.submit(std::move(req));
+        }
+        queue.run();
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_DramChannelStream);
+
+void
+BM_SimRuntimeSmallGraph(benchmark::State &state)
+{
+    const auto machine = tt::cpu::MachineConfig::i7_860_1dimm();
+    tt::stream::StreamProgramBuilder builder;
+    builder.beginPhase("p");
+    builder.addPairs(16, [](int) {
+        tt::stream::PairSpec spec;
+        spec.bytes = 64 * 1024;
+        spec.compute_cycles = 100000;
+        return spec;
+    });
+    const auto graph = std::move(builder).build();
+    for (auto _ : state) {
+        tt::core::ConventionalPolicy policy(machine.contexts());
+        benchmark::DoNotOptimize(
+            tt::simrt::runOnce(machine, graph, policy).seconds);
+    }
+}
+BENCHMARK(BM_SimRuntimeSmallGraph);
+
+void
+BM_HostRuntimePairDispatch(benchmark::State &state)
+{
+    // Cost of scheduling one (trivial) pair through the real-thread
+    // runtime, single worker: queue + gate + timing overhead.
+    for (auto _ : state) {
+        state.PauseTiming();
+        tt::stream::StreamProgramBuilder builder;
+        builder.beginPhase("p");
+        builder.addPairs(256, [](int) {
+            tt::stream::PairSpec spec;
+            spec.bytes = 64;
+            spec.compute_cycles = 1;
+            return spec;
+        });
+        const auto graph = std::move(builder).build();
+        tt::core::ConventionalPolicy policy(1);
+        tt::runtime::RuntimeOptions opts;
+        opts.threads = 1;
+        opts.pin_affinity = false;
+        tt::runtime::Runtime runtime(graph, policy, opts);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(runtime.run().samples.size());
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_HostRuntimePairDispatch);
+
+} // namespace
+
+BENCHMARK_MAIN();

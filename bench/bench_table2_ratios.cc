@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Table II regenerator: memory-to-compute ratios (T_m1/T_c) of the
+ * dft kernel and the six streamcluster input sets, measured at
+ * MTL=1 on the simulated machine and compared against the paper's
+ * published values.
+ *
+ * The simulated workloads are *calibrated* to the published ratios
+ * (DESIGN.md substitution table), so this bench verifies that the
+ * calibration survives actual scheduling: measured ratios must land
+ * within a few percent of the targets despite queueing, warm-up and
+ * tail effects.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/policy.hh"
+#include "cpu/machine_config.hh"
+#include "simrt/sim_runtime.hh"
+#include "util/table.hh"
+#include "workloads/dft.hh"
+#include "workloads/streamcluster.hh"
+#include "workloads/tables.hh"
+
+namespace {
+
+double
+measureRatio(const tt::cpu::MachineConfig &machine,
+             const tt::stream::TaskGraph &graph)
+{
+    tt::core::StaticMtlPolicy policy(1, machine.contexts());
+    const auto run = tt::simrt::runOnce(machine, graph, policy);
+    return run.avg_tm / run.avg_tc;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto machine = tt::cpu::MachineConfig::i7_860_1dimm();
+
+    std::printf("=== Table II: workload memory-to-compute ratios "
+                "(T_m1/T_c) ===\n\n");
+    tt::TablePrinter table(
+        {"benchmark", "name", "paper", "measured", "rel.err"});
+
+    {
+        const auto graph = tt::workloads::dftSim(machine);
+        const double measured = measureRatio(machine, graph);
+        const double paper = tt::workloads::tables::kDftRatio;
+        table.addRow({"dft in OpenCV", "dft",
+                      tt::TablePrinter::pct(paper),
+                      tt::TablePrinter::pct(measured),
+                      tt::TablePrinter::pct((measured - paper) / paper)});
+    }
+    for (const auto &entry : tt::workloads::tables::kStreamcluster) {
+        const auto graph =
+            tt::workloads::streamclusterSim(machine, entry.dim);
+        const double measured = measureRatio(machine, graph);
+        table.addRow(
+            {"streamcluster", "SC_d" + std::to_string(entry.dim),
+             tt::TablePrinter::pct(entry.ratio),
+             tt::TablePrinter::pct(measured),
+             tt::TablePrinter::pct((measured - entry.ratio) /
+                                   entry.ratio)});
+    }
+    table.print(std::cout);
+    return 0;
+}

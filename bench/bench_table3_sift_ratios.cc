@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Table III regenerator: T_m1/T_c per parallel function of SIFT,
+ * measured at MTL=1 on the simulated machine against the paper's
+ * values (same calibration-verification role as Table II; see
+ * bench_table2_ratios.cc).
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/policy.hh"
+#include "cpu/machine_config.hh"
+#include "simrt/sim_runtime.hh"
+#include "util/table.hh"
+#include "workloads/sift.hh"
+#include "workloads/tables.hh"
+
+int
+main()
+{
+    const auto machine = tt::cpu::MachineConfig::i7_860_1dimm();
+
+    // One run of the whole pipeline at MTL=1; per-phase averages
+    // come from the per-phase aggregation of the scheduler.
+    const auto graph = tt::workloads::siftSim(machine);
+    tt::core::StaticMtlPolicy policy(1, machine.contexts());
+    const auto run = tt::simrt::runOnce(machine, graph, policy);
+
+    std::printf("=== Table III: T_m1/T_c per SIFT parallel function "
+                "===\n\n");
+    tt::TablePrinter table({"function", "paper", "measured", "rel.err"});
+    for (std::size_t i = 0; i < run.phases.size(); ++i) {
+        const auto &phase = run.phases[i];
+        const double paper =
+            tt::workloads::tables::kSift[i].ratio;
+        const double measured = phase.tm_mean / phase.tc_mean;
+        table.addRow({phase.name, tt::TablePrinter::pct(paper),
+                      tt::TablePrinter::pct(measured),
+                      tt::TablePrinter::pct((measured - paper) / paper)});
+    }
+    table.print(std::cout);
+    return 0;
+}

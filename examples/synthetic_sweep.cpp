@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Example: a miniature of the paper's Figure 13 experiment.
+ *
+ * Sweeps the synthetic workload's memory-to-compute ratio on the
+ * simulated i7, runs every static MTL, and prints the measured
+ * speedup of the best MTL (S-MTL) next to the analytical model's
+ * prediction -- showing how the best constraint moves from MTL=1 to
+ * higher values as workloads become more memory-bound.
+ *
+ * Usage: synthetic_sweep [step] [footprint_kb]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/analytical_model.hh"
+#include "core/policy.hh"
+#include "cpu/machine_config.hh"
+#include "simrt/sim_runtime.hh"
+#include "workloads/synthetic.hh"
+
+int
+main(int argc, char **argv)
+{
+    const double step = argc > 1 ? std::atof(argv[1]) : 0.25;
+    const std::uint64_t footprint_kb =
+        argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 512;
+    if (step <= 0.0 || footprint_kb == 0) {
+        std::fprintf(stderr,
+                     "usage: synthetic_sweep [step>0] [footprint_kb]\n");
+        return 1;
+    }
+
+    const auto machine = tt::cpu::MachineConfig::i7_860_1dimm();
+    const int n = machine.contexts();
+
+    std::printf("ratio   S-MTL   measured   model   (footprint %lu KB)\n",
+                static_cast<unsigned long>(footprint_kb));
+    for (double ratio = step; ratio <= 4.0 + 1e-9; ratio += step) {
+        tt::workloads::SyntheticParams params;
+        params.tm1_over_tc = ratio;
+        params.footprint_bytes = footprint_kb * 1024;
+        params.pairs = 48;
+        const auto graph =
+            tt::workloads::buildSyntheticSim(machine, params);
+
+        double base_seconds = 0.0;
+        double base_tm = 0.0;
+        double best = 0.0;
+        int s_mtl = n;
+        double model = 1.0;
+        for (int k = n; k >= 1; --k) {
+            tt::core::StaticMtlPolicy policy(k, n);
+            const auto run = tt::simrt::runOnce(machine, graph, policy);
+            if (k == n) {
+                base_seconds = run.seconds;
+                base_tm = run.avg_tm;
+            }
+            const double speedup = base_seconds / run.seconds;
+            if (speedup > best) {
+                best = speedup;
+                s_mtl = k;
+                model = tt::core::AnalyticalModel::speedup(
+                    run.avg_tm, base_tm, run.avg_tc, k, n);
+            }
+        }
+        std::printf("%5.2f   %5d   %8.3f   %5.3f\n", ratio, s_mtl, best,
+                    model);
+    }
+    return 0;
+}

@@ -1,0 +1,101 @@
+#include "core/analytical_model.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace tt::core {
+
+QueuingModel
+QueuingModel::fit(int a, double tm_a, int b, double tm_b)
+{
+    tt_assert(a != b, "QueuingModel::fit needs two distinct MTLs");
+    QueuingModel qm;
+    qm.tql = (tm_b - tm_a) / static_cast<double>(b - a);
+    qm.tml = tm_a - static_cast<double>(a) * qm.tql;
+    return qm;
+}
+
+bool
+AnalyticalModel::someCoresIdle(double tm_k, double tc, int k, int n)
+{
+    tt_assert(n >= 1, "need at least one core");
+    tt_assert(k >= 1 && k <= n, "MTL ", k, " out of range [1, ", n, "]");
+    tt_assert(tm_k >= 0.0 && tc >= 0.0, "negative task times");
+    if (k == n)
+        return false; // no restriction, cores are never forced idle
+    // T_mk / T_c > k / (n - k), cross-multiplied to avoid divide-by-0
+    // when tc == 0 (a pure-memory phase is idle-bound at any k < n as
+    // long as memory tasks take non-zero time).
+    return tm_k * static_cast<double>(n - k) > tc * static_cast<double>(k);
+}
+
+int
+AnalyticalModel::idleBound(double tm, double tc, int n)
+{
+    tt_assert(n >= 1, "need at least one core");
+    tt_assert(tm >= 0.0 && tc >= 0.0, "negative task times");
+    const double total = tm + tc;
+    if (total <= 0.0)
+        return 1; // degenerate zero-length tasks: no restriction binds
+    const int bound = static_cast<int>(
+        std::ceil(static_cast<double>(n) * tm / total -
+                  // tolerate FP noise exactly on the boundary
+                  1e-12));
+    if (bound < 1)
+        return 1;
+    if (bound > n)
+        return n;
+    return bound;
+}
+
+double
+AnalyticalModel::execTime(double tm_k, double tc, int t, int k, int n)
+{
+    tt_assert(t >= 0, "negative pair count");
+    const double pairs = static_cast<double>(t);
+    if (someCoresIdle(tm_k, tc, k, n))
+        return tm_k * pairs / static_cast<double>(k);
+    return (tm_k + tc) * pairs / static_cast<double>(n);
+}
+
+double
+AnalyticalModel::speedup(double tm_k, double tm_n, double tc, int k, int n)
+{
+    const double base = tm_n + tc;
+    if (someCoresIdle(tm_k, tc, k, n)) {
+        tt_assert(tm_k > 0.0, "idle-regime speedup needs tm_k > 0");
+        return base * static_cast<double>(k) /
+               (tm_k * static_cast<double>(n));
+    }
+    tt_assert(tm_k + tc > 0.0, "busy-regime speedup needs tm_k+tc > 0");
+    return base / (tm_k + tc);
+}
+
+double
+AnalyticalModel::speedupRank(double tm_k, double tc, int k, int n)
+{
+    // speedup = (T_mn + T_c) * rank, with
+    //   rank = 1 / (T_mk + T_c)          when all cores busy
+    //   rank = k / (T_mk * n)            when some cores idle
+    if (someCoresIdle(tm_k, tc, k, n)) {
+        if (tm_k <= 0.0)
+            return std::numeric_limits<double>::infinity();
+        return static_cast<double>(k) / (tm_k * static_cast<double>(n));
+    }
+    if (tm_k + tc <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return 1.0 / (tm_k + tc);
+}
+
+double
+AnalyticalModel::regionBoundary(int k, int n)
+{
+    tt_assert(k >= 1 && k <= n, "MTL out of range");
+    if (k == n)
+        return std::numeric_limits<double>::infinity();
+    return static_cast<double>(k) / static_cast<double>(n - k);
+}
+
+} // namespace tt::core

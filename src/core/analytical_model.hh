@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The paper's analytical performance model (Sec. IV-A).
+ *
+ * Symbols follow Table I of the paper:
+ *   - n     : number of processor cores (hardware contexts)
+ *   - k     : the Memory Task Limit (MTL) under evaluation
+ *   - T_mk  : average execution time of a memory task under MTL=k
+ *   - T_c   : average execution time of a compute task (invariant
+ *             to MTL because compute tasks hit in the LLC)
+ *   - t     : number of memory-compute task pairs
+ *
+ * Core idle test (Eq. 1):
+ *     T_mk / T_c  >  k / (n - k)   ==>  some cores idle at MTL=k
+ *     T_mk / T_c  <= k / (n - k)   ==>  all cores busy at MTL=k
+ *
+ * Execution-time estimates in steady state:
+ *     all busy : (T_mk + T_c) * t / n
+ *     some idle:  T_mk * t / k
+ *
+ * Speedups versus the interference-oblivious schedule (MTL = n):
+ *     all busy :  (T_mn + T_c) / (T_mk + T_c)
+ *     some idle:  (T_mn + T_c) * k / (T_mk * n)
+ */
+
+#ifndef TT_CORE_ANALYTICAL_MODEL_HH
+#define TT_CORE_ANALYTICAL_MODEL_HH
+
+namespace tt::core {
+
+/**
+ * Queuing decomposition of memory-task latency used in the paper's
+ * MTL-selection proof (Sec. IV-C):  T_mb = T_ml + b * T_ql, where
+ * T_ml is the contention-free latency and T_ql the per-competitor
+ * queuing increment.
+ */
+struct QueuingModel
+{
+    double tml = 0.0; ///< contention-free memory task time
+    double tql = 0.0; ///< queuing increment per concurrent memory task
+
+    /** Predicted memory-task time under MTL=k. */
+    double tmAt(int k) const { return tml + static_cast<double>(k) * tql; }
+
+    /**
+     * Fit (tml, tql) from two measurements: T_m at MTL=a and MTL=b.
+     * Requires a != b.
+     */
+    static QueuingModel fit(int a, double tm_a, int b, double tm_b);
+};
+
+/** Static evaluator for the Sec. IV-A formulas. */
+class AnalyticalModel
+{
+  public:
+    /**
+     * Eq. 1 idle test: does MTL=k leave some cores idle?
+     * MTL = n can never force idleness (there is no restriction).
+     *
+     * @param tm_k measured memory-task time under MTL=k
+     * @param tc   measured compute-task time
+     * @param k    MTL under evaluation, 1 <= k <= n
+     * @param n    core count
+     */
+    static bool someCoresIdle(double tm_k, double tc, int k, int n);
+
+    /** Complement of someCoresIdle(). */
+    static bool
+    allCoresBusy(double tm_k, double tc, int k, int n)
+    {
+        return !someCoresIdle(tm_k, tc, k, n);
+    }
+
+    /**
+     * IdleBound: the minimum MTL at which all cores are busy,
+     * approximating T_mj by the supplied `tm` for every j (the
+     * run-time mechanism only has the measurement at the current
+     * MTL). Closed form: ceil(n * tm / (tm + tc)), clamped to [1, n].
+     */
+    static int idleBound(double tm, double tc, int n);
+
+    /** Steady-state execution-time estimate for t pairs at MTL=k. */
+    static double execTime(double tm_k, double tc, int t, int k, int n);
+
+    /**
+     * Speedup of MTL=k over the interference-oblivious MTL=n
+     * schedule, given measurements at both points.
+     */
+    static double speedup(double tm_k, double tm_n, double tc, int k,
+                          int n);
+
+    /**
+     * Comparison key proportional to throughput at MTL=k; the
+     * (T_mn + T_c) numerator common to both speedup formulas cancels,
+     * so two candidate MTLs can be ranked without a measurement at
+     * MTL=n. Larger is better.
+     */
+    static double speedupRank(double tm_k, double tc, int k, int n);
+
+    /**
+     * The T_mk/T_c ratio at which the speedup curve for region
+     * S-MTL=k peaks (the region boundary k / (n - k); +infinity for
+     * k == n).
+     */
+    static double regionBoundary(int k, int n);
+};
+
+} // namespace tt::core
+
+#endif // TT_CORE_ANALYTICAL_MODEL_HH

@@ -1,0 +1,138 @@
+#include "core/dynamic_policy.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace tt::core {
+
+DynamicThrottlePolicy::DynamicThrottlePolicy(int cores, int window,
+                                             int initial,
+                                             TriggerMode mode,
+                                             double ratio_threshold)
+    : cores_(cores),
+      window_(window),
+      mtl_(initial < 0 ? cores : initial),
+      mode_(mode),
+      ratio_threshold_(ratio_threshold),
+      detector_(window, cores)
+{
+    tt_assert(cores_ >= 1, "need at least one core");
+    tt_assert(window_ >= 1, "monitoring window must be positive");
+    tt_assert(mtl_ >= 1 && mtl_ <= cores_, "initial MTL out of range");
+    traceMtl(0.0, mtl_);
+}
+
+void
+DynamicThrottlePolicy::setIdleBoundHysteresis(int amount)
+{
+    tt_assert(amount >= 0, "hysteresis must be non-negative");
+    idle_bound_hysteresis_ = amount;
+}
+
+void
+DynamicThrottlePolicy::onPairMeasured(const PairSample &sample)
+{
+    ++stats_.pairs_observed;
+    last_sample_time_ = sample.end_time;
+
+    if (state_ == State::Monitor) {
+        auto summary = detector_.addSample(sample, mtl_);
+        if (!summary)
+            return;
+        bool triggered = false;
+        if (mode_ == TriggerMode::kIdleBound) {
+            triggered =
+                !accepted_idle_bound_ ||
+                std::abs(summary->idle_bound - *accepted_idle_bound_) >
+                    idle_bound_hysteresis_;
+        } else {
+            // Naive criterion: any relative change of the ratio.
+            const double ratio =
+                summary->tc > 0.0 ? summary->tm / summary->tc : 1e18;
+            triggered = last_ratio_ < 0.0 ||
+                        (last_ratio_ > 0.0 &&
+                         std::abs(ratio - last_ratio_) / last_ratio_ >
+                             ratio_threshold_);
+            last_ratio_ = ratio;
+        }
+        if (triggered) {
+            ++stats_.phase_changes;
+            beginSelection();
+        }
+        return;
+    }
+
+    // State::Select -- accumulate the current probe's window.
+    ++stats_.probe_pairs;
+    if (!probe_mtl_ || sample.mtl != *probe_mtl_)
+        return; // stale pair from before the probe's MTL switch
+    probe_tm_acc_ += sample.tm;
+    probe_tc_acc_ += sample.tc;
+    if (++probe_filled_ < window_)
+        return;
+
+    const double denom = static_cast<double>(window_);
+    selector_->reportProbe(*probe_mtl_, probe_tm_acc_ / denom,
+                           probe_tc_acc_ / denom);
+    if (selector_->done())
+        finishSelection();
+    else
+        startProbe();
+}
+
+void
+DynamicThrottlePolicy::beginSelection()
+{
+    ++stats_.selections;
+    state_ = State::Select;
+    selector_ = std::make_unique<MtlSelector>(cores_);
+    if (selector_->done()) {
+        // Degenerate single-core machine: nothing to search.
+        finishSelection();
+        return;
+    }
+    startProbe();
+}
+
+void
+DynamicThrottlePolicy::startProbe()
+{
+    probe_mtl_ = selector_->nextProbe();
+    tt_assert(probe_mtl_.has_value(), "probe requested after done");
+    probe_filled_ = 0;
+    probe_tm_acc_ = 0.0;
+    probe_tc_acc_ = 0.0;
+    mtl_ = *probe_mtl_;
+    traceMtl(last_sample_time_, mtl_);
+}
+
+void
+DynamicThrottlePolicy::finishSelection()
+{
+    MtlSelector::Result res;
+    if (cores_ == 1) {
+        res.d_mtl = 1;
+        res.mtl_no_idle = 1;
+    } else {
+        res = selector_->result();
+    }
+    selection_log_.push_back(res);
+
+    mtl_ = res.d_mtl;
+    traceMtl(last_sample_time_, mtl_);
+
+    // Resume monitoring under the new MTL. Accept the boundary the
+    // selection just established so the very next window does not
+    // spuriously re-trigger.
+    accepted_idle_bound_ = res.mtl_no_idle;
+    detector_.reset();
+    detector_.primeIdleBound(res.mtl_no_idle);
+
+    state_ = State::Monitor;
+    selector_.reset();
+    probe_mtl_.reset();
+}
+
+} // namespace tt::core

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The paper's run-time memory thread throttling mechanism (Sec. IV,
+ * Fig. 6): phase change detection feeding pruned MTL selection.
+ *
+ * Operation alternates between two states:
+ *  - MONITOR: execute under the currently selected MTL while the
+ *    PhaseDetector averages W task pairs; when the resulting
+ *    IdleBound differs from the previous window's, a phase change is
+ *    declared;
+ *  - SELECT: drive the MtlSelector's binary search, temporarily
+ *    switching the enforced MTL to each probe point and averaging W
+ *    pairs there, until D-MTL is decided and applied.
+ *
+ * The very first completed window always counts as a phase change,
+ * which gives the mechanism its initial MTL decision.
+ */
+
+#ifndef TT_CORE_DYNAMIC_POLICY_HH
+#define TT_CORE_DYNAMIC_POLICY_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/mtl_selector.hh"
+#include "core/phase_detector.hh"
+#include "core/policy.hh"
+
+namespace tt::core {
+
+/** Dynamic memory-thread-throttling policy (D-MTL). */
+class DynamicThrottlePolicy : public SchedulingPolicy
+{
+  public:
+    /**
+     * What counts as a phase change (Sec. IV-B).
+     *
+     * kIdleBound is the paper's mechanism: re-select only when the
+     * model's core-idle behaviour flips. kRatioChange is the naive
+     * strawman the paper argues against -- "triggering MTL selection
+     * as long as the memory-to-compute ratio changes" -- kept as an
+     * ablation (see bench_ablation_selection).
+     */
+    enum class TriggerMode { kIdleBound, kRatioChange };
+
+    /**
+     * @param cores   n, hardware contexts the runtime schedules on
+     * @param window  W, pairs averaged per estimate (paper Sec. VI-C)
+     * @param initial starting MTL; defaults to n (the conventional,
+     *                unthrottled schedule) as the paper's mechanism
+     *                begins interference-oblivious
+     * @param mode    phase-change criterion (ablation hook)
+     * @param ratio_threshold relative T_m/T_c change that counts as
+     *                "the ratio changed" in kRatioChange mode
+     */
+    DynamicThrottlePolicy(int cores, int window, int initial = -1,
+                          TriggerMode mode = TriggerMode::kIdleBound,
+                          double ratio_threshold = 0.05);
+
+    /**
+     * Scalability extension (not in the paper): re-select only when
+     * the observed IdleBound differs from the accepted one by more
+     * than `amount`. With many hardware contexts the closed-form
+     * IdleBound ceil(n*T_m/(T_m+T_c)) becomes fine-grained and
+     * measurement noise flips it by +-1 every window, which makes
+     * the paper's exact-mismatch trigger re-select perpetually;
+     * bench_ext_power7 demonstrates the thrash at n=32 and this fix.
+     */
+    void setIdleBoundHysteresis(int amount);
+
+    std::string name() const override { return "dynamic-throttle"; }
+    int currentMtl() const override { return mtl_; }
+    void onPairMeasured(const PairSample &sample) override;
+
+    /** All MTL-selection outcomes, in order (for the reports). */
+    const std::vector<MtlSelector::Result> &
+    selections() const
+    {
+        return selection_log_;
+    }
+
+    int window() const { return window_; }
+    int cores() const { return cores_; }
+
+  private:
+    void beginSelection();
+    void finishSelection();
+    void startProbe();
+
+    enum class State { Monitor, Select };
+
+    int cores_;
+    int window_;
+    int mtl_;
+    TriggerMode mode_;
+    double ratio_threshold_;
+    int idle_bound_hysteresis_ = 0;
+    std::optional<int> accepted_idle_bound_;
+    double last_ratio_ = -1.0;
+    State state_ = State::Monitor;
+    PhaseDetector detector_;
+
+    // SELECT-state machinery.
+    std::unique_ptr<MtlSelector> selector_;
+    std::optional<int> probe_mtl_;
+    int probe_filled_ = 0;
+    double probe_tm_acc_ = 0.0;
+    double probe_tc_acc_ = 0.0;
+    double last_sample_time_ = 0.0;
+
+    std::vector<MtlSelector::Result> selection_log_;
+};
+
+} // namespace tt::core
+
+#endif // TT_CORE_DYNAMIC_POLICY_HH

@@ -1,0 +1,102 @@
+#include "core/mtl_selector.hh"
+
+#include "core/analytical_model.hh"
+#include "util/logging.hh"
+
+namespace tt::core {
+
+MtlSelector::MtlSelector(int cores)
+    : cores_(cores), lo_(1), hi_(cores)
+{
+    tt_assert(cores_ >= 1, "need at least one core");
+}
+
+void
+MtlSelector::advance()
+{
+    // Consume cached probes to move the binary-search bounds as far
+    // as the available measurements allow.
+    while (lo_ < hi_) {
+        const int mid = (lo_ + hi_) / 2;
+        auto it = tm_probes_.find(mid);
+        if (it == tm_probes_.end() || !have_tc_)
+            return;
+        if (AnalyticalModel::allCoresBusy(it->second, tc_, mid, cores_))
+            hi_ = mid;
+        else
+            lo_ = mid + 1;
+    }
+}
+
+bool
+MtlSelector::candidateMeasured(int mtl) const
+{
+    return tm_probes_.count(mtl) > 0;
+}
+
+std::optional<int>
+MtlSelector::nextProbe() const
+{
+    if (lo_ < hi_)
+        return (lo_ + hi_) / 2;
+    // Boundary found: lo_ == hi_ == MTL_NoIdle. Ensure both
+    // candidates carry measurements before ranking them.
+    const int no_idle = lo_;
+    if (!candidateMeasured(no_idle))
+        return no_idle;
+    if (no_idle > 1 && !candidateMeasured(no_idle - 1))
+        return no_idle - 1;
+    return std::nullopt;
+}
+
+void
+MtlSelector::reportProbe(int mtl, double tm, double tc)
+{
+    tt_assert(mtl >= 1 && mtl <= cores_, "probe MTL out of range");
+    tt_assert(tm >= 0.0 && tc >= 0.0, "negative probe measurement");
+    tm_probes_[mtl] = tm;
+    tc_ = tc; // compute time is MTL-invariant; keep the freshest
+    have_tc_ = true;
+    ++probes_used_;
+    result_.reset();
+    advance();
+}
+
+bool
+MtlSelector::done() const
+{
+    return !nextProbe().has_value();
+}
+
+MtlSelector::Result
+MtlSelector::result() const
+{
+    tt_assert(done(), "selection still in progress");
+    if (result_)
+        return *result_;
+
+    Result res;
+    res.mtl_no_idle = lo_;
+    res.probes_used = probes_used_;
+
+    const double tm_no_idle = tm_probes_.at(res.mtl_no_idle);
+    res.rank_no_idle = AnalyticalModel::speedupRank(
+        tm_no_idle, tc_, res.mtl_no_idle, cores_);
+
+    if (res.mtl_no_idle > 1) {
+        const int idle = res.mtl_no_idle - 1;
+        res.mtl_idle = idle;
+        const double tm_idle = tm_probes_.at(idle);
+        res.rank_idle =
+            AnalyticalModel::speedupRank(tm_idle, tc_, idle, cores_);
+        res.d_mtl =
+            res.rank_idle > res.rank_no_idle ? idle : res.mtl_no_idle;
+    } else {
+        res.d_mtl = res.mtl_no_idle;
+    }
+
+    result_ = res;
+    return res;
+}
+
+} // namespace tt::core

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * MTL selection by pruned search (paper Sec. IV-C, Fig. 11).
+ *
+ * The paper proves two monotonicity lemmas under the queuing
+ * decomposition T_mb = T_ml + b*T_ql:
+ *   1. among MTLs where all cores stay busy, the *lowest* wins;
+ *   2. among MTLs where some cores idle, the *highest* wins.
+ * Hence only two candidates can be optimal: MTL_NoIdle (minimum MTL
+ * with all cores busy) and MTL_Idle = MTL_NoIdle - 1 (maximum MTL
+ * with some cores idle). The selector binary-searches for the
+ * boundary, probing -- i.e. asking the runtime to measure W pairs at
+ * a given MTL -- O(log n) points instead of all n, then ranks the two
+ * candidates with the analytical model.
+ *
+ * The class is a passive state machine: call nextProbe() to learn
+ * which MTL to measure next, feed the measurement back through
+ * reportProbe(), repeat until done().
+ */
+
+#ifndef TT_CORE_MTL_SELECTOR_HH
+#define TT_CORE_MTL_SELECTOR_HH
+
+#include <map>
+#include <optional>
+
+namespace tt::core {
+
+/** Binary-search MTL selector. */
+class MtlSelector
+{
+  public:
+    /** Outcome of a completed selection. */
+    struct Result
+    {
+        int d_mtl = 1;           ///< the selected MTL
+        int mtl_no_idle = 1;     ///< min MTL with all cores busy
+        std::optional<int> mtl_idle; ///< max MTL with some idle, if any
+        double rank_no_idle = 0.0; ///< model rank of mtl_no_idle
+        double rank_idle = 0.0;    ///< model rank of mtl_idle (0 if none)
+        int probes_used = 0;       ///< number of probe measurements
+    };
+
+    explicit MtlSelector(int cores);
+
+    /**
+     * MTL the runtime should measure next, or nullopt when the
+     * selection has converged.
+     */
+    std::optional<int> nextProbe() const;
+
+    /**
+     * Feed the averaged measurement (tm, tc) taken at MTL=mtl.
+     * Out-of-order or repeated reports simply refresh the cache.
+     */
+    void reportProbe(int mtl, double tm, double tc);
+
+    /** True once d-MTL is decided. */
+    bool done() const;
+
+    /** The decision; only valid when done(). */
+    Result result() const;
+
+    /**
+     * Measurements gathered so far, keyed by MTL (tm values); used by
+     * harnesses to report estimated speedups.
+     */
+    const std::map<int, double> &probedTm() const { return tm_probes_; }
+
+    /** Latest compute-task time estimate across probes. */
+    double probedTc() const { return tc_; }
+
+  private:
+    void advance();
+    bool candidateMeasured(int mtl) const;
+
+    int cores_;
+    int lo_;
+    int hi_;
+    std::map<int, double> tm_probes_;
+    double tc_ = 0.0;
+    bool have_tc_ = false;
+    int probes_used_ = 0;
+    mutable std::optional<Result> result_;
+};
+
+} // namespace tt::core
+
+#endif // TT_CORE_MTL_SELECTOR_HH

@@ -1,0 +1,95 @@
+#include "core/online_exhaustive_policy.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace tt::core {
+
+OnlineExhaustivePolicy::OnlineExhaustivePolicy(int cores, int window,
+                                               double threshold)
+    : cores_(cores), window_(window), threshold_(threshold), mtl_(cores)
+{
+    tt_assert(cores_ >= 1, "need at least one core");
+    tt_assert(window_ >= 1, "monitoring window must be positive");
+    tt_assert(threshold_ > 0.0, "threshold must be positive");
+    traceMtl(0.0, mtl_);
+}
+
+void
+OnlineExhaustivePolicy::onPairMeasured(const PairSample &sample)
+{
+    ++stats_.pairs_observed;
+
+    if (state_ == State::Search) {
+        ++stats_.probe_pairs;
+        // Only pairs actually executed under the candidate MTL count
+        // toward its timed group.
+        if (sample.mtl != search_mtl_)
+            return;
+        if (++group_filled_ < window_)
+            return;
+
+        search_times_.push_back(sample.end_time - group_start_);
+        if (search_mtl_ < cores_) {
+            ++search_mtl_;
+            mtl_ = search_mtl_;
+            traceMtl(sample.end_time, mtl_);
+            startGroup(sample.end_time);
+            return;
+        }
+        // All candidates timed: keep the fastest.
+        const auto best = std::min_element(search_times_.begin(),
+                                           search_times_.end());
+        mtl_ = static_cast<int>(best - search_times_.begin()) + 1;
+        traceMtl(sample.end_time, mtl_);
+        state_ = State::Monitor;
+        prev_group_time_ = -1.0; // re-establish the baseline
+        startGroup(sample.end_time);
+        return;
+    }
+
+    // State::Monitor -- time consecutive groups of W pairs.
+    if (++group_filled_ < window_)
+        return;
+    const double group_time = sample.end_time - group_start_;
+    const bool baseline_missing = prev_group_time_ < 0.0;
+    // The very first group of the run triggers the initial search;
+    // after a search, the first monitored group only re-establishes
+    // the comparison baseline.
+    const bool initial = baseline_missing && !searched_once_;
+    const bool big_change =
+        !baseline_missing && prev_group_time_ > 0.0 &&
+        std::abs(group_time - prev_group_time_) / prev_group_time_ >
+            threshold_;
+    prev_group_time_ = group_time;
+    if (initial || big_change) {
+        ++stats_.phase_changes;
+        beginSearch(sample.end_time);
+    } else {
+        startGroup(sample.end_time);
+    }
+}
+
+void
+OnlineExhaustivePolicy::beginSearch(double now)
+{
+    ++stats_.selections;
+    searched_once_ = true;
+    state_ = State::Search;
+    search_times_.clear();
+    search_mtl_ = 1;
+    mtl_ = 1;
+    traceMtl(now, mtl_);
+    startGroup(now);
+}
+
+void
+OnlineExhaustivePolicy::startGroup(double now)
+{
+    group_start_ = now;
+    group_filled_ = 0;
+}
+
+} // namespace tt::core

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The paper's naive "Online Exhaustive Search" baseline (Sec. V).
+ *
+ * This policy knows nothing of the analytical model. It watches the
+ * wall-clock time taken by consecutive groups of W task pairs;
+ * whenever a group's time differs from the previous group's by more
+ * than a threshold (10% performed best in the paper), it re-selects
+ * the MTL by brute force: it runs W pairs at *every* MTL from 1 to n,
+ * times each group, and keeps the fastest. Contrast with
+ * DynamicThrottlePolicy, which probes only O(log n) MTLs and judges
+ * candidates with the model rather than with noisy group wall times.
+ */
+
+#ifndef TT_CORE_ONLINE_EXHAUSTIVE_POLICY_HH
+#define TT_CORE_ONLINE_EXHAUSTIVE_POLICY_HH
+
+#include <string>
+#include <vector>
+
+#include "core/policy.hh"
+
+namespace tt::core {
+
+/** Brute-force online MTL search baseline. */
+class OnlineExhaustivePolicy : public SchedulingPolicy
+{
+  public:
+    /**
+     * @param cores     n, hardware contexts
+     * @param window    W, pairs per timed group
+     * @param threshold relative group-time change that triggers a
+     *                  re-selection (paper's best value: 0.10)
+     */
+    OnlineExhaustivePolicy(int cores, int window, double threshold = 0.10);
+
+    std::string name() const override { return "online-exhaustive"; }
+    int currentMtl() const override { return mtl_; }
+    void onPairMeasured(const PairSample &sample) override;
+
+    int window() const { return window_; }
+
+  private:
+    void beginSearch(double now);
+    void startGroup(double now);
+
+    enum class State { Monitor, Search };
+
+    int cores_;
+    int window_;
+    double threshold_;
+    int mtl_;
+    State state_ = State::Monitor;
+
+    // Group timing.
+    double group_start_ = 0.0;
+    int group_filled_ = 0;
+    double prev_group_time_ = -1.0;
+    bool searched_once_ = false;
+
+    // Search progress: measured group time per candidate MTL.
+    int search_mtl_ = 0;
+    std::vector<double> search_times_;
+};
+
+} // namespace tt::core
+
+#endif // TT_CORE_ONLINE_EXHAUSTIVE_POLICY_HH

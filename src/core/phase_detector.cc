@@ -1,0 +1,55 @@
+#include "core/phase_detector.hh"
+
+#include "core/analytical_model.hh"
+#include "util/logging.hh"
+
+namespace tt::core {
+
+PhaseDetector::PhaseDetector(int window, int cores)
+    : window_(window), cores_(cores)
+{
+    tt_assert(window_ >= 1, "monitoring window must be positive");
+    tt_assert(cores_ >= 1, "need at least one core");
+}
+
+std::optional<WindowSummary>
+PhaseDetector::addSample(const PairSample &sample, int expected_mtl)
+{
+    if (sample.mtl != expected_mtl)
+        return std::nullopt; // stale: measured under an old constraint
+
+    tm_acc_ += sample.tm;
+    tc_acc_ += sample.tc;
+    ++filled_;
+    if (filled_ < window_)
+        return std::nullopt;
+
+    WindowSummary summary;
+    summary.tm = tm_acc_ / static_cast<double>(window_);
+    summary.tc = tc_acc_ / static_cast<double>(window_);
+    summary.idle_bound =
+        AnalyticalModel::idleBound(summary.tm, summary.tc, cores_);
+    summary.phase_change =
+        !last_idle_bound_ || *last_idle_bound_ != summary.idle_bound;
+
+    last_idle_bound_ = summary.idle_bound;
+    resetWindow();
+    return summary;
+}
+
+void
+PhaseDetector::reset()
+{
+    resetWindow();
+    last_idle_bound_.reset();
+}
+
+void
+PhaseDetector::resetWindow()
+{
+    filled_ = 0;
+    tm_acc_ = 0.0;
+    tc_acc_ = 0.0;
+}
+
+} // namespace tt::core

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Coarse-grained phase change detection (paper Sec. IV-B).
+ *
+ * The detector accumulates the execution times of W memory-compute
+ * task pairs, estimates T_mk and T_c from their averages, and derives
+ * IdleBound -- the minimum MTL at which the analytical model says all
+ * cores stay busy. Only a change of IdleBound (a change in core idle
+ * *behaviour*, not merely in the memory-to-compute ratio) counts as a
+ * phase change; this is what keeps MTL re-selection rare and cheap.
+ */
+
+#ifndef TT_CORE_PHASE_DETECTOR_HH
+#define TT_CORE_PHASE_DETECTOR_HH
+
+#include <optional>
+
+#include "core/samples.hh"
+
+namespace tt::core {
+
+/** Result of one full monitoring window. */
+struct WindowSummary
+{
+    double tm = 0.0;     ///< mean memory-task time over the window
+    double tc = 0.0;     ///< mean compute-task time over the window
+    int idle_bound = 1;  ///< min MTL with all cores busy (model)
+    bool phase_change = false; ///< IdleBound differs from last window
+};
+
+/** IdleBound-based phase change detector. */
+class PhaseDetector
+{
+  public:
+    /**
+     * @param window w, the number of pairs averaged per estimate
+     * @param cores  n, hardware contexts available to the runtime
+     */
+    PhaseDetector(int window, int cores);
+
+    /**
+     * Feed one pair measurement. Samples taken under an MTL other
+     * than `expected_mtl` are discarded (they reflect a stale
+     * constraint). Returns a summary exactly when the W-th valid
+     * sample arrives, then starts a fresh window.
+     */
+    std::optional<WindowSummary> addSample(const PairSample &sample,
+                                           int expected_mtl);
+
+    /** Forget window contents and phase history (e.g. after probing). */
+    void reset();
+
+    /** Forget window contents but keep the last IdleBound. */
+    void resetWindow();
+
+    /**
+     * Install an externally determined IdleBound (e.g. the boundary a
+     * completed MTL selection just located) so the next window is
+     * compared against it instead of unconditionally triggering.
+     */
+    void primeIdleBound(int idle_bound) { last_idle_bound_ = idle_bound; }
+
+    /** Last completed window's IdleBound, if any window completed. */
+    std::optional<int> lastIdleBound() const { return last_idle_bound_; }
+
+    int window() const { return window_; }
+    int cores() const { return cores_; }
+
+  private:
+    int window_;
+    int cores_;
+    int filled_ = 0;
+    double tm_acc_ = 0.0;
+    double tc_acc_ = 0.0;
+    std::optional<int> last_idle_bound_;
+};
+
+} // namespace tt::core
+
+#endif // TT_CORE_PHASE_DETECTOR_HH

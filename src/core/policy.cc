@@ -1,0 +1,43 @@
+#include "core/policy.hh"
+
+#include "util/logging.hh"
+
+namespace tt::core {
+
+ConventionalPolicy::ConventionalPolicy(int cores)
+    : cores_(cores)
+{
+    tt_assert(cores_ >= 1, "need at least one core");
+    traceMtl(0.0, cores_);
+}
+
+void
+ConventionalPolicy::onPairMeasured(const PairSample &sample)
+{
+    (void)sample;
+    ++stats_.pairs_observed;
+}
+
+StaticMtlPolicy::StaticMtlPolicy(int mtl, int cores)
+    : mtl_(mtl)
+{
+    tt_assert(cores >= 1, "need at least one core");
+    tt_assert(mtl_ >= 1 && mtl_ <= cores,
+              "static MTL ", mtl_, " out of range [1, ", cores, "]");
+    traceMtl(0.0, mtl_);
+}
+
+std::string
+StaticMtlPolicy::name() const
+{
+    return "static-mtl-" + std::to_string(mtl_);
+}
+
+void
+StaticMtlPolicy::onPairMeasured(const PairSample &sample)
+{
+    (void)sample;
+    ++stats_.pairs_observed;
+}
+
+} // namespace tt::core

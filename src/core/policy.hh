@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Scheduling-policy interface plus the two trivial policies.
+ *
+ * A policy is a sans-IO object: the hosting runtime (real threads in
+ * tt_runtime, simulated cores in tt_simrt) reports every finished
+ * memory-compute pair through onPairMeasured() and consults
+ * currentMtl() each time it is about to start a memory task. This is
+ * exactly the application-layer structure the paper prototypes with
+ * a lock and a counter (Sec. V).
+ */
+
+#ifndef TT_CORE_POLICY_HH
+#define TT_CORE_POLICY_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/samples.hh"
+
+namespace tt::core {
+
+/** Abstract MTL-scheduling policy. */
+class SchedulingPolicy
+{
+  public:
+    virtual ~SchedulingPolicy() = default;
+
+    /** Human-readable policy name for reports. */
+    virtual std::string name() const = 0;
+
+    /** MTL the runtime must enforce for the next memory task. */
+    virtual int currentMtl() const = 0;
+
+    /** Deliver the measurement of one finished pair. */
+    virtual void onPairMeasured(const PairSample &sample) = 0;
+
+    /** Counters accumulated so far. */
+    virtual PolicyStats stats() const { return stats_; }
+
+    /**
+     * Trace of (time, mtl) at every MTL switch, starting with the
+     * initial value at time 0; used by the phase-adaptation reports.
+     */
+    const std::vector<std::pair<double, int>> &
+    mtlTrace() const
+    {
+        return mtl_trace_;
+    }
+
+  protected:
+    /** Record an MTL change in the trace and the counters. */
+    void
+    traceMtl(double time, int mtl)
+    {
+        if (!mtl_trace_.empty() && mtl_trace_.back().second == mtl)
+            return;
+        if (!mtl_trace_.empty())
+            ++stats_.mtl_switches;
+        mtl_trace_.emplace_back(time, mtl);
+    }
+
+    PolicyStats stats_;
+
+  private:
+    std::vector<std::pair<double, int>> mtl_trace_;
+};
+
+/**
+ * Interference-oblivious baseline: MTL is pinned to the core count,
+ * i.e. memory tasks are never throttled.
+ */
+class ConventionalPolicy : public SchedulingPolicy
+{
+  public:
+    explicit ConventionalPolicy(int cores);
+
+    std::string name() const override { return "conventional"; }
+    int currentMtl() const override { return cores_; }
+    void onPairMeasured(const PairSample &sample) override;
+
+  private:
+    int cores_;
+};
+
+/** Fixed MTL=k for the whole run (the paper's S-MTL building block). */
+class StaticMtlPolicy : public SchedulingPolicy
+{
+  public:
+    StaticMtlPolicy(int mtl, int cores);
+
+    std::string name() const override;
+    int currentMtl() const override { return mtl_; }
+    void onPairMeasured(const PairSample &sample) override;
+
+  private:
+    int mtl_;
+};
+
+} // namespace tt::core
+
+#endif // TT_CORE_POLICY_HH

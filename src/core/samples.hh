@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Measurement records exchanged between a runtime (real-thread or
+ * simulated) and the scheduling policies.
+ */
+
+#ifndef TT_CORE_SAMPLES_HH
+#define TT_CORE_SAMPLES_HH
+
+namespace tt::core {
+
+/**
+ * One finished memory-compute task pair, as observed by the runtime.
+ *
+ * Times are in seconds (wall seconds for the real runtime, simulated
+ * seconds for the simulator); `end_time` is relative to the start of
+ * the run. `mtl` records the MTL in force while the memory task ran
+ * so policies can discard samples taken under a stale constraint.
+ */
+struct PairSample
+{
+    double tm = 0.0;       ///< memory-task duration
+    double tc = 0.0;       ///< compute-task duration
+    double end_time = 0.0; ///< completion timestamp of the pair
+    int mtl = 0;           ///< MTL in force when the memory task ran
+};
+
+/** Aggregate counters a policy exposes after a run. */
+struct PolicyStats
+{
+    long pairs_observed = 0;   ///< samples delivered to the policy
+    long probe_pairs = 0;      ///< samples consumed while probing MTLs
+    long selections = 0;       ///< MTL-selection rounds triggered
+    long phase_changes = 0;    ///< phase changes detected
+    long mtl_switches = 0;     ///< times currentMtl() changed value
+};
+
+} // namespace tt::core
+
+#endif // TT_CORE_SAMPLES_HH

@@ -1,0 +1,186 @@
+#include "cpu/sim_core.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace tt::cpu {
+
+namespace {
+
+/** SplitMix64 finaliser, used to scatter task base addresses. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Simulated physical address space: 2 GB, as on the paper's box. */
+constexpr std::uint64_t kMemoryLines =
+    2ULL * 1024 * 1024 * 1024 / mem::kLineBytes;
+
+} // namespace
+
+SimCore::SimCore(sim::EventQueue &events, mem::MemorySystem &mem,
+                 const MachineConfig &config, int core_id)
+    : events_(events), mem_(mem), config_(config), core_id_(core_id),
+      ctx_(static_cast<std::size_t>(config.smt_ways))
+{
+    tt_assert(config_.smt_ways >= 1, "core needs at least one context");
+    tt_assert(config_.mlp_per_context >= 1, "MLP window must be >= 1");
+    tt_assert(config_.demand_mlp >= 1, "demand MLP must be >= 1");
+}
+
+bool
+SimCore::busy(int slot) const
+{
+    tt_assert(slot >= 0 && slot < slots(), "slot out of range");
+    return ctx_[static_cast<std::size_t>(slot)].busy;
+}
+
+std::uint64_t
+SimCore::taskBaseLine(const stream::Task &task) const
+{
+    // Row-aligned pseudo-random placement: tasks stream disjoint
+    // regions whose bank alignments collide occasionally, giving
+    // realistic row-buffer interference between concurrent streams.
+    const std::uint64_t lines_per_row = config_.mem.dram.linesPerRow();
+    const std::uint64_t rows_total = kMemoryLines / lines_per_row;
+    const std::uint64_t row =
+        mix64(static_cast<std::uint64_t>(task.id) + 1) % rows_total;
+    return row * lines_per_row;
+}
+
+void
+SimCore::run(int slot, const stream::Task &task, double miss_fraction,
+             std::function<void()> done)
+{
+    tt_assert(slot >= 0 && slot < slots(), "slot out of range");
+    Context &c = ctx_[static_cast<std::size_t>(slot)];
+    tt_assert(!c.busy, "context already running a task");
+    tt_assert(miss_fraction >= 0.0 && miss_fraction <= 1.0,
+              "miss fraction out of [0,1]");
+
+    c.busy = true;
+    c.done = std::move(done);
+    c.lines_total = 0;
+    c.lines_issued = 0;
+    c.lines_done = 0;
+    c.write_lines = 0;
+    c.compute_cycles = 0;
+
+    if (task.kind == stream::TaskKind::Memory) {
+        const std::uint64_t lines =
+            (task.sim_work.bytes + mem::kLineBytes - 1) / mem::kLineBytes;
+        const auto writes = static_cast<std::uint64_t>(
+            std::llround(task.sim_work.write_fraction *
+                         static_cast<double>(lines)));
+        runMemoryStream(slot, lines, writes, taskBaseLine(task),
+                        config_.mlp_per_context);
+        return;
+    }
+
+    // Compute task. If the sibling context is occupied the pipeline
+    // is shared and the task slows down (sampled at start; see
+    // machine_config.hh for the approximation note).
+    bool sibling_busy = false;
+    for (int s = 0; s < slots(); ++s)
+        sibling_busy |= (s != slot && ctx_[static_cast<std::size_t>(s)].busy);
+    const double factor = sibling_busy ? config_.smt_compute_slowdown : 1.0;
+    c.compute_cycles = static_cast<std::uint64_t>(
+        static_cast<double>(task.sim_work.compute_cycles) * factor);
+
+    const std::uint64_t footprint_lines =
+        task.sim_work.footprint_bytes / mem::kLineBytes;
+    const auto miss_lines = static_cast<std::uint64_t>(
+        miss_fraction * static_cast<double>(footprint_lines));
+    if (miss_lines > 0) {
+        // Demand-fetch the spilled fraction before computing.
+        runMemoryStream(slot, miss_lines, 0, taskBaseLine(task),
+                        config_.demand_mlp);
+    } else {
+        startComputeBurn(slot);
+    }
+}
+
+void
+SimCore::runMemoryStream(int slot, std::uint64_t lines,
+                         std::uint64_t write_lines,
+                         std::uint64_t base_line, int window)
+{
+    Context &c = ctx_[static_cast<std::size_t>(slot)];
+    c.lines_total = lines;
+    c.lines_issued = 0;
+    c.lines_done = 0;
+    c.write_lines = write_lines;
+    c.base_line = base_line;
+    c.window = window;
+    if (lines == 0) {
+        // Degenerate empty stream: complete asynchronously so the
+        // caller never observes re-entrant completion.
+        events_.scheduleIn(0, [this, slot] {
+            if (ctx_[static_cast<std::size_t>(slot)].compute_cycles > 0)
+                startComputeBurn(slot);
+            else
+                finish(slot);
+        });
+        return;
+    }
+    issueNext(slot);
+}
+
+void
+SimCore::issueNext(int slot)
+{
+    Context &c = ctx_[static_cast<std::size_t>(slot)];
+    while (c.lines_issued < c.lines_total &&
+           c.lines_issued - c.lines_done <
+               static_cast<std::uint64_t>(c.window)) {
+        const bool is_write =
+            c.lines_issued >= c.lines_total - c.write_lines;
+        const std::uint64_t addr = c.base_line + c.lines_issued;
+        ++c.lines_issued;
+        mem_.access(addr, is_write, [this, slot] { onLineDone(slot); });
+    }
+}
+
+void
+SimCore::onLineDone(int slot)
+{
+    Context &c = ctx_[static_cast<std::size_t>(slot)];
+    ++c.lines_done;
+    if (c.lines_done == c.lines_total) {
+        if (c.compute_cycles > 0)
+            startComputeBurn(slot);
+        else
+            finish(slot);
+        return;
+    }
+    issueNext(slot);
+}
+
+void
+SimCore::startComputeBurn(int slot)
+{
+    Context &c = ctx_[static_cast<std::size_t>(slot)];
+    const sim::Tick duration = c.compute_cycles * config_.cyclePeriod();
+    c.compute_cycles = 0; // consumed; finish() path below
+    events_.scheduleIn(duration, [this, slot] { finish(slot); });
+}
+
+void
+SimCore::finish(int slot)
+{
+    Context &c = ctx_[static_cast<std::size_t>(slot)];
+    tt_assert(c.busy, "finishing an idle context");
+    c.busy = false;
+    auto done = std::move(c.done);
+    c.done = nullptr;
+    if (done)
+        done();
+}
+
+} // namespace tt::cpu

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * SimCore: a simulated physical core with SMT hardware contexts.
+ *
+ * The core is a latency engine, not an ISA interpreter -- tasks carry
+ * resource descriptors (stream/task.hh):
+ *
+ *  - a *memory task* streams `bytes/64` line accesses through the
+ *    memory system with a bounded window of `mlp_per_context`
+ *    outstanding fills (gather reads first, then the scatter-write
+ *    tail), completing when the last access returns;
+ *  - a *compute task* burns `compute_cycles` of pipeline time; when
+ *    the LLC is oversubscribed a miss fraction of its footprint is
+ *    first demand-fetched from DRAM (window `demand_mlp`), which both
+ *    lengthens the task and interferes with concurrent memory tasks
+ *    -- the Fig. 13(c) effect. If the sibling SMT context is busy at
+ *    start, the cycle time is inflated by `smt_compute_slowdown`.
+ */
+
+#ifndef TT_CPU_SIM_CORE_HH
+#define TT_CPU_SIM_CORE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cpu/machine_config.hh"
+#include "mem/mem_system.hh"
+#include "sim/event_queue.hh"
+#include "stream/task.hh"
+
+namespace tt::cpu {
+
+/** One simulated core with `smt_ways` contexts. */
+class SimCore
+{
+  public:
+    SimCore(sim::EventQueue &events, mem::MemorySystem &mem,
+            const MachineConfig &config, int core_id);
+
+    SimCore(const SimCore &) = delete;
+    SimCore &operator=(const SimCore &) = delete;
+
+    /**
+     * Run `task` on hardware context `slot`.
+     *
+     * @param slot          0..smt_ways-1
+     * @param task          the task to execute
+     * @param miss_fraction fraction of a compute task's footprint
+     *                      that must be demand-fetched (0 when the
+     *                      LLC holds the working set)
+     * @param done          invoked at completion time
+     */
+    void run(int slot, const stream::Task &task, double miss_fraction,
+             std::function<void()> done);
+
+    /** True while `slot` is executing a task. */
+    bool busy(int slot) const;
+
+    /** Number of hardware contexts. */
+    int slots() const { return static_cast<int>(ctx_.size()); }
+
+    int coreId() const { return core_id_; }
+
+  private:
+    struct Context
+    {
+        bool busy = false;
+        std::uint64_t lines_total = 0;
+        std::uint64_t lines_issued = 0;
+        std::uint64_t lines_done = 0;
+        std::uint64_t write_lines = 0; ///< scatter tail length
+        std::uint64_t base_line = 0;
+        std::uint64_t compute_cycles = 0;
+        int window = 0;
+        std::function<void()> done;
+    };
+
+    void runMemoryStream(int slot, std::uint64_t lines,
+                         std::uint64_t write_lines,
+                         std::uint64_t base_line, int window);
+    void issueNext(int slot);
+    void onLineDone(int slot);
+    void startComputeBurn(int slot);
+    void finish(int slot);
+
+    /** Deterministic, row-aligned base address for a task. */
+    std::uint64_t taskBaseLine(const stream::Task &task) const;
+
+    sim::EventQueue &events_;
+    mem::MemorySystem &mem_;
+    const MachineConfig config_;
+    int core_id_;
+    std::vector<Context> ctx_;
+};
+
+} // namespace tt::cpu
+
+#endif // TT_CPU_SIM_CORE_HH

@@ -1,0 +1,51 @@
+#include "cpu/sim_machine.hh"
+
+#include "util/logging.hh"
+
+namespace tt::cpu {
+
+SimMachine::SimMachine(const MachineConfig &config)
+    : config_(config)
+{
+    tt_assert(config_.cores >= 1, "machine needs at least one core");
+    mem_ = std::make_unique<mem::MemorySystem>(events_, config_.mem);
+    cores_.reserve(static_cast<std::size_t>(config_.cores));
+    for (int c = 0; c < config_.cores; ++c)
+        cores_.push_back(
+            std::make_unique<SimCore>(events_, *mem_, config_, c));
+}
+
+SimCore &
+SimMachine::coreOf(int context)
+{
+    tt_assert(context >= 0 && context < contexts(),
+              "context out of range");
+    // Contexts are interleaved core-major: context c lives on core
+    // c % cores, slot c / cores -- so the first `cores` software
+    // threads land on distinct physical cores, as the affinity
+    // pinning in the paper's runtime does.
+    return *cores_[static_cast<std::size_t>(context % config_.cores)];
+}
+
+int
+SimMachine::slotOf(int context) const
+{
+    return context / config_.cores;
+}
+
+void
+SimMachine::run(int context, const stream::Task &task,
+                double miss_fraction, std::function<void()> done)
+{
+    coreOf(context).run(slotOf(context), task, miss_fraction,
+                        std::move(done));
+}
+
+bool
+SimMachine::busy(int context) const
+{
+    auto &self = const_cast<SimMachine &>(*this);
+    return self.coreOf(context).busy(slotOf(context));
+}
+
+} // namespace tt::cpu

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * SimMachine: event queue + memory system + cores, assembled from a
+ * MachineConfig, with hardware contexts exposed as a flat id space
+ * for the scheduler.
+ */
+
+#ifndef TT_CPU_SIM_MACHINE_HH
+#define TT_CPU_SIM_MACHINE_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cpu/machine_config.hh"
+#include "cpu/sim_core.hh"
+#include "mem/mem_system.hh"
+#include "sim/event_queue.hh"
+
+namespace tt::cpu {
+
+/** A complete simulated multicore machine. */
+class SimMachine
+{
+  public:
+    explicit SimMachine(const MachineConfig &config);
+
+    SimMachine(const SimMachine &) = delete;
+    SimMachine &operator=(const SimMachine &) = delete;
+
+    /** Run `task` on flat hardware context `context`. */
+    void run(int context, const stream::Task &task, double miss_fraction,
+             std::function<void()> done);
+
+    bool busy(int context) const;
+
+    int contexts() const { return config_.contexts(); }
+
+    sim::EventQueue &events() { return events_; }
+    mem::MemorySystem &mem() { return *mem_; }
+    const mem::MemorySystem &mem() const { return *mem_; }
+    const MachineConfig &config() const { return config_; }
+
+    /** Current simulated time in seconds. */
+    double nowSeconds() const { return sim::toSeconds(events_.now()); }
+
+  private:
+    SimCore &coreOf(int context);
+    int slotOf(int context) const;
+
+    MachineConfig config_;
+    sim::EventQueue events_;
+    std::unique_ptr<mem::MemorySystem> mem_;
+    std::vector<std::unique_ptr<SimCore>> cores_;
+};
+
+} // namespace tt::cpu
+
+#endif // TT_CPU_SIM_MACHINE_HH

@@ -1,0 +1,23 @@
+#include "mem/dram_config.hh"
+
+namespace tt::mem {
+
+DramConfig
+DramConfig::ddr3_1333()
+{
+    // DDR3-1333H, tCK = 1.5 ns, CL9-9-9; 2 Gb parts.
+    DramConfig config;
+    config.t_burst = sim::fromNs(6.0);
+    config.t_cl = sim::fromNs(13.5);
+    config.t_rcd = sim::fromNs(13.5);
+    config.t_rp = sim::fromNs(13.5);
+    config.t_wr = sim::fromNs(15.0);
+    config.t_rrd = sim::fromNs(6.0);
+    config.t_faw = sim::fromNs(30.0);
+    config.t_wtr = sim::fromNs(7.5);
+    config.t_rtrs = sim::fromNs(1.5);
+    config.t_rfc = sim::fromNs(160.0);
+    return config;
+}
+
+} // namespace tt::mem

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * DDR3 channel geometry and timing parameters.
+ *
+ * Defaults model the paper's evaluation platform (Sec. V): a Dell
+ * Vostro 430 with 2 GB DDR3-1066 on one 64-bit channel (8.5 GB/s),
+ * two ranks of eight 1 Gb chips each. The 2-DIMM configuration of
+ * Fig. 18 doubles the channels (17 GB/s total).
+ *
+ * The timing model is request-granular, not cycle-granular: each
+ * 64-byte line transfer reserves the channel's data bus for tBURST
+ * and pays row-buffer management latencies (tRCD / tRP) computed
+ * from per-bank state. CAS latency is modelled as pure pipeline
+ * latency appended after the data slot, so back-to-back row hits
+ * stream at full bus bandwidth -- matching real controllers.
+ * Second-order constraints are modelled as bus/bank gating:
+ *  - tFAW / tRRD: rolling activation window per rank;
+ *  - tWTR / tRTRS: write-to-read and rank-switch bus turnaround;
+ *  - tREFI / tRFC: periodic all-bank refresh per rank.
+ */
+
+#ifndef TT_MEM_DRAM_CONFIG_HH
+#define TT_MEM_DRAM_CONFIG_HH
+
+#include <cstdint>
+
+#include "sim/ticks.hh"
+
+namespace tt::mem {
+
+/** Bytes per transferred cache line. */
+inline constexpr std::uint64_t kLineBytes = 64;
+
+/** How line addresses map onto channel geometry. */
+enum class AddressMapping
+{
+    /**
+     * Page-interleaved: a stream walks a full row buffer, then the
+     * next bank (RoBaRaCo-style). Long row-hit runs per stream;
+     * inter-stream conflicts when two streams land in one bank.
+     */
+    kPageInterleave,
+
+    /**
+     * Line-interleaved across banks: consecutive lines hit
+     * consecutive banks (RoCoRaBa-style). Maximises bank-level
+     * parallelism of a single stream, destroys row locality.
+     */
+    kLineInterleave,
+};
+
+/** Row-buffer management policy of the controller. */
+enum class PagePolicy
+{
+    /** Keep rows open until a conflict or refresh closes them. */
+    kOpen,
+    /**
+     * Auto-precharge after every column access: each access pays
+     * tRCD but conflicts never pay tRP. Favoured by low-locality
+     * request streams; included for model ablations.
+     */
+    kClosed,
+};
+
+/** Timing and geometry of one DDR3 channel. */
+struct DramConfig
+{
+    // Geometry.
+    int ranks = 2;           ///< ranks on the channel
+    int banks_per_rank = 8;  ///< DDR3 mandates 8
+    std::uint64_t row_bytes = 8192; ///< row-buffer bytes per bank
+    AddressMapping mapping = AddressMapping::kPageInterleave;
+    PagePolicy page_policy = PagePolicy::kOpen;
+
+    // Primary timings (DDR3-1066F: tCK = 1.875 ns, CL7-7-7).
+    sim::Tick t_burst = sim::fromNs(7.5);  ///< BL8 data slot (4 tCK)
+    sim::Tick t_cl = sim::fromNs(13.13);   ///< CAS latency (7 tCK)
+    sim::Tick t_rcd = sim::fromNs(13.13);  ///< ACT -> CAS
+    sim::Tick t_rp = sim::fromNs(13.13);   ///< PRE -> ACT
+    sim::Tick t_wr = sim::fromNs(15.0);    ///< write recovery
+
+    // Secondary timings.
+    sim::Tick t_rrd = sim::fromNs(7.5);    ///< ACT -> ACT, same rank
+    sim::Tick t_faw = sim::fromNs(37.5);   ///< four-activate window
+    sim::Tick t_wtr = sim::fromNs(7.5);    ///< write -> read turnaround
+    sim::Tick t_rtrs = sim::fromNs(1.875); ///< rank-to-rank switch
+    sim::Tick t_refi = sim::fromNs(7800.0); ///< refresh interval
+    sim::Tick t_rfc = sim::fromNs(110.0);  ///< refresh cycle (1 Gb)
+
+    /** Set true to disable periodic refresh (model ablation). */
+    bool disable_refresh = false;
+
+    /**
+     * Consecutive row hits one bank may stream while other requests
+     * wait (FR-FCFS starvation cap, cf. gem5's max_accesses_per_row).
+     */
+    int max_row_hit_streak = 16;
+
+    /** Lines per row buffer. */
+    std::uint64_t linesPerRow() const { return row_bytes / kLineBytes; }
+
+    /** Total banks on the channel. */
+    int totalBanks() const { return ranks * banks_per_rank; }
+
+    /** Peak data bandwidth in bytes/second. */
+    double
+    peakBandwidth() const
+    {
+        return static_cast<double>(kLineBytes) /
+               sim::toSeconds(t_burst);
+    }
+
+    /** The paper's 1066 MT/s single-channel DIMM. */
+    static DramConfig ddr3_1066() { return DramConfig{}; }
+
+    /** DDR3-1333H (tCK = 1.5 ns, CL9), for the POWER7-class config. */
+    static DramConfig ddr3_1333();
+};
+
+} // namespace tt::mem
+
+#endif // TT_MEM_DRAM_CONFIG_HH

@@ -1,0 +1,42 @@
+#include "mem/llc.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace tt::mem {
+
+SharedLlc::SharedLlc(std::uint64_t capacity_bytes,
+                     std::uint64_t resident_bytes)
+    : capacity_(capacity_bytes), resident_(resident_bytes)
+{
+    tt_assert(capacity_ > 0, "LLC capacity must be positive");
+    peak_ = resident_;
+}
+
+void
+SharedLlc::install(std::uint64_t footprint_bytes)
+{
+    live_ += footprint_bytes;
+    peak_ = std::max(peak_, occupancy());
+}
+
+void
+SharedLlc::release(std::uint64_t footprint_bytes)
+{
+    tt_assert(footprint_bytes <= live_,
+              "releasing more footprint than is live");
+    live_ -= footprint_bytes;
+}
+
+double
+SharedLlc::missFraction() const
+{
+    const std::uint64_t occ = occupancy();
+    if (occ <= capacity_ || occ == 0)
+        return 0.0;
+    return static_cast<double>(occ - capacity_) /
+           static_cast<double>(occ);
+}
+
+} // namespace tt::mem

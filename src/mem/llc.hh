@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared last-level cache occupancy model.
+ *
+ * The stream programming contract (paper Sec. II) is that a memory
+ * task prefetches a pair's working set into the LLC so its compute
+ * task runs miss-free. That contract only holds while the live
+ * footprints of all in-flight pairs (plus resident code/metadata)
+ * fit in the cache. This model tracks exactly that: registered
+ * footprints versus capacity. When oversubscribed, a fraction of
+ * each compute task's accesses spill to DRAM -- reproducing the
+ * Fig. 13(c) anomaly where 2 MB-footprint workloads lose their
+ * descending speedup slope because compute tasks start interfering
+ * with memory tasks.
+ */
+
+#ifndef TT_MEM_LLC_HH
+#define TT_MEM_LLC_HH
+
+#include <cstdint>
+
+namespace tt::mem {
+
+/** Capacity/occupancy model of the shared LLC. */
+class SharedLlc
+{
+  public:
+    /**
+     * @param capacity_bytes cache capacity (8 MB on the i7-860)
+     * @param resident_bytes bytes permanently occupied by code,
+     *        stacks and runtime metadata
+     */
+    explicit SharedLlc(std::uint64_t capacity_bytes,
+                       std::uint64_t resident_bytes = 0);
+
+    /** A pair's working set became live (its memory task started). */
+    void install(std::uint64_t footprint_bytes);
+
+    /** A pair's working set died (its compute task finished). */
+    void release(std::uint64_t footprint_bytes);
+
+    /**
+     * Fraction of a compute task's accesses that miss, given current
+     * occupancy: 0 while everything fits, otherwise the excess
+     * fraction of the live working set.
+     */
+    double missFraction() const;
+
+    std::uint64_t capacity() const { return capacity_; }
+    std::uint64_t occupancy() const { return resident_ + live_; }
+    std::uint64_t liveFootprint() const { return live_; }
+
+    /** Largest occupancy observed so far. */
+    std::uint64_t peakOccupancy() const { return peak_; }
+
+  private:
+    std::uint64_t capacity_;
+    std::uint64_t resident_;
+    std::uint64_t live_ = 0;
+    std::uint64_t peak_ = 0;
+};
+
+} // namespace tt::mem
+
+#endif // TT_MEM_LLC_HH

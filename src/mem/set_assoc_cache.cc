@@ -1,0 +1,94 @@
+#include "mem/set_assoc_cache.hh"
+
+#include "util/logging.hh"
+
+namespace tt::mem {
+
+SetAssocCache::SetAssocCache(std::uint64_t capacity_bytes, int ways,
+                             std::uint64_t line_bytes,
+                             Replacement replacement,
+                             std::uint64_t seed)
+    : capacity_(capacity_bytes), ways_(ways), line_bytes_(line_bytes),
+      sets_(0), replacement_(replacement), rng_(seed)
+{
+    tt_assert(ways_ >= 1, "cache needs at least one way");
+    tt_assert(line_bytes_ > 0, "line size must be positive");
+    const std::uint64_t way_bytes =
+        static_cast<std::uint64_t>(ways_) * line_bytes_;
+    tt_assert(capacity_ % way_bytes == 0,
+              "capacity must be a multiple of ways * line size");
+    sets_ = capacity_ / way_bytes;
+    tt_assert(sets_ >= 1, "cache must have at least one set");
+    lines_.assign(sets_ * static_cast<std::uint64_t>(ways_), Line{});
+}
+
+bool
+SetAssocCache::access(std::uint64_t addr)
+{
+    const std::uint64_t line_addr = addr / line_bytes_;
+    const std::uint64_t set = line_addr % sets_;
+    const std::uint64_t tag = line_addr / sets_;
+    Line *base = &lines_[set * static_cast<std::uint64_t>(ways_)];
+    ++use_clock_;
+
+    // Hit?
+    for (int w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].lru = use_clock_;
+            ++stats_.hits;
+            return true;
+        }
+    }
+    ++stats_.misses;
+
+    // Fill an invalid way if any.
+    for (int w = 0; w < ways_; ++w) {
+        if (!base[w].valid) {
+            base[w] = Line{true, tag, use_clock_};
+            return false;
+        }
+    }
+
+    // Evict.
+    int victim = 0;
+    if (replacement_ == Replacement::kLru) {
+        for (int w = 1; w < ways_; ++w)
+            if (base[w].lru < base[victim].lru)
+                victim = w;
+    } else {
+        victim = static_cast<int>(
+            rng_.nextBounded(static_cast<std::uint64_t>(ways_)));
+    }
+    base[victim] = Line{true, tag, use_clock_};
+    ++stats_.evictions;
+    return false;
+}
+
+std::uint64_t
+SetAssocCache::accessRange(std::uint64_t base, std::uint64_t bytes)
+{
+    std::uint64_t hits = 0;
+    for (std::uint64_t offset = 0; offset < bytes;
+         offset += line_bytes_) {
+        hits += access(base + offset) ? 1 : 0;
+    }
+    return hits;
+}
+
+void
+SetAssocCache::flush()
+{
+    for (Line &line : lines_)
+        line.valid = false;
+}
+
+std::uint64_t
+SetAssocCache::occupancyBytes() const
+{
+    std::uint64_t valid = 0;
+    for (const Line &line : lines_)
+        valid += line.valid ? 1 : 0;
+    return valid * line_bytes_;
+}
+
+} // namespace tt::mem

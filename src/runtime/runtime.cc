@@ -1,0 +1,225 @@
+#include "runtime/runtime.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/logging.hh"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace tt::runtime {
+
+using stream::Task;
+using stream::TaskId;
+using stream::TaskKind;
+
+namespace {
+
+double
+nowSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+void
+pinToCpu(int index)
+{
+#if defined(__linux__)
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<unsigned>(index) % hw, &set);
+    // Best effort: failure (e.g. restricted cgroup) is not fatal.
+    pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+    (void)index;
+#endif
+}
+
+} // namespace
+
+Runtime::Runtime(const stream::TaskGraph &graph,
+                 core::SchedulingPolicy &policy, RuntimeOptions options)
+    : graph_(graph), policy_(policy), options_(options)
+{
+    tt_assert(options_.threads >= 1, "need at least one worker thread");
+
+    const auto n_tasks = static_cast<std::size_t>(graph_.taskCount());
+    deps_left_.assign(n_tasks, 0);
+    succs_.assign(n_tasks, {});
+    task_start_.assign(n_tasks, 0.0);
+    task_end_.assign(n_tasks, 0.0);
+    pair_mem_mtl_.assign(static_cast<std::size_t>(graph_.pairCount()), 0);
+    for (const Task &task : graph_.tasks()) {
+        deps_left_[static_cast<std::size_t>(task.id)] =
+            static_cast<int>(task.deps.size());
+        for (TaskId dep : task.deps)
+            succs_[static_cast<std::size_t>(dep)].push_back(task.id);
+    }
+}
+
+void
+Runtime::activatePhaseLocked(int phase)
+{
+    current_phase_ = phase;
+    phase_remaining_ = 0;
+    for (const Task &task : graph_.tasks()) {
+        if (task.phase != phase)
+            continue;
+        ++phase_remaining_;
+        if (deps_left_[static_cast<std::size_t>(task.id)] == 0) {
+            tt_assert(task.kind == TaskKind::Memory,
+                      "only memory tasks can be initially ready");
+            ready_memory_.push_back(task.id);
+        }
+    }
+}
+
+stream::TaskId
+Runtime::pickLocked()
+{
+    if (!ready_compute_.empty()) {
+        const TaskId id = ready_compute_.front();
+        ready_compute_.pop_front();
+        return id;
+    }
+    if (!ready_memory_.empty() && mem_in_flight_ < policy_.currentMtl()) {
+        const TaskId id = ready_memory_.front();
+        ready_memory_.pop_front();
+        return id;
+    }
+    return stream::kInvalidTask;
+}
+
+void
+Runtime::workerLoop(int worker_index)
+{
+    if (options_.pin_affinity)
+        pinToCpu(worker_index);
+
+    std::unique_lock lock(mutex_);
+    while (tasks_done_ < graph_.taskCount()) {
+        const TaskId id = pickLocked();
+        if (id == stream::kInvalidTask) {
+            cv_.wait(lock);
+            continue;
+        }
+
+        const Task &task = graph_.task(id);
+        if (task.kind == TaskKind::Memory) {
+            ++mem_in_flight_;
+            peak_mem_in_flight_ =
+                std::max(peak_mem_in_flight_, mem_in_flight_);
+            pair_mem_mtl_[static_cast<std::size_t>(task.pair)] =
+                policy_.currentMtl();
+        }
+
+        lock.unlock();
+        const double start = nowSeconds() - run_start_;
+        if (task.host_work)
+            task.host_work();
+        const double end = nowSeconds() - run_start_;
+        lock.lock();
+
+        completeLocked(id, start, end);
+        cv_.notify_all();
+    }
+    cv_.notify_all();
+}
+
+void
+Runtime::completeLocked(TaskId id, double start, double end)
+{
+    const Task &task = graph_.task(id);
+    task_start_[static_cast<std::size_t>(id)] = start;
+    task_end_[static_cast<std::size_t>(id)] = end;
+    ++tasks_done_;
+
+    if (task.kind == TaskKind::Memory) {
+        --mem_in_flight_;
+    } else {
+        const stream::PairId pair = task.pair;
+        const TaskId mem_id = graph_.memoryTaskOf(pair);
+        core::PairSample sample;
+        sample.tm = task_end_[static_cast<std::size_t>(mem_id)] -
+                    task_start_[static_cast<std::size_t>(mem_id)];
+        sample.tc = end - start;
+        sample.end_time = end;
+        sample.mtl = pair_mem_mtl_[static_cast<std::size_t>(pair)];
+        samples_.push_back(sample);
+        policy_.onPairMeasured(sample);
+    }
+
+    for (TaskId succ : succs_[static_cast<std::size_t>(id)]) {
+        if (--deps_left_[static_cast<std::size_t>(succ)] == 0) {
+            if (graph_.task(succ).kind == TaskKind::Memory)
+                ready_memory_.push_back(succ);
+            else
+                ready_compute_.push_back(succ);
+        }
+    }
+
+    if (--phase_remaining_ == 0 &&
+        current_phase_ + 1 < graph_.phaseCount()) {
+        activatePhaseLocked(current_phase_ + 1);
+    }
+}
+
+HostRunResult
+Runtime::run()
+{
+    tt_assert(!started_, "Runtime::run() is single-shot");
+    started_ = true;
+
+    HostRunResult result;
+    if (graph_.empty()) {
+        result.mtl_trace = policy_.mtlTrace();
+        return result;
+    }
+
+    run_start_ = nowSeconds();
+    {
+        std::lock_guard lock(mutex_);
+        activatePhaseLocked(0);
+    }
+
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(options_.threads));
+    for (int w = 0; w < options_.threads; ++w)
+        workers.emplace_back([this, w] { workerLoop(w); });
+    for (auto &worker : workers)
+        worker.join();
+
+    tt_assert(tasks_done_ == graph_.taskCount(),
+              "runtime drained with unfinished tasks");
+
+    result.seconds = nowSeconds() - run_start_;
+    result.samples = samples_;
+    result.policy_stats = policy_.stats();
+    result.mtl_trace = policy_.mtlTrace();
+    result.peak_mem_in_flight = peak_mem_in_flight_;
+
+    double tm_sum = 0.0;
+    double tc_sum = 0.0;
+    for (const auto &sample : samples_) {
+        tm_sum += sample.tm;
+        tc_sum += sample.tc;
+    }
+    if (!samples_.empty()) {
+        result.avg_tm = tm_sum / static_cast<double>(samples_.size());
+        result.avg_tc = tc_sum / static_cast<double>(samples_.size());
+        result.monitor_overhead =
+            static_cast<double>(result.policy_stats.probe_pairs) /
+            static_cast<double>(samples_.size());
+    }
+    return result;
+}
+
+} // namespace tt::runtime

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Real-thread stream-task runtime (the paper's prototype, Sec. V).
+ *
+ * The main thread enqueues every memory and compute task of the
+ * graph with their dependencies, then spawns one software thread per
+ * hardware context (pinned with CPU affinity where the platform
+ * supports it). Workers dequeue tasks under a single lock; a counter
+ * under the same lock enforces the MTL restriction -- exactly the
+ * "lock and a counter" mechanism the paper describes. Every finished
+ * pair is timed with the steady clock and reported to the policy, so
+ * DynamicThrottlePolicy and friends behave identically here and on
+ * the simulated machine.
+ *
+ * Scheduling rules match simrt::SimRuntime: barrier-separated
+ * phases, compute-first dispatch, memory dispatch gated by
+ * policy.currentMtl().
+ */
+
+#ifndef TT_RUNTIME_RUNTIME_HH
+#define TT_RUNTIME_RUNTIME_HH
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/policy.hh"
+#include "stream/task_graph.hh"
+
+namespace tt::runtime {
+
+/** Options controlling the worker pool. */
+struct RuntimeOptions
+{
+    /** Worker threads (= hardware contexts, the model's n). */
+    int threads = 1;
+
+    /** Pin worker i to CPU i % hw_cpus (Linux only; no-op elsewhere). */
+    bool pin_affinity = true;
+};
+
+/** Measurements from one host run. */
+struct HostRunResult
+{
+    double seconds = 0.0;
+    std::vector<core::PairSample> samples;
+    core::PolicyStats policy_stats;
+    std::vector<std::pair<double, int>> mtl_trace;
+    double avg_tm = 0.0;
+    double avg_tc = 0.0;
+    double monitor_overhead = 0.0;
+
+    /** Peak number of concurrently executing memory tasks observed. */
+    int peak_mem_in_flight = 0;
+};
+
+/** Thread-pool scheduler enforcing the MTL restriction. */
+class Runtime
+{
+  public:
+    Runtime(const stream::TaskGraph &graph,
+            core::SchedulingPolicy &policy, RuntimeOptions options);
+
+    Runtime(const Runtime &) = delete;
+    Runtime &operator=(const Runtime &) = delete;
+
+    /** Execute the graph to completion; callable once. */
+    HostRunResult run();
+
+  private:
+    void workerLoop(int worker_index);
+    /** Under lock: next runnable task id, or kInvalidTask. */
+    stream::TaskId pickLocked();
+    /** Under lock: post-completion bookkeeping. */
+    void completeLocked(stream::TaskId id, double start, double end);
+    void activatePhaseLocked(int phase);
+
+    const stream::TaskGraph &graph_;
+    core::SchedulingPolicy &policy_;
+    RuntimeOptions options_;
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+
+    std::vector<int> deps_left_;
+    std::vector<std::vector<stream::TaskId>> succs_;
+    std::deque<stream::TaskId> ready_memory_;
+    std::deque<stream::TaskId> ready_compute_;
+    int mem_in_flight_ = 0;
+    int peak_mem_in_flight_ = 0;
+    int current_phase_ = -1;
+    int phase_remaining_ = 0;
+    int tasks_done_ = 0;
+    bool started_ = false;
+
+    std::vector<double> task_start_;
+    std::vector<double> task_end_;
+    std::vector<int> pair_mem_mtl_;
+    std::vector<core::PairSample> samples_;
+
+    double run_start_ = 0.0; ///< steady-clock origin, seconds
+};
+
+} // namespace tt::runtime
+
+#endif // TT_RUNTIME_RUNTIME_HH

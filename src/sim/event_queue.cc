@@ -1,0 +1,60 @@
+#include "sim/event_queue.hh"
+
+#include "util/logging.hh"
+
+namespace tt::sim {
+
+EventId
+EventQueue::schedule(Tick when, Callback cb)
+{
+    tt_assert(when >= now_, "cannot schedule into the past (when=",
+              when, ", now=", now_, ")");
+    tt_assert(cb, "scheduling an empty callback");
+    const EventId id = next_id_++;
+    heap_.push(Entry{when, id, std::move(cb)});
+    return id;
+}
+
+EventId
+EventQueue::scheduleIn(Tick delta, Callback cb)
+{
+    return schedule(now_ + delta, std::move(cb));
+}
+
+void
+EventQueue::deschedule(EventId id)
+{
+    cancelled_.insert(id);
+}
+
+bool
+EventQueue::runOne()
+{
+    while (!heap_.empty()) {
+        Entry entry = std::move(const_cast<Entry &>(heap_.top()));
+        heap_.pop();
+        auto cancelled = cancelled_.find(entry.id);
+        if (cancelled != cancelled_.end()) {
+            cancelled_.erase(cancelled);
+            continue;
+        }
+        now_ = entry.when;
+        ++executed_;
+        entry.fn();
+        return true;
+    }
+    return false;
+}
+
+void
+EventQueue::run(std::uint64_t max_events)
+{
+    const std::uint64_t start = executed_;
+    while (runOne()) {
+        if (executed_ - start > max_events)
+            tt_panic("event budget exhausted: simulation does not "
+                     "terminate");
+    }
+}
+
+} // namespace tt::sim

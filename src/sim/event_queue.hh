@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Deterministic discrete-event queue.
+ *
+ * Events at the same tick execute in scheduling (FIFO) order, so a
+ * simulation is exactly reproducible run to run. Cancellation is
+ * lazy: descheduled events stay in the heap but are skipped when
+ * popped.
+ */
+
+#ifndef TT_SIM_EVENT_QUEUE_HH
+#define TT_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace tt::sim {
+
+/** Handle to a scheduled event; usable for descheduling. */
+using EventId = std::uint64_t;
+
+/** Min-heap event queue driving the simulated machine. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule `cb` at absolute tick `when` (>= now). */
+    EventId schedule(Tick when, Callback cb);
+
+    /** Schedule `cb` `delta` ticks from now. */
+    EventId scheduleIn(Tick delta, Callback cb);
+
+    /** Cancel a pending event; no-op if already executed. */
+    void deschedule(EventId id);
+
+    /** True when no live events remain. */
+    bool
+    empty() const
+    {
+        return heap_.empty();
+    }
+
+    /**
+     * Execute the earliest pending event; returns false when the
+     * queue is empty.
+     */
+    bool runOne();
+
+    /**
+     * Run until the queue drains. `max_events` bounds runaway
+     * simulations; exceeding it is a panic (a model bug, since all
+     * models here terminate).
+     */
+    void run(std::uint64_t max_events = kDefaultEventBudget);
+
+    /** Events executed so far. */
+    std::uint64_t executed() const { return executed_; }
+
+    static constexpr std::uint64_t kDefaultEventBudget =
+        50'000'000'000ULL;
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        EventId id;
+        // Shared so heap swaps move a refcount, not the closure.
+        mutable Callback fn;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return id > other.id; // FIFO among equal ticks
+        }
+    };
+
+    Tick now_ = 0;
+    EventId next_id_ = 0;
+    std::uint64_t executed_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        heap_;
+    std::unordered_set<EventId> cancelled_;
+};
+
+} // namespace tt::sim
+
+#endif // TT_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * SimRuntime: the stream-task scheduler running on simulated time.
+ *
+ * Mirrors the application-layer runtime the paper prototypes
+ * (Sec. V): a work queue drained by one software thread per hardware
+ * context, with the MTL restriction enforced by a counter at dequeue
+ * time. Scheduling rules:
+ *
+ *  - phases are barrier-separated; a phase's tasks unlock only when
+ *    the previous phase fully completes;
+ *  - an idle context first takes any ready compute task (compute is
+ *    never throttled -- "the application thread itself does not have
+ *    to stall if it has compute work to do");
+ *  - otherwise it takes the next ready memory task, provided the
+ *    number of in-flight memory tasks is below the policy's current
+ *    MTL.
+ *
+ * Every finished pair is reported to the policy as a PairSample, so
+ * the adaptive policies observe exactly what they would observe on
+ * the real machine.
+ */
+
+#ifndef TT_SIMRT_SIM_RUNTIME_HH
+#define TT_SIMRT_SIM_RUNTIME_HH
+
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/policy.hh"
+#include "cpu/sim_machine.hh"
+#include "stream/task_graph.hh"
+
+namespace tt::simrt {
+
+/** One task execution recorded in the schedule trace. */
+struct TaskTrace
+{
+    stream::TaskId task = stream::kInvalidTask;
+    stream::PairId pair = -1;
+    stream::PhaseId phase = -1;
+    bool is_memory = false;
+    int context = -1;      ///< hardware context that ran the task
+    double start = 0.0;    ///< dispatch time, seconds
+    double end = 0.0;      ///< completion time, seconds
+    int mtl_at_dispatch = 0; ///< policy MTL when the task started
+};
+
+/** Everything measured during one simulated run. */
+struct RunResult
+{
+    double seconds = 0.0; ///< makespan of the whole graph
+
+    /** One sample per completed pair, in completion order. */
+    std::vector<core::PairSample> samples;
+
+    core::PolicyStats policy_stats;
+    std::vector<std::pair<double, int>> mtl_trace;
+
+    double avg_tm = 0.0; ///< mean memory-task duration
+    double avg_tc = 0.0; ///< mean compute-task duration
+
+    std::uint64_t dram_accesses = 0;
+    double bus_utilisation = 0.0; ///< mean across channels
+
+    /** Fraction of pairs consumed while probing candidate MTLs. */
+    double monitor_overhead = 0.0;
+
+    /** Peak number of concurrently executing memory tasks. */
+    int peak_mem_in_flight = 0;
+
+    /** Peak LLC occupancy observed (bytes). */
+    std::uint64_t peak_llc_occupancy = 0;
+
+    /** Full schedule trace in dispatch order. */
+    std::vector<TaskTrace> trace;
+
+    /** Per-phase aggregates (phase order). */
+    struct PhaseResult
+    {
+        std::string name;
+        double tm_mean = 0.0;
+        double tc_mean = 0.0;
+        double start = 0.0; ///< first task start, seconds
+        double end = 0.0;   ///< last task end, seconds
+    };
+    std::vector<PhaseResult> phases;
+};
+
+/** Scheduler binding one graph + one policy to one machine. */
+class SimRuntime
+{
+  public:
+    SimRuntime(cpu::SimMachine &machine, const stream::TaskGraph &graph,
+               core::SchedulingPolicy &policy);
+
+    /** Execute the whole graph; returns the measurements. */
+    RunResult run();
+
+  private:
+    void activatePhase(int phase);
+    void trySchedule();
+    void dispatch(int context, stream::TaskId id);
+    void onTaskDone(int context, stream::TaskId id);
+
+    cpu::SimMachine &machine_;
+    const stream::TaskGraph &graph_;
+    core::SchedulingPolicy &policy_;
+
+    std::vector<int> deps_left_;
+    std::vector<std::vector<stream::TaskId>> succs_;
+    std::deque<stream::TaskId> ready_memory_;
+    std::deque<stream::TaskId> ready_compute_;
+    std::vector<bool> context_busy_;
+
+    int mem_in_flight_ = 0;
+    int peak_mem_in_flight_ = 0;
+    int current_phase_ = -1;
+    int phase_remaining_ = 0;
+    int tasks_done_ = 0;
+
+    // Per-task and per-pair measurement state.
+    std::vector<sim::Tick> task_start_;
+    std::vector<sim::Tick> task_end_;
+    std::vector<int> pair_mem_mtl_;
+
+    std::vector<core::PairSample> samples_;
+    std::vector<TaskTrace> trace_;
+    std::vector<int> trace_index_;
+};
+
+/** Run `graph` once on a fresh machine built from `config`. */
+RunResult runOnce(const cpu::MachineConfig &config,
+                  const stream::TaskGraph &graph,
+                  core::SchedulingPolicy &policy);
+
+/**
+ * Check the structural invariants of a recorded schedule against its
+ * graph:
+ *  - every task ran exactly once, with end >= start;
+ *  - no two tasks overlap on one hardware context;
+ *  - at every memory-task dispatch instant, the number of memory
+ *    tasks in flight (including the new one) is within the MTL the
+ *    policy had published at that moment;
+ *  - a compute task starts only after its dependencies finished;
+ *  - phase barriers hold: no task of phase p+1 starts before every
+ *    task of phase p ended.
+ *
+ * Returns an empty string when the schedule is valid, otherwise a
+ * description of the first violation (for test diagnostics).
+ */
+std::string validateSchedule(const stream::TaskGraph &graph,
+                             const RunResult &result, int contexts);
+
+/** Result of the paper's Offline Exhaustive Search baseline. */
+struct OfflineSearchResult
+{
+    int best_mtl = 1;
+    double best_seconds = 0.0;
+    /** seconds_per_mtl[k-1] = makespan under static MTL=k. */
+    std::vector<double> seconds_per_mtl;
+};
+
+/**
+ * Offline Exhaustive Search (Sec. V): run the whole program once per
+ * static MTL in [1, contexts] and keep the fastest.
+ */
+OfflineSearchResult offlineExhaustiveSearch(
+    const cpu::MachineConfig &config, const stream::TaskGraph &graph);
+
+} // namespace tt::simrt
+
+#endif // TT_SIMRT_SIM_RUNTIME_HH

@@ -1,0 +1,96 @@
+#include "simrt/trace_export.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace tt::simrt {
+
+namespace {
+
+/** Escape a string for a JSON literal (names are simple, but be safe). */
+std::string
+jsonEscape(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+writeChromeTrace(const stream::TaskGraph &graph, const RunResult &result,
+                 std::ostream &os)
+{
+    os << "[\n";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+    os << std::fixed << std::setprecision(3);
+
+    // Context rows: one duration event per task.
+    for (const TaskTrace &entry : result.trace) {
+        sep();
+        const std::string phase_name =
+            entry.phase >= 0 && entry.phase < graph.phaseCount()
+                ? graph.phase(entry.phase).name
+                : "?";
+        os << "  {\"ph\":\"X\",\"pid\":0,\"tid\":" << entry.context
+           << ",\"name\":\"" << (entry.is_memory ? "M" : "C") << " pair"
+           << entry.pair << "\",\"cat\":\""
+           << (entry.is_memory ? "memory" : "compute")
+           << "\",\"ts\":" << entry.start * 1e6
+           << ",\"dur\":" << (entry.end - entry.start) * 1e6
+           << ",\"args\":{\"phase\":\"" << jsonEscape(phase_name)
+           << "\",\"mtl\":" << entry.mtl_at_dispatch << "}}";
+    }
+
+    // MTL counter track.
+    for (const auto &[time, mtl] : result.mtl_trace) {
+        sep();
+        os << "  {\"ph\":\"C\",\"pid\":0,\"name\":\"MTL\",\"ts\":"
+           << time * 1e6 << ",\"args\":{\"mtl\":" << mtl << "}}";
+    }
+
+    // Context naming metadata.
+    int max_context = -1;
+    for (const TaskTrace &entry : result.trace)
+        max_context = std::max(max_context, entry.context);
+    for (int context = 0; context <= max_context; ++context) {
+        sep();
+        os << "  {\"ph\":\"M\",\"pid\":0,\"tid\":" << context
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\"context "
+           << context << "\"}}";
+    }
+
+    os << "\n]\n";
+}
+
+std::string
+chromeTraceString(const stream::TaskGraph &graph, const RunResult &result)
+{
+    std::ostringstream os;
+    writeChromeTrace(graph, result, os);
+    return os.str();
+}
+
+} // namespace tt::simrt

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Schedule-trace export in the Chrome trace-event format.
+ *
+ * The emitted JSON loads into chrome://tracing or Perfetto: one row
+ * per hardware context with its memory (M) and compute (C) task
+ * slices, plus a counter track of the policy's MTL over time --
+ * which makes throttling decisions and phase adaptation literally
+ * visible. `ttsim --chrome-trace out.json` produces one.
+ */
+
+#ifndef TT_SIMRT_TRACE_EXPORT_HH
+#define TT_SIMRT_TRACE_EXPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "simrt/sim_runtime.hh"
+#include "stream/task_graph.hh"
+
+namespace tt::simrt {
+
+/**
+ * Write `result`'s schedule as Chrome trace events. Durations are in
+ * microseconds of simulated time. Phase names come from `graph`.
+ */
+void writeChromeTrace(const stream::TaskGraph &graph,
+                      const RunResult &result, std::ostream &os);
+
+/** Convenience: render to a string (used by tests). */
+std::string chromeTraceString(const stream::TaskGraph &graph,
+                              const RunResult &result);
+
+} // namespace tt::simrt
+
+#endif // TT_SIMRT_TRACE_EXPORT_HH

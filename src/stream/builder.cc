@@ -1,0 +1,80 @@
+#include "stream/builder.hh"
+
+#include "util/logging.hh"
+
+namespace tt::stream {
+
+StreamProgramBuilder::StreamProgramBuilder(bool uniform_pairs)
+    : uniform_pairs_(uniform_pairs)
+{
+}
+
+PhaseId
+StreamProgramBuilder::beginPhase(std::string name)
+{
+    phase_shape_.reset();
+    return graph_.beginPhase(std::move(name));
+}
+
+PairId
+StreamProgramBuilder::addPair(PairSpec spec)
+{
+    if (spec.footprint_bytes == 0)
+        spec.footprint_bytes = spec.bytes;
+
+    Task mem;
+    mem.kind = TaskKind::Memory;
+    mem.host_work = std::move(spec.host_memory);
+    mem.sim_work.bytes = spec.bytes;
+    mem.sim_work.write_fraction = spec.write_fraction;
+    mem.sim_work.footprint_bytes = spec.footprint_bytes;
+
+    Task cmp;
+    cmp.kind = TaskKind::Compute;
+    cmp.host_work = std::move(spec.host_compute);
+    cmp.sim_work.compute_cycles = spec.compute_cycles;
+    cmp.sim_work.footprint_bytes = spec.footprint_bytes;
+
+    if (uniform_pairs_) {
+        const SimWork shape{spec.bytes, spec.write_fraction,
+                            spec.compute_cycles, spec.footprint_bytes};
+        if (!phase_shape_) {
+            phase_shape_ = shape;
+        } else {
+            const SimWork &ref = *phase_shape_;
+            tt_assert(ref.bytes == shape.bytes &&
+                          ref.compute_cycles == shape.compute_cycles &&
+                          ref.footprint_bytes == shape.footprint_bytes,
+                      "pairs within a phase must be equally sized "
+                      "(stream programming guideline); construct the "
+                      "builder with uniform_pairs=false to override");
+        }
+    }
+
+    return graph_.addPair(std::move(mem), std::move(cmp));
+}
+
+void
+StreamProgramBuilder::addPairs(int count,
+                               const std::function<PairSpec(int)> &factory)
+{
+    tt_assert(count >= 0, "negative pair count");
+    for (int i = 0; i < count; ++i)
+        addPair(factory(i));
+}
+
+void
+StreamProgramBuilder::dependPairs(PairId before, PairId after)
+{
+    graph_.addDependency(graph_.computeTaskOf(before),
+                         graph_.memoryTaskOf(after));
+}
+
+TaskGraph
+StreamProgramBuilder::build() &&
+{
+    graph_.validate();
+    return std::move(graph_);
+}
+
+} // namespace tt::stream

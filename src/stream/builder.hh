@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Convenience builder for stream programs.
+ *
+ * StreamProgramBuilder packages the gather-compute-scatter style into
+ * a declarative API: describe each pair once (host closures plus sim
+ * resource descriptor) and receive a validated TaskGraph. The builder
+ * enforces the paper's "equally-sized tasks" guideline per phase by
+ * asserting that every pair in a phase carries the same sim_work
+ * descriptor unless explicitly allowed to differ.
+ */
+
+#ifndef TT_STREAM_BUILDER_HH
+#define TT_STREAM_BUILDER_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "stream/task_graph.hh"
+
+namespace tt::stream {
+
+/** Declarative description of one memory-compute pair. */
+struct PairSpec
+{
+    /** Host work of the memory task (gather and/or scatter loops). */
+    std::function<void()> host_memory;
+
+    /** Host work of the compute task (kernel over cached data). */
+    std::function<void()> host_compute;
+
+    /** Bytes the memory task streams through DRAM (sim). */
+    std::uint64_t bytes = 0;
+
+    /** Fraction of those bytes that are scatter (write) traffic. */
+    double write_fraction = 0.0;
+
+    /** Cycles the compute task burns on LLC-resident data (sim). */
+    std::uint64_t compute_cycles = 0;
+
+    /**
+     * LLC bytes the pair occupies while in flight (sim); defaults to
+     * `bytes` when left zero.
+     */
+    std::uint64_t footprint_bytes = 0;
+};
+
+/** Builder producing a validated TaskGraph. */
+class StreamProgramBuilder
+{
+  public:
+    /**
+     * @param uniform_pairs when true (the default, matching the
+     *        paper's equal-task-size requirement) every pair added to
+     *        one phase must have the same sim resource descriptor.
+     */
+    explicit StreamProgramBuilder(bool uniform_pairs = true);
+
+    /** Start a new barrier-separated phase. */
+    PhaseId beginPhase(std::string name);
+
+    /** Add one pair to the current phase; returns its pair id. */
+    PairId addPair(PairSpec spec);
+
+    /**
+     * Add `count` identical pairs built by a factory receiving the
+     * pair index within the phase; convenience for data parallelism.
+     */
+    void addPairs(int count,
+                  const std::function<PairSpec(int)> &factory);
+
+    /** Extra intra-phase dependency between two pairs' tasks. */
+    void dependPairs(PairId before, PairId after);
+
+    /** Finish: validates and returns the graph. */
+    TaskGraph build() &&;
+
+  private:
+    TaskGraph graph_;
+    bool uniform_pairs_;
+    std::optional<SimWork> phase_shape_;
+};
+
+} // namespace tt::stream
+
+#endif // TT_STREAM_BUILDER_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Task model for the gather-compute-scatter stream style (paper
+ * Sec. II).
+ *
+ * An application is decomposed into *pairs*: one equally-sized
+ * memory task (gather data from DRAM into the LLC, and/or scatter
+ * results back) plus one compute task that then operates entirely on
+ * LLC-resident data. Pairs are grouped into *phases* -- the unit at
+ * which the paper's workloads change their memory-to-compute ratio
+ * (e.g. SIFT's parallel functions, Table III).
+ *
+ * Every task can carry two alternative work payloads:
+ *  - `host_work`: a closure executed by the real-thread runtime;
+ *  - `sim_work`:  a resource descriptor (bytes to move, cycles to
+ *    burn, LLC footprint) executed by the simulated machine.
+ * Workloads populate both so the same TaskGraph runs everywhere.
+ */
+
+#ifndef TT_STREAM_TASK_HH
+#define TT_STREAM_TASK_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace tt::stream {
+
+using TaskId = std::int32_t;
+using PairId = std::int32_t;
+using PhaseId = std::int32_t;
+
+inline constexpr TaskId kInvalidTask = -1;
+
+/** A task either moves data (memory) or consumes cycles (compute). */
+enum class TaskKind { Memory, Compute };
+
+/** Resource descriptor consumed by the simulated machine. */
+struct SimWork
+{
+    /** Bytes the memory task streams between DRAM and the LLC. */
+    std::uint64_t bytes = 0;
+
+    /** Fraction of the bytes that are writes (scatter traffic). */
+    double write_fraction = 0.0;
+
+    /** Core cycles a compute task burns when its data hits in LLC. */
+    std::uint64_t compute_cycles = 0;
+
+    /**
+     * LLC bytes the pair's working set occupies while live; drives
+     * the capacity-overflow behaviour of Fig. 13(c).
+     */
+    std::uint64_t footprint_bytes = 0;
+};
+
+/** One schedulable unit. */
+struct Task
+{
+    TaskId id = kInvalidTask;
+    TaskKind kind = TaskKind::Memory;
+    PairId pair = -1;
+    PhaseId phase = -1;
+
+    /** Tasks that must complete before this one may start (within
+     *  the same phase; phases themselves are barrier-separated). */
+    std::vector<TaskId> deps;
+
+    /** Real work for the thread runtime (may be empty). */
+    std::function<void()> host_work;
+
+    /** Abstract work for the simulator. */
+    SimWork sim_work;
+};
+
+} // namespace tt::stream
+
+#endif // TT_STREAM_TASK_HH

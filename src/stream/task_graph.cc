@@ -1,0 +1,139 @@
+#include "stream/task_graph.hh"
+
+#include <queue>
+
+#include "util/logging.hh"
+
+namespace tt::stream {
+
+PhaseId
+TaskGraph::beginPhase(std::string name)
+{
+    Phase phase;
+    phase.id = static_cast<PhaseId>(phases_.size());
+    phase.name = std::move(name);
+    phase.first_pair = pair_count_;
+    phases_.push_back(std::move(phase));
+    return phases_.back().id;
+}
+
+PairId
+TaskGraph::addPair(Task memory_task, Task compute_task)
+{
+    tt_assert(!phases_.empty(),
+              "call beginPhase() before adding pairs");
+    tt_assert(memory_task.kind == TaskKind::Memory,
+              "first task of a pair must be a memory task");
+    tt_assert(compute_task.kind == TaskKind::Compute,
+              "second task of a pair must be a compute task");
+
+    const PairId pair = pair_count_++;
+    const PhaseId phase = phases_.back().id;
+
+    memory_task.id = static_cast<TaskId>(tasks_.size());
+    memory_task.pair = pair;
+    memory_task.phase = phase;
+    tasks_.push_back(std::move(memory_task));
+    pair_memory_.push_back(tasks_.back().id);
+
+    compute_task.id = static_cast<TaskId>(tasks_.size());
+    compute_task.pair = pair;
+    compute_task.phase = phase;
+    compute_task.deps.push_back(pair_memory_.back());
+    tasks_.push_back(std::move(compute_task));
+    pair_compute_.push_back(tasks_.back().id);
+
+    ++phases_.back().pair_count;
+    return pair;
+}
+
+void
+TaskGraph::addDependency(TaskId before, TaskId after)
+{
+    tt_assert(before >= 0 && before < taskCount(), "bad dependency id");
+    tt_assert(after >= 0 && after < taskCount(), "bad dependency id");
+    tt_assert(tasks_[before].phase == tasks_[after].phase,
+              "cross-phase dependencies are implicit barriers; "
+              "explicit edges must stay within one phase");
+    tasks_[after].deps.push_back(before);
+}
+
+const Task &
+TaskGraph::task(TaskId id) const
+{
+    tt_assert(id >= 0 && id < taskCount(), "task id out of range");
+    return tasks_[id];
+}
+
+const Phase &
+TaskGraph::phase(PhaseId id) const
+{
+    tt_assert(id >= 0 && id < phaseCount(), "phase id out of range");
+    return phases_[id];
+}
+
+TaskId
+TaskGraph::memoryTaskOf(PairId pair) const
+{
+    tt_assert(pair >= 0 && pair < pair_count_, "pair id out of range");
+    return pair_memory_[pair];
+}
+
+TaskId
+TaskGraph::computeTaskOf(PairId pair) const
+{
+    tt_assert(pair >= 0 && pair < pair_count_, "pair id out of range");
+    return pair_compute_[pair];
+}
+
+void
+TaskGraph::validate() const
+{
+    // Pair structure.
+    for (PairId p = 0; p < pair_count_; ++p) {
+        const Task &mem = tasks_[pair_memory_[p]];
+        const Task &cmp = tasks_[pair_compute_[p]];
+        if (mem.kind != TaskKind::Memory || cmp.kind != TaskKind::Compute)
+            tt_fatal("pair ", p, " has mismatched task kinds");
+        if (mem.pair != p || cmp.pair != p)
+            tt_fatal("pair ", p, " has inconsistent pair ids");
+        bool has_partner_dep = false;
+        for (TaskId d : cmp.deps)
+            has_partner_dep |= (d == mem.id);
+        if (!has_partner_dep)
+            tt_fatal("compute task of pair ", p,
+                     " does not depend on its memory task");
+    }
+
+    // Dependencies stay in-phase and the graph is acyclic (Kahn).
+    std::vector<int> indegree(tasks_.size(), 0);
+    std::vector<std::vector<TaskId>> succs(tasks_.size());
+    for (const Task &task : tasks_) {
+        for (TaskId d : task.deps) {
+            if (d < 0 || d >= taskCount())
+                tt_fatal("task ", task.id, " depends on bad id ", d);
+            if (tasks_[d].phase != task.phase)
+                tt_fatal("task ", task.id,
+                         " has a cross-phase dependency on ", d);
+            succs[d].push_back(task.id);
+            ++indegree[task.id];
+        }
+    }
+    std::queue<TaskId> ready;
+    for (const Task &task : tasks_)
+        if (indegree[task.id] == 0)
+            ready.push(task.id);
+    std::size_t visited = 0;
+    while (!ready.empty()) {
+        const TaskId id = ready.front();
+        ready.pop();
+        ++visited;
+        for (TaskId succ : succs[id])
+            if (--indegree[succ] == 0)
+                ready.push(succ);
+    }
+    if (visited != tasks_.size())
+        tt_fatal("task graph contains a dependency cycle");
+}
+
+} // namespace tt::stream

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * TaskGraph: the container for a stream program's tasks, pairs and
+ * phases, with structural validation.
+ */
+
+#ifndef TT_STREAM_TASK_GRAPH_HH
+#define TT_STREAM_TASK_GRAPH_HH
+
+#include <string>
+#include <vector>
+
+#include "stream/task.hh"
+
+namespace tt::stream {
+
+/** A barrier-separated group of pairs with one workload behaviour. */
+struct Phase
+{
+    PhaseId id = -1;
+    std::string name;
+    PairId first_pair = 0;  ///< index of the phase's first pair
+    int pair_count = 0;     ///< pairs in this phase
+};
+
+/**
+ * Immutable-after-build container of tasks.
+ *
+ * Invariants enforced by validate():
+ *  - every pair has exactly one memory and one compute task;
+ *  - the compute task depends (at least) on its memory partner;
+ *  - dependencies stay within the task's own phase (phases are
+ *    separated by implicit barriers);
+ *  - the intra-phase dependency graph is acyclic.
+ */
+class TaskGraph
+{
+  public:
+    /** Append a phase; subsequent pairs belong to it. */
+    PhaseId beginPhase(std::string name);
+
+    /**
+     * Append one memory+compute pair to the current phase. Returns
+     * the pair id. The compute->memory dependency is added
+     * automatically.
+     */
+    PairId addPair(Task memory_task, Task compute_task);
+
+    /** Add an extra intra-phase dependency: `after` waits on `before`. */
+    void addDependency(TaskId before, TaskId after);
+
+    /** Check all invariants; calls tt_fatal on violation. */
+    void validate() const;
+
+    const std::vector<Task> &tasks() const { return tasks_; }
+    const Task &task(TaskId id) const;
+    const std::vector<Phase> &phases() const { return phases_; }
+    const Phase &phase(PhaseId id) const;
+
+    int taskCount() const { return static_cast<int>(tasks_.size()); }
+    int pairCount() const { return pair_count_; }
+    int phaseCount() const { return static_cast<int>(phases_.size()); }
+
+    /** Memory task id of a pair. */
+    TaskId memoryTaskOf(PairId pair) const;
+    /** Compute task id of a pair. */
+    TaskId computeTaskOf(PairId pair) const;
+
+    bool empty() const { return tasks_.empty(); }
+
+  private:
+    std::vector<Task> tasks_;
+    std::vector<Phase> phases_;
+    std::vector<TaskId> pair_memory_;
+    std::vector<TaskId> pair_compute_;
+    int pair_count_ = 0;
+};
+
+} // namespace tt::stream
+
+#endif // TT_STREAM_TASK_GRAPH_HH

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * ttsim: command-line driver for the thread-throttling simulator.
+ *
+ * Runs one workload under one scheduling policy on one machine
+ * configuration and prints the measurements; the one-stop tool for
+ * exploring the design space outside the canned benches.
+ *
+ *   ttsim --workload synthetic --ratio 0.5 --policy dynamic
+ *   ttsim --workload streamcluster --dim 36 --policy offline
+ *   ttsim --workload sift --machine 2dimm-smt --policy static --mtl 2
+ *   ttsim --workload dft --policy online --window 8 --trace
+ *
+ * Flags:
+ *   --workload   synthetic | dft | streamcluster | sift |
+ *                stencil | histogram                    [synthetic]
+ *   --machine    1dimm | 2dimm | 2dimm-smt | power7       [1dimm]
+ *   --policy     conventional | static | dynamic | online |
+ *                offline                                  [dynamic]
+ *   --mtl        static MTL value                         [1]
+ *   --window     monitoring window W                      [16]
+ *   --hysteresis IdleBound hysteresis (dynamic)           [0]
+ *   --ratio      synthetic T_m1/T_c                       [0.5]
+ *   --footprint-kb  synthetic per-task footprint          [512]
+ *   --pairs      synthetic pair count                     [128]
+ *   --dim        streamcluster input dimension            [128]
+ *   --trace      print the full schedule trace
+ *   --chrome-trace FILE  write the schedule as Chrome trace events
+ *                        (load in chrome://tracing or Perfetto)
+ *   --quiet      suppress the header
+ */
+
+#include <cstdio>
+#include <string>
+
+#include <fstream>
+
+#include "core/dynamic_policy.hh"
+#include "core/online_exhaustive_policy.hh"
+#include "core/policy.hh"
+#include "cpu/machine_config.hh"
+#include "simrt/sim_runtime.hh"
+#include "simrt/trace_export.hh"
+#include "util/flags.hh"
+#include "workloads/dft.hh"
+#include "workloads/histogram.hh"
+#include "workloads/sift.hh"
+#include "workloads/stencil.hh"
+#include "workloads/streamcluster.hh"
+#include "workloads/synthetic.hh"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--workload synthetic|dft|streamcluster|sift|"
+        "stencil|histogram]\n"
+        "          [--machine 1dimm|2dimm|2dimm-smt|power7]\n"
+        "          [--policy conventional|static|dynamic|online|"
+        "offline]\n"
+        "          [--mtl K] [--window W] [--hysteresis H]\n"
+        "          [--ratio R] [--footprint-kb KB] [--pairs N]\n"
+        "          [--dim D] [--trace] [--quiet]\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    tt::Flags flags;
+    if (!flags.parse(argc, argv) || flags.has("help")) {
+        if (!flags.error().empty())
+            std::fprintf(stderr, "error: %s\n", flags.error().c_str());
+        return usage(argv[0]);
+    }
+
+    // Machine.
+    const std::string machine_name =
+        flags.getString("machine", "1dimm");
+    tt::cpu::MachineConfig machine;
+    if (machine_name == "1dimm") {
+        machine = tt::cpu::MachineConfig::i7_860_1dimm();
+    } else if (machine_name == "2dimm") {
+        machine = tt::cpu::MachineConfig::i7_860_2dimm();
+    } else if (machine_name == "2dimm-smt") {
+        machine = tt::cpu::MachineConfig::i7_860_2dimm_smt();
+    } else if (machine_name == "power7") {
+        machine = tt::cpu::MachineConfig::power7();
+    } else {
+        std::fprintf(stderr, "unknown machine '%s'\n",
+                     machine_name.c_str());
+        return usage(argv[0]);
+    }
+    const int n = machine.contexts();
+
+    // Workload.
+    const std::string workload = flags.getString("workload", "synthetic");
+    tt::stream::TaskGraph graph;
+    if (workload == "synthetic") {
+        tt::workloads::SyntheticParams params;
+        params.tm1_over_tc = flags.getDouble("ratio", 0.5);
+        params.footprint_bytes =
+            static_cast<std::uint64_t>(
+                flags.getInt("footprint-kb", 512)) *
+            1024;
+        params.pairs = static_cast<int>(flags.getInt("pairs", 128));
+        graph = tt::workloads::buildSyntheticSim(machine, params);
+    } else if (workload == "dft") {
+        graph = tt::workloads::dftSim(machine);
+    } else if (workload == "streamcluster") {
+        graph = tt::workloads::streamclusterSim(
+            machine, static_cast<int>(flags.getInt("dim", 128)));
+    } else if (workload == "sift") {
+        graph = tt::workloads::siftSim(machine);
+    } else if (workload == "stencil") {
+        tt::workloads::StencilParams params;
+        graph = tt::workloads::stencilSim(machine, params);
+    } else if (workload == "histogram") {
+        tt::workloads::HistogramParams params;
+        params.pairs = static_cast<int>(flags.getInt("pairs", 128));
+        graph = tt::workloads::histogramSim(machine, params);
+    } else {
+        std::fprintf(stderr, "unknown workload '%s'\n",
+                     workload.c_str());
+        return usage(argv[0]);
+    }
+    if (!flags.error().empty()) {
+        std::fprintf(stderr, "error: %s\n", flags.error().c_str());
+        return usage(argv[0]);
+    }
+
+    // Policy.
+    const std::string policy_name = flags.getString("policy", "dynamic");
+    const int window = static_cast<int>(flags.getInt("window", 16));
+
+    if (!flags.getBool("quiet")) {
+        std::printf("machine %s (%d contexts, %d channel(s)), "
+                    "workload %s (%d pairs, %d phase(s)), policy %s\n",
+                    machine_name.c_str(), n, machine.mem.channels,
+                    workload.c_str(), graph.pairCount(),
+                    graph.phaseCount(), policy_name.c_str());
+    }
+
+    if (policy_name == "offline") {
+        const auto search =
+            tt::simrt::offlineExhaustiveSearch(machine, graph);
+        for (std::size_t k = 0; k < search.seconds_per_mtl.size(); ++k)
+            std::printf("MTL=%-2zu %10.3f ms%s\n", k + 1,
+                        search.seconds_per_mtl[k] * 1e3,
+                        static_cast<int>(k) + 1 == search.best_mtl
+                            ? "  <-- best"
+                            : "");
+        return 0;
+    }
+
+    std::unique_ptr<tt::core::SchedulingPolicy> policy;
+    if (policy_name == "conventional") {
+        policy = std::make_unique<tt::core::ConventionalPolicy>(n);
+    } else if (policy_name == "static") {
+        policy = std::make_unique<tt::core::StaticMtlPolicy>(
+            static_cast<int>(flags.getInt("mtl", 1)), n);
+    } else if (policy_name == "dynamic") {
+        auto dynamic =
+            std::make_unique<tt::core::DynamicThrottlePolicy>(n, window);
+        dynamic->setIdleBoundHysteresis(
+            static_cast<int>(flags.getInt("hysteresis", 0)));
+        policy = std::move(dynamic);
+    } else if (policy_name == "online") {
+        policy = std::make_unique<tt::core::OnlineExhaustivePolicy>(
+            n, window);
+    } else {
+        std::fprintf(stderr, "unknown policy '%s'\n",
+                     policy_name.c_str());
+        return usage(argv[0]);
+    }
+    if (!flags.error().empty()) {
+        std::fprintf(stderr, "error: %s\n", flags.error().c_str());
+        return usage(argv[0]);
+    }
+
+    const auto result = tt::simrt::runOnce(machine, graph, *policy);
+
+    std::printf("makespan        %10.3f ms\n", result.seconds * 1e3);
+    std::printf("avg T_m / T_c   %10.1f / %.1f us  (ratio %.2f%%)\n",
+                result.avg_tm * 1e6, result.avg_tc * 1e6,
+                100.0 * result.avg_tm / result.avg_tc);
+    std::printf("DRAM accesses   %10llu  (bus utilisation %.1f%%)\n",
+                static_cast<unsigned long long>(result.dram_accesses),
+                result.bus_utilisation * 100.0);
+    std::printf("peak mem tasks  %10d\n", result.peak_mem_in_flight);
+    const int final_mtl =
+        result.mtl_trace.empty() ? n : result.mtl_trace.back().second;
+    std::printf("final MTL       %10d  (%ld selections, probe "
+                "fraction %.2f%%)\n",
+                final_mtl, result.policy_stats.selections,
+                result.monitor_overhead * 100.0);
+
+    const std::string chrome_path = flags.getString("chrome-trace", "");
+    if (!chrome_path.empty()) {
+        std::ofstream out(chrome_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         chrome_path.c_str());
+            return 1;
+        }
+        tt::simrt::writeChromeTrace(graph, result, out);
+        std::printf("chrome trace    %10s\n", chrome_path.c_str());
+    }
+
+    if (flags.getBool("trace")) {
+        std::printf("\nschedule trace (task kind pair phase context "
+                    "start_us end_us mtl):\n");
+        for (const auto &entry : result.trace) {
+            std::printf("%5d %s %5d %3d %3d %12.2f %12.2f %3d\n",
+                        entry.task, entry.is_memory ? "M" : "C",
+                        entry.pair, entry.phase, entry.context,
+                        entry.start * 1e6, entry.end * 1e6,
+                        entry.mtl_at_dispatch);
+        }
+    }
+    return 0;
+}

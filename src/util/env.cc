@@ -1,0 +1,40 @@
+#include "util/env.hh"
+
+#include <cstdlib>
+
+namespace tt {
+
+std::int64_t
+envInt(const char *name, std::int64_t fallback)
+{
+    const char *raw = std::getenv(name);
+    if (!raw || !*raw)
+        return fallback;
+    char *end = nullptr;
+    const long long value = std::strtoll(raw, &end, 10);
+    if (end == raw || *end != '\0')
+        return fallback;
+    return value;
+}
+
+double
+envDouble(const char *name, double fallback)
+{
+    const char *raw = std::getenv(name);
+    if (!raw || !*raw)
+        return fallback;
+    char *end = nullptr;
+    const double value = std::strtod(raw, &end);
+    if (end == raw || *end != '\0')
+        return fallback;
+    return value;
+}
+
+std::string
+envString(const char *name, const std::string &fallback)
+{
+    const char *raw = std::getenv(name);
+    return (raw && *raw) ? std::string(raw) : fallback;
+}
+
+} // namespace tt

@@ -1,0 +1,101 @@
+#include "util/flags.hh"
+
+#include <cstdlib>
+
+namespace tt {
+
+bool
+Flags::parse(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        if (arg == "--") {
+            error_ = "bare '--' is not a flag";
+            return false;
+        }
+        const std::string body = arg.substr(2);
+        const std::size_t eq = body.find('=');
+        if (eq != std::string::npos) {
+            values_[body.substr(0, eq)] = body.substr(eq + 1);
+            continue;
+        }
+        // `--name value` when the next token is not itself a flag;
+        // otherwise a boolean switch.
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            values_[body] = argv[++i];
+        } else {
+            values_[body] = "";
+        }
+    }
+    return true;
+}
+
+bool
+Flags::has(const std::string &name) const
+{
+    return values_.count(name) > 0;
+}
+
+std::string
+Flags::getString(const std::string &name,
+                 const std::string &fallback) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t
+Flags::getInt(const std::string &name, std::int64_t fallback) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    char *end = nullptr;
+    const long long value = std::strtoll(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0') {
+        error_ = "flag --" + name + " expects an integer, got '" +
+                 it->second + "'";
+        return fallback;
+    }
+    return value;
+}
+
+double
+Flags::getDouble(const std::string &name, double fallback) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    char *end = nullptr;
+    const double value = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0') {
+        error_ = "flag --" + name + " expects a number, got '" +
+                 it->second + "'";
+        return fallback;
+    }
+    return value;
+}
+
+bool
+Flags::getBool(const std::string &name, bool fallback) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    const std::string &value = it->second;
+    if (value.empty() || value == "1" || value == "true" ||
+        value == "yes") {
+        return true;
+    }
+    if (value == "0" || value == "false" || value == "no")
+        return false;
+    error_ = "flag --" + name + " expects a boolean, got '" + value +
+             "'";
+    return fallback;
+}
+
+} // namespace tt

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Minimal command-line flag parsing for the tools and examples.
+ *
+ * Supports `--name value`, `--name=value` and boolean `--name`
+ * switches, collects positional arguments, and renders a usage
+ * listing. No registration macros, no global state.
+ */
+
+#ifndef TT_UTIL_FLAGS_HH
+#define TT_UTIL_FLAGS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tt {
+
+/** Parsed command line. */
+class Flags
+{
+  public:
+    /**
+     * Parse argv. Returns false (and fills error()) on malformed
+     * input such as `--` with nothing after it.
+     */
+    bool parse(int argc, const char *const *argv);
+
+    /** True when `--name` or `--name=...` appeared. */
+    bool has(const std::string &name) const;
+
+    /** String value of `--name`; `fallback` when absent. */
+    std::string getString(const std::string &name,
+                          const std::string &fallback) const;
+
+    /**
+     * Integer value of `--name`; `fallback` when absent. A present
+     * but non-numeric value sets error() and returns `fallback`.
+     */
+    std::int64_t getInt(const std::string &name,
+                        std::int64_t fallback) const;
+
+    /** Double value of `--name` with the same error contract. */
+    double getDouble(const std::string &name, double fallback) const;
+
+    /** Boolean switch: present (no value or "true"/"1") => true. */
+    bool getBool(const std::string &name, bool fallback = false) const;
+
+    /** Arguments that were not flags, in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /** First parse/convert error, empty when none. */
+    const std::string &error() const { return error_; }
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+    mutable std::string error_;
+};
+
+} // namespace tt
+
+#endif // TT_UTIL_FLAGS_HH

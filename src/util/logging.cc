@@ -1,0 +1,45 @@
+#include "util/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+
+namespace tt {
+
+namespace {
+std::atomic<bool> g_verbose{true};
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    g_verbose.store(verbose, std::memory_order_relaxed);
+}
+
+bool
+verbose()
+{
+    return g_verbose.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+terminate(const char *kind, const std::string &msg, const char *file,
+          int line, bool do_abort)
+{
+    std::fprintf(stderr, "%s: %s (%s:%d)\n", kind, msg.c_str(), file, line);
+    std::fflush(stderr);
+    if (do_abort)
+        std::abort();
+    std::exit(1);
+}
+
+void
+message(const char *kind, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace tt

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Status and error reporting in the spirit of gem5's base/logging.hh.
+ *
+ * panic()  -- internal invariant violated (a bug in this library);
+ *             aborts so a debugger/core dump can capture state.
+ * fatal()  -- the caller/user supplied an impossible configuration;
+ *             exits with an error code.
+ * warn()   -- something is suspicious but execution can continue.
+ * inform() -- plain status output.
+ */
+
+#ifndef TT_UTIL_LOGGING_HH
+#define TT_UTIL_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tt {
+
+namespace detail {
+
+/** Compose, print and terminate; shared backend for panic/fatal. */
+[[noreturn]] void terminate(const char *kind, const std::string &msg,
+                            const char *file, int line, bool do_abort);
+
+/** Print a non-fatal message with a severity prefix. */
+void message(const char *kind, const std::string &msg);
+
+/** Fold a list of streamable values into one string. */
+template <typename... Args>
+std::string
+fold(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Global verbosity: when false, inform() output is suppressed. */
+void setVerbose(bool verbose);
+bool verbose();
+
+} // namespace tt
+
+#define tt_panic(...)                                                       \
+    ::tt::detail::terminate("panic", ::tt::detail::fold(__VA_ARGS__),       \
+                            __FILE__, __LINE__, true)
+
+#define tt_fatal(...)                                                       \
+    ::tt::detail::terminate("fatal", ::tt::detail::fold(__VA_ARGS__),       \
+                            __FILE__, __LINE__, false)
+
+#define tt_warn(...)                                                        \
+    ::tt::detail::message("warn", ::tt::detail::fold(__VA_ARGS__))
+
+#define tt_inform(...)                                                      \
+    do {                                                                    \
+        if (::tt::verbose())                                                \
+            ::tt::detail::message("info", ::tt::detail::fold(__VA_ARGS__)); \
+    } while (0)
+
+/** Assert-like check that survives NDEBUG builds. */
+#define tt_assert(cond, ...)                                                \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::tt::detail::terminate(                                        \
+                "panic", "assertion '" #cond "' failed: " +                 \
+                ::tt::detail::fold(__VA_ARGS__), __FILE__, __LINE__, true); \
+        }                                                                   \
+    } while (0)
+
+#endif // TT_UTIL_LOGGING_HH

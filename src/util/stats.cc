@@ -1,0 +1,166 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace tt {
+
+void
+RunningStat::add(double x)
+{
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (count_ == 1) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    sum_ += other.sum_;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat();
+}
+
+double
+RunningStat::mean() const
+{
+    return count_ ? mean_ : 0.0;
+}
+
+double
+RunningStat::variance() const
+{
+    return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStat::min() const
+{
+    return count_ ? min_ : 0.0;
+}
+
+double
+RunningStat::max() const
+{
+    return count_ ? max_ : 0.0;
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += x;
+    return acc / static_cast<double>(xs.size());
+}
+
+double
+trimmedMean(std::vector<double> xs, std::size_t trim)
+{
+    if (xs.empty())
+        return 0.0;
+    tt_assert(2 * trim < xs.size(),
+              "trimmedMean would discard every sample");
+    std::sort(xs.begin(), xs.end());
+    double acc = 0.0;
+    const std::size_t lo = trim;
+    const std::size_t hi = xs.size() - trim;
+    for (std::size_t i = lo; i < hi; ++i)
+        acc += xs[i];
+    return acc / static_cast<double>(hi - lo);
+}
+
+double
+geometricMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_acc = 0.0;
+    for (double x : xs) {
+        tt_assert(x > 0.0, "geometricMean requires positive inputs");
+        log_acc += std::log(x);
+    }
+    return std::exp(log_acc / static_cast<double>(xs.size()));
+}
+
+double
+median(std::vector<double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    const std::size_t n = xs.size();
+    if (n % 2 == 1)
+        return xs[n / 2];
+    return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+SlidingWindow::SlidingWindow(std::size_t capacity)
+    : capacity_(capacity)
+{
+    tt_assert(capacity_ > 0, "SlidingWindow capacity must be positive");
+    data_.reserve(capacity_);
+}
+
+void
+SlidingWindow::add(double x)
+{
+    if (data_.size() < capacity_) {
+        data_.push_back(x);
+    } else {
+        data_[head_] = x;
+        head_ = (head_ + 1) % capacity_;
+    }
+}
+
+void
+SlidingWindow::reset()
+{
+    data_.clear();
+    head_ = 0;
+}
+
+double
+SlidingWindow::mean() const
+{
+    return tt::mean(data_);
+}
+
+} // namespace tt

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Small statistics helpers used by monitors, the simulator and the
+ * benchmark harnesses.
+ *
+ * The paper (Sec. V) averages the middle 10 of 20 runs to suppress
+ * measurement noise; trimmedMean() implements that estimator.
+ * geometricMean() matches the "geometric mean of 12% improvement"
+ * summary statistic used in the abstract.
+ */
+
+#ifndef TT_UTIL_STATS_HH
+#define TT_UTIL_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace tt {
+
+/** Streaming accumulator: count / mean / variance / min / max. */
+class RunningStat
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStat &other);
+
+    /** Remove all observations. */
+    void reset();
+
+    std::size_t count() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /** Population variance; 0 with fewer than two samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation; 0 when empty. */
+    double min() const;
+
+    /** Largest observation; 0 when empty. */
+    double max() const;
+
+    /** Sum of all observations. */
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Arithmetic mean of a vector; 0 when empty. */
+double mean(const std::vector<double> &xs);
+
+/**
+ * Mean of the middle samples after discarding the `trim` smallest and
+ * `trim` largest values (the paper's middle-10-of-20 estimator is
+ * trimmedMean(xs, 5) with 20 samples).
+ */
+double trimmedMean(std::vector<double> xs, std::size_t trim);
+
+/** Geometric mean; all inputs must be positive. */
+double geometricMean(const std::vector<double> &xs);
+
+/** Median (of a copy); 0 when empty. */
+double median(std::vector<double> xs);
+
+/** Sliding window over the last `capacity` observations. */
+class SlidingWindow
+{
+  public:
+    explicit SlidingWindow(std::size_t capacity);
+
+    void add(double x);
+    void reset();
+
+    std::size_t size() const { return data_.size(); }
+    std::size_t capacity() const { return capacity_; }
+    bool full() const { return data_.size() == capacity_; }
+
+    /** Mean over the samples currently held. */
+    double mean() const;
+
+  private:
+    std::size_t capacity_;
+    std::size_t head_ = 0;
+    std::vector<double> data_;
+};
+
+} // namespace tt
+
+#endif // TT_UTIL_STATS_HH

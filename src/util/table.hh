@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Plain-text table formatting for the benchmark harnesses.
+ *
+ * Every bench binary regenerates one of the paper's tables or figures
+ * as rows of text; TablePrinter keeps the columns aligned and prints
+ * a rule under the header, so the output is diff-able run to run.
+ */
+
+#ifndef TT_UTIL_TABLE_HH
+#define TT_UTIL_TABLE_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tt {
+
+/** Column-aligned text table builder. */
+class TablePrinter
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with fixed precision (helper for cells). */
+    static std::string num(double value, int precision = 2);
+
+    /** Format a percentage, e.g. pct(0.1234) == "12.34%". */
+    static std::string pct(double fraction, int precision = 2);
+
+    /** Render the table to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Render the table to a string. */
+    std::string str() const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace tt
+
+#endif // TT_UTIL_TABLE_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Calibration of simulated task sizes.
+ *
+ * The paper sizes its synthetic workloads by *measuring* on the
+ * target machine: the `count` knob of the compute kernel is adjusted
+ * until T_m1/T_c hits the desired ratio (Sec. V). We do the same on
+ * the simulated machine: memSecondsPerByte() measures the
+ * contention-free (MTL=1) streaming cost of a memory task of a given
+ * size, and computeCyclesForRatio() converts a target memory-to-
+ * compute ratio into the compute-task cycle count that achieves it.
+ *
+ * Results are memoised per (machine, task shape) because the figure
+ * sweeps re-use the same calibration hundreds of times.
+ */
+
+#ifndef TT_WORKLOADS_CALIBRATION_HH
+#define TT_WORKLOADS_CALIBRATION_HH
+
+#include <cstdint>
+
+#include "cpu/machine_config.hh"
+
+namespace tt::workloads {
+
+/**
+ * Contention-free seconds one memory task of `bytes` takes per byte
+ * on `config` (measured at MTL=1 with idle siblings).
+ */
+double memSecondsPerByte(const cpu::MachineConfig &config,
+                         std::uint64_t bytes, double write_fraction);
+
+/**
+ * Compute-task cycle count such that T_m1/T_c == ratio for a memory
+ * task of `bytes` on `config`.
+ */
+std::uint64_t computeCyclesForRatio(const cpu::MachineConfig &config,
+                                    std::uint64_t bytes,
+                                    double write_fraction, double ratio);
+
+} // namespace tt::workloads
+
+#endif // TT_WORKLOADS_CALIBRATION_HH

@@ -1,0 +1,104 @@
+#include "workloads/dft.hh"
+
+#include <cmath>
+
+#include "stream/builder.hh"
+#include "util/logging.hh"
+#include "workloads/tables.hh"
+
+namespace tt::workloads {
+
+std::vector<PhaseSpec>
+dftPhases()
+{
+    PhaseSpec phase;
+    phase.name = "dft";
+    phase.tm1_over_tc = tables::kDftRatio;
+    phase.footprint_bytes = 512 * 1024;
+    // Gather rows, scatter spectra: roughly half the traffic writes.
+    phase.write_fraction = 0.5;
+    phase.pairs = 96; // the paper's dft has 96 parallel pairs
+    return {phase};
+}
+
+stream::TaskGraph
+dftSim(const cpu::MachineConfig &config)
+{
+    return buildPhasedSim(config, dftPhases());
+}
+
+DftHost
+buildDftHost(int pairs, std::size_t rows_per_task, std::size_t cols)
+{
+    tt_assert(pairs > 0, "need at least one pair");
+    tt_assert(isPowerOfTwo(cols), "cols must be a power of two");
+
+    DftHost host;
+    host.rows = static_cast<std::size_t>(pairs) * rows_per_task;
+    host.cols = cols;
+    host.input =
+        std::make_shared<std::vector<Complex>>(host.rows * cols);
+    host.output =
+        std::make_shared<std::vector<Complex>>(host.rows * cols);
+
+    // Deterministic smooth input signal.
+    for (std::size_t r = 0; r < host.rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            const float phase_x =
+                0.02f * static_cast<float>(c) * (1.0f + 0.001f * r);
+            (*host.input)[r * cols + c] =
+                Complex(std::sin(phase_x), std::cos(2.0f * phase_x));
+        }
+    }
+
+    // Task-local gather buffers, one slice per pair.
+    auto scratch = std::make_shared<std::vector<Complex>>(
+        host.rows * cols);
+
+    const std::uint64_t slice_bytes =
+        rows_per_task * cols * sizeof(Complex);
+
+    stream::StreamProgramBuilder builder;
+    builder.beginPhase("dft");
+    builder.addPairs(pairs, [&](int p) {
+        const std::size_t begin =
+            static_cast<std::size_t>(p) * rows_per_task * cols;
+        const std::size_t count = rows_per_task * cols;
+        auto input = host.input;
+        auto output = host.output;
+
+        stream::PairSpec spec;
+        spec.host_memory = [input, scratch, begin, count] {
+            // Gather: stream the slice into the task buffer.
+            const Complex *src = input->data() + begin;
+            Complex *dst = scratch->data() + begin;
+            for (std::size_t i = 0; i < count; ++i)
+                dst[i] = src[i];
+        };
+        spec.host_compute = [output, scratch, begin, rows_per_task,
+                             cols] {
+            // Compute: per-row FFT in the gathered buffer, then
+            // scatter the spectra (the scatter stays with the
+            // compute closure; the gathered data is already
+            // LLC-resident so the copy is cheap).
+            Complex *buf = scratch->data() + begin;
+            for (std::size_t r = 0; r < rows_per_task; ++r)
+                fftInPlace(buf + r * cols, cols);
+            Complex *dst = output->data() + begin;
+            for (std::size_t i = 0; i < rows_per_task * cols; ++i)
+                dst[i] = buf[i];
+        };
+        spec.bytes = slice_bytes;
+        spec.write_fraction = 0.5;
+        const double log2n =
+            std::log2(static_cast<double>(cols));
+        spec.compute_cycles = static_cast<std::uint64_t>(
+            5.0 * static_cast<double>(rows_per_task * cols) * log2n);
+        spec.footprint_bytes = slice_bytes;
+        return spec;
+    });
+    host.graph = std::move(builder).build();
+    return host;
+}
+
+} // namespace tt::workloads

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The dft workload: OpenCV's dft kernel rewritten in stream style
+ * (paper Sec. V, Table II: T_m1/T_c = 12.77%, 96 parallel pairs).
+ *
+ * Structure: a 2-D transform's row pass. Each memory task gathers a
+ * slice of matrix rows into a task-local buffer; the compute task
+ * runs an in-place radix-2 FFT on every gathered row and scatters
+ * the spectra to the output matrix.
+ */
+
+#ifndef TT_WORKLOADS_DFT_HH
+#define TT_WORKLOADS_DFT_HH
+
+#include <memory>
+#include <vector>
+
+#include "cpu/machine_config.hh"
+#include "stream/task_graph.hh"
+#include "workloads/kernels/fft.hh"
+#include "workloads/phased.hh"
+
+namespace tt::workloads {
+
+/** Sim-mode phase list (one phase, paper-calibrated ratio). */
+std::vector<PhaseSpec> dftPhases();
+
+/** Sim-mode graph calibrated for `config`. */
+stream::TaskGraph dftSim(const cpu::MachineConfig &config);
+
+/** Host-mode dft instance with real FFT kernels. */
+struct DftHost
+{
+    stream::TaskGraph graph;
+
+    /** rows x cols row-major input spectra. */
+    std::shared_ptr<std::vector<Complex>> input;
+    /** transform output, same shape. */
+    std::shared_ptr<std::vector<Complex>> output;
+
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+};
+
+/**
+ * Build the host dft: `pairs` tasks of `rows_per_task` rows of
+ * `cols` complex samples each (cols must be a power of two).
+ */
+DftHost buildDftHost(int pairs = 96, std::size_t rows_per_task = 2,
+                     std::size_t cols = 256);
+
+} // namespace tt::workloads
+
+#endif // TT_WORKLOADS_DFT_HH

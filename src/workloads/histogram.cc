@@ -1,0 +1,102 @@
+#include "workloads/histogram.hh"
+
+#include "stream/builder.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace tt::workloads {
+
+stream::TaskGraph
+histogramSim(const cpu::MachineConfig &config,
+             const HistogramParams &params)
+{
+    (void)config;
+    tt_assert(params.pairs > 0 && params.keys_per_block > 0,
+              "degenerate histogram");
+    const std::uint64_t block_bytes =
+        params.keys_per_block * sizeof(std::uint32_t);
+
+    stream::StreamProgramBuilder builder;
+    builder.beginPhase("histogram");
+    builder.addPairs(params.pairs, [&](int) {
+        stream::PairSpec spec;
+        spec.bytes = block_bytes;       // read-only key stream
+        spec.write_fraction = 0.0;
+        spec.compute_cycles = static_cast<std::uint64_t>(
+            params.keys_per_block * 2); // shift + increment per key
+        spec.footprint_bytes = block_bytes;
+        return spec;
+    });
+    return std::move(builder).build();
+}
+
+std::array<std::uint64_t, kHistogramBins>
+HistogramHost::totals() const
+{
+    std::array<std::uint64_t, kHistogramBins> merged{};
+    for (const auto &partial : *partials)
+        for (std::size_t bin = 0; bin < kHistogramBins; ++bin)
+            merged[bin] += partial[bin];
+    return merged;
+}
+
+HistogramHost
+buildHistogramHost(const HistogramParams &params)
+{
+    tt_assert(params.pairs > 0 && params.keys_per_block > 0,
+              "degenerate histogram");
+
+    HistogramHost host;
+    host.params = params;
+    const std::size_t total_keys =
+        static_cast<std::size_t>(params.pairs) * params.keys_per_block;
+    host.keys =
+        std::make_shared<std::vector<std::uint32_t>>(total_keys);
+    Rng rng(params.seed);
+    for (auto &key : *host.keys)
+        key = static_cast<std::uint32_t>(rng.next());
+
+    host.partials = std::make_shared<
+        std::vector<std::array<std::uint64_t, kHistogramBins>>>(
+        static_cast<std::size_t>(params.pairs));
+
+    auto scratch =
+        std::make_shared<std::vector<std::uint32_t>>(total_keys);
+    const std::uint64_t block_bytes =
+        params.keys_per_block * sizeof(std::uint32_t);
+
+    stream::StreamProgramBuilder builder;
+    builder.beginPhase("histogram");
+    builder.addPairs(params.pairs, [&](int p) {
+        const std::size_t begin =
+            static_cast<std::size_t>(p) * params.keys_per_block;
+        const std::size_t count = params.keys_per_block;
+        auto keys = host.keys;
+        auto partials = host.partials;
+
+        stream::PairSpec spec;
+        spec.host_memory = [keys, scratch, begin, count] {
+            const std::uint32_t *src = keys->data() + begin;
+            std::uint32_t *dst = scratch->data() + begin;
+            for (std::size_t i = 0; i < count; ++i)
+                dst[i] = src[i];
+        };
+        spec.host_compute = [scratch, partials, begin, count, p] {
+            auto &hist = (*partials)[static_cast<std::size_t>(p)];
+            hist.fill(0);
+            const std::uint32_t *block = scratch->data() + begin;
+            for (std::size_t i = 0; i < count; ++i)
+                ++hist[block[i] >> 24]; // top byte selects the bin
+        };
+        spec.bytes = block_bytes;
+        spec.write_fraction = 0.0;
+        spec.compute_cycles =
+            static_cast<std::uint64_t>(count * 2);
+        spec.footprint_bytes = block_bytes;
+        return spec;
+    });
+    host.graph = std::move(builder).build();
+    return host;
+}
+
+} // namespace tt::workloads

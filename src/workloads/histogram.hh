@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Extra workload: block-parallel histogram reduction in stream
+ * style.
+ *
+ * Each memory task gathers one block of 32-bit keys; its compute
+ * task bins the block into a pair-private 256-bin histogram
+ * (privatisation, the standard parallel-histogram trick). The
+ * gathered traffic is read-only with trivial compute (~2 cycles per
+ * key), so the workload is deeply memory-bound -- on a quad-core the
+ * analytical model puts it in the "some cores idle at any MTL < n"
+ * regime, a useful boundary case for the policies.
+ */
+
+#ifndef TT_WORKLOADS_HISTOGRAM_HH
+#define TT_WORKLOADS_HISTOGRAM_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cpu/machine_config.hh"
+#include "stream/task_graph.hh"
+
+namespace tt::workloads {
+
+inline constexpr std::size_t kHistogramBins = 256;
+
+/** Parameters of the histogram workload. */
+struct HistogramParams
+{
+    int pairs = 128;
+    std::size_t keys_per_block = 64 * 1024;
+    std::uint64_t seed = 1234;
+};
+
+/** Sim-mode graph (descriptors from the layout). */
+stream::TaskGraph histogramSim(const cpu::MachineConfig &config,
+                               const HistogramParams &params);
+
+/** Host-mode instance with real binning kernels. */
+struct HistogramHost
+{
+    stream::TaskGraph graph;
+    std::shared_ptr<std::vector<std::uint32_t>> keys;
+    /** One private histogram per pair, merged by totals(). */
+    std::shared_ptr<std::vector<std::array<std::uint64_t,
+                                           kHistogramBins>>> partials;
+    HistogramParams params;
+
+    /** Merge the pair-private histograms. */
+    std::array<std::uint64_t, kHistogramBins> totals() const;
+};
+
+HistogramHost buildHistogramHost(const HistogramParams &params);
+
+} // namespace tt::workloads
+
+#endif // TT_WORKLOADS_HISTOGRAM_HH

@@ -1,0 +1,84 @@
+#include "workloads/kernels/fft.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/logging.hh"
+
+namespace tt::workloads {
+
+bool
+isPowerOfTwo(std::size_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+void
+fftInPlace(Complex *data, std::size_t n, bool inverse)
+{
+    tt_assert(isPowerOfTwo(n), "FFT length must be a power of two");
+
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+
+    const float sign = inverse ? 1.0f : -1.0f;
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const float angle =
+            sign * 2.0f * std::numbers::pi_v<float> /
+            static_cast<float>(len);
+        const Complex wlen(std::cos(angle), std::sin(angle));
+        for (std::size_t i = 0; i < n; i += len) {
+            Complex w(1.0f, 0.0f);
+            for (std::size_t j = 0; j < len / 2; ++j) {
+                const Complex u = data[i + j];
+                const Complex v = data[i + j + len / 2] * w;
+                data[i + j] = u + v;
+                data[i + j + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+
+    if (inverse) {
+        const float inv_n = 1.0f / static_cast<float>(n);
+        for (std::size_t i = 0; i < n; ++i)
+            data[i] *= inv_n;
+    }
+}
+
+std::vector<Complex>
+naiveDft(const std::vector<Complex> &input)
+{
+    const std::size_t n = input.size();
+    std::vector<Complex> output(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        Complex acc(0.0f, 0.0f);
+        for (std::size_t t = 0; t < n; ++t) {
+            const float angle = -2.0f * std::numbers::pi_v<float> *
+                                static_cast<float>(k * t) /
+                                static_cast<float>(n);
+            acc += input[t] * Complex(std::cos(angle), std::sin(angle));
+        }
+        output[k] = acc;
+    }
+    return output;
+}
+
+float
+maxAbsError(const std::vector<Complex> &a, const std::vector<Complex> &b)
+{
+    tt_assert(a.size() == b.size(), "signal length mismatch");
+    float worst = 0.0f;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        worst = std::max(worst, std::abs(a[i] - b[i]));
+    return worst;
+}
+
+} // namespace tt::workloads

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Discrete Fourier transform kernels backing the dft workload
+ * (the OpenCV dft kernel rewritten in stream style, paper Sec. V).
+ *
+ * fftInPlace() is an iterative radix-2 Cooley-Tukey transform;
+ * naiveDft() is the O(n^2) reference used by the unit tests.
+ */
+
+#ifndef TT_WORKLOADS_KERNELS_FFT_HH
+#define TT_WORKLOADS_KERNELS_FFT_HH
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace tt::workloads {
+
+using Complex = std::complex<float>;
+
+/** True when n is a power of two (and nonzero). */
+bool isPowerOfTwo(std::size_t n);
+
+/**
+ * In-place iterative radix-2 FFT of `n` points; n must be a power of
+ * two. Forward transform when `inverse` is false; the inverse
+ * transform includes the 1/n normalisation.
+ */
+void fftInPlace(Complex *data, std::size_t n, bool inverse = false);
+
+/** O(n^2) reference DFT (forward). */
+std::vector<Complex> naiveDft(const std::vector<Complex> &input);
+
+/** Maximum absolute componentwise difference of two signals. */
+float maxAbsError(const std::vector<Complex> &a,
+                  const std::vector<Complex> &b);
+
+} // namespace tt::workloads
+
+#endif // TT_WORKLOADS_KERNELS_FFT_HH

@@ -1,0 +1,167 @@
+#include "workloads/kernels/image.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace tt::workloads {
+
+std::vector<float>
+gaussianKernel(double sigma, int radius)
+{
+    tt_assert(sigma > 0.0, "sigma must be positive");
+    tt_assert(radius >= 0, "radius must be non-negative");
+    std::vector<float> taps(static_cast<std::size_t>(2 * radius + 1));
+    double sum = 0.0;
+    for (int i = -radius; i <= radius; ++i) {
+        const double value =
+            std::exp(-(static_cast<double>(i) * i) /
+                     (2.0 * sigma * sigma));
+        taps[static_cast<std::size_t>(i + radius)] =
+            static_cast<float>(value);
+        sum += value;
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (float &tap : taps)
+        tap *= inv;
+    return taps;
+}
+
+Image
+upsample2x(const Image &src)
+{
+    tt_assert(src.width > 0 && src.height > 0, "empty source image");
+    Image dst(src.width * 2, src.height * 2);
+    for (std::size_t y = 0; y < dst.height; ++y) {
+        const double sy = static_cast<double>(y) / 2.0;
+        const std::size_t y0 =
+            std::min(static_cast<std::size_t>(sy), src.height - 1);
+        const std::size_t y1 = std::min(y0 + 1, src.height - 1);
+        const float fy = static_cast<float>(sy - static_cast<double>(y0));
+        for (std::size_t x = 0; x < dst.width; ++x) {
+            const double sx = static_cast<double>(x) / 2.0;
+            const std::size_t x0 =
+                std::min(static_cast<std::size_t>(sx), src.width - 1);
+            const std::size_t x1 = std::min(x0 + 1, src.width - 1);
+            const float fx =
+                static_cast<float>(sx - static_cast<double>(x0));
+            const float top = src.at(x0, y0) * (1.0f - fx) +
+                              src.at(x1, y0) * fx;
+            const float bottom = src.at(x0, y1) * (1.0f - fx) +
+                                 src.at(x1, y1) * fx;
+            dst.at(x, y) = top * (1.0f - fy) + bottom * fy;
+        }
+    }
+    return dst;
+}
+
+namespace {
+
+std::size_t
+clampIndex(std::ptrdiff_t i, std::size_t bound)
+{
+    if (i < 0)
+        return 0;
+    if (static_cast<std::size_t>(i) >= bound)
+        return bound - 1;
+    return static_cast<std::size_t>(i);
+}
+
+} // namespace
+
+void
+convolveRowsRange(const Image &src, Image &dst,
+                  const std::vector<float> &taps, std::size_t row_begin,
+                  std::size_t row_end)
+{
+    tt_assert(src.width == dst.width && src.height == dst.height,
+              "image dimension mismatch");
+    tt_assert(taps.size() % 2 == 1, "kernel length must be odd");
+    tt_assert(row_end <= src.height, "row range out of bounds");
+    const int radius = static_cast<int>(taps.size() / 2);
+    for (std::size_t y = row_begin; y < row_end; ++y) {
+        for (std::size_t x = 0; x < src.width; ++x) {
+            float acc = 0.0f;
+            for (int t = -radius; t <= radius; ++t) {
+                const std::size_t sx = clampIndex(
+                    static_cast<std::ptrdiff_t>(x) + t, src.width);
+                acc += src.at(sx, y) *
+                       taps[static_cast<std::size_t>(t + radius)];
+            }
+            dst.at(x, y) = acc;
+        }
+    }
+}
+
+void
+convolveColsRange(const Image &src, Image &dst,
+                  const std::vector<float> &taps, std::size_t row_begin,
+                  std::size_t row_end)
+{
+    tt_assert(src.width == dst.width && src.height == dst.height,
+              "image dimension mismatch");
+    tt_assert(taps.size() % 2 == 1, "kernel length must be odd");
+    tt_assert(row_end <= src.height, "row range out of bounds");
+    const int radius = static_cast<int>(taps.size() / 2);
+    for (std::size_t y = row_begin; y < row_end; ++y) {
+        for (std::size_t x = 0; x < src.width; ++x) {
+            float acc = 0.0f;
+            for (int t = -radius; t <= radius; ++t) {
+                const std::size_t sy = clampIndex(
+                    static_cast<std::ptrdiff_t>(y) + t, src.height);
+                acc += src.at(x, sy) *
+                       taps[static_cast<std::size_t>(t + radius)];
+            }
+            dst.at(x, y) = acc;
+        }
+    }
+}
+
+Image
+convolveSeparable(const Image &src, const std::vector<float> &taps)
+{
+    Image tmp(src.width, src.height);
+    convolveRowsRange(src, tmp, taps, 0, src.height);
+    Image dst(src.width, src.height);
+    convolveColsRange(tmp, dst, taps, 0, src.height);
+    return dst;
+}
+
+Image
+differenceOfGaussians(const Image &a, const Image &b)
+{
+    tt_assert(a.width == b.width && a.height == b.height,
+              "image dimension mismatch");
+    Image dst(a.width, a.height);
+    for (std::size_t i = 0; i < dst.pixels.size(); ++i)
+        dst.pixels[i] = b.pixels[i] - a.pixels[i];
+    return dst;
+}
+
+Image
+downsample2x(const Image &src)
+{
+    tt_assert(src.width >= 2 && src.height >= 2,
+              "image too small to decimate");
+    Image dst(src.width / 2, src.height / 2);
+    for (std::size_t y = 0; y < dst.height; ++y)
+        for (std::size_t x = 0; x < dst.width; ++x)
+            dst.at(x, y) = src.at(x * 2, y * 2);
+    return dst;
+}
+
+Image
+makeTestImage(std::size_t width, std::size_t height)
+{
+    Image img(width, height);
+    for (std::size_t y = 0; y < height; ++y)
+        for (std::size_t x = 0; x < width; ++x)
+            img.at(x, y) =
+                std::sin(0.05f * static_cast<float>(x)) +
+                std::cos(0.07f * static_cast<float>(y)) +
+                0.001f * static_cast<float>(x + y);
+    return img;
+}
+
+} // namespace tt::workloads

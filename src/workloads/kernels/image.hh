@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Image-processing kernels backing the SIFT workload (SIFT++'s
+ * parallel functions, paper Table III): bilinear up-sampling
+ * (COPYUP), separable Gaussian convolution (ECONVOLVE family) and
+ * difference of Gaussians (DOG).
+ */
+
+#ifndef TT_WORKLOADS_KERNELS_IMAGE_HH
+#define TT_WORKLOADS_KERNELS_IMAGE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace tt::workloads {
+
+/** Row-major single-channel float image. */
+struct Image
+{
+    std::size_t width = 0;
+    std::size_t height = 0;
+    std::vector<float> pixels;
+
+    Image() = default;
+    Image(std::size_t w, std::size_t h)
+        : width(w), height(h), pixels(w * h, 0.0f)
+    {
+    }
+
+    float &at(std::size_t x, std::size_t y) { return pixels[y * width + x]; }
+    float at(std::size_t x, std::size_t y) const
+    {
+        return pixels[y * width + x];
+    }
+};
+
+/** Normalised 1-D Gaussian taps of odd length 2*radius+1. */
+std::vector<float> gaussianKernel(double sigma, int radius);
+
+/** Bilinear 2x up-sampling (SIFT's COPYUP). */
+Image upsample2x(const Image &src);
+
+/**
+ * Horizontal convolution of rows [row_begin, row_end) with clamped
+ * borders; dst must match src dimensions.
+ */
+void convolveRowsRange(const Image &src, Image &dst,
+                       const std::vector<float> &taps,
+                       std::size_t row_begin, std::size_t row_end);
+
+/** Vertical convolution over the same row range. */
+void convolveColsRange(const Image &src, Image &dst,
+                       const std::vector<float> &taps,
+                       std::size_t row_begin, std::size_t row_end);
+
+/** Full separable convolution (rows then columns). */
+Image convolveSeparable(const Image &src, const std::vector<float> &taps);
+
+/** Per-pixel difference b - a (SIFT's DOG). */
+Image differenceOfGaussians(const Image &a, const Image &b);
+
+/** 2:1 decimation (next pyramid octave). */
+Image downsample2x(const Image &src);
+
+/** Deterministic test image with smooth structure. */
+Image makeTestImage(std::size_t width, std::size_t height);
+
+} // namespace tt::workloads
+
+#endif // TT_WORKLOADS_KERNELS_IMAGE_HH

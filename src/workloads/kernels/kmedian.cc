@@ -1,0 +1,102 @@
+#include "workloads/kernels/kmedian.hh"
+
+#include <limits>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace tt::workloads {
+
+float
+squaredDistance(const float *a, const float *b, std::size_t dim)
+{
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < dim; ++i) {
+        const float diff = a[i] - b[i];
+        acc += diff * diff;
+    }
+    return acc;
+}
+
+std::size_t
+nearestCenter(const float *point, const float *centers, std::size_t k,
+              std::size_t dim, float &best_cost)
+{
+    tt_assert(k > 0, "need at least one center");
+    std::size_t best = 0;
+    best_cost = std::numeric_limits<float>::max();
+    for (std::size_t c = 0; c < k; ++c) {
+        const float cost = squaredDistance(point, centers + c * dim, dim);
+        if (cost < best_cost) {
+            best_cost = cost;
+            best = c;
+        }
+    }
+    return best;
+}
+
+double
+assignBlock(const float *points, std::size_t n, const float *centers,
+            std::size_t k, std::size_t dim, std::uint32_t *assignment)
+{
+    double total = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+        float cost = 0.0f;
+        assignment[p] = static_cast<std::uint32_t>(
+            nearestCenter(points + p * dim, centers, k, dim, cost));
+        total += cost;
+    }
+    return total;
+}
+
+std::vector<float>
+refineCenters(const float *points, std::size_t n,
+              const std::uint32_t *assignment, const float *centers,
+              std::size_t k, std::size_t dim)
+{
+    std::vector<float> sums(k * dim, 0.0f);
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t p = 0; p < n; ++p) {
+        const std::uint32_t c = assignment[p];
+        tt_assert(c < k, "assignment index out of range");
+        ++counts[c];
+        for (std::size_t i = 0; i < dim; ++i)
+            sums[c * dim + i] += points[p * dim + i];
+    }
+    std::vector<float> fresh(k * dim);
+    for (std::size_t c = 0; c < k; ++c) {
+        if (counts[c] == 0) {
+            for (std::size_t i = 0; i < dim; ++i)
+                fresh[c * dim + i] = centers[c * dim + i];
+        } else {
+            const float inv = 1.0f / static_cast<float>(counts[c]);
+            for (std::size_t i = 0; i < dim; ++i)
+                fresh[c * dim + i] = sums[c * dim + i] * inv;
+        }
+    }
+    return fresh;
+}
+
+std::vector<float>
+makeClusteredPoints(std::size_t n, std::size_t k, std::size_t dim,
+                    std::uint64_t seed)
+{
+    tt_assert(k > 0 && dim > 0, "degenerate point cloud");
+    Rng rng(seed);
+    std::vector<float> seeds(k * dim);
+    for (float &coord : seeds)
+        coord = static_cast<float>(rng.nextDouble(-10.0, 10.0));
+
+    std::vector<float> points(n * dim);
+    for (std::size_t p = 0; p < n; ++p) {
+        const std::size_t c = p % k;
+        for (std::size_t i = 0; i < dim; ++i) {
+            points[p * dim + i] =
+                seeds[c * dim + i] +
+                static_cast<float>(rng.nextGaussian(0.0, 0.5));
+        }
+    }
+    return points;
+}
+
+} // namespace tt::workloads

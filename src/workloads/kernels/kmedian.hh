@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Online k-median kernels backing the streamcluster workload (the
+ * PARSEC streamcluster hot loop rewritten in stream style).
+ *
+ * streamcluster's dominant cost is pgain(): for every point, the
+ * squared distance to candidate centers. The stream rewrite gathers
+ * blocks of d-dimensional points into the LLC and runs the distance/
+ * assignment kernel over each block.
+ */
+
+#ifndef TT_WORKLOADS_KERNELS_KMEDIAN_HH
+#define TT_WORKLOADS_KERNELS_KMEDIAN_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tt::workloads {
+
+/** Squared Euclidean distance between two d-dimensional points. */
+float squaredDistance(const float *a, const float *b, std::size_t dim);
+
+/**
+ * Index of the nearest center to `point` among `centers` (row-major
+ * k x dim), with the squared distance returned through `best_cost`.
+ */
+std::size_t nearestCenter(const float *point, const float *centers,
+                          std::size_t k, std::size_t dim,
+                          float &best_cost);
+
+/**
+ * Assign every point of a block (row-major n x dim) to its nearest
+ * center; writes assignments and returns the block's total cost.
+ */
+double assignBlock(const float *points, std::size_t n,
+                   const float *centers, std::size_t k, std::size_t dim,
+                   std::uint32_t *assignment);
+
+/**
+ * One Lloyd-style refinement: recompute each center as the mean of
+ * its assigned points (k-median approximated by k-means update, as
+ * streamcluster's local search does in spirit). Returns the new
+ * centers; empty clusters keep their previous center.
+ */
+std::vector<float> refineCenters(const float *points, std::size_t n,
+                                 const std::uint32_t *assignment,
+                                 const float *centers, std::size_t k,
+                                 std::size_t dim);
+
+/** Deterministic synthetic point cloud around k seeds. */
+std::vector<float> makeClusteredPoints(std::size_t n, std::size_t k,
+                                       std::size_t dim,
+                                       std::uint64_t seed);
+
+} // namespace tt::workloads
+
+#endif // TT_WORKLOADS_KERNELS_KMEDIAN_HH

@@ -1,0 +1,35 @@
+#include "workloads/phased.hh"
+
+#include "stream/builder.hh"
+#include "util/logging.hh"
+#include "workloads/calibration.hh"
+
+namespace tt::workloads {
+
+stream::TaskGraph
+buildPhasedSim(const cpu::MachineConfig &config,
+               const std::vector<PhaseSpec> &phases)
+{
+    tt_assert(!phases.empty(), "workload needs at least one phase");
+
+    stream::StreamProgramBuilder builder;
+    for (const PhaseSpec &phase : phases) {
+        tt_assert(phase.pairs > 0, "phase '", phase.name,
+                  "' has no pairs");
+        const std::uint64_t cycles = computeCyclesForRatio(
+            config, phase.footprint_bytes, phase.write_fraction,
+            phase.tm1_over_tc);
+        builder.beginPhase(phase.name);
+        builder.addPairs(phase.pairs, [&](int) {
+            stream::PairSpec spec;
+            spec.bytes = phase.footprint_bytes;
+            spec.write_fraction = phase.write_fraction;
+            spec.compute_cycles = cycles;
+            spec.footprint_bytes = phase.footprint_bytes;
+            return spec;
+        });
+    }
+    return std::move(builder).build();
+}
+
+} // namespace tt::workloads

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Builder for multi-phase simulated workloads calibrated to target
+ * memory-to-compute ratios (the common machinery behind the dft,
+ * streamcluster and SIFT sim graphs).
+ */
+
+#ifndef TT_WORKLOADS_PHASED_HH
+#define TT_WORKLOADS_PHASED_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/machine_config.hh"
+#include "stream/task_graph.hh"
+
+namespace tt::workloads {
+
+/** One phase of a calibrated workload. */
+struct PhaseSpec
+{
+    std::string name;
+    double tm1_over_tc = 0.5;  ///< target T_m1/T_c for the phase
+    std::uint64_t footprint_bytes = 256 * 1024;
+    double write_fraction = 0.25; ///< scatter share of the stream
+    int pairs = 64;
+};
+
+/**
+ * Build a sim-mode TaskGraph whose phases hit the given ratios on
+ * `config` (compute cycle counts calibrated per phase).
+ */
+stream::TaskGraph buildPhasedSim(const cpu::MachineConfig &config,
+                                 const std::vector<PhaseSpec> &phases);
+
+} // namespace tt::workloads
+
+#endif // TT_WORKLOADS_PHASED_HH

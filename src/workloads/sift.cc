@@ -1,0 +1,297 @@
+#include "workloads/sift.hh"
+
+#include <algorithm>
+
+#include "stream/builder.hh"
+#include "util/logging.hh"
+#include "workloads/tables.hh"
+
+namespace tt::workloads {
+
+std::vector<PhaseSpec>
+siftPhases()
+{
+    // Footprints shrink with the octave: full-resolution functions
+    // stream big row blocks, deeper octaves stream smaller ones.
+    // Pair counts follow the amount of parallel work per function.
+    std::vector<PhaseSpec> phases;
+    for (const tables::SiftEntry &entry : tables::kSift) {
+        PhaseSpec phase;
+        phase.name = std::string(entry.name);
+        phase.tm1_over_tc = entry.ratio;
+        phase.write_fraction = 0.4; // blur: read block, write block
+        if (entry.name == "COPYUP" || entry.name == "ECONVOLVE" ||
+            entry.name == "DOG") {
+            phase.footprint_bytes = 512 * 1024;
+            phase.pairs = 128;
+        } else if (entry.name == "ECONVOLVE2") {
+            phase.footprint_bytes = 256 * 1024;
+            phase.pairs = 96;
+        } else if (entry.name.starts_with("ECONVOLVE3")) {
+            phase.footprint_bytes = 128 * 1024;
+            phase.pairs = 64;
+        } else { // ECONVOLVE4 family
+            phase.footprint_bytes = 64 * 1024;
+            phase.pairs = 48;
+        }
+        phases.push_back(std::move(phase));
+    }
+    return phases;
+}
+
+stream::TaskGraph
+siftSim(const cpu::MachineConfig &config)
+{
+    return buildPhasedSim(config, siftPhases());
+}
+
+namespace {
+
+/** Rows per block so a phase of image height h gets ~`pairs` pairs. */
+std::size_t
+blockRows(std::size_t height, int pairs)
+{
+    const std::size_t rows = std::max<std::size_t>(
+        1, height / static_cast<std::size_t>(pairs));
+    return rows;
+}
+
+/**
+ * Add one blur phase: gather a decimated, halo-padded row block of
+ * `src` (stride 1 keeps full resolution, 2 moves down an octave),
+ * row+column convolve it, and scatter the interior rows to `dst`.
+ */
+void
+addBlurPhase(stream::StreamProgramBuilder &builder,
+             const std::string &name, std::shared_ptr<Image> src,
+             std::size_t stride, std::shared_ptr<Image> dst,
+             const std::vector<float> &taps, int pairs)
+{
+    const std::size_t radius = taps.size() / 2;
+    const std::size_t out_h = src->height / stride;
+    const std::size_t out_w = src->width / stride;
+    tt_assert(dst->height == out_h && dst->width == out_w,
+              "destination shape mismatch in phase ", name);
+    const std::size_t rows = blockRows(out_h, pairs);
+    const int blocks = static_cast<int>((out_h + rows - 1) / rows);
+
+    builder.beginPhase(name);
+    for (int b = 0; b < blocks; ++b) {
+        const std::size_t begin = static_cast<std::size_t>(b) * rows;
+        const std::size_t end = std::min(out_h, begin + rows);
+        const std::size_t halo_begin =
+            begin >= radius ? begin - radius : 0;
+        const std::size_t halo_end = std::min(out_h, end + radius);
+        const std::size_t scratch_h = halo_end - halo_begin;
+
+        auto scratch = std::make_shared<Image>(out_w, scratch_h);
+        auto taps_copy = taps;
+
+        stream::PairSpec spec;
+        spec.host_memory = [src, scratch, stride, halo_begin,
+                            scratch_h, out_w] {
+            // Decimating gather with the halo rows included.
+            for (std::size_t j = 0; j < scratch_h; ++j) {
+                const std::size_t sy = (halo_begin + j) * stride;
+                for (std::size_t x = 0; x < out_w; ++x)
+                    scratch->at(x, j) = src->at(x * stride, sy);
+            }
+        };
+        spec.host_compute = [dst, scratch, taps_copy, begin, end,
+                             halo_begin, scratch_h, out_w, radius] {
+            // Row pass over the whole scratch (halo included).
+            Image tmp(out_w, scratch_h);
+            convolveRowsRange(*scratch, tmp, taps_copy, 0, scratch_h);
+            // Column pass over the interior, clamped inside scratch
+            // (which equals image-border clamping because truncated
+            // halos only occur at the image edges).
+            const int r = static_cast<int>(radius);
+            for (std::size_t y = begin; y < end; ++y) {
+                const std::ptrdiff_t local =
+                    static_cast<std::ptrdiff_t>(y - halo_begin);
+                for (std::size_t x = 0; x < out_w; ++x) {
+                    float acc = 0.0f;
+                    for (int t = -r; t <= r; ++t) {
+                        std::ptrdiff_t sy = local + t;
+                        sy = std::clamp<std::ptrdiff_t>(
+                            sy, 0,
+                            static_cast<std::ptrdiff_t>(scratch_h) - 1);
+                        acc += tmp.at(x, static_cast<std::size_t>(sy)) *
+                               taps_copy[static_cast<std::size_t>(t + r)];
+                    }
+                    dst->at(x, y) = acc;
+                }
+            }
+        };
+        const std::uint64_t block_bytes =
+            out_w * scratch_h * sizeof(float);
+        spec.bytes = block_bytes * 2; // gather block + scatter rows
+        spec.write_fraction = 0.4;
+        spec.compute_cycles = static_cast<std::uint64_t>(
+            2 * out_w * (end - begin) * taps.size() * 2);
+        spec.footprint_bytes = block_bytes;
+        builder.addPair(std::move(spec));
+    }
+}
+
+} // namespace
+
+SiftHost
+buildSiftHost(std::size_t width, std::size_t height)
+{
+    tt_assert(width % 16 == 0 && height % 16 == 0,
+              "image dimensions must be multiples of 16");
+
+    SiftHost host;
+    host.taps = gaussianKernel(1.6, 3);
+    host.base = std::make_shared<Image>(makeTestImage(width, height));
+    host.up = std::make_shared<Image>(width * 2, height * 2);
+    host.g1 = std::make_shared<Image>(width * 2, height * 2);
+    host.g2 = std::make_shared<Image>(width, height);
+    for (int i = 0; i < 5; ++i)
+        host.o3.push_back(
+            std::make_shared<Image>(width / 2, height / 2));
+    for (int i = 0; i < 5; ++i)
+        host.o4.push_back(
+            std::make_shared<Image>(width / 4, height / 4));
+    host.dog = std::make_shared<Image>(width * 2, height * 2);
+
+    // The builder allows non-uniform pairs: halo truncation makes
+    // edge blocks slightly smaller than interior ones.
+    stream::StreamProgramBuilder builder(/*uniform_pairs=*/false);
+
+    // --- COPYUP: bilinear 2x up-sampling, parallel over dst rows.
+    {
+        const std::size_t out_h = height * 2;
+        const std::size_t rows = blockRows(out_h, 64);
+        const int blocks = static_cast<int>((out_h + rows - 1) / rows);
+        builder.beginPhase("COPYUP");
+        for (int b = 0; b < blocks; ++b) {
+            const std::size_t begin = static_cast<std::size_t>(b) * rows;
+            const std::size_t end = std::min(out_h, begin + rows);
+            // Source rows feeding [begin, end): y/2 and y/2+1.
+            const std::size_t src_begin = begin / 2;
+            const std::size_t src_end =
+                std::min(height, (end - 1) / 2 + 2);
+            const std::size_t scratch_h = src_end - src_begin;
+            auto scratch = std::make_shared<Image>(width, scratch_h);
+            auto base = host.base;
+            auto up = host.up;
+
+            stream::PairSpec spec;
+            spec.host_memory = [base, scratch, src_begin, scratch_h,
+                                width] {
+                for (std::size_t j = 0; j < scratch_h; ++j)
+                    for (std::size_t x = 0; x < width; ++x)
+                        scratch->at(x, j) = base->at(x, src_begin + j);
+            };
+            spec.host_compute = [up, scratch, begin, end, src_begin,
+                                 scratch_h, width, height] {
+                for (std::size_t y = begin; y < end; ++y) {
+                    const double sy = static_cast<double>(y) / 2.0;
+                    std::size_t y0 = std::min(
+                        static_cast<std::size_t>(sy), height - 1);
+                    std::size_t y1 = std::min(y0 + 1, height - 1);
+                    const float fy = static_cast<float>(
+                        sy - static_cast<double>(y0));
+                    const std::size_t ly0 =
+                        std::min(y0 - src_begin, scratch_h - 1);
+                    const std::size_t ly1 =
+                        std::min(y1 - src_begin, scratch_h - 1);
+                    for (std::size_t x = 0; x < up->width; ++x) {
+                        const double sx = static_cast<double>(x) / 2.0;
+                        std::size_t x0 = std::min(
+                            static_cast<std::size_t>(sx), width - 1);
+                        std::size_t x1 = std::min(x0 + 1, width - 1);
+                        const float fx = static_cast<float>(
+                            sx - static_cast<double>(x0));
+                        const float top =
+                            scratch->at(x0, ly0) * (1.0f - fx) +
+                            scratch->at(x1, ly0) * fx;
+                        const float bottom =
+                            scratch->at(x0, ly1) * (1.0f - fx) +
+                            scratch->at(x1, ly1) * fx;
+                        up->at(x, y) = top * (1.0f - fy) + bottom * fy;
+                    }
+                }
+            };
+            const std::uint64_t block_bytes =
+                width * scratch_h * sizeof(float);
+            spec.bytes = block_bytes * 3; // gather + 2x-sized scatter
+            spec.write_fraction = 0.6;
+            spec.compute_cycles = static_cast<std::uint64_t>(
+                8 * up->width * (end - begin));
+            spec.footprint_bytes = block_bytes;
+            builder.addPair(std::move(spec));
+        }
+    }
+
+    // --- Gaussian pyramid.
+    addBlurPhase(builder, "ECONVOLVE", host.up, 1, host.g1, host.taps,
+                 64);
+    addBlurPhase(builder, "ECONVOLVE2", host.g1, 2, host.g2, host.taps,
+                 48);
+    addBlurPhase(builder, "ECONVOLVE3-0", host.g2, 2, host.o3[0],
+                 host.taps, 32);
+    for (int i = 1; i < 5; ++i)
+        addBlurPhase(builder, "ECONVOLVE3-" + std::to_string(i),
+                     host.o3[static_cast<std::size_t>(i - 1)], 1,
+                     host.o3[static_cast<std::size_t>(i)], host.taps, 32);
+    addBlurPhase(builder, "ECONVOLVE4-0", host.o3[4], 2, host.o4[0],
+                 host.taps, 24);
+    for (int i = 1; i < 5; ++i)
+        addBlurPhase(builder, "ECONVOLVE4-" + std::to_string(i),
+                     host.o4[static_cast<std::size_t>(i - 1)], 1,
+                     host.o4[static_cast<std::size_t>(i)], host.taps, 24);
+
+    // --- DOG: g1 - up, parallel over rows (memory heavy: two
+    // gathered operands per computed row).
+    {
+        const std::size_t out_h = height * 2;
+        const std::size_t out_w = width * 2;
+        const std::size_t rows = blockRows(out_h, 64);
+        const int blocks = static_cast<int>((out_h + rows - 1) / rows);
+        builder.beginPhase("DOG");
+        for (int b = 0; b < blocks; ++b) {
+            const std::size_t begin = static_cast<std::size_t>(b) * rows;
+            const std::size_t end = std::min(out_h, begin + rows);
+            const std::size_t scratch_h = end - begin;
+            auto scratch_a = std::make_shared<Image>(out_w, scratch_h);
+            auto scratch_b = std::make_shared<Image>(out_w, scratch_h);
+            auto up = host.up;
+            auto g1 = host.g1;
+            auto dog = host.dog;
+
+            stream::PairSpec spec;
+            spec.host_memory = [up, g1, scratch_a, scratch_b, begin,
+                                scratch_h, out_w] {
+                for (std::size_t j = 0; j < scratch_h; ++j) {
+                    for (std::size_t x = 0; x < out_w; ++x) {
+                        scratch_a->at(x, j) = up->at(x, begin + j);
+                        scratch_b->at(x, j) = g1->at(x, begin + j);
+                    }
+                }
+            };
+            spec.host_compute = [dog, scratch_a, scratch_b, begin,
+                                 scratch_h, out_w] {
+                for (std::size_t j = 0; j < scratch_h; ++j)
+                    for (std::size_t x = 0; x < out_w; ++x)
+                        dog->at(x, begin + j) = scratch_b->at(x, j) -
+                                                scratch_a->at(x, j);
+            };
+            const std::uint64_t block_bytes =
+                out_w * scratch_h * sizeof(float);
+            spec.bytes = block_bytes * 3; // two gathers + one scatter
+            spec.write_fraction = 0.33;
+            spec.compute_cycles = static_cast<std::uint64_t>(
+                out_w * scratch_h);
+            spec.footprint_bytes = block_bytes * 2;
+            builder.addPair(std::move(spec));
+        }
+    }
+
+    host.graph = std::move(builder).build();
+    return host;
+}
+
+} // namespace tt::workloads

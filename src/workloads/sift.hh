@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The SIFT workload: the Gaussian scale-space front end of SIFT++
+ * rewritten in stream style (paper Sec. V, Table III).
+ *
+ * SIFT is the paper's multi-phase showcase: its 14 parallel
+ * functions (COPYUP, the ECONVOLVE family over shrinking octaves,
+ * DOG) have memory-to-compute ratios from 7.8% to 70%, so the
+ * dynamic mechanism must re-select the MTL as the program moves
+ * between functions (Fig. 16).
+ *
+ * Host mode runs the real pipeline: bilinear 2x up-sampling,
+ * separable Gaussian blurs at four octaves (with decimating
+ * gathers between octaves) and a difference-of-Gaussians, each
+ * parallelised over row blocks with halo-aware gather tasks.
+ */
+
+#ifndef TT_WORKLOADS_SIFT_HH
+#define TT_WORKLOADS_SIFT_HH
+
+#include <memory>
+#include <vector>
+
+#include "cpu/machine_config.hh"
+#include "stream/task_graph.hh"
+#include "workloads/kernels/image.hh"
+#include "workloads/phased.hh"
+
+namespace tt::workloads {
+
+/** Sim-mode phase list: all 14 functions, Table III ratios. */
+std::vector<PhaseSpec> siftPhases();
+
+/** Sim-mode graph calibrated on `config`. */
+stream::TaskGraph siftSim(const cpu::MachineConfig &config);
+
+/** Host-mode SIFT pipeline with real image kernels. */
+struct SiftHost
+{
+    stream::TaskGraph graph;
+
+    std::shared_ptr<Image> base;     ///< input image
+    std::shared_ptr<Image> up;       ///< COPYUP output (2x)
+    std::shared_ptr<Image> g1;       ///< ECONVOLVE output (2x)
+    std::shared_ptr<Image> g2;       ///< ECONVOLVE2 output (1x)
+    std::vector<std::shared_ptr<Image>> o3; ///< ECONVOLVE3-0..4 (1/2x)
+    std::vector<std::shared_ptr<Image>> o4; ///< ECONVOLVE4-0..4 (1/4x)
+    std::shared_ptr<Image> dog;      ///< DOG output (2x)
+
+    std::vector<float> taps; ///< shared Gaussian taps
+};
+
+/**
+ * Build the host pipeline for a `width` x `height` input (both must
+ * be multiples of 16 so every octave splits evenly into row blocks).
+ */
+SiftHost buildSiftHost(std::size_t width = 128, std::size_t height = 128);
+
+} // namespace tt::workloads
+
+#endif // TT_WORKLOADS_SIFT_HH

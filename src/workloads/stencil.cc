@@ -1,0 +1,156 @@
+#include "workloads/stencil.hh"
+
+#include <algorithm>
+
+#include "stream/builder.hh"
+#include "util/logging.hh"
+
+namespace tt::workloads {
+
+namespace {
+
+/** One Jacobi row: clamped 4-neighbour average. */
+void
+jacobiRows(const Image &src, Image &dst, std::size_t row_begin,
+           std::size_t row_end)
+{
+    const std::size_t w = src.width;
+    const std::size_t h = src.height;
+    for (std::size_t y = row_begin; y < row_end; ++y) {
+        const std::size_t up = y > 0 ? y - 1 : 0;
+        const std::size_t down = std::min(y + 1, h - 1);
+        for (std::size_t x = 0; x < w; ++x) {
+            const std::size_t left = x > 0 ? x - 1 : 0;
+            const std::size_t right = std::min(x + 1, w - 1);
+            dst.at(x, y) = 0.25f * (src.at(left, y) + src.at(right, y) +
+                                    src.at(x, up) + src.at(x, down));
+        }
+    }
+}
+
+} // namespace
+
+Image
+jacobiReference(const Image &input, int sweeps)
+{
+    Image a = input;
+    Image b(input.width, input.height);
+    for (int s = 0; s < sweeps; ++s) {
+        jacobiRows(a, b, 0, a.height);
+        std::swap(a, b);
+    }
+    return a;
+}
+
+stream::TaskGraph
+stencilSim(const cpu::MachineConfig &config, const StencilParams &params)
+{
+    (void)config; // descriptors derive from the layout, not the machine
+    tt_assert(params.blocks > 0 && params.sweeps > 0,
+              "degenerate stencil");
+    const std::size_t rows_per_block =
+        std::max<std::size_t>(1, params.height /
+                                     static_cast<std::size_t>(
+                                         params.blocks));
+    const std::uint64_t block_bytes =
+        params.width * (rows_per_block + 2) * sizeof(float);
+
+    stream::StreamProgramBuilder builder;
+    for (int sweep = 0; sweep < params.sweeps; ++sweep) {
+        builder.beginPhase("jacobi-" + std::to_string(sweep));
+        builder.addPairs(params.blocks, [&](int) {
+            stream::PairSpec spec;
+            // Gather block + halo, scatter the block.
+            spec.bytes = block_bytes * 2;
+            spec.write_fraction = 0.5;
+            // ~4 adds + 1 multiply per point.
+            spec.compute_cycles = static_cast<std::uint64_t>(
+                params.width * rows_per_block * 5);
+            spec.footprint_bytes = block_bytes;
+            return spec;
+        });
+    }
+    return std::move(builder).build();
+}
+
+StencilHost
+buildStencilHost(const StencilParams &params)
+{
+    tt_assert(params.blocks > 0 && params.sweeps > 0,
+              "degenerate stencil");
+    tt_assert(params.height %
+                      static_cast<std::size_t>(params.blocks) ==
+                  0,
+              "height must divide evenly into blocks");
+
+    StencilHost host;
+    host.params = params;
+    host.front = std::make_shared<Image>(
+        makeTestImage(params.width, params.height));
+    host.back =
+        std::make_shared<Image>(params.width, params.height);
+
+    const std::size_t rows =
+        params.height / static_cast<std::size_t>(params.blocks);
+
+    stream::StreamProgramBuilder builder(/*uniform_pairs=*/false);
+    for (int sweep = 0; sweep < params.sweeps; ++sweep) {
+        builder.beginPhase("jacobi-" + std::to_string(sweep));
+        auto src = (sweep % 2 == 0) ? host.front : host.back;
+        auto dst = (sweep % 2 == 0) ? host.back : host.front;
+        for (int b = 0; b < params.blocks; ++b) {
+            const std::size_t begin = static_cast<std::size_t>(b) * rows;
+            const std::size_t end = begin + rows;
+            const std::size_t halo_begin = begin > 0 ? begin - 1 : 0;
+            const std::size_t halo_end =
+                std::min(params.height, end + 1);
+            auto scratch = std::make_shared<Image>(
+                params.width, halo_end - halo_begin);
+
+            stream::PairSpec spec;
+            spec.host_memory = [src, scratch, halo_begin] {
+                // Gather block + halo into the task buffer.
+                for (std::size_t j = 0; j < scratch->height; ++j)
+                    for (std::size_t x = 0; x < scratch->width; ++x)
+                        scratch->at(x, j) =
+                            src->at(x, halo_begin + j);
+            };
+            spec.host_compute = [dst, scratch, begin, end, halo_begin,
+                                 h = params.height] {
+                // Compute on the gathered halo block; clamp at the
+                // grid borders (which coincide with scratch borders
+                // exactly when the halo was truncated there).
+                const std::size_t local_h = scratch->height;
+                for (std::size_t y = begin; y < end; ++y) {
+                    const std::size_t ly = y - halo_begin;
+                    const std::size_t lup = ly > 0 ? ly - 1 : 0;
+                    const std::size_t ldown =
+                        std::min(ly + 1, local_h - 1);
+                    (void)h;
+                    for (std::size_t x = 0; x < scratch->width; ++x) {
+                        const std::size_t left = x > 0 ? x - 1 : 0;
+                        const std::size_t right =
+                            std::min(x + 1, scratch->width - 1);
+                        dst->at(x, y) =
+                            0.25f * (scratch->at(left, ly) +
+                                     scratch->at(right, ly) +
+                                     scratch->at(x, lup) +
+                                     scratch->at(x, ldown));
+                    }
+                }
+            };
+            const std::uint64_t block_bytes =
+                params.width * (rows + 2) * sizeof(float);
+            spec.bytes = block_bytes * 2;
+            spec.write_fraction = 0.5;
+            spec.compute_cycles = static_cast<std::uint64_t>(
+                params.width * rows * 5);
+            spec.footprint_bytes = block_bytes;
+            builder.addPair(std::move(spec));
+        }
+    }
+    host.graph = std::move(builder).build();
+    return host;
+}
+
+} // namespace tt::workloads

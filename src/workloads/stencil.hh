@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Extra workload (beyond the paper's three): an iterative 5-point
+ * Jacobi stencil in stream style.
+ *
+ * Each sweep is one barrier-separated phase; within a sweep the grid
+ * is split into row blocks, the memory task gathers a block plus its
+ * halo rows from the source grid, and the compute task writes the
+ * averaged block into the destination grid (ping-pong per sweep).
+ * The kernel does ~4 flops per 4-byte point, i.e. it is memory-heavy
+ * -- a useful contrast to the calibrated paper workloads and a
+ * natural MTL-throttling beneficiary.
+ */
+
+#ifndef TT_WORKLOADS_STENCIL_HH
+#define TT_WORKLOADS_STENCIL_HH
+
+#include <memory>
+#include <vector>
+
+#include "cpu/machine_config.hh"
+#include "stream/task_graph.hh"
+#include "workloads/kernels/image.hh"
+
+namespace tt::workloads {
+
+/** Parameters of the stencil workload. */
+struct StencilParams
+{
+    std::size_t width = 512;
+    std::size_t height = 512;
+    int sweeps = 4;       ///< Jacobi iterations (phases)
+    int blocks = 32;      ///< row blocks per sweep (pairs)
+};
+
+/** Sim-mode graph (descriptors derived from the data layout). */
+stream::TaskGraph stencilSim(const cpu::MachineConfig &config,
+                             const StencilParams &params);
+
+/** Host-mode instance with real Jacobi kernels. */
+struct StencilHost
+{
+    stream::TaskGraph graph;
+    std::shared_ptr<Image> front; ///< initial grid (sweep 0 source)
+    std::shared_ptr<Image> back;  ///< ping-pong partner
+    StencilParams params;
+
+    /** Grid holding the final sweep's output. */
+    std::shared_ptr<Image>
+    result() const
+    {
+        return params.sweeps % 2 == 1 ? back : front;
+    }
+};
+
+StencilHost buildStencilHost(const StencilParams &params);
+
+/** Reference: `sweeps` full-grid Jacobi iterations of `input`. */
+Image jacobiReference(const Image &input, int sweeps);
+
+} // namespace tt::workloads
+
+#endif // TT_WORKLOADS_STENCIL_HH

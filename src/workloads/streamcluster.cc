@@ -1,0 +1,119 @@
+#include "workloads/streamcluster.hh"
+
+#include "stream/builder.hh"
+#include "util/logging.hh"
+#include "workloads/kernels/kmedian.hh"
+#include "workloads/tables.hh"
+
+namespace tt::workloads {
+
+std::vector<PhaseSpec>
+streamclusterPhases(int dim)
+{
+    PhaseSpec phase;
+    phase.name = "streamcluster-d" + std::to_string(dim);
+    phase.tm1_over_tc = tables::streamclusterRatio(dim);
+    phase.footprint_bytes = 512 * 1024;
+    // Point blocks are gathered; only the assignments scatter back.
+    phase.write_fraction = 0.1;
+    phase.pairs = 384;
+    return {phase};
+}
+
+stream::TaskGraph
+streamclusterSim(const cpu::MachineConfig &config, int dim)
+{
+    return buildPhasedSim(config, streamclusterPhases(dim));
+}
+
+double
+StreamclusterHost::totalCost() const
+{
+    double total = 0.0;
+    for (double cost : *block_costs)
+        total += cost;
+    return total;
+}
+
+StreamclusterHost
+buildStreamclusterHost(int dim, int pairs, std::size_t points_per_block,
+                       std::size_t centers_k, std::uint64_t seed)
+{
+    tt_assert(dim > 0, "dimension must be positive");
+    tt_assert(pairs > 0, "need at least one pair");
+    tt_assert(points_per_block > 0, "empty blocks");
+    tt_assert(centers_k > 0, "need at least one center");
+
+    StreamclusterHost host;
+    host.dim = static_cast<std::size_t>(dim);
+    host.centers_k = centers_k;
+    host.points_per_block = points_per_block;
+    host.pairs = pairs;
+
+    const std::size_t total_points =
+        static_cast<std::size_t>(pairs) * points_per_block;
+    host.points = std::make_shared<std::vector<float>>(
+        makeClusteredPoints(total_points, centers_k, host.dim, seed));
+
+    // Initial centers: the first point of each of the k generator
+    // clusters (deterministic and spread out).
+    host.centers =
+        std::make_shared<std::vector<float>>(centers_k * host.dim);
+    for (std::size_t c = 0; c < centers_k; ++c)
+        for (std::size_t i = 0; i < host.dim; ++i)
+            (*host.centers)[c * host.dim + i] =
+                (*host.points)[c * host.dim + i];
+
+    host.assignment =
+        std::make_shared<std::vector<std::uint32_t>>(total_points, 0);
+    host.block_costs = std::make_shared<std::vector<double>>(
+        static_cast<std::size_t>(pairs), 0.0);
+
+    auto scratch =
+        std::make_shared<std::vector<float>>(total_points * host.dim);
+
+    const std::uint64_t block_bytes =
+        points_per_block * host.dim * sizeof(float);
+
+    stream::StreamProgramBuilder builder;
+    builder.beginPhase("streamcluster-d" + std::to_string(dim));
+    builder.addPairs(pairs, [&](int p) {
+        const std::size_t begin = static_cast<std::size_t>(p) *
+                                  points_per_block * host.dim;
+        const std::size_t floats = points_per_block * host.dim;
+        auto points = host.points;
+        auto centers = host.centers;
+        auto assignment = host.assignment;
+        auto costs = host.block_costs;
+        const std::size_t dim_z = host.dim;
+        const std::size_t k_z = host.centers_k;
+        const std::size_t n_block = points_per_block;
+
+        stream::PairSpec spec;
+        spec.host_memory = [points, scratch, begin, floats] {
+            const float *src = points->data() + begin;
+            float *dst = scratch->data() + begin;
+            for (std::size_t i = 0; i < floats; ++i)
+                dst[i] = src[i];
+        };
+        spec.host_compute = [scratch, centers, assignment, costs, begin,
+                             n_block, dim_z, k_z, p] {
+            const float *block = scratch->data() + begin;
+            std::uint32_t *assign =
+                assignment->data() + begin / dim_z;
+            (*costs)[static_cast<std::size_t>(p)] = assignBlock(
+                block, n_block, centers->data(), k_z, dim_z, assign);
+        };
+        spec.bytes = block_bytes;
+        spec.write_fraction = 0.1;
+        // ~dim multiply-adds per center per point.
+        spec.compute_cycles = static_cast<std::uint64_t>(
+            n_block * k_z * dim_z);
+        spec.footprint_bytes = block_bytes;
+        return spec;
+    });
+    host.graph = std::move(builder).build();
+    return host;
+}
+
+} // namespace tt::workloads

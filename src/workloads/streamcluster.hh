@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The streamcluster workload: PARSEC's online k-median kernel in
+ * stream style (paper Sec. V, Table II). The input array dimension
+ * (128/72/48/36/32/20) changes the memory-to-compute ratio, which is
+ * what Fig. 17 exploits to show MTL adaptation across input sets.
+ *
+ * Structure: points are processed in blocks; each memory task
+ * gathers one block of d-dimensional points, and its compute task
+ * assigns every point in the block to its nearest center and
+ * accumulates the clustering cost (the pgain hot loop).
+ */
+
+#ifndef TT_WORKLOADS_STREAMCLUSTER_HH
+#define TT_WORKLOADS_STREAMCLUSTER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cpu/machine_config.hh"
+#include "stream/task_graph.hh"
+#include "workloads/phased.hh"
+
+namespace tt::workloads {
+
+/** Sim-mode phase list for one input dimension (Table II ratio). */
+std::vector<PhaseSpec> streamclusterPhases(int dim);
+
+/** Sim-mode graph for input dimension `dim`, calibrated on `config`. */
+stream::TaskGraph streamclusterSim(const cpu::MachineConfig &config,
+                                   int dim);
+
+/** Host-mode streamcluster instance with real k-median kernels. */
+struct StreamclusterHost
+{
+    stream::TaskGraph graph;
+
+    std::shared_ptr<std::vector<float>> points;   ///< n x dim
+    std::shared_ptr<std::vector<float>> centers;  ///< k x dim
+    std::shared_ptr<std::vector<std::uint32_t>> assignment; ///< n
+    /** Per-pair block cost, filled by the compute tasks. */
+    std::shared_ptr<std::vector<double>> block_costs;
+
+    std::size_t dim = 0;
+    std::size_t centers_k = 0;
+    std::size_t points_per_block = 0;
+    int pairs = 0;
+
+    /** Total clustering cost after a run. */
+    double totalCost() const;
+};
+
+/** Build the host workload. */
+StreamclusterHost buildStreamclusterHost(int dim = 32, int pairs = 64,
+                                         std::size_t points_per_block = 64,
+                                         std::size_t centers_k = 10,
+                                         std::uint64_t seed = 42);
+
+} // namespace tt::workloads
+
+#endif // TT_WORKLOADS_STREAMCLUSTER_HH

@@ -1,0 +1,82 @@
+#include "workloads/synthetic.hh"
+
+#include "stream/builder.hh"
+#include "util/logging.hh"
+#include "workloads/calibration.hh"
+
+namespace tt::workloads {
+
+stream::TaskGraph
+buildSyntheticSim(const cpu::MachineConfig &config,
+                  const SyntheticParams &params)
+{
+    tt_assert(params.pairs > 0, "need at least one pair");
+    tt_assert(params.footprint_bytes > 0, "need a positive footprint");
+
+    // The Fig. 12 memory task is a pure store loop.
+    const double write_fraction = 1.0;
+    const std::uint64_t cycles = computeCyclesForRatio(
+        config, params.footprint_bytes, write_fraction,
+        params.tm1_over_tc);
+
+    stream::StreamProgramBuilder builder;
+    builder.beginPhase("synthetic");
+    builder.addPairs(params.pairs, [&](int) {
+        stream::PairSpec spec;
+        spec.bytes = params.footprint_bytes;
+        spec.write_fraction = write_fraction;
+        spec.compute_cycles = cycles;
+        spec.footprint_bytes = params.footprint_bytes;
+        return spec;
+    });
+    return std::move(builder).build();
+}
+
+HostSynthetic
+buildSyntheticHost(const SyntheticParams &params, int count)
+{
+    tt_assert(params.pairs > 0, "need at least one pair");
+    tt_assert(count >= 0, "negative compute count");
+
+    const std::uint64_t elems_per_task =
+        params.footprint_bytes / sizeof(std::uint64_t);
+    tt_assert(elems_per_task > 0, "footprint smaller than one element");
+
+    HostSynthetic result;
+    result.storage = std::make_shared<std::vector<std::uint64_t>>(
+        elems_per_task * static_cast<std::uint64_t>(params.pairs));
+
+    stream::StreamProgramBuilder builder;
+    builder.beginPhase("synthetic");
+    builder.addPairs(params.pairs, [&](int p) {
+        auto storage = result.storage;
+        const std::uint64_t start =
+            static_cast<std::uint64_t>(p) * elems_per_task;
+        const std::uint64_t end = start + elems_per_task;
+
+        stream::PairSpec spec;
+        spec.host_memory = [storage, start, end] {
+            std::uint64_t *data = storage->data();
+            for (std::uint64_t i = start; i < end; ++i)
+                data[i] = 7; // A[i] = Const
+        };
+        spec.host_compute = [storage, start, end, count] {
+            std::uint64_t *data = storage->data();
+            for (int k = 0; k < count; ++k)
+                for (std::uint64_t i = start; i < end; ++i)
+                    data[i] += static_cast<std::uint64_t>(k);
+        };
+        spec.bytes = params.footprint_bytes;
+        spec.write_fraction = 1.0;
+        // Rough host-side cycle estimate: one add per element per
+        // iteration; exact calibration only matters in sim mode.
+        spec.compute_cycles =
+            static_cast<std::uint64_t>(count) * elems_per_task;
+        spec.footprint_bytes = params.footprint_bytes;
+        return spec;
+    });
+    result.graph = std::move(builder).build();
+    return result;
+}
+
+} // namespace tt::workloads

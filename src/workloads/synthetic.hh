@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The paper's synthetic micro-benchmark (Fig. 12).
+ *
+ *   MemoryTasks:  for (i = start; i < end; i++) { A[i] = Const; }
+ *   ComputeTasks: for (k = 0; k < count; k++)
+ *                     for (i = start; i < end; i++) { A[i] += k; }
+ *
+ * Each memory task initialises (stores) a slice of the array; the
+ * compute task then iterates `count` times over the slice, which the
+ * memory task left resident in the LLC. Varying `count` sweeps the
+ * memory-to-compute ratio T_m1/T_c (the paper uses 0.01..4.00);
+ * varying the slice size sweeps the per-task footprint (0.5/1/2 MB
+ * in Fig. 13).
+ *
+ * Both execution modes are populated: host closures run the actual
+ * loops; sim descriptors carry the slice size and a calibrated cycle
+ * count hitting the requested ratio on the target MachineConfig.
+ */
+
+#ifndef TT_WORKLOADS_SYNTHETIC_HH
+#define TT_WORKLOADS_SYNTHETIC_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cpu/machine_config.hh"
+#include "stream/task_graph.hh"
+
+namespace tt::workloads {
+
+/** Parameters of one synthetic workload instance. */
+struct SyntheticParams
+{
+    /** Target memory-to-compute ratio T_m1/T_c. */
+    double tm1_over_tc = 0.5;
+
+    /** Slice bytes per memory task (Fig. 13: 0.5/1/2 MB). */
+    std::uint64_t footprint_bytes = 512 * 1024;
+
+    /** Number of memory-compute pairs (the model's t). */
+    int pairs = 32;
+};
+
+/**
+ * Synthetic workload for the simulator: descriptors only, with the
+ * compute cycle count calibrated against `config`.
+ */
+stream::TaskGraph buildSyntheticSim(const cpu::MachineConfig &config,
+                                    const SyntheticParams &params);
+
+/**
+ * Synthetic workload with real host loops (for the thread runtime).
+ * `count` is the compute-loop repetition knob of Fig. 12; the
+ * backing arrays are owned by the returned holder and must outlive
+ * any run of the graph.
+ */
+struct HostSynthetic
+{
+    stream::TaskGraph graph;
+    std::shared_ptr<std::vector<std::uint64_t>> storage;
+};
+
+HostSynthetic buildSyntheticHost(const SyntheticParams &params,
+                                 int count);
+
+} // namespace tt::workloads
+
+#endif // TT_WORKLOADS_SYNTHETIC_HH

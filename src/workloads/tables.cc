@@ -1,0 +1,17 @@
+#include "workloads/tables.hh"
+
+#include "util/logging.hh"
+
+namespace tt::workloads::tables {
+
+double
+streamclusterRatio(int dim)
+{
+    for (const StreamclusterEntry &entry : kStreamcluster)
+        if (entry.dim == dim)
+            return entry.ratio;
+    tt_fatal("no Table II entry for streamcluster dimension ", dim,
+             " (known: 128, 72, 48, 36, 32, 20)");
+}
+
+} // namespace tt::workloads::tables

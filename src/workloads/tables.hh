@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Measured memory-to-compute ratios from the paper (Tables II and
+ * III), used to calibrate the simulated real-world workloads.
+ *
+ * The authors measured these T_m1/T_c values on their i7-860; we
+ * cannot re-measure OpenCV/PARSEC/SIFT++ on that hardware, so the
+ * simulated workloads size their compute tasks to hit the published
+ * ratios (see DESIGN.md, substitution table). bench_table2_ratios
+ * and bench_table3_sift_ratios then report paper-vs-measured.
+ */
+
+#ifndef TT_WORKLOADS_TABLES_HH
+#define TT_WORKLOADS_TABLES_HH
+
+#include <array>
+#include <string_view>
+
+namespace tt::workloads::tables {
+
+/** Table II: dft kernel from OpenCV. */
+inline constexpr double kDftRatio = 0.1277;
+
+/** Table II: streamcluster instances by input array dimension. */
+struct StreamclusterEntry
+{
+    int dim;
+    double ratio;
+};
+
+inline constexpr std::array<StreamclusterEntry, 6> kStreamcluster{{
+    {128, 0.3714}, // SC_d128 (native)
+    {72, 0.4309},  // SC_d72
+    {48, 0.2890},  // SC_d48
+    {36, 0.5413},  // SC_d36
+    {32, 0.2459},  // SC_d32
+    {20, 0.4958},  // SC_d20
+}};
+
+/** Ratio for a given streamcluster input dimension. */
+double streamclusterRatio(int dim);
+
+/** Table III: SIFT parallel functions, in execution order. */
+struct SiftEntry
+{
+    std::string_view name;
+    double ratio;
+};
+
+inline constexpr std::array<SiftEntry, 14> kSift{{
+    {"COPYUP", 0.2102},
+    {"ECONVOLVE", 0.7004},
+    {"ECONVOLVE2", 0.0783},
+    {"ECONVOLVE3-0", 0.0845},
+    {"ECONVOLVE3-1", 0.0845},
+    {"ECONVOLVE3-2", 0.0832},
+    {"ECONVOLVE3-3", 0.0827},
+    {"ECONVOLVE3-4", 0.0815},
+    {"ECONVOLVE4-0", 0.1187},
+    {"ECONVOLVE4-1", 0.1166},
+    {"ECONVOLVE4-2", 0.1210},
+    {"ECONVOLVE4-3", 0.1168},
+    {"ECONVOLVE4-4", 0.1153},
+    {"DOG", 0.6032},
+}};
+
+} // namespace tt::workloads::tables
+
+#endif // TT_WORKLOADS_TABLES_HH

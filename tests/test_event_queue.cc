@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests of the discrete-event kernel: ordering, FIFO tie
+ * breaking, cancellation, re-entrant scheduling and the runaway
+ * budget.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/ticks.hh"
+
+namespace {
+
+using tt::sim::EventQueue;
+using tt::sim::Tick;
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, FifoAmongEqualTicks)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue q;
+    Tick seen = 0;
+    q.schedule(100, [&] {
+        q.scheduleIn(50, [&] { seen = q.now(); });
+    });
+    q.run();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, DescheduleSkipsEvent)
+{
+    EventQueue q;
+    bool ran = false;
+    const auto id = q.schedule(10, [&] { ran = true; });
+    q.deschedule(id);
+    q.run();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(q.executed(), 0u);
+}
+
+TEST(EventQueue, DescheduleOneOfMany)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(1, [&] { order.push_back(1); });
+    const auto id = q.schedule(2, [&] { order.push_back(2); });
+    q.schedule(3, [&] { order.push_back(3); });
+    q.deschedule(id);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, ReentrantSchedulingAtSameTick)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] {
+        order.push_back(1);
+        q.schedule(10, [&] { order.push_back(2); });
+    });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, RunOneReturnsFalseWhenEmpty)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.runOne());
+    q.schedule(1, [] {});
+    EXPECT_TRUE(q.runOne());
+    EXPECT_FALSE(q.runOne());
+}
+
+TEST(EventQueue, CountsExecutedEvents)
+{
+    EventQueue q;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(static_cast<Tick>(i), [] {});
+    q.run();
+    EXPECT_EQ(q.executed(), 10u);
+}
+
+TEST(EventQueueDeath, SchedulingIntoThePastPanics)
+{
+    EventQueue q;
+    q.schedule(100, [&q] {
+        EXPECT_DEATH(q.schedule(50, [] {}), "past");
+    });
+    q.run();
+}
+
+TEST(EventQueueDeath, RunawayBudgetPanics)
+{
+    EventQueue q;
+    // A self-perpetuating event never drains; the budget must trip.
+    std::function<void()> loop = [&] { q.scheduleIn(1, loop); };
+    q.schedule(0, loop);
+    EXPECT_DEATH(q.run(1000), "budget");
+}
+
+TEST(Ticks, Conversions)
+{
+    EXPECT_DOUBLE_EQ(tt::sim::toSeconds(tt::sim::kTicksPerSecond), 1.0);
+    EXPECT_EQ(tt::sim::fromNs(1.0), 1000u);
+    EXPECT_EQ(tt::sim::fromNs(7.5), 7500u);
+    // 2.8 GHz -> 357 ps.
+    EXPECT_EQ(tt::sim::cyclePeriod(2.8), 357u);
+}
+
+} // namespace

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests of the command-line flag parser used by ttsim and the
+ * examples.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/flags.hh"
+
+namespace {
+
+using tt::Flags;
+
+Flags
+parse(std::initializer_list<const char *> args)
+{
+    std::vector<const char *> argv{"prog"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    Flags flags;
+    EXPECT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+    return flags;
+}
+
+TEST(Flags, SpaceSeparatedValues)
+{
+    const Flags flags = parse({"--workload", "sift", "--pairs", "64"});
+    EXPECT_TRUE(flags.has("workload"));
+    EXPECT_EQ(flags.getString("workload", ""), "sift");
+    EXPECT_EQ(flags.getInt("pairs", 0), 64);
+}
+
+TEST(Flags, EqualsSeparatedValues)
+{
+    const Flags flags = parse({"--ratio=0.25", "--policy=dynamic"});
+    EXPECT_DOUBLE_EQ(flags.getDouble("ratio", 0.0), 0.25);
+    EXPECT_EQ(flags.getString("policy", ""), "dynamic");
+}
+
+TEST(Flags, BooleanSwitches)
+{
+    const Flags flags = parse({"--trace", "--verbose=false"});
+    EXPECT_TRUE(flags.getBool("trace"));
+    EXPECT_FALSE(flags.getBool("verbose", true));
+    EXPECT_FALSE(flags.getBool("absent", false));
+    EXPECT_TRUE(flags.getBool("absent", true));
+}
+
+TEST(Flags, SwitchFollowedByFlag)
+{
+    // --trace must not consume --quiet as its value.
+    const Flags flags = parse({"--trace", "--quiet"});
+    EXPECT_TRUE(flags.getBool("trace"));
+    EXPECT_TRUE(flags.getBool("quiet"));
+}
+
+TEST(Flags, Positional)
+{
+    const Flags flags = parse({"input.txt", "--mtl", "2", "more"});
+    ASSERT_EQ(flags.positional().size(), 2u);
+    EXPECT_EQ(flags.positional()[0], "input.txt");
+    EXPECT_EQ(flags.positional()[1], "more");
+}
+
+TEST(Flags, FallbacksWhenAbsent)
+{
+    const Flags flags = parse({});
+    EXPECT_EQ(flags.getInt("missing", 7), 7);
+    EXPECT_DOUBLE_EQ(flags.getDouble("missing", 1.5), 1.5);
+    EXPECT_EQ(flags.getString("missing", "d"), "d");
+}
+
+TEST(Flags, BadNumberSetsError)
+{
+    const Flags flags = parse({"--mtl", "abc"});
+    EXPECT_EQ(flags.getInt("mtl", 3), 3);
+    EXPECT_FALSE(flags.error().empty());
+}
+
+TEST(Flags, BadDoubleSetsError)
+{
+    const Flags flags = parse({"--ratio", "x"});
+    EXPECT_DOUBLE_EQ(flags.getDouble("ratio", 2.0), 2.0);
+    EXPECT_FALSE(flags.error().empty());
+}
+
+TEST(Flags, BadBoolSetsError)
+{
+    const Flags flags = parse({"--trace", "maybe"});
+    EXPECT_FALSE(flags.getBool("trace", false));
+    EXPECT_FALSE(flags.error().empty());
+}
+
+TEST(Flags, NegativeNumbersParse)
+{
+    const Flags flags = parse({"--offset", "-12"});
+    EXPECT_EQ(flags.getInt("offset", 0), -12);
+}
+
+} // namespace

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * End-to-end integration properties of the whole stack: on
+ * stationary workloads the dynamic mechanism must converge to (one
+ * of) the offline-best MTLs and recover most of the offline speedup;
+ * on phased workloads it must adapt; the conventional schedule must
+ * never beat the offline optimum.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/dynamic_policy.hh"
+#include "core/policy.hh"
+#include "cpu/machine_config.hh"
+#include "simrt/sim_runtime.hh"
+#include "workloads/phased.hh"
+#include "workloads/sift.hh"
+#include "workloads/streamcluster.hh"
+#include "workloads/synthetic.hh"
+
+namespace {
+
+using tt::cpu::MachineConfig;
+
+/** Stationary synthetic workloads across the ratio range. */
+class DynamicConvergence : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(DynamicConvergence, TracksOfflineOptimum)
+{
+    const double ratio = GetParam();
+    const auto cfg = MachineConfig::i7_860_1dimm();
+    tt::workloads::SyntheticParams params;
+    params.tm1_over_tc = ratio;
+    params.footprint_bytes = 256 * 1024;
+    params.pairs = 192;
+    const auto graph = tt::workloads::buildSyntheticSim(cfg, params);
+
+    const auto offline = tt::simrt::offlineExhaustiveSearch(cfg, graph);
+
+    tt::core::DynamicThrottlePolicy dynamic(cfg.contexts(), 8);
+    const auto run = tt::simrt::runOnce(cfg, graph, dynamic);
+
+    // Dynamic (including all probing costs) must recover most of the
+    // offline-best speedup...
+    const double conventional =
+        offline.seconds_per_mtl.back(); // MTL = n
+    const double offline_speedup =
+        conventional / offline.best_seconds;
+    const double dynamic_speedup = conventional / run.seconds;
+    EXPECT_GT(dynamic_speedup, 0.92 * offline_speedup)
+        << "ratio " << ratio;
+
+    // ...and every *completed* selection must land on an MTL whose
+    // static makespan is close to the best (near-ties between
+    // adjacent MTLs are legitimate picks; the trace's literal last
+    // value may be a probe point if the run ends mid-selection).
+    ASSERT_FALSE(dynamic.selections().empty());
+    const int d_mtl = dynamic.selections().back().d_mtl;
+    const double chosen_static =
+        offline.seconds_per_mtl[static_cast<std::size_t>(d_mtl - 1)];
+    EXPECT_LT(chosen_static, offline.best_seconds * 1.10)
+        << "ratio " << ratio << " picked MTL " << d_mtl
+        << " but offline best is MTL " << offline.best_mtl;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ratios, DynamicConvergence,
+    ::testing::Values(0.05, 0.15, 0.30, 0.50, 0.80, 1.20, 2.00, 3.50));
+
+TEST(Integration, OfflineNeverLosesToConventional)
+{
+    const auto cfg = MachineConfig::i7_860_1dimm();
+    for (double ratio : {0.1, 0.5, 1.5}) {
+        tt::workloads::SyntheticParams params;
+        params.tm1_over_tc = ratio;
+        params.footprint_bytes = 256 * 1024;
+        params.pairs = 64;
+        const auto graph =
+            tt::workloads::buildSyntheticSim(cfg, params);
+        const auto offline =
+            tt::simrt::offlineExhaustiveSearch(cfg, graph);
+        // The search includes MTL = n itself, so best <= conventional.
+        EXPECT_LE(offline.best_seconds,
+                  offline.seconds_per_mtl.back() + 1e-12)
+            << "ratio " << ratio;
+    }
+}
+
+TEST(Integration, DynamicAdaptsAcrossSiftPhases)
+{
+    const auto cfg = MachineConfig::i7_860_1dimm();
+    const auto graph = tt::workloads::siftSim(cfg);
+    tt::core::DynamicThrottlePolicy dynamic(cfg.contexts(), 16);
+    const auto run = tt::simrt::runOnce(cfg, graph, dynamic);
+
+    // SIFT's ratio alternates across the 33% boundary, so the trace
+    // must contain both MTL 1 and MTL 2 periods and more than one
+    // selection.
+    bool saw1 = false;
+    bool saw2 = false;
+    for (const auto &[time, mtl] : run.mtl_trace) {
+        saw1 |= (mtl == 1);
+        saw2 |= (mtl == 2);
+    }
+    EXPECT_TRUE(saw1);
+    EXPECT_TRUE(saw2);
+    EXPECT_GE(run.policy_stats.selections, 2);
+
+    // And it must beat the conventional schedule end to end.
+    tt::core::ConventionalPolicy conventional(cfg.contexts());
+    const double base =
+        tt::simrt::runOnce(cfg, graph, conventional).seconds;
+    EXPECT_LT(run.seconds, base);
+}
+
+TEST(Integration, InputSetsSplitAtTheBoundary)
+{
+    // Fig. 17's headline: d32 (24.6% <= 33%) settles at MTL 1, d36
+    // (54.1% > 33%) at MTL 2.
+    const auto cfg = MachineConfig::i7_860_1dimm();
+    auto final_mtl = [&](int dim) {
+        const auto graph = tt::workloads::streamclusterSim(cfg, dim);
+        tt::core::DynamicThrottlePolicy dynamic(cfg.contexts(), 16);
+        const auto run = tt::simrt::runOnce(cfg, graph, dynamic);
+        return run.mtl_trace.back().second;
+    };
+    EXPECT_EQ(final_mtl(32), 1);
+    EXPECT_EQ(final_mtl(36), 2);
+}
+
+TEST(Integration, TmGrowsAndTcStaysFlatAcrossMtls)
+{
+    // The two modelling assumptions of Sec. IV-A, observed end to
+    // end: T_m monotone in MTL, T_c (LLC-resident) MTL-invariant.
+    const auto cfg = MachineConfig::i7_860_1dimm();
+    tt::workloads::SyntheticParams params;
+    params.tm1_over_tc = 0.6;
+    params.footprint_bytes = 256 * 1024;
+    params.pairs = 96;
+    const auto graph = tt::workloads::buildSyntheticSim(cfg, params);
+
+    double prev_tm = 0.0;
+    double tc_ref = 0.0;
+    for (int k = 1; k <= cfg.contexts(); ++k) {
+        tt::core::StaticMtlPolicy policy(k, cfg.contexts());
+        const auto run = tt::simrt::runOnce(cfg, graph, policy);
+        EXPECT_GE(run.avg_tm, prev_tm * 0.98) << "k=" << k;
+        prev_tm = run.avg_tm;
+        if (k == 1)
+            tc_ref = run.avg_tc;
+        else
+            EXPECT_NEAR(run.avg_tc, tc_ref, 1e-9) << "k=" << k;
+    }
+}
+
+TEST(Integration, CapacityOverflowBreaksTcInvariance)
+{
+    // The Fig. 13(c) regime: with 2 MB footprints the live working
+    // sets overflow the 8 MB LLC at high MTL and compute tasks slow
+    // down -- T_c stops being constant (the model's stated limit).
+    const auto cfg = MachineConfig::i7_860_1dimm();
+    tt::workloads::SyntheticParams params;
+    params.tm1_over_tc = 1.0;
+    params.footprint_bytes = 2048 * 1024;
+    params.pairs = 32;
+    const auto graph = tt::workloads::buildSyntheticSim(cfg, params);
+
+    tt::core::StaticMtlPolicy one(1, cfg.contexts());
+    const auto at1 = tt::simrt::runOnce(cfg, graph, one);
+    tt::core::StaticMtlPolicy four(4, cfg.contexts());
+    const auto at4 = tt::simrt::runOnce(cfg, graph, four);
+    EXPECT_GT(at4.avg_tc, at1.avg_tc * 1.02);
+    EXPECT_GT(at4.peak_llc_occupancy, cfg.mem.llc_bytes);
+}
+
+TEST(Integration, TwoChannelsShrinkTheGains)
+{
+    // Fig. 18's left half: doubling the memory channels absorbs
+    // interference, so throttling gains shrink.
+    tt::workloads::SyntheticParams params;
+    params.tm1_over_tc = 0.5;
+    params.footprint_bytes = 256 * 1024;
+    params.pairs = 96;
+
+    auto best_speedup = [&](const MachineConfig &cfg) {
+        const auto graph =
+            tt::workloads::buildSyntheticSim(cfg, params);
+        const auto offline =
+            tt::simrt::offlineExhaustiveSearch(cfg, graph);
+        return offline.seconds_per_mtl.back() / offline.best_seconds;
+    };
+    const double one_dimm =
+        best_speedup(MachineConfig::i7_860_1dimm());
+    const double two_dimm =
+        best_speedup(MachineConfig::i7_860_2dimm());
+    EXPECT_LT(two_dimm, one_dimm);
+}
+
+} // namespace

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Numerical correctness of the workload kernels: FFT against the
+ * O(n^2) DFT, convolution/upsampling/DoG identities, and the
+ * k-median primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.hh"
+#include "workloads/kernels/fft.hh"
+#include "workloads/kernels/image.hh"
+#include "workloads/kernels/kmedian.hh"
+
+namespace {
+
+using tt::Rng;
+using tt::workloads::Complex;
+using tt::workloads::Image;
+
+std::vector<Complex>
+randomSignal(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Complex> signal(n);
+    for (auto &sample : signal)
+        sample = Complex(static_cast<float>(rng.nextDouble(-1, 1)),
+                         static_cast<float>(rng.nextDouble(-1, 1)));
+    return signal;
+}
+
+TEST(Fft, IsPowerOfTwo)
+{
+    EXPECT_TRUE(tt::workloads::isPowerOfTwo(1));
+    EXPECT_TRUE(tt::workloads::isPowerOfTwo(1024));
+    EXPECT_FALSE(tt::workloads::isPowerOfTwo(0));
+    EXPECT_FALSE(tt::workloads::isPowerOfTwo(12));
+}
+
+/** FFT must agree with the naive DFT across sizes. */
+class FftVsNaive : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(FftVsNaive, Agree)
+{
+    const std::size_t n = GetParam();
+    auto signal = randomSignal(n, 1000 + n);
+    const auto expected = tt::workloads::naiveDft(signal);
+    tt::workloads::fftInPlace(signal.data(), n);
+    EXPECT_LT(tt::workloads::maxAbsError(signal, expected),
+              1e-3f * static_cast<float>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftVsNaive,
+                         ::testing::Values(1, 2, 4, 8, 32, 128, 512));
+
+TEST(Fft, InverseRoundTrips)
+{
+    auto signal = randomSignal(256, 7);
+    const auto original = signal;
+    tt::workloads::fftInPlace(signal.data(), 256, false);
+    tt::workloads::fftInPlace(signal.data(), 256, true);
+    EXPECT_LT(tt::workloads::maxAbsError(signal, original), 1e-4f);
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum)
+{
+    std::vector<Complex> signal(64, Complex(0, 0));
+    signal[0] = Complex(1, 0);
+    tt::workloads::fftInPlace(signal.data(), 64);
+    for (const auto &bin : signal) {
+        EXPECT_NEAR(bin.real(), 1.0f, 1e-5f);
+        EXPECT_NEAR(bin.imag(), 0.0f, 1e-5f);
+    }
+}
+
+TEST(Fft, LinearityHolds)
+{
+    auto a = randomSignal(128, 21);
+    auto b = randomSignal(128, 22);
+    std::vector<Complex> sum(128);
+    for (std::size_t i = 0; i < 128; ++i)
+        sum[i] = a[i] + b[i];
+    tt::workloads::fftInPlace(a.data(), 128);
+    tt::workloads::fftInPlace(b.data(), 128);
+    tt::workloads::fftInPlace(sum.data(), 128);
+    for (std::size_t i = 0; i < 128; ++i)
+        EXPECT_LT(std::abs(sum[i] - (a[i] + b[i])), 1e-3f);
+}
+
+TEST(FftDeath, NonPowerOfTwoPanics)
+{
+    std::vector<Complex> signal(12);
+    EXPECT_DEATH(tt::workloads::fftInPlace(signal.data(), 12),
+                 "power of two");
+}
+
+TEST(Gaussian, KernelIsNormalisedAndSymmetric)
+{
+    const auto taps = tt::workloads::gaussianKernel(1.6, 4);
+    ASSERT_EQ(taps.size(), 9u);
+    float sum = 0.0f;
+    for (float tap : taps)
+        sum += tap;
+    EXPECT_NEAR(sum, 1.0f, 1e-6f);
+    for (std::size_t i = 0; i < taps.size() / 2; ++i)
+        EXPECT_FLOAT_EQ(taps[i], taps[taps.size() - 1 - i]);
+    // Centre is the maximum.
+    EXPECT_GT(taps[4], taps[3]);
+}
+
+TEST(Convolution, IdentityKernelIsANoOp)
+{
+    const Image src = tt::workloads::makeTestImage(32, 24);
+    const std::vector<float> identity{0.0f, 1.0f, 0.0f};
+    const Image out = tt::workloads::convolveSeparable(src, identity);
+    for (std::size_t i = 0; i < src.pixels.size(); ++i)
+        EXPECT_NEAR(out.pixels[i], src.pixels[i], 1e-6f);
+}
+
+TEST(Convolution, PreservesConstantImages)
+{
+    Image src(16, 16);
+    for (auto &pixel : src.pixels)
+        pixel = 3.5f;
+    const auto taps = tt::workloads::gaussianKernel(2.0, 3);
+    const Image out = tt::workloads::convolveSeparable(src, taps);
+    for (float pixel : out.pixels)
+        EXPECT_NEAR(pixel, 3.5f, 1e-5f);
+}
+
+TEST(Convolution, SmoothsVariance)
+{
+    const Image src = tt::workloads::makeTestImage(64, 64);
+    const auto taps = tt::workloads::gaussianKernel(1.6, 3);
+    const Image out = tt::workloads::convolveSeparable(src, taps);
+    auto variance = [](const Image &img) {
+        double mean = 0.0;
+        for (float p : img.pixels)
+            mean += p;
+        mean /= static_cast<double>(img.pixels.size());
+        double var = 0.0;
+        for (float p : img.pixels)
+            var += (p - mean) * (p - mean);
+        return var / static_cast<double>(img.pixels.size());
+    };
+    EXPECT_LT(variance(out), variance(src));
+}
+
+TEST(Convolution, RangeVersionMatchesFull)
+{
+    const Image src = tt::workloads::makeTestImage(40, 30);
+    const auto taps = tt::workloads::gaussianKernel(1.2, 2);
+    Image by_rows(40, 30);
+    // Convolve in two row chunks; must equal the one-shot result.
+    tt::workloads::convolveRowsRange(src, by_rows, taps, 0, 11);
+    tt::workloads::convolveRowsRange(src, by_rows, taps, 11, 30);
+    Image full(40, 30);
+    tt::workloads::convolveRowsRange(src, full, taps, 0, 30);
+    for (std::size_t i = 0; i < full.pixels.size(); ++i)
+        EXPECT_FLOAT_EQ(by_rows.pixels[i], full.pixels[i]);
+}
+
+TEST(Upsample, DoublesDimensionsAndInterpolates)
+{
+    Image src(4, 4);
+    for (std::size_t y = 0; y < 4; ++y)
+        for (std::size_t x = 0; x < 4; ++x)
+            src.at(x, y) = static_cast<float>(x);
+    const Image up = tt::workloads::upsample2x(src);
+    EXPECT_EQ(up.width, 8u);
+    EXPECT_EQ(up.height, 8u);
+    // Even columns hit source samples; odd columns are midpoints.
+    EXPECT_FLOAT_EQ(up.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(up.at(2, 0), 1.0f);
+    EXPECT_FLOAT_EQ(up.at(1, 0), 0.5f);
+    EXPECT_FLOAT_EQ(up.at(3, 0), 1.5f);
+}
+
+TEST(Downsample, TakesEverySecondSample)
+{
+    const Image src = tt::workloads::makeTestImage(16, 12);
+    const Image down = tt::workloads::downsample2x(src);
+    EXPECT_EQ(down.width, 8u);
+    EXPECT_EQ(down.height, 6u);
+    for (std::size_t y = 0; y < down.height; ++y)
+        for (std::size_t x = 0; x < down.width; ++x)
+            EXPECT_FLOAT_EQ(down.at(x, y), src.at(2 * x, 2 * y));
+}
+
+TEST(Dog, SubtractsPixelwise)
+{
+    Image a(8, 8);
+    Image b(8, 8);
+    for (std::size_t i = 0; i < a.pixels.size(); ++i) {
+        a.pixels[i] = static_cast<float>(i);
+        b.pixels[i] = static_cast<float>(2 * i);
+    }
+    const Image dog = tt::workloads::differenceOfGaussians(a, b);
+    for (std::size_t i = 0; i < dog.pixels.size(); ++i)
+        EXPECT_FLOAT_EQ(dog.pixels[i], static_cast<float>(i));
+}
+
+TEST(Kmedian, SquaredDistanceBasics)
+{
+    const float a[3] = {0, 0, 0};
+    const float b[3] = {1, 2, 2};
+    EXPECT_FLOAT_EQ(tt::workloads::squaredDistance(a, b, 3), 9.0f);
+    EXPECT_FLOAT_EQ(tt::workloads::squaredDistance(a, a, 3), 0.0f);
+}
+
+TEST(Kmedian, NearestCenterFindsIt)
+{
+    const float centers[4] = {0.0f, 0.0f, 10.0f, 10.0f}; // 2 x dim2
+    const float point[2] = {9.0f, 9.5f};
+    float cost = 0.0f;
+    const std::size_t c =
+        tt::workloads::nearestCenter(point, centers, 2, 2, cost);
+    EXPECT_EQ(c, 1u);
+    EXPECT_NEAR(cost, 1.25f, 1e-5f);
+}
+
+TEST(Kmedian, AssignBlockSumsCosts)
+{
+    const auto points =
+        tt::workloads::makeClusteredPoints(60, 3, 8, 99);
+    std::vector<float> centers(points.begin(), points.begin() + 3 * 8);
+    std::vector<std::uint32_t> assignment(60);
+    const double cost = tt::workloads::assignBlock(
+        points.data(), 60, centers.data(), 3, 8, assignment.data());
+    EXPECT_GT(cost, 0.0);
+    for (auto a : assignment)
+        EXPECT_LT(a, 3u);
+}
+
+TEST(Kmedian, RefinementNeverIncreasesCost)
+{
+    const std::size_t n = 240;
+    const std::size_t k = 4;
+    const std::size_t dim = 16;
+    const auto points = tt::workloads::makeClusteredPoints(n, k, dim, 5);
+    std::vector<float> centers(points.begin(),
+                               points.begin() +
+                                   static_cast<std::ptrdiff_t>(k * dim));
+    std::vector<std::uint32_t> assignment(n);
+    double cost = tt::workloads::assignBlock(
+        points.data(), n, centers.data(), k, dim, assignment.data());
+    for (int iter = 0; iter < 5; ++iter) {
+        centers = tt::workloads::refineCenters(
+            points.data(), n, assignment.data(), centers.data(), k, dim);
+        const double next = tt::workloads::assignBlock(
+            points.data(), n, centers.data(), k, dim, assignment.data());
+        EXPECT_LE(next, cost + 1e-6);
+        cost = next;
+    }
+}
+
+} // namespace

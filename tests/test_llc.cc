@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests of the shared-LLC occupancy model: install/release
+ * accounting, the miss-fraction law, and peak tracking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/llc.hh"
+
+namespace {
+
+using tt::mem::SharedLlc;
+
+constexpr std::uint64_t kMb = 1024 * 1024;
+
+TEST(SharedLlc, NoMissesWhileFitting)
+{
+    SharedLlc llc(8 * kMb);
+    llc.install(2 * kMb);
+    llc.install(2 * kMb);
+    EXPECT_DOUBLE_EQ(llc.missFraction(), 0.0);
+    EXPECT_EQ(llc.occupancy(), 4 * kMb);
+}
+
+TEST(SharedLlc, ExactCapacityStillFits)
+{
+    SharedLlc llc(8 * kMb);
+    llc.install(8 * kMb);
+    EXPECT_DOUBLE_EQ(llc.missFraction(), 0.0);
+}
+
+TEST(SharedLlc, OverflowSpillsProportionally)
+{
+    SharedLlc llc(8 * kMb);
+    llc.install(16 * kMb);
+    // Half the live working set cannot be resident.
+    EXPECT_DOUBLE_EQ(llc.missFraction(), 0.5);
+    llc.release(8 * kMb);
+    EXPECT_DOUBLE_EQ(llc.missFraction(), 0.0);
+}
+
+TEST(SharedLlc, ResidentBytesCountAgainstCapacity)
+{
+    SharedLlc llc(8 * kMb, 2 * kMb);
+    EXPECT_EQ(llc.occupancy(), 2 * kMb);
+    llc.install(6 * kMb);
+    EXPECT_DOUBLE_EQ(llc.missFraction(), 0.0);
+    llc.install(2 * kMb);
+    EXPECT_GT(llc.missFraction(), 0.0);
+}
+
+TEST(SharedLlc, TracksPeakOccupancy)
+{
+    SharedLlc llc(8 * kMb);
+    llc.install(3 * kMb);
+    llc.install(4 * kMb);
+    llc.release(5 * kMb);
+    llc.install(1 * kMb);
+    EXPECT_EQ(llc.peakOccupancy(), 7 * kMb);
+    EXPECT_EQ(llc.liveFootprint(), 3 * kMb);
+}
+
+TEST(SharedLlcDeath, OverReleasePanics)
+{
+    SharedLlc llc(8 * kMb);
+    llc.install(kMb);
+    EXPECT_DEATH(llc.release(2 * kMb), "more footprint");
+}
+
+TEST(SharedLlc, Fig13cRegime)
+{
+    // The Fig. 13(c) setting: 2 MB per pair, eight live pairs on the
+    // 8 MB i7 LLC -> a substantial spill fraction.
+    SharedLlc llc(8 * kMb, 256 * 1024);
+    for (int pair = 0; pair < 8; ++pair)
+        llc.install(2 * kMb);
+    EXPECT_GT(llc.missFraction(), 0.4);
+    // The 0.5 MB setting stays resident.
+    SharedLlc small(8 * kMb, 256 * 1024);
+    for (int pair = 0; pair < 8; ++pair)
+        small.install(512 * 1024);
+    EXPECT_DOUBLE_EQ(small.missFraction(), 0.0);
+}
+
+} // namespace

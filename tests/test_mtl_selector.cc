@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit and property tests of the pruned MTL selection (Sec. IV-C,
+ * Fig. 11): binary-search probe sequencing, candidate ranking, probe
+ * count bounds and agreement with exhaustive model evaluation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/analytical_model.hh"
+#include "core/mtl_selector.hh"
+
+namespace {
+
+using tt::core::AnalyticalModel;
+using tt::core::MtlSelector;
+using tt::core::QueuingModel;
+
+/** Drive a selector to completion against a queuing-model oracle. */
+MtlSelector::Result
+runSelection(const QueuingModel &qm, double tc, int cores,
+             int *probes_out = nullptr)
+{
+    MtlSelector selector(cores);
+    int probes = 0;
+    while (auto mtl = selector.nextProbe()) {
+        selector.reportProbe(*mtl, qm.tmAt(*mtl), tc);
+        ++probes;
+    }
+    EXPECT_TRUE(selector.done());
+    if (probes_out)
+        *probes_out = probes;
+    return selector.result();
+}
+
+TEST(MtlSelector, ComputeBoundWorkloadPicksOne)
+{
+    // T_m1/T_c = 0.1: all cores busy at MTL>=1 -> D-MTL = 1 (the
+    // paper's dft case).
+    const QueuingModel qm{0.08, 0.02};
+    const auto result = runSelection(qm, 1.0, 4);
+    EXPECT_EQ(result.mtl_no_idle, 1);
+    EXPECT_FALSE(result.mtl_idle.has_value());
+    EXPECT_EQ(result.d_mtl, 1);
+}
+
+TEST(MtlSelector, MemoryBoundWorkloadKeepsHighMtl)
+{
+    // Extremely memory-heavy: some cores idle even at MTL=3, and the
+    // idle candidate cannot beat the no-idle one when queuing is mild.
+    const QueuingModel qm{4.0, 0.01};
+    const auto result = runSelection(qm, 0.1, 4);
+    EXPECT_EQ(result.mtl_no_idle, 4);
+    ASSERT_TRUE(result.mtl_idle.has_value());
+    EXPECT_EQ(*result.mtl_idle, 3);
+}
+
+TEST(MtlSelector, StreamclusterLikeCaseSelectsBetweenOneAndTwo)
+{
+    // Table II streamcluster d128: ratio 0.3714 > 1/3, so MTL=1
+    // idles and the mechanism compares MTL 1 vs 2 (Sec. VI-B).
+    const double tc = 1.0;
+    const QueuingModel qm{0.30, 0.0714}; // tm1 = 0.3714
+    const auto result = runSelection(qm, tc, 4);
+    EXPECT_EQ(result.mtl_no_idle, 2);
+    ASSERT_TRUE(result.mtl_idle.has_value());
+    EXPECT_EQ(*result.mtl_idle, 1);
+    EXPECT_TRUE(result.d_mtl == 1 || result.d_mtl == 2);
+}
+
+TEST(MtlSelector, ProbeCountIsLogarithmic)
+{
+    // Pruning must probe O(log n) + candidates, not all n (that is
+    // its whole advantage over Online Exhaustive Search).
+    for (int cores : {4, 8, 16, 64}) {
+        const QueuingModel qm{0.5, 0.1};
+        int probes = 0;
+        runSelection(qm, 1.0, cores, &probes);
+        const int bound =
+            static_cast<int>(std::ceil(std::log2(cores))) + 2;
+        EXPECT_LE(probes, bound) << "cores=" << cores;
+    }
+}
+
+TEST(MtlSelector, SingleCoreNeedsOneProbe)
+{
+    MtlSelector selector(1);
+    ASSERT_FALSE(selector.done());
+    auto probe = selector.nextProbe();
+    ASSERT_TRUE(probe);
+    EXPECT_EQ(*probe, 1);
+    selector.reportProbe(1, 0.5, 0.5);
+    ASSERT_TRUE(selector.done());
+    EXPECT_EQ(selector.result().d_mtl, 1);
+}
+
+TEST(MtlSelector, RepeatedReportsRefreshCache)
+{
+    MtlSelector selector(4);
+    auto probe = selector.nextProbe();
+    ASSERT_TRUE(probe);
+    selector.reportProbe(*probe, 10.0, 1.0);
+    // Re-reporting the same MTL must not corrupt the search.
+    selector.reportProbe(*probe, 10.0, 1.0);
+    while (auto next = selector.nextProbe())
+        selector.reportProbe(*next, 10.0, 1.0);
+    EXPECT_TRUE(selector.done());
+}
+
+/**
+ * Property: against a consistent queuing-model oracle, the pruned
+ * two-candidate selection finds the same optimum as exhaustively
+ * ranking every MTL with the analytical model (the Sec. IV-C claim).
+ */
+class PrunedVsExhaustive
+    : public ::testing::TestWithParam<std::tuple<double, double, double>>
+{
+};
+
+TEST_P(PrunedVsExhaustive, AgreeOnBestMtl)
+{
+    const auto [tml, tql, tc] = GetParam();
+    const int n = 4;
+    const QueuingModel qm{tml, tql};
+
+    const auto result = runSelection(qm, tc, n);
+
+    int best_k = 1;
+    double best_rank = -1.0;
+    for (int k = 1; k <= n; ++k) {
+        const double rank =
+            AnalyticalModel::speedupRank(qm.tmAt(k), tc, k, n);
+        if (rank > best_rank) {
+            best_rank = rank;
+            best_k = k;
+        }
+    }
+    const double chosen_rank = AnalyticalModel::speedupRank(
+        qm.tmAt(result.d_mtl), tc, result.d_mtl, n);
+    // The pruned choice must be within floating-point noise of the
+    // exhaustive optimum (ties may resolve either way).
+    EXPECT_NEAR(chosen_rank, best_rank, 1e-12 + 1e-9 * best_rank)
+        << "pruned=" << result.d_mtl << " exhaustive=" << best_k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QueuingSweep, PrunedVsExhaustive,
+    ::testing::Combine(::testing::Values(0.05, 0.2, 0.5, 1.0, 2.0, 5.0),
+                       ::testing::Values(0.0, 0.02, 0.1, 0.3, 1.0),
+                       ::testing::Values(0.1, 0.5, 1.0, 3.0, 12.0)));
+
+TEST(MtlSelector, ProbesStayInRange)
+{
+    for (int cores : {1, 2, 3, 4, 8}) {
+        MtlSelector selector(cores);
+        std::set<int> seen;
+        const QueuingModel qm{1.0, 0.2};
+        while (auto mtl = selector.nextProbe()) {
+            EXPECT_GE(*mtl, 1);
+            EXPECT_LE(*mtl, cores);
+            seen.insert(*mtl);
+            selector.reportProbe(*mtl, qm.tmAt(*mtl), 1.0);
+        }
+        // The search terminates and probes each point at most once
+        // per request cycle.
+        EXPECT_TRUE(selector.done());
+        EXPECT_LE(static_cast<int>(seen.size()), cores);
+    }
+}
+
+} // namespace

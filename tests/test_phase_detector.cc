@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests of the IdleBound-based phase change detector
+ * (Sec. IV-B): window accumulation, stale-sample rejection, the
+ * first-window trigger and change detection semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/phase_detector.hh"
+
+namespace {
+
+using tt::core::PairSample;
+using tt::core::PhaseDetector;
+
+PairSample
+sample(double tm, double tc, int mtl)
+{
+    PairSample s;
+    s.tm = tm;
+    s.tc = tc;
+    s.mtl = mtl;
+    return s;
+}
+
+TEST(PhaseDetector, EmitsSummaryExactlyEveryWPairs)
+{
+    PhaseDetector det(4, 4);
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 3; ++i)
+            EXPECT_FALSE(det.addSample(sample(0.1, 1.0, 4), 4));
+        EXPECT_TRUE(det.addSample(sample(0.1, 1.0, 4), 4));
+    }
+}
+
+TEST(PhaseDetector, AveragesWindowMeasurements)
+{
+    PhaseDetector det(2, 4);
+    det.addSample(sample(0.1, 1.0, 4), 4);
+    const auto summary = det.addSample(sample(0.3, 3.0, 4), 4);
+    ASSERT_TRUE(summary);
+    EXPECT_DOUBLE_EQ(summary->tm, 0.2);
+    EXPECT_DOUBLE_EQ(summary->tc, 2.0);
+}
+
+TEST(PhaseDetector, FirstWindowIsAPhaseChange)
+{
+    PhaseDetector det(2, 4);
+    det.addSample(sample(0.1, 1.0, 4), 4);
+    const auto summary = det.addSample(sample(0.1, 1.0, 4), 4);
+    ASSERT_TRUE(summary);
+    EXPECT_TRUE(summary->phase_change);
+    EXPECT_EQ(summary->idle_bound, 1);
+}
+
+TEST(PhaseDetector, StableRatioDoesNotRetrigger)
+{
+    PhaseDetector det(2, 4);
+    det.addSample(sample(0.1, 1.0, 4), 4);
+    det.addSample(sample(0.1, 1.0, 4), 4);
+    det.addSample(sample(0.12, 1.0, 4), 4);
+    const auto summary = det.addSample(sample(0.11, 1.0, 4), 4);
+    ASSERT_TRUE(summary);
+    EXPECT_FALSE(summary->phase_change);
+}
+
+TEST(PhaseDetector, RatioChangeWithinSameIdleBoundIsNotAPhase)
+{
+    // Sec. IV-B: "not each distinctive memory-to-compute ratio maps
+    // to different target MTLs". 0.05 -> 0.30 keeps IdleBound = 1 on
+    // a quad-core.
+    PhaseDetector det(1, 4);
+    auto first = det.addSample(sample(0.05, 1.0, 4), 4);
+    ASSERT_TRUE(first);
+    auto second = det.addSample(sample(0.30, 1.0, 4), 4);
+    ASSERT_TRUE(second);
+    EXPECT_EQ(second->idle_bound, first->idle_bound);
+    EXPECT_FALSE(second->phase_change);
+}
+
+TEST(PhaseDetector, IdleBoundFlipTriggersPhaseChange)
+{
+    // The paper's example: T_m1/T_c moving from 0.1 to 0.5 changes
+    // the core idle behaviour at MTL=1 -> phase change.
+    PhaseDetector det(1, 4);
+    auto first = det.addSample(sample(0.1, 1.0, 4), 4);
+    ASSERT_TRUE(first && first->idle_bound == 1);
+    auto second = det.addSample(sample(0.5, 1.0, 4), 4);
+    ASSERT_TRUE(second);
+    EXPECT_GT(second->idle_bound, 1);
+    EXPECT_TRUE(second->phase_change);
+}
+
+TEST(PhaseDetector, DiscardsStaleSamples)
+{
+    PhaseDetector det(2, 4);
+    // Samples taken under MTL=4 while we now run MTL=2 are ignored.
+    EXPECT_FALSE(det.addSample(sample(0.1, 1.0, 4), 2));
+    EXPECT_FALSE(det.addSample(sample(0.1, 1.0, 4), 2));
+    EXPECT_FALSE(det.addSample(sample(0.1, 1.0, 2), 2));
+    EXPECT_TRUE(det.addSample(sample(0.1, 1.0, 2), 2));
+}
+
+TEST(PhaseDetector, PrimeSuppressesRetrigger)
+{
+    PhaseDetector det(1, 4);
+    det.primeIdleBound(2);
+    // A window agreeing with the primed bound is not a change.
+    const auto summary = det.addSample(sample(0.5, 1.0, 4), 4);
+    ASSERT_TRUE(summary);
+    EXPECT_EQ(summary->idle_bound, 2);
+    EXPECT_FALSE(summary->phase_change);
+}
+
+TEST(PhaseDetector, ResetForgetsHistory)
+{
+    PhaseDetector det(1, 4);
+    det.addSample(sample(0.1, 1.0, 4), 4);
+    det.reset();
+    EXPECT_FALSE(det.lastIdleBound().has_value());
+    const auto summary = det.addSample(sample(0.1, 1.0, 4), 4);
+    ASSERT_TRUE(summary);
+    EXPECT_TRUE(summary->phase_change);
+}
+
+TEST(PhaseDetector, ResetWindowKeepsIdleBound)
+{
+    PhaseDetector det(2, 4);
+    det.addSample(sample(0.1, 1.0, 4), 4);
+    det.addSample(sample(0.1, 1.0, 4), 4);
+    det.addSample(sample(0.1, 1.0, 4), 4); // half-filled window
+    det.resetWindow();
+    ASSERT_TRUE(det.lastIdleBound().has_value());
+    EXPECT_EQ(*det.lastIdleBound(), 1);
+    // Window restarted: needs two fresh samples again.
+    EXPECT_FALSE(det.addSample(sample(0.1, 1.0, 4), 4));
+    EXPECT_TRUE(det.addSample(sample(0.1, 1.0, 4), 4));
+}
+
+} // namespace

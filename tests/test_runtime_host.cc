@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Tests of the real-thread runtime: completion, ordering, the
+ * lock+counter MTL gate under concurrency, phase barriers, sample
+ * reporting and policy integration.
+ *
+ * These tests assert scheduling *correctness*; performance claims
+ * are evaluated on the simulator (this host may have any number of
+ * CPUs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "core/dynamic_policy.hh"
+#include "core/policy.hh"
+#include "runtime/runtime.hh"
+#include "stream/builder.hh"
+
+namespace {
+
+using tt::core::ConventionalPolicy;
+using tt::core::StaticMtlPolicy;
+using tt::runtime::Runtime;
+using tt::runtime::RuntimeOptions;
+using tt::stream::PairSpec;
+using tt::stream::StreamProgramBuilder;
+using tt::stream::TaskGraph;
+
+RuntimeOptions
+options(int threads)
+{
+    RuntimeOptions opts;
+    opts.threads = threads;
+    opts.pin_affinity = false; // not meaningful under test runners
+    return opts;
+}
+
+TEST(HostRuntime, RunsEveryTaskExactlyOnce)
+{
+    std::atomic<int> mem_runs{0};
+    std::atomic<int> cmp_runs{0};
+    StreamProgramBuilder builder;
+    builder.beginPhase("p");
+    builder.addPairs(32, [&](int) {
+        PairSpec spec;
+        spec.host_memory = [&] { ++mem_runs; };
+        spec.host_compute = [&] { ++cmp_runs; };
+        spec.bytes = 64;
+        spec.compute_cycles = 1;
+        return spec;
+    });
+    const TaskGraph graph = std::move(builder).build();
+
+    ConventionalPolicy policy(4);
+    Runtime runtime(graph, policy, options(4));
+    const auto result = runtime.run();
+    EXPECT_EQ(mem_runs.load(), 32);
+    EXPECT_EQ(cmp_runs.load(), 32);
+    EXPECT_EQ(result.samples.size(), 32u);
+}
+
+TEST(HostRuntime, ComputeSeesItsPairsGatheredData)
+{
+    // The dependency contract: each compute task observes exactly
+    // what its memory task wrote.
+    const int pairs = 16;
+    std::vector<int> cells(static_cast<std::size_t>(pairs), 0);
+    std::atomic<int> violations{0};
+    StreamProgramBuilder builder;
+    builder.beginPhase("p");
+    builder.addPairs(pairs, [&](int i) {
+        PairSpec spec;
+        spec.host_memory = [&cells, i] {
+            cells[static_cast<std::size_t>(i)] = i + 1;
+        };
+        spec.host_compute = [&cells, &violations, i] {
+            if (cells[static_cast<std::size_t>(i)] != i + 1)
+                ++violations;
+        };
+        spec.bytes = 64;
+        spec.compute_cycles = 1;
+        return spec;
+    });
+    const TaskGraph graph = std::move(builder).build();
+    ConventionalPolicy policy(3);
+    Runtime runtime(graph, policy, options(3));
+    runtime.run();
+    EXPECT_EQ(violations.load(), 0);
+}
+
+/** The lock+counter gate: concurrent memory tasks never exceed MTL. */
+class HostMtlGate : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(HostMtlGate, NeverExceedsLimit)
+{
+    const int mtl = GetParam();
+    std::atomic<int> live{0};
+    std::atomic<int> peak{0};
+    StreamProgramBuilder builder;
+    builder.beginPhase("p");
+    builder.addPairs(48, [&](int) {
+        PairSpec spec;
+        spec.host_memory = [&] {
+            const int now = ++live;
+            int expect = peak.load();
+            while (now > expect &&
+                   !peak.compare_exchange_weak(expect, now)) {
+            }
+            // A little real work so tasks overlap.
+            volatile double acc = 0.0;
+            for (int i = 0; i < 5000; ++i)
+                acc = acc + static_cast<double>(i);
+            --live;
+        };
+        spec.host_compute = [] {
+            volatile double acc = 0.0;
+            for (int i = 0; i < 2000; ++i)
+                acc = acc + static_cast<double>(i);
+        };
+        spec.bytes = 64;
+        spec.compute_cycles = 1;
+        return spec;
+    });
+    const TaskGraph graph = std::move(builder).build();
+
+    StaticMtlPolicy policy(mtl, 4);
+    Runtime runtime(graph, policy, options(4));
+    const auto result = runtime.run();
+    EXPECT_LE(peak.load(), mtl);
+    EXPECT_LE(result.peak_mem_in_flight, mtl);
+}
+
+INSTANTIATE_TEST_SUITE_P(Limits, HostMtlGate,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(HostRuntime, PhaseBarrierOrdersPhases)
+{
+    std::atomic<int> phase0_done{0};
+    std::atomic<int> barrier_violations{0};
+    StreamProgramBuilder builder;
+    builder.beginPhase("first");
+    builder.addPairs(8, [&](int) {
+        PairSpec spec;
+        spec.host_memory = [] {};
+        spec.host_compute = [&] { ++phase0_done; };
+        spec.bytes = 64;
+        spec.compute_cycles = 1;
+        return spec;
+    });
+    builder.beginPhase("second");
+    builder.addPairs(8, [&](int) {
+        PairSpec spec;
+        spec.host_memory = [&] {
+            if (phase0_done.load() != 8)
+                ++barrier_violations;
+        };
+        spec.host_compute = [] {};
+        spec.bytes = 64;
+        spec.compute_cycles = 1;
+        return spec;
+    });
+    const TaskGraph graph = std::move(builder).build();
+    ConventionalPolicy policy(4);
+    Runtime runtime(graph, policy, options(4));
+    runtime.run();
+    EXPECT_EQ(barrier_violations.load(), 0);
+}
+
+TEST(HostRuntime, SingleThreadStillCompletes)
+{
+    std::atomic<int> runs{0};
+    StreamProgramBuilder builder;
+    builder.beginPhase("p");
+    builder.addPairs(8, [&](int) {
+        PairSpec spec;
+        spec.host_memory = [&] { ++runs; };
+        spec.host_compute = [&] { ++runs; };
+        spec.bytes = 64;
+        spec.compute_cycles = 1;
+        return spec;
+    });
+    const TaskGraph graph = std::move(builder).build();
+    StaticMtlPolicy policy(1, 1);
+    Runtime runtime(graph, policy, options(1));
+    const auto result = runtime.run();
+    EXPECT_EQ(runs.load(), 16);
+    EXPECT_LE(result.peak_mem_in_flight, 1);
+}
+
+TEST(HostRuntime, EmptyGraphReturnsImmediately)
+{
+    StreamProgramBuilder builder;
+    const TaskGraph graph = std::move(builder).build();
+    ConventionalPolicy policy(2);
+    Runtime runtime(graph, policy, options(2));
+    const auto result = runtime.run();
+    EXPECT_TRUE(result.samples.empty());
+}
+
+TEST(HostRuntime, TasksWithoutClosuresAreLegal)
+{
+    // Sim-only graphs (no host closures) must still run: the tasks
+    // just take ~zero time.
+    StreamProgramBuilder builder;
+    builder.beginPhase("p");
+    builder.addPairs(4, [&](int) {
+        PairSpec spec;
+        spec.bytes = 64;
+        spec.compute_cycles = 1;
+        return spec;
+    });
+    const TaskGraph graph = std::move(builder).build();
+    ConventionalPolicy policy(2);
+    Runtime runtime(graph, policy, options(2));
+    const auto result = runtime.run();
+    EXPECT_EQ(result.samples.size(), 4u);
+}
+
+TEST(HostRuntime, SamplesTagMtlAndTimes)
+{
+    StreamProgramBuilder builder;
+    builder.beginPhase("p");
+    builder.addPairs(8, [&](int) {
+        PairSpec spec;
+        spec.host_memory = [] {
+            volatile int x = 0;
+            for (int i = 0; i < 1000; ++i)
+                x = x + i;
+        };
+        spec.host_compute = [] {};
+        spec.bytes = 64;
+        spec.compute_cycles = 1;
+        return spec;
+    });
+    const TaskGraph graph = std::move(builder).build();
+    StaticMtlPolicy policy(2, 2);
+    Runtime runtime(graph, policy, options(2));
+    const auto result = runtime.run();
+    for (const auto &sample : result.samples) {
+        EXPECT_EQ(sample.mtl, 2);
+        EXPECT_GE(sample.tm, 0.0);
+        EXPECT_GE(sample.end_time, 0.0);
+    }
+    EXPECT_EQ(result.policy_stats.pairs_observed, 8);
+}
+
+TEST(HostRuntime, DynamicPolicyRunsToCompletion)
+{
+    // Integration: the adaptive policy driving real threads.
+    tt::core::DynamicThrottlePolicy policy(2, 4);
+    StreamProgramBuilder builder;
+    builder.beginPhase("p");
+    builder.addPairs(64, [&](int) {
+        PairSpec spec;
+        spec.host_memory = [] {
+            volatile double acc = 0.0;
+            for (int i = 0; i < 3000; ++i)
+                acc = acc + static_cast<double>(i);
+        };
+        spec.host_compute = [] {
+            volatile double acc = 0.0;
+            for (int i = 0; i < 9000; ++i)
+                acc = acc + static_cast<double>(i);
+        };
+        spec.bytes = 64;
+        spec.compute_cycles = 1;
+        return spec;
+    });
+    const TaskGraph graph = std::move(builder).build();
+    Runtime runtime(graph, policy, options(2));
+    const auto result = runtime.run();
+    EXPECT_EQ(result.samples.size(), 64u);
+    EXPECT_GE(result.policy_stats.selections, 1);
+    const int final_mtl = result.mtl_trace.back().second;
+    EXPECT_GE(final_mtl, 1);
+    EXPECT_LE(final_mtl, 2);
+}
+
+TEST(HostRuntimeDeath, RunIsSingleShot)
+{
+    StreamProgramBuilder builder;
+    builder.beginPhase("p");
+    builder.addPairs(1, [&](int) {
+        PairSpec spec;
+        spec.bytes = 64;
+        spec.compute_cycles = 1;
+        return spec;
+    });
+    const TaskGraph graph = std::move(builder).build();
+    ConventionalPolicy policy(1);
+    Runtime runtime(graph, policy, options(1));
+    runtime.run();
+    EXPECT_DEATH(runtime.run(), "single-shot");
+}
+
+} // namespace

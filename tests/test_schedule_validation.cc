@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Schedule-trace validation: structural invariants of the simulated
+ * scheduler checked on crafted workloads and on randomly fuzzed task
+ * graphs under every policy family.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/dynamic_policy.hh"
+#include "core/online_exhaustive_policy.hh"
+#include "core/policy.hh"
+#include "cpu/machine_config.hh"
+#include "simrt/sim_runtime.hh"
+#include "stream/builder.hh"
+#include "util/random.hh"
+
+namespace {
+
+using tt::core::SchedulingPolicy;
+using tt::cpu::MachineConfig;
+using tt::simrt::RunResult;
+using tt::simrt::validateSchedule;
+using tt::stream::PairSpec;
+using tt::stream::StreamProgramBuilder;
+using tt::stream::TaskGraph;
+
+TEST(ScheduleValidation, SimpleRunIsValid)
+{
+    const auto cfg = MachineConfig::i7_860_1dimm();
+    StreamProgramBuilder builder;
+    builder.beginPhase("p");
+    builder.addPairs(16, [](int) {
+        PairSpec spec;
+        spec.bytes = 128 * 1024;
+        spec.compute_cycles = 100000;
+        return spec;
+    });
+    const TaskGraph graph = std::move(builder).build();
+    tt::core::StaticMtlPolicy policy(2, cfg.contexts());
+    const RunResult result = tt::simrt::runOnce(cfg, graph, policy);
+    EXPECT_EQ(validateSchedule(graph, result, cfg.contexts()), "");
+}
+
+TEST(ScheduleValidation, DetectsForgedOverlap)
+{
+    const auto cfg = MachineConfig::i7_860_1dimm();
+    StreamProgramBuilder builder;
+    builder.beginPhase("p");
+    builder.addPairs(4, [](int) {
+        PairSpec spec;
+        spec.bytes = 64 * 1024;
+        spec.compute_cycles = 50000;
+        return spec;
+    });
+    const TaskGraph graph = std::move(builder).build();
+    tt::core::ConventionalPolicy policy(cfg.contexts());
+    RunResult result = tt::simrt::runOnce(cfg, graph, policy);
+    ASSERT_EQ(validateSchedule(graph, result, cfg.contexts()), "");
+
+    // Forge the trace: move every task onto context 0 at time 0.
+    RunResult forged = result;
+    for (auto &entry : forged.trace) {
+        entry.context = 0;
+        entry.start = 0.0;
+    }
+    EXPECT_NE(validateSchedule(graph, forged, cfg.contexts()), "");
+}
+
+TEST(ScheduleValidation, DetectsForgedMtlViolation)
+{
+    const auto cfg = MachineConfig::i7_860_1dimm();
+    StreamProgramBuilder builder;
+    builder.beginPhase("p");
+    builder.addPairs(8, [](int) {
+        PairSpec spec;
+        spec.bytes = 256 * 1024;
+        spec.compute_cycles = 100000;
+        return spec;
+    });
+    const TaskGraph graph = std::move(builder).build();
+    tt::core::ConventionalPolicy policy(cfg.contexts());
+    RunResult result = tt::simrt::runOnce(cfg, graph, policy);
+    ASSERT_EQ(validateSchedule(graph, result, cfg.contexts()), "");
+
+    // Forge: claim the MTL was 1 at every dispatch.
+    RunResult forged = result;
+    for (auto &entry : forged.trace)
+        entry.mtl_at_dispatch = 1;
+    EXPECT_NE(validateSchedule(graph, forged, cfg.contexts()), "");
+}
+
+TEST(ScheduleValidation, DetectsMissingTask)
+{
+    const auto cfg = MachineConfig::i7_860_1dimm();
+    StreamProgramBuilder builder;
+    builder.beginPhase("p");
+    builder.addPairs(2, [](int) {
+        PairSpec spec;
+        spec.bytes = 64 * 1024;
+        spec.compute_cycles = 1000;
+        return spec;
+    });
+    const TaskGraph graph = std::move(builder).build();
+    tt::core::ConventionalPolicy policy(cfg.contexts());
+    RunResult result = tt::simrt::runOnce(cfg, graph, policy);
+    result.trace.pop_back();
+    EXPECT_NE(validateSchedule(graph, result, cfg.contexts()), "");
+}
+
+/**
+ * Fuzz: random multi-phase graphs (sizes, ratios, extra intra-phase
+ * dependencies) under a randomly chosen policy; every schedule must
+ * validate and every pair must be sampled.
+ */
+class ScheduleFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ScheduleFuzz, RandomGraphsProduceValidSchedules)
+{
+    tt::Rng rng(GetParam());
+    const auto cfg = MachineConfig::i7_860_1dimm();
+    const int n = cfg.contexts();
+
+    StreamProgramBuilder builder(/*uniform_pairs=*/false);
+    const int phases = static_cast<int>(rng.nextInt(1, 4));
+    int total_pairs = 0;
+    std::vector<std::pair<int, int>> phase_ranges;
+    for (int p = 0; p < phases; ++p) {
+        builder.beginPhase("fuzz" + std::to_string(p));
+        const int pairs = static_cast<int>(rng.nextInt(2, 14));
+        const int first = total_pairs;
+        for (int i = 0; i < pairs; ++i) {
+            PairSpec spec;
+            spec.bytes = 64 * static_cast<std::uint64_t>(
+                                  rng.nextInt(0, 2048));
+            spec.compute_cycles =
+                static_cast<std::uint64_t>(rng.nextInt(0, 300000));
+            spec.write_fraction = rng.nextDouble();
+            spec.footprint_bytes = spec.bytes;
+            builder.addPair(std::move(spec));
+        }
+        total_pairs += pairs;
+        phase_ranges.emplace_back(first, total_pairs);
+        // Random forward dependencies within the phase.
+        for (int e = 0; e < pairs / 3; ++e) {
+            const int a = static_cast<int>(
+                rng.nextInt(first, total_pairs - 2));
+            const int b = static_cast<int>(
+                rng.nextInt(a + 1, total_pairs - 1));
+            builder.dependPairs(a, b);
+        }
+    }
+    const TaskGraph graph = std::move(builder).build();
+
+    std::unique_ptr<SchedulingPolicy> policy;
+    switch (rng.nextInt(0, 3)) {
+      case 0:
+        policy = std::make_unique<tt::core::ConventionalPolicy>(n);
+        break;
+      case 1:
+        policy = std::make_unique<tt::core::StaticMtlPolicy>(
+            static_cast<int>(rng.nextInt(1, n)), n);
+        break;
+      case 2:
+        policy = std::make_unique<tt::core::DynamicThrottlePolicy>(
+            n, static_cast<int>(rng.nextInt(1, 8)));
+        break;
+      default:
+        policy = std::make_unique<tt::core::OnlineExhaustivePolicy>(
+            n, static_cast<int>(rng.nextInt(1, 8)));
+        break;
+    }
+
+    const RunResult result = tt::simrt::runOnce(cfg, graph, *policy);
+    EXPECT_EQ(validateSchedule(graph, result, n), "")
+        << "seed " << GetParam();
+    EXPECT_EQ(result.samples.size(),
+              static_cast<std::size_t>(total_pairs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleFuzz,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+} // namespace

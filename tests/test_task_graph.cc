@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests of the stream task model: pair/phase structure, dependency
+ * validation (cycles, cross-phase edges), and the builder's
+ * equal-size enforcement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stream/builder.hh"
+#include "stream/task_graph.hh"
+
+namespace {
+
+using tt::stream::PairSpec;
+using tt::stream::StreamProgramBuilder;
+using tt::stream::Task;
+using tt::stream::TaskGraph;
+using tt::stream::TaskKind;
+
+PairSpec
+simpleSpec(std::uint64_t bytes = 1024, std::uint64_t cycles = 100)
+{
+    PairSpec spec;
+    spec.bytes = bytes;
+    spec.compute_cycles = cycles;
+    return spec;
+}
+
+TEST(TaskGraph, PairStructure)
+{
+    StreamProgramBuilder builder;
+    builder.beginPhase("p0");
+    builder.addPair(simpleSpec());
+    builder.addPair(simpleSpec());
+    const TaskGraph graph = std::move(builder).build();
+
+    EXPECT_EQ(graph.pairCount(), 2);
+    EXPECT_EQ(graph.taskCount(), 4);
+    EXPECT_EQ(graph.phaseCount(), 1);
+
+    for (int p = 0; p < graph.pairCount(); ++p) {
+        const Task &mem = graph.task(graph.memoryTaskOf(p));
+        const Task &cmp = graph.task(graph.computeTaskOf(p));
+        EXPECT_EQ(mem.kind, TaskKind::Memory);
+        EXPECT_EQ(cmp.kind, TaskKind::Compute);
+        EXPECT_EQ(mem.pair, p);
+        EXPECT_EQ(cmp.pair, p);
+        // The compute task depends on its memory partner.
+        ASSERT_EQ(cmp.deps.size(), 1u);
+        EXPECT_EQ(cmp.deps[0], mem.id);
+        EXPECT_TRUE(mem.deps.empty());
+    }
+}
+
+TEST(TaskGraph, PhaseBookkeeping)
+{
+    StreamProgramBuilder builder;
+    builder.beginPhase("a");
+    builder.addPair(simpleSpec());
+    builder.beginPhase("b");
+    builder.addPair(simpleSpec(2048, 5));
+    builder.addPair(simpleSpec(2048, 5));
+    const TaskGraph graph = std::move(builder).build();
+
+    ASSERT_EQ(graph.phaseCount(), 2);
+    EXPECT_EQ(graph.phase(0).name, "a");
+    EXPECT_EQ(graph.phase(0).pair_count, 1);
+    EXPECT_EQ(graph.phase(1).name, "b");
+    EXPECT_EQ(graph.phase(1).first_pair, 1);
+    EXPECT_EQ(graph.phase(1).pair_count, 2);
+    EXPECT_EQ(graph.task(graph.memoryTaskOf(1)).phase, 1);
+}
+
+TEST(TaskGraph, FootprintDefaultsToBytes)
+{
+    StreamProgramBuilder builder;
+    builder.beginPhase("p");
+    PairSpec spec = simpleSpec(4096, 10);
+    spec.footprint_bytes = 0; // ask for the default
+    builder.addPair(std::move(spec));
+    const TaskGraph graph = std::move(builder).build();
+    EXPECT_EQ(graph.task(graph.memoryTaskOf(0)).sim_work.footprint_bytes,
+              4096u);
+}
+
+TEST(TaskGraph, AddPairsFactoryIndices)
+{
+    StreamProgramBuilder builder(false);
+    builder.beginPhase("p");
+    builder.addPairs(5, [](int i) {
+        PairSpec spec;
+        spec.bytes = 64u * static_cast<std::uint64_t>(i + 1);
+        spec.compute_cycles = 1;
+        return spec;
+    });
+    const TaskGraph graph = std::move(builder).build();
+    EXPECT_EQ(graph.pairCount(), 5);
+    EXPECT_EQ(graph.task(graph.memoryTaskOf(4)).sim_work.bytes, 320u);
+}
+
+TEST(TaskGraph, DependPairsCreatesCrossPairEdge)
+{
+    StreamProgramBuilder builder;
+    builder.beginPhase("p");
+    const auto a = builder.addPair(simpleSpec());
+    const auto b = builder.addPair(simpleSpec());
+    builder.dependPairs(a, b);
+    const TaskGraph graph = std::move(builder).build();
+
+    const Task &mem_b = graph.task(graph.memoryTaskOf(b));
+    ASSERT_EQ(mem_b.deps.size(), 1u);
+    EXPECT_EQ(mem_b.deps[0], graph.computeTaskOf(a));
+}
+
+TEST(TaskGraphDeath, UniformBuilderRejectsUnevenPairs)
+{
+    StreamProgramBuilder builder; // uniform_pairs = true
+    builder.beginPhase("p");
+    builder.addPair(simpleSpec(1024, 100));
+    EXPECT_DEATH(builder.addPair(simpleSpec(2048, 100)),
+                 "equally sized");
+}
+
+TEST(TaskGraph, UniformityResetsPerPhase)
+{
+    StreamProgramBuilder builder;
+    builder.beginPhase("small");
+    builder.addPair(simpleSpec(1024, 100));
+    builder.beginPhase("large");
+    builder.addPair(simpleSpec(8192, 700)); // different shape is fine
+    const TaskGraph graph = std::move(builder).build();
+    EXPECT_EQ(graph.pairCount(), 2);
+}
+
+TEST(TaskGraphDeath, CycleIsRejected)
+{
+    TaskGraph graph;
+    graph.beginPhase("p");
+    Task mem;
+    mem.kind = TaskKind::Memory;
+    Task cmp;
+    cmp.kind = TaskKind::Compute;
+    graph.addPair(std::move(mem), std::move(cmp));
+    // compute -> memory edge closes a cycle with the implicit
+    // memory -> compute dependency.
+    graph.addDependency(graph.computeTaskOf(0), graph.memoryTaskOf(0));
+    EXPECT_DEATH(graph.validate(), "cycle");
+}
+
+TEST(TaskGraphDeath, CrossPhaseDependencyRejected)
+{
+    TaskGraph graph;
+    graph.beginPhase("a");
+    Task m1;
+    m1.kind = TaskKind::Memory;
+    Task c1;
+    c1.kind = TaskKind::Compute;
+    graph.addPair(std::move(m1), std::move(c1));
+    graph.beginPhase("b");
+    Task m2;
+    m2.kind = TaskKind::Memory;
+    Task c2;
+    c2.kind = TaskKind::Compute;
+    graph.addPair(std::move(m2), std::move(c2));
+    EXPECT_DEATH(graph.addDependency(0, 2), "cross-phase");
+}
+
+TEST(TaskGraphDeath, PairBeforePhasePanics)
+{
+    TaskGraph graph;
+    Task mem;
+    mem.kind = TaskKind::Memory;
+    Task cmp;
+    cmp.kind = TaskKind::Compute;
+    EXPECT_DEATH(graph.addPair(std::move(mem), std::move(cmp)),
+                 "beginPhase");
+}
+
+TEST(TaskGraph, EmptyGraphIsValid)
+{
+    StreamProgramBuilder builder;
+    const TaskGraph graph = std::move(builder).build();
+    EXPECT_TRUE(graph.empty());
+    EXPECT_EQ(graph.taskCount(), 0);
+}
+
+} // namespace

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests of the Chrome trace-event exporter: structural JSON sanity,
+ * event counts, and content checks against the recorded schedule.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/dynamic_policy.hh"
+#include "core/policy.hh"
+#include "cpu/machine_config.hh"
+#include "simrt/sim_runtime.hh"
+#include "simrt/trace_export.hh"
+#include "stream/builder.hh"
+
+namespace {
+
+using tt::cpu::MachineConfig;
+using tt::stream::PairSpec;
+using tt::stream::StreamProgramBuilder;
+using tt::stream::TaskGraph;
+
+std::size_t
+countOccurrences(const std::string &haystack, const std::string &needle)
+{
+    std::size_t count = 0;
+    for (std::size_t pos = haystack.find(needle);
+         pos != std::string::npos;
+         pos = haystack.find(needle, pos + needle.size())) {
+        ++count;
+    }
+    return count;
+}
+
+TEST(TraceExport, EmitsOneEventPerTaskPlusCountersAndMetadata)
+{
+    const auto cfg = MachineConfig::i7_860_1dimm();
+    StreamProgramBuilder builder;
+    builder.beginPhase("alpha");
+    builder.addPairs(6, [](int) {
+        PairSpec spec;
+        spec.bytes = 64 * 1024;
+        spec.compute_cycles = 50000;
+        return spec;
+    });
+    const TaskGraph graph = std::move(builder).build();
+    tt::core::StaticMtlPolicy policy(2, cfg.contexts());
+    const auto result = tt::simrt::runOnce(cfg, graph, policy);
+
+    const std::string json =
+        tt::simrt::chromeTraceString(graph, result);
+
+    // Valid-ish JSON array with balanced braces.
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_EQ(countOccurrences(json, "{"),
+              countOccurrences(json, "}"));
+
+    // 12 duration events (6 memory + 6 compute).
+    EXPECT_EQ(countOccurrences(json, "\"ph\":\"X\""), 12u);
+    EXPECT_EQ(countOccurrences(json, "\"cat\":\"memory\""), 6u);
+    EXPECT_EQ(countOccurrences(json, "\"cat\":\"compute\""), 6u);
+
+    // One MTL counter sample (static policy: set once at t=0).
+    EXPECT_EQ(countOccurrences(json, "\"name\":\"MTL\""), 1u);
+
+    // Phase name propagated into args.
+    EXPECT_GT(countOccurrences(json, "\"phase\":\"alpha\""), 0u);
+
+    // Context metadata rows for every used context.
+    EXPECT_GE(countOccurrences(json, "thread_name"), 1u);
+}
+
+TEST(TraceExport, DynamicPolicyProducesMtlCounterTrack)
+{
+    const auto cfg = MachineConfig::i7_860_1dimm();
+    StreamProgramBuilder builder;
+    builder.beginPhase("p");
+    builder.addPairs(64, [](int) {
+        PairSpec spec;
+        spec.bytes = 128 * 1024;
+        spec.compute_cycles = 400000;
+        return spec;
+    });
+    const TaskGraph graph = std::move(builder).build();
+    tt::core::DynamicThrottlePolicy policy(cfg.contexts(), 8);
+    const auto result = tt::simrt::runOnce(cfg, graph, policy);
+
+    const std::string json =
+        tt::simrt::chromeTraceString(graph, result);
+    // The adaptive policy changes MTL at least once after t=0.
+    EXPECT_GE(countOccurrences(json, "\"name\":\"MTL\""), 2u);
+}
+
+TEST(TraceExport, EscapesAwkwardPhaseNames)
+{
+    const auto cfg = MachineConfig::i7_860_1dimm();
+    StreamProgramBuilder builder;
+    builder.beginPhase("weird \"quoted\\name");
+    builder.addPairs(1, [](int) {
+        PairSpec spec;
+        spec.bytes = 64;
+        spec.compute_cycles = 10;
+        return spec;
+    });
+    const TaskGraph graph = std::move(builder).build();
+    tt::core::ConventionalPolicy policy(cfg.contexts());
+    const auto result = tt::simrt::runOnce(cfg, graph, policy);
+    const std::string json =
+        tt::simrt::chromeTraceString(graph, result);
+    EXPECT_NE(json.find("weird \\\"quoted\\\\name"), std::string::npos);
+}
+
+} // namespace
