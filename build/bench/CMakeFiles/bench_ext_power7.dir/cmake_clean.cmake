@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_power7.dir/bench_ext_power7.cc.o"
+  "CMakeFiles/bench_ext_power7.dir/bench_ext_power7.cc.o.d"
+  "bench_ext_power7"
+  "bench_ext_power7.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_power7.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

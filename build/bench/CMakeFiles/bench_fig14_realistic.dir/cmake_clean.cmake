@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_realistic.dir/bench_fig14_realistic.cc.o"
+  "CMakeFiles/bench_fig14_realistic.dir/bench_fig14_realistic.cc.o.d"
+  "bench_fig14_realistic"
+  "bench_fig14_realistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_realistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_monitor_w.dir/bench_fig15_monitor_w.cc.o"
+  "CMakeFiles/bench_fig15_monitor_w.dir/bench_fig15_monitor_w.cc.o.d"
+  "bench_fig15_monitor_w"
+  "bench_fig15_monitor_w.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_monitor_w.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_sift_ratios.dir/bench_table3_sift_ratios.cc.o"
+  "CMakeFiles/bench_table3_sift_ratios.dir/bench_table3_sift_ratios.cc.o.d"
+  "bench_table3_sift_ratios"
+  "bench_table3_sift_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_sift_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_threads.dir/host_threads.cpp.o"
+  "CMakeFiles/host_threads.dir/host_threads.cpp.o.d"
+  "host_threads"
+  "host_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sift_phases.dir/sift_phases.cpp.o"
+  "CMakeFiles/sift_phases.dir/sift_phases.cpp.o.d"
+  "sift_phases"
+  "sift_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sift_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

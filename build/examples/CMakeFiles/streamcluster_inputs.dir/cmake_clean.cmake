@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamcluster_inputs.dir/streamcluster_inputs.cpp.o"
+  "CMakeFiles/streamcluster_inputs.dir/streamcluster_inputs.cpp.o.d"
+  "streamcluster_inputs"
+  "streamcluster_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamcluster_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analytical_model.cc" "src/core/CMakeFiles/tt_core.dir/analytical_model.cc.o" "gcc" "src/core/CMakeFiles/tt_core.dir/analytical_model.cc.o.d"
+  "/root/repo/src/core/dynamic_policy.cc" "src/core/CMakeFiles/tt_core.dir/dynamic_policy.cc.o" "gcc" "src/core/CMakeFiles/tt_core.dir/dynamic_policy.cc.o.d"
+  "/root/repo/src/core/mtl_selector.cc" "src/core/CMakeFiles/tt_core.dir/mtl_selector.cc.o" "gcc" "src/core/CMakeFiles/tt_core.dir/mtl_selector.cc.o.d"
+  "/root/repo/src/core/online_exhaustive_policy.cc" "src/core/CMakeFiles/tt_core.dir/online_exhaustive_policy.cc.o" "gcc" "src/core/CMakeFiles/tt_core.dir/online_exhaustive_policy.cc.o.d"
+  "/root/repo/src/core/phase_detector.cc" "src/core/CMakeFiles/tt_core.dir/phase_detector.cc.o" "gcc" "src/core/CMakeFiles/tt_core.dir/phase_detector.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/core/CMakeFiles/tt_core.dir/policy.cc.o" "gcc" "src/core/CMakeFiles/tt_core.dir/policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

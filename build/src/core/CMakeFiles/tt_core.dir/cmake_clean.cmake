@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_core.dir/analytical_model.cc.o"
+  "CMakeFiles/tt_core.dir/analytical_model.cc.o.d"
+  "CMakeFiles/tt_core.dir/dynamic_policy.cc.o"
+  "CMakeFiles/tt_core.dir/dynamic_policy.cc.o.d"
+  "CMakeFiles/tt_core.dir/mtl_selector.cc.o"
+  "CMakeFiles/tt_core.dir/mtl_selector.cc.o.d"
+  "CMakeFiles/tt_core.dir/online_exhaustive_policy.cc.o"
+  "CMakeFiles/tt_core.dir/online_exhaustive_policy.cc.o.d"
+  "CMakeFiles/tt_core.dir/phase_detector.cc.o"
+  "CMakeFiles/tt_core.dir/phase_detector.cc.o.d"
+  "CMakeFiles/tt_core.dir/policy.cc.o"
+  "CMakeFiles/tt_core.dir/policy.cc.o.d"
+  "libtt_core.a"
+  "libtt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/machine_config.cc" "src/cpu/CMakeFiles/tt_cpu.dir/machine_config.cc.o" "gcc" "src/cpu/CMakeFiles/tt_cpu.dir/machine_config.cc.o.d"
+  "/root/repo/src/cpu/sim_core.cc" "src/cpu/CMakeFiles/tt_cpu.dir/sim_core.cc.o" "gcc" "src/cpu/CMakeFiles/tt_cpu.dir/sim_core.cc.o.d"
+  "/root/repo/src/cpu/sim_machine.cc" "src/cpu/CMakeFiles/tt_cpu.dir/sim_machine.cc.o" "gcc" "src/cpu/CMakeFiles/tt_cpu.dir/sim_machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/tt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/tt_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

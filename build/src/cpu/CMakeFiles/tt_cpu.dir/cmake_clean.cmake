@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_cpu.dir/machine_config.cc.o"
+  "CMakeFiles/tt_cpu.dir/machine_config.cc.o.d"
+  "CMakeFiles/tt_cpu.dir/sim_core.cc.o"
+  "CMakeFiles/tt_cpu.dir/sim_core.cc.o.d"
+  "CMakeFiles/tt_cpu.dir/sim_machine.cc.o"
+  "CMakeFiles/tt_cpu.dir/sim_machine.cc.o.d"
+  "libtt_cpu.a"
+  "libtt_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

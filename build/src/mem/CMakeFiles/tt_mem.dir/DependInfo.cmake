@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/dram_channel.cc" "src/mem/CMakeFiles/tt_mem.dir/dram_channel.cc.o" "gcc" "src/mem/CMakeFiles/tt_mem.dir/dram_channel.cc.o.d"
+  "/root/repo/src/mem/dram_config.cc" "src/mem/CMakeFiles/tt_mem.dir/dram_config.cc.o" "gcc" "src/mem/CMakeFiles/tt_mem.dir/dram_config.cc.o.d"
+  "/root/repo/src/mem/llc.cc" "src/mem/CMakeFiles/tt_mem.dir/llc.cc.o" "gcc" "src/mem/CMakeFiles/tt_mem.dir/llc.cc.o.d"
+  "/root/repo/src/mem/mem_system.cc" "src/mem/CMakeFiles/tt_mem.dir/mem_system.cc.o" "gcc" "src/mem/CMakeFiles/tt_mem.dir/mem_system.cc.o.d"
+  "/root/repo/src/mem/set_assoc_cache.cc" "src/mem/CMakeFiles/tt_mem.dir/set_assoc_cache.cc.o" "gcc" "src/mem/CMakeFiles/tt_mem.dir/set_assoc_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

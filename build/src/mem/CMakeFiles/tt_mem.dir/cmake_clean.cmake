@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_mem.dir/dram_channel.cc.o"
+  "CMakeFiles/tt_mem.dir/dram_channel.cc.o.d"
+  "CMakeFiles/tt_mem.dir/dram_config.cc.o"
+  "CMakeFiles/tt_mem.dir/dram_config.cc.o.d"
+  "CMakeFiles/tt_mem.dir/llc.cc.o"
+  "CMakeFiles/tt_mem.dir/llc.cc.o.d"
+  "CMakeFiles/tt_mem.dir/mem_system.cc.o"
+  "CMakeFiles/tt_mem.dir/mem_system.cc.o.d"
+  "CMakeFiles/tt_mem.dir/set_assoc_cache.cc.o"
+  "CMakeFiles/tt_mem.dir/set_assoc_cache.cc.o.d"
+  "libtt_mem.a"
+  "libtt_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

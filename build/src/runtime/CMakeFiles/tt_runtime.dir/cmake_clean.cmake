@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_runtime.dir/runtime.cc.o"
+  "CMakeFiles/tt_runtime.dir/runtime.cc.o.d"
+  "libtt_runtime.a"
+  "libtt_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

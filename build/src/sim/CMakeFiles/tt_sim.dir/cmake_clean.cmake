@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_sim.dir/event_queue.cc.o"
+  "CMakeFiles/tt_sim.dir/event_queue.cc.o.d"
+  "libtt_sim.a"
+  "libtt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

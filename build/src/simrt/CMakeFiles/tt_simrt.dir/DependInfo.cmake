@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simrt/sim_runtime.cc" "src/simrt/CMakeFiles/tt_simrt.dir/sim_runtime.cc.o" "gcc" "src/simrt/CMakeFiles/tt_simrt.dir/sim_runtime.cc.o.d"
+  "/root/repo/src/simrt/trace_export.cc" "src/simrt/CMakeFiles/tt_simrt.dir/trace_export.cc.o" "gcc" "src/simrt/CMakeFiles/tt_simrt.dir/trace_export.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/tt_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/tt_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

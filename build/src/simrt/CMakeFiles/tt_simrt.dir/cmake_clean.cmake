@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_simrt.dir/sim_runtime.cc.o"
+  "CMakeFiles/tt_simrt.dir/sim_runtime.cc.o.d"
+  "CMakeFiles/tt_simrt.dir/trace_export.cc.o"
+  "CMakeFiles/tt_simrt.dir/trace_export.cc.o.d"
+  "libtt_simrt.a"
+  "libtt_simrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_simrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

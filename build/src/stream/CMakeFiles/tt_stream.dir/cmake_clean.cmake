@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_stream.dir/builder.cc.o"
+  "CMakeFiles/tt_stream.dir/builder.cc.o.d"
+  "CMakeFiles/tt_stream.dir/task_graph.cc.o"
+  "CMakeFiles/tt_stream.dir/task_graph.cc.o.d"
+  "libtt_stream.a"
+  "libtt_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttsim.dir/ttsim.cc.o"
+  "CMakeFiles/ttsim.dir/ttsim.cc.o.d"
+  "ttsim"
+  "ttsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_util.dir/env.cc.o"
+  "CMakeFiles/tt_util.dir/env.cc.o.d"
+  "CMakeFiles/tt_util.dir/flags.cc.o"
+  "CMakeFiles/tt_util.dir/flags.cc.o.d"
+  "CMakeFiles/tt_util.dir/logging.cc.o"
+  "CMakeFiles/tt_util.dir/logging.cc.o.d"
+  "CMakeFiles/tt_util.dir/random.cc.o"
+  "CMakeFiles/tt_util.dir/random.cc.o.d"
+  "CMakeFiles/tt_util.dir/stats.cc.o"
+  "CMakeFiles/tt_util.dir/stats.cc.o.d"
+  "CMakeFiles/tt_util.dir/table.cc.o"
+  "CMakeFiles/tt_util.dir/table.cc.o.d"
+  "libtt_util.a"
+  "libtt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/calibration.cc" "src/workloads/CMakeFiles/tt_workloads.dir/calibration.cc.o" "gcc" "src/workloads/CMakeFiles/tt_workloads.dir/calibration.cc.o.d"
+  "/root/repo/src/workloads/dft.cc" "src/workloads/CMakeFiles/tt_workloads.dir/dft.cc.o" "gcc" "src/workloads/CMakeFiles/tt_workloads.dir/dft.cc.o.d"
+  "/root/repo/src/workloads/histogram.cc" "src/workloads/CMakeFiles/tt_workloads.dir/histogram.cc.o" "gcc" "src/workloads/CMakeFiles/tt_workloads.dir/histogram.cc.o.d"
+  "/root/repo/src/workloads/kernels/fft.cc" "src/workloads/CMakeFiles/tt_workloads.dir/kernels/fft.cc.o" "gcc" "src/workloads/CMakeFiles/tt_workloads.dir/kernels/fft.cc.o.d"
+  "/root/repo/src/workloads/kernels/image.cc" "src/workloads/CMakeFiles/tt_workloads.dir/kernels/image.cc.o" "gcc" "src/workloads/CMakeFiles/tt_workloads.dir/kernels/image.cc.o.d"
+  "/root/repo/src/workloads/kernels/kmedian.cc" "src/workloads/CMakeFiles/tt_workloads.dir/kernels/kmedian.cc.o" "gcc" "src/workloads/CMakeFiles/tt_workloads.dir/kernels/kmedian.cc.o.d"
+  "/root/repo/src/workloads/phased.cc" "src/workloads/CMakeFiles/tt_workloads.dir/phased.cc.o" "gcc" "src/workloads/CMakeFiles/tt_workloads.dir/phased.cc.o.d"
+  "/root/repo/src/workloads/sift.cc" "src/workloads/CMakeFiles/tt_workloads.dir/sift.cc.o" "gcc" "src/workloads/CMakeFiles/tt_workloads.dir/sift.cc.o.d"
+  "/root/repo/src/workloads/stencil.cc" "src/workloads/CMakeFiles/tt_workloads.dir/stencil.cc.o" "gcc" "src/workloads/CMakeFiles/tt_workloads.dir/stencil.cc.o.d"
+  "/root/repo/src/workloads/streamcluster.cc" "src/workloads/CMakeFiles/tt_workloads.dir/streamcluster.cc.o" "gcc" "src/workloads/CMakeFiles/tt_workloads.dir/streamcluster.cc.o.d"
+  "/root/repo/src/workloads/synthetic.cc" "src/workloads/CMakeFiles/tt_workloads.dir/synthetic.cc.o" "gcc" "src/workloads/CMakeFiles/tt_workloads.dir/synthetic.cc.o.d"
+  "/root/repo/src/workloads/tables.cc" "src/workloads/CMakeFiles/tt_workloads.dir/tables.cc.o" "gcc" "src/workloads/CMakeFiles/tt_workloads.dir/tables.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simrt/CMakeFiles/tt_simrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/tt_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/tt_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

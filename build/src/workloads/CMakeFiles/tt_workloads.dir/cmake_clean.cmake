@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_workloads.dir/calibration.cc.o"
+  "CMakeFiles/tt_workloads.dir/calibration.cc.o.d"
+  "CMakeFiles/tt_workloads.dir/dft.cc.o"
+  "CMakeFiles/tt_workloads.dir/dft.cc.o.d"
+  "CMakeFiles/tt_workloads.dir/histogram.cc.o"
+  "CMakeFiles/tt_workloads.dir/histogram.cc.o.d"
+  "CMakeFiles/tt_workloads.dir/kernels/fft.cc.o"
+  "CMakeFiles/tt_workloads.dir/kernels/fft.cc.o.d"
+  "CMakeFiles/tt_workloads.dir/kernels/image.cc.o"
+  "CMakeFiles/tt_workloads.dir/kernels/image.cc.o.d"
+  "CMakeFiles/tt_workloads.dir/kernels/kmedian.cc.o"
+  "CMakeFiles/tt_workloads.dir/kernels/kmedian.cc.o.d"
+  "CMakeFiles/tt_workloads.dir/phased.cc.o"
+  "CMakeFiles/tt_workloads.dir/phased.cc.o.d"
+  "CMakeFiles/tt_workloads.dir/sift.cc.o"
+  "CMakeFiles/tt_workloads.dir/sift.cc.o.d"
+  "CMakeFiles/tt_workloads.dir/stencil.cc.o"
+  "CMakeFiles/tt_workloads.dir/stencil.cc.o.d"
+  "CMakeFiles/tt_workloads.dir/streamcluster.cc.o"
+  "CMakeFiles/tt_workloads.dir/streamcluster.cc.o.d"
+  "CMakeFiles/tt_workloads.dir/synthetic.cc.o"
+  "CMakeFiles/tt_workloads.dir/synthetic.cc.o.d"
+  "CMakeFiles/tt_workloads.dir/tables.cc.o"
+  "CMakeFiles/tt_workloads.dir/tables.cc.o.d"
+  "libtt_workloads.a"
+  "libtt_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

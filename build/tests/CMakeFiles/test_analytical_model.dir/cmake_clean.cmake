@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analytical_model.dir/test_analytical_model.cc.o"
+  "CMakeFiles/test_analytical_model.dir/test_analytical_model.cc.o.d"
+  "test_analytical_model"
+  "test_analytical_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analytical_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

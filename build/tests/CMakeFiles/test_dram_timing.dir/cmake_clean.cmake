@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dram_timing.dir/test_dram_timing.cc.o"
+  "CMakeFiles/test_dram_timing.dir/test_dram_timing.cc.o.d"
+  "test_dram_timing"
+  "test_dram_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dram_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mtl_selector.dir/test_mtl_selector.cc.o"
+  "CMakeFiles/test_mtl_selector.dir/test_mtl_selector.cc.o.d"
+  "test_mtl_selector"
+  "test_mtl_selector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mtl_selector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

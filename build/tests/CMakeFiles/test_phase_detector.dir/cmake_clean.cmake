@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phase_detector.dir/test_phase_detector.cc.o"
+  "CMakeFiles/test_phase_detector.dir/test_phase_detector.cc.o.d"
+  "test_phase_detector"
+  "test_phase_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phase_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

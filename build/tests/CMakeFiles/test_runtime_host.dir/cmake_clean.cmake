@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_host.dir/test_runtime_host.cc.o"
+  "CMakeFiles/test_runtime_host.dir/test_runtime_host.cc.o.d"
+  "test_runtime_host"
+  "test_runtime_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_schedule_validation.cc" "tests/CMakeFiles/test_schedule_validation.dir/test_schedule_validation.cc.o" "gcc" "tests/CMakeFiles/test_schedule_validation.dir/test_schedule_validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/tt_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/simrt/CMakeFiles/tt_simrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/tt_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/tt_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schedule_validation.dir/test_schedule_validation.cc.o"
+  "CMakeFiles/test_schedule_validation.dir/test_schedule_validation.cc.o.d"
+  "test_schedule_validation"
+  "test_schedule_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schedule_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

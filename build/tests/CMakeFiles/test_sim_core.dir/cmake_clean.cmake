@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_core.dir/test_sim_core.cc.o"
+  "CMakeFiles/test_sim_core.dir/test_sim_core.cc.o.d"
+  "test_sim_core"
+  "test_sim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_runtime.dir/test_sim_runtime.cc.o"
+  "CMakeFiles/test_sim_runtime.dir/test_sim_runtime.cc.o.d"
+  "test_sim_runtime"
+  "test_sim_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

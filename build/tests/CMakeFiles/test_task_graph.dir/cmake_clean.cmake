@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_task_graph.dir/test_task_graph.cc.o"
+  "CMakeFiles/test_task_graph.dir/test_task_graph.cc.o.d"
+  "test_task_graph"
+  "test_task_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_task_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
