@@ -23,6 +23,7 @@
 #include "core/dynamic_policy.hh"
 #include "core/policy.hh"
 #include "runtime/runtime.hh"
+#include "util/stats.hh"
 #include "workloads/synthetic.hh"
 
 int
@@ -51,10 +52,14 @@ main(int argc, char **argv)
                                  conventional, options);
     const auto base = base_rt.run();
 
-    // Dynamic throttling on the same kernel.
+    // Dynamic throttling on the same kernel, with the metrics
+    // registry bound to both the policy and the runtime.
     auto throttled_workload =
         tt::workloads::buildSyntheticHost(params, count);
     tt::core::DynamicThrottlePolicy dynamic(threads, 8);
+    tt::MetricsRegistry metrics;
+    dynamic.bindMetrics(&metrics);
+    options.metrics = &metrics;
     tt::runtime::Runtime dyn_rt(throttled_workload.graph, dynamic,
                                 options);
     const auto run = dyn_rt.run();
@@ -73,5 +78,7 @@ main(int argc, char **argv)
                 run.policy_stats.selections, run.peak_mem_in_flight);
     std::printf("speedup on this host: %.3fx\n",
                 base.seconds / run.seconds);
+    std::printf("\nmetrics of the throttled run:\n%s",
+                metrics.summaryTable().c_str());
     return 0;
 }

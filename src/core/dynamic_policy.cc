@@ -51,23 +51,41 @@ DynamicThrottlePolicy::onPairMeasured(const PairSample &sample)
             // Naive criterion: any relative change of the ratio.
             const double ratio =
                 summary->tc > 0.0 ? summary->tm / summary->tc : 1e18;
-            triggered = last_ratio_ < 0.0 ||
-                        (last_ratio_ > 0.0 &&
-                         std::abs(ratio - last_ratio_) / last_ratio_ >
-                             ratio_threshold_);
+            if (last_ratio_ < 0.0) {
+                // First completed window of the run.
+                triggered = true;
+            } else if (last_ratio_ == 0.0) {
+                // A pure-compute window (tm == 0) has no relative
+                // scale; fall back to an absolute test so a later
+                // memory phase still registers instead of wedging
+                // the trigger permanently.
+                triggered = ratio > ratio_threshold_;
+            } else {
+                triggered =
+                    std::abs(ratio - last_ratio_) / last_ratio_ >
+                    ratio_threshold_;
+            }
             last_ratio_ = ratio;
         }
         if (triggered) {
             ++stats_.phase_changes;
+            countMetric("policy.phase_changes");
             beginSelection();
         }
         return;
     }
 
-    // State::Select -- accumulate the current probe's window.
+    // State::Select -- accumulate the current probe's window. Pairs
+    // measured under a pre-probe MTL are rejected as stale and kept
+    // out of the probe-overhead accounting (monitor_overhead counts
+    // only samples the selection actually consumed).
+    if (!probe_mtl_ || sample.mtl != *probe_mtl_) {
+        ++stats_.stale_pairs;
+        countMetric("policy.stale_pairs");
+        return;
+    }
     ++stats_.probe_pairs;
-    if (!probe_mtl_ || sample.mtl != *probe_mtl_)
-        return; // stale pair from before the probe's MTL switch
+    countMetric("policy.probe_pairs");
     probe_tm_acc_ += sample.tm;
     probe_tc_acc_ += sample.tc;
     if (++probe_filled_ < window_)
@@ -86,6 +104,7 @@ void
 DynamicThrottlePolicy::beginSelection()
 {
     ++stats_.selections;
+    countMetric("policy.selections");
     state_ = State::Select;
     selector_ = std::make_unique<MtlSelector>(cores_);
     if (selector_->done()) {

@@ -23,11 +23,15 @@ OnlineExhaustivePolicy::onPairMeasured(const PairSample &sample)
     ++stats_.pairs_observed;
 
     if (state_ == State::Search) {
-        ++stats_.probe_pairs;
         // Only pairs actually executed under the candidate MTL count
-        // toward its timed group.
-        if (sample.mtl != search_mtl_)
+        // toward its timed group -- or toward the probe overhead.
+        if (sample.mtl != search_mtl_) {
+            ++stats_.stale_pairs;
+            countMetric("policy.stale_pairs");
             return;
+        }
+        ++stats_.probe_pairs;
+        countMetric("policy.probe_pairs");
         if (++group_filled_ < window_)
             return;
 
@@ -66,6 +70,7 @@ OnlineExhaustivePolicy::onPairMeasured(const PairSample &sample)
     prev_group_time_ = group_time;
     if (initial || big_change) {
         ++stats_.phase_changes;
+        countMetric("policy.phase_changes");
         beginSearch(sample.end_time);
     } else {
         startGroup(sample.end_time);
@@ -76,6 +81,7 @@ void
 OnlineExhaustivePolicy::beginSearch(double now)
 {
     ++stats_.selections;
+    countMetric("policy.selections");
     searched_once_ = true;
     state_ = State::Search;
     search_times_.clear();

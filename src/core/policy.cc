@@ -1,8 +1,30 @@
 #include "core/policy.hh"
 
 #include "util/logging.hh"
+#include "util/stats.hh"
 
 namespace tt::core {
+
+void
+SchedulingPolicy::traceMtl(double time, int mtl)
+{
+    if (metrics_)
+        metrics_->set("policy.mtl", mtl);
+    if (!mtl_trace_.empty() && mtl_trace_.back().second == mtl)
+        return;
+    if (!mtl_trace_.empty()) {
+        ++stats_.mtl_switches;
+        countMetric("policy.mtl_switches");
+    }
+    mtl_trace_.emplace_back(time, mtl);
+}
+
+void
+SchedulingPolicy::countMetric(const char *name, long delta)
+{
+    if (metrics_)
+        metrics_->add(name, delta);
+}
 
 ConventionalPolicy::ConventionalPolicy(int cores)
     : cores_(cores)

@@ -19,6 +19,10 @@
 
 #include "core/samples.hh"
 
+namespace tt {
+class MetricsRegistry;
+}
+
 namespace tt::core {
 
 /** Abstract MTL-scheduling policy. */
@@ -40,6 +44,15 @@ class SchedulingPolicy
     virtual PolicyStats stats() const { return stats_; }
 
     /**
+     * Attach a metrics registry (not owned; nullptr detaches). A
+     * bound policy publishes its decision counters -- MTL switches,
+     * phase changes, selections, accepted vs stale probe samples --
+     * under "policy.*" as they happen, so a live run is observable
+     * without waiting for stats().
+     */
+    void bindMetrics(MetricsRegistry *metrics) { metrics_ = metrics; }
+
+    /**
      * Trace of (time, mtl) at every MTL switch, starting with the
      * initial value at time 0; used by the phase-adaptation reports.
      */
@@ -50,18 +63,14 @@ class SchedulingPolicy
     }
 
   protected:
-    /** Record an MTL change in the trace and the counters. */
-    void
-    traceMtl(double time, int mtl)
-    {
-        if (!mtl_trace_.empty() && mtl_trace_.back().second == mtl)
-            return;
-        if (!mtl_trace_.empty())
-            ++stats_.mtl_switches;
-        mtl_trace_.emplace_back(time, mtl);
-    }
+    /** Record an MTL change in the trace, counters and metrics. */
+    void traceMtl(double time, int mtl);
+
+    /** Bump a counter in the bound registry, if any. */
+    void countMetric(const char *name, long delta = 1);
 
     PolicyStats stats_;
+    MetricsRegistry *metrics_ = nullptr;
 
   private:
     std::vector<std::pair<double, int>> mtl_trace_;

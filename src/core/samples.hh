@@ -29,7 +29,9 @@ struct PairSample
 struct PolicyStats
 {
     long pairs_observed = 0;   ///< samples delivered to the policy
-    long probe_pairs = 0;      ///< samples consumed while probing MTLs
+    long probe_pairs = 0;      ///< samples accepted toward an MTL probe
+    long stale_pairs = 0;      ///< probe-time samples rejected as stale
+                               ///  (measured under a pre-probe MTL)
     long selections = 0;       ///< MTL-selection rounds triggered
     long phase_changes = 0;    ///< phase changes detected
     long mtl_switches = 0;     ///< times currentMtl() changed value

@@ -1,0 +1,97 @@
+#include "obs/chrome_trace.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace tt::obs {
+
+namespace {
+
+/** Escape a string for a JSON literal (names are simple, but be safe). */
+std::string
+jsonEscape(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+writeChromeTrace(const TraceData &data, std::ostream &os)
+{
+    os << "[\n";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+    os << std::fixed << std::setprecision(3);
+
+    // Worker rows: one duration event per task.
+    for (const TaskEvent &event : data.events) {
+        sep();
+        const std::string phase_name =
+            event.phase >= 0 &&
+                    event.phase <
+                        static_cast<std::int32_t>(data.phase_names.size())
+                ? data.phase_names[static_cast<std::size_t>(event.phase)]
+                : "?";
+        os << "  {\"ph\":\"X\",\"pid\":0,\"tid\":" << event.worker
+           << ",\"name\":\"" << (event.is_memory ? "M" : "C") << " pair"
+           << event.pair << "\",\"cat\":\""
+           << (event.is_memory ? "memory" : "compute")
+           << "\",\"ts\":" << event.start * 1e6
+           << ",\"dur\":" << (event.end - event.start) * 1e6
+           << ",\"args\":{\"phase\":\"" << jsonEscape(phase_name)
+           << "\",\"mtl\":" << event.mtl << "}}";
+    }
+
+    // MTL counter track.
+    for (const auto &[time, mtl] : data.mtl_trace) {
+        sep();
+        os << "  {\"ph\":\"C\",\"pid\":0,\"name\":\"MTL\",\"ts\":"
+           << time * 1e6 << ",\"args\":{\"mtl\":" << mtl << "}}";
+    }
+
+    // Worker naming metadata.
+    int max_worker = -1;
+    for (const TaskEvent &event : data.events)
+        max_worker = std::max(max_worker, event.worker);
+    for (int worker = 0; worker <= max_worker; ++worker) {
+        sep();
+        os << "  {\"ph\":\"M\",\"pid\":0,\"tid\":" << worker
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\"context "
+           << worker << "\"}}";
+    }
+
+    os << "\n]\n";
+}
+
+std::string
+chromeTraceString(const TraceData &data)
+{
+    std::ostringstream os;
+    writeChromeTrace(data, os);
+    return os.str();
+}
+
+} // namespace tt::obs

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Chrome trace-event rendering of a TraceData stream.
+ *
+ * The emitted JSON loads into chrome://tracing or Perfetto: one row
+ * per worker/context with its memory (M) and compute (C) task slices
+ * annotated with the pair, the phase name and the MTL in force at
+ * dispatch, plus a counter track of the policy's MTL over time --
+ * which makes throttling decisions and phase adaptation literally
+ * visible. Both runtimes export through here: the simulator via
+ * simrt::writeChromeTrace's TraceData conversion, the host runtime
+ * via runtime::toTraceData, and ttsim's --trace-out flag via either.
+ */
+
+#ifndef TT_OBS_CHROME_TRACE_HH
+#define TT_OBS_CHROME_TRACE_HH
+
+#include <ostream>
+#include <string>
+
+#include "obs/trace.hh"
+
+namespace tt::obs {
+
+/**
+ * Write `data` as a Chrome trace-event JSON array. Durations are in
+ * microseconds of run time (simulated or wall, per the producer).
+ */
+void writeChromeTrace(const TraceData &data, std::ostream &os);
+
+/** Convenience: render to a string (used by tests). */
+std::string chromeTraceString(const TraceData &data);
+
+} // namespace tt::obs
+
+#endif // TT_OBS_CHROME_TRACE_HH

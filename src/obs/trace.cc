@@ -1,0 +1,119 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace tt::obs {
+
+TraceRing::TraceRing(std::size_t capacity)
+    : capacity_(capacity)
+{
+    tt_assert(capacity_ > 0, "TraceRing capacity must be positive");
+    data_.reserve(capacity_);
+}
+
+void
+TraceRing::record(const TaskEvent &event)
+{
+    if (data_.size() < capacity_)
+        data_.push_back(event);
+    else
+        data_[static_cast<std::size_t>(recorded_ % capacity_)] = event;
+    ++recorded_;
+}
+
+std::size_t
+TraceRing::size() const
+{
+    return data_.size();
+}
+
+std::uint64_t
+TraceRing::dropped() const
+{
+    return recorded_ - static_cast<std::uint64_t>(data_.size());
+}
+
+std::vector<TaskEvent>
+TraceRing::events() const
+{
+    std::vector<TaskEvent> out;
+    out.reserve(data_.size());
+    // Once the ring has wrapped, the oldest surviving event sits at
+    // the next overwrite position.
+    const std::size_t head =
+        data_.size() < capacity_
+            ? 0
+            : static_cast<std::size_t>(recorded_ % capacity_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.push_back(data_[(head + i) % data_.size()]);
+    return out;
+}
+
+Tracer::Tracer(int workers, std::size_t capacity_per_worker)
+{
+    tt_assert(workers >= 1, "Tracer needs at least one worker");
+    rings_.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w)
+        rings_.emplace_back(capacity_per_worker);
+}
+
+TraceRing &
+Tracer::ring(int worker)
+{
+    tt_assert(worker >= 0 && worker < workers(),
+              "worker index out of range");
+    return rings_[static_cast<std::size_t>(worker)];
+}
+
+const TraceRing &
+Tracer::ring(int worker) const
+{
+    tt_assert(worker >= 0 && worker < workers(),
+              "worker index out of range");
+    return rings_[static_cast<std::size_t>(worker)];
+}
+
+std::vector<TaskEvent>
+Tracer::merged() const
+{
+    std::vector<TaskEvent> out;
+    std::size_t total = 0;
+    for (const TraceRing &ring : rings_)
+        total += ring.size();
+    out.reserve(total);
+    for (const TraceRing &ring : rings_) {
+        const auto events = ring.events();
+        out.insert(out.end(), events.begin(), events.end());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TaskEvent &a, const TaskEvent &b) {
+                  if (a.start != b.start)
+                      return a.start < b.start;
+                  if (a.end != b.end)
+                      return a.end < b.end;
+                  return a.task < b.task;
+              });
+    return out;
+}
+
+std::uint64_t
+Tracer::recorded() const
+{
+    std::uint64_t total = 0;
+    for (const TraceRing &ring : rings_)
+        total += ring.recorded();
+    return total;
+}
+
+std::uint64_t
+Tracer::dropped() const
+{
+    std::uint64_t total = 0;
+    for (const TraceRing &ring : rings_)
+        total += ring.dropped();
+    return total;
+}
+
+} // namespace tt::obs

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Low-overhead event tracing shared by the real-thread runtime and
+ * the simulator.
+ *
+ * Each worker (a host thread in tt_runtime, a hardware context in
+ * tt_simrt) records TaskEvents into its own fixed-capacity TraceRing:
+ * no locks and no allocation on the hot path after construction, so
+ * tracing stays cheap enough to leave on. When a run drains, the
+ * owning runtime calls Tracer::merged() -- strictly after joining its
+ * workers -- to collate every ring into one start-time-ordered event
+ * stream. TraceData couples that stream with the policy's MTL
+ * transition log and the graph's phase names; chrome_trace.hh renders
+ * it in the Chrome trace-event format for chrome://tracing/Perfetto.
+ */
+
+#ifndef TT_OBS_TRACE_HH
+#define TT_OBS_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tt::obs {
+
+/** One executed task, as recorded by the worker that ran it. */
+struct TaskEvent
+{
+    std::int32_t task = -1;  ///< task id within the graph
+    std::int32_t pair = -1;  ///< memory-compute pair id
+    std::int32_t phase = -1; ///< phase id (index into phase names)
+    bool is_memory = false;  ///< memory task (true) or compute task
+    int worker = -1;         ///< worker thread / hardware context
+    double start = 0.0;      ///< dispatch time, seconds from run start
+    double end = 0.0;        ///< completion time, seconds
+    int mtl = 0;             ///< MTL the policy had published at dispatch
+};
+
+/**
+ * Fixed-capacity event ring owned by exactly one worker. The owner
+ * records; anyone may read after the worker has stopped. When full,
+ * the oldest events are overwritten and counted in dropped().
+ */
+class TraceRing
+{
+  public:
+    explicit TraceRing(std::size_t capacity);
+
+    /** Append one event, overwriting the oldest when full. */
+    void record(const TaskEvent &event);
+
+    std::size_t capacity() const { return capacity_; }
+
+    /** Events currently held (<= capacity). */
+    std::size_t size() const;
+
+    /** Total events recorded, including overwritten ones. */
+    std::uint64_t recorded() const { return recorded_; }
+
+    /** Events lost to overwriting. */
+    std::uint64_t dropped() const;
+
+    /** Held events, oldest first. */
+    std::vector<TaskEvent> events() const;
+
+  private:
+    std::size_t capacity_;
+    std::uint64_t recorded_ = 0;
+    std::vector<TaskEvent> data_; ///< ring storage, slot = recorded % capacity
+};
+
+/**
+ * Per-worker ring registry. Worker i writes only through ring(i), so
+ * recording needs no synchronisation; merged() must only be called
+ * once the workers are quiescent (the runtimes call it after join).
+ */
+class Tracer
+{
+  public:
+    Tracer(int workers, std::size_t capacity_per_worker);
+
+    int workers() const { return static_cast<int>(rings_.size()); }
+
+    TraceRing &ring(int worker);
+    const TraceRing &ring(int worker) const;
+
+    /** All rings' events collated and sorted by (start, end, task). */
+    std::vector<TaskEvent> merged() const;
+
+    /** Total events recorded across all rings. */
+    std::uint64_t recorded() const;
+
+    /** Total events lost to ring overwrites across all rings. */
+    std::uint64_t dropped() const;
+
+  private:
+    std::vector<TraceRing> rings_;
+};
+
+/**
+ * Everything the exporter needs, decoupled from which runtime
+ * produced it: the merged event stream, the policy's (time, MTL)
+ * transition log, and the graph's phase names (indexed by
+ * TaskEvent::phase).
+ */
+struct TraceData
+{
+    std::vector<TaskEvent> events;
+    std::vector<std::pair<double, int>> mtl_trace;
+    std::vector<std::string> phase_names;
+};
+
+} // namespace tt::obs
+
+#endif // TT_OBS_TRACE_HH

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 #include <thread>
 
 #include "util/logging.hh"
+#include "util/stats.hh"
 
 #if defined(__linux__)
 #include <pthread.h>
@@ -28,7 +30,8 @@ nowSeconds()
         .count();
 }
 
-void
+/** Pin the calling thread; false when the platform refused. */
+bool
 pinToCpu(int index)
 {
 #if defined(__linux__)
@@ -36,18 +39,31 @@ pinToCpu(int index)
     cpu_set_t set;
     CPU_ZERO(&set);
     CPU_SET(static_cast<unsigned>(index) % hw, &set);
-    // Best effort: failure (e.g. restricted cgroup) is not fatal.
-    pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+    // Best effort: failure (e.g. restricted cgroup) is not fatal,
+    // but the caller records it so affinity-less runs are visible.
+    return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) ==
+           0;
 #else
     (void)index;
+    return true;
 #endif
+}
+
+std::size_t
+ringCapacity(const RuntimeOptions &options, int task_count)
+{
+    const auto wanted = std::min(
+        options.trace_capacity, static_cast<std::size_t>(task_count));
+    return std::max<std::size_t>(1, wanted);
 }
 
 } // namespace
 
 Runtime::Runtime(const stream::TaskGraph &graph,
                  core::SchedulingPolicy &policy, RuntimeOptions options)
-    : graph_(graph), policy_(policy), options_(options)
+    : graph_(graph), policy_(policy), options_(options),
+      tracer_(std::max(1, options.threads),
+              ringCapacity(options, graph.taskCount()))
 {
     tt_assert(options_.threads >= 1, "need at least one worker thread");
 
@@ -101,8 +117,15 @@ Runtime::pickLocked()
 void
 Runtime::workerLoop(int worker_index)
 {
-    if (options_.pin_affinity)
-        pinToCpu(worker_index);
+    if (options_.pin_affinity && !pinToCpu(worker_index)) {
+        pin_failures_.fetch_add(1, std::memory_order_relaxed);
+        std::call_once(pin_warn_once_, [] {
+            tt_warn("pthread_setaffinity_np failed; workers run "
+                    "unpinned (results may be noisier)");
+        });
+    }
+
+    obs::TraceRing &ring = tracer_.ring(worker_index);
 
     std::unique_lock lock(mutex_);
     while (tasks_done_ < graph_.taskCount()) {
@@ -113,12 +136,13 @@ Runtime::workerLoop(int worker_index)
         }
 
         const Task &task = graph_.task(id);
+        const int mtl_at_dispatch = policy_.currentMtl();
         if (task.kind == TaskKind::Memory) {
             ++mem_in_flight_;
             peak_mem_in_flight_ =
                 std::max(peak_mem_in_flight_, mem_in_flight_);
             pair_mem_mtl_[static_cast<std::size_t>(task.pair)] =
-                policy_.currentMtl();
+                mtl_at_dispatch;
         }
 
         lock.unlock();
@@ -126,8 +150,21 @@ Runtime::workerLoop(int worker_index)
         if (task.host_work)
             task.host_work();
         const double end = nowSeconds() - run_start_;
-        lock.lock();
 
+        // Record into this worker's private ring while unlocked:
+        // tracing never contends with the scheduler.
+        obs::TaskEvent event;
+        event.task = id;
+        event.pair = task.pair;
+        event.phase = task.phase;
+        event.is_memory = task.kind == TaskKind::Memory;
+        event.worker = worker_index;
+        event.start = start;
+        event.end = end;
+        event.mtl = mtl_at_dispatch;
+        ring.record(event);
+
+        lock.lock();
         completeLocked(id, start, end);
         cv_.notify_all();
     }
@@ -154,7 +191,26 @@ Runtime::completeLocked(TaskId id, double start, double end)
         sample.end_time = end;
         sample.mtl = pair_mem_mtl_[static_cast<std::size_t>(pair)];
         samples_.push_back(sample);
+        if (MetricsRegistry *metrics = options_.metrics) {
+            const std::string suffix =
+                ".mtl=" + std::to_string(sample.mtl);
+            metrics->observe("runtime.tm_seconds" + suffix, sample.tm);
+            metrics->observe("runtime.tc_seconds" + suffix, sample.tc);
+        }
         policy_.onPairMeasured(sample);
+    }
+
+    if (MetricsRegistry *metrics = options_.metrics) {
+        metrics->observe(
+            "runtime.ready_memory_depth",
+            static_cast<double>(ready_memory_.size()),
+            Histogram::Options{.min_value = 1.0, .growth = 2.0,
+                               .buckets = 24});
+        metrics->observe(
+            "runtime.ready_compute_depth",
+            static_cast<double>(ready_compute_.size()),
+            Histogram::Options{.min_value = 1.0, .growth = 2.0,
+                               .buckets = 24});
     }
 
     for (TaskId succ : succs_[static_cast<std::size_t>(id)]) {
@@ -205,6 +261,9 @@ Runtime::run()
     result.policy_stats = policy_.stats();
     result.mtl_trace = policy_.mtlTrace();
     result.peak_mem_in_flight = peak_mem_in_flight_;
+    result.trace = tracer_.merged();
+    result.trace_dropped = tracer_.dropped();
+    result.pin_failures = pin_failures_.load(std::memory_order_relaxed);
 
     double tm_sum = 0.0;
     double tc_sum = 0.0;
@@ -215,11 +274,39 @@ Runtime::run()
     if (!samples_.empty()) {
         result.avg_tm = tm_sum / static_cast<double>(samples_.size());
         result.avg_tc = tc_sum / static_cast<double>(samples_.size());
+        // Probe overhead counts only samples a selection accepted;
+        // stale pairs (measured under a pre-probe MTL) are tracked
+        // separately in policy_stats.stale_pairs.
         result.monitor_overhead =
             static_cast<double>(result.policy_stats.probe_pairs) /
             static_cast<double>(samples_.size());
     }
+
+    if (MetricsRegistry *metrics = options_.metrics) {
+        metrics->add("runtime.tasks_done", tasks_done_);
+        metrics->add("runtime.pin_failed", result.pin_failures);
+        metrics->add("runtime.trace_dropped",
+                     static_cast<std::int64_t>(result.trace_dropped));
+        metrics->setMax("runtime.peak_mem_in_flight",
+                        peak_mem_in_flight_);
+        metrics->set("runtime.makespan_seconds", result.seconds);
+        metrics->set("runtime.monitor_overhead",
+                     result.monitor_overhead);
+    }
     return result;
+}
+
+obs::TraceData
+toTraceData(const stream::TaskGraph &graph, const HostRunResult &result)
+{
+    obs::TraceData data;
+    data.events = result.trace;
+    data.mtl_trace = result.mtl_trace;
+    data.phase_names.reserve(
+        static_cast<std::size_t>(graph.phaseCount()));
+    for (const stream::Phase &phase : graph.phases())
+        data.phase_names.push_back(phase.name);
+    return data;
 }
 
 } // namespace tt::runtime

@@ -20,14 +20,21 @@
 #ifndef TT_RUNTIME_RUNTIME_HH
 #define TT_RUNTIME_RUNTIME_HH
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <utility>
 #include <vector>
 
 #include "core/policy.hh"
+#include "obs/trace.hh"
 #include "stream/task_graph.hh"
+
+namespace tt {
+class MetricsRegistry;
+}
 
 namespace tt::runtime {
 
@@ -39,6 +46,23 @@ struct RuntimeOptions
 
     /** Pin worker i to CPU i % hw_cpus (Linux only; no-op elsewhere). */
     bool pin_affinity = true;
+
+    /**
+     * Per-worker event-trace ring capacity. The rings are sized to
+     * min(trace_capacity, task count), so the default traces every
+     * task of any reasonable graph; shrink it to bound memory on
+     * huge graphs (the oldest events are then dropped and counted).
+     */
+    std::size_t trace_capacity = 1 << 16;
+
+    /**
+     * Optional metrics sink (not owned). When set, the runtime
+     * publishes "runtime.*" counters/gauges/histograms: T_m and T_c
+     * per MTL, ready-queue depths, the mem_in_flight high-water
+     * mark, pin failures. Bind the same registry to the policy to
+     * get the "policy.*" series alongside.
+     */
+    MetricsRegistry *metrics = nullptr;
 };
 
 /** Measurements from one host run. */
@@ -54,7 +78,23 @@ struct HostRunResult
 
     /** Peak number of concurrently executing memory tasks observed. */
     int peak_mem_in_flight = 0;
+
+    /** Merged per-worker event trace, ordered by start time. */
+    std::vector<obs::TaskEvent> trace;
+
+    /** Events lost to trace-ring overwrites (0 unless capped). */
+    std::uint64_t trace_dropped = 0;
+
+    /** Workers whose CPU-affinity pin failed (0 when pinning is off). */
+    long pin_failures = 0;
 };
+
+/**
+ * Couple a host run's event trace with the policy's MTL transition
+ * log and the graph's phase names, ready for obs::writeChromeTrace.
+ */
+obs::TraceData toTraceData(const stream::TaskGraph &graph,
+                           const HostRunResult &result);
 
 /** Thread-pool scheduler enforcing the MTL restriction. */
 class Runtime
@@ -99,6 +139,10 @@ class Runtime
     std::vector<double> task_end_;
     std::vector<int> pair_mem_mtl_;
     std::vector<core::PairSample> samples_;
+
+    obs::Tracer tracer_; ///< one lock-free event ring per worker
+    std::atomic<long> pin_failures_{0};
+    std::once_flag pin_warn_once_;
 
     double run_start_ = 0.0; ///< steady-clock origin, seconds
 };

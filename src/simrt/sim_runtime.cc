@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 
 #include "core/policy.hh"
 #include "util/logging.hh"
+#include "util/stats.hh"
 
 namespace tt::simrt {
 
@@ -156,7 +158,26 @@ SimRuntime::onTaskDone(int context, TaskId id)
         sample.end_time = machine_.nowSeconds();
         sample.mtl = pair_mem_mtl_[static_cast<std::size_t>(pair)];
         samples_.push_back(sample);
+        if (metrics_) {
+            const std::string suffix =
+                ".mtl=" + std::to_string(sample.mtl);
+            metrics_->observe("runtime.tm_seconds" + suffix, sample.tm);
+            metrics_->observe("runtime.tc_seconds" + suffix, sample.tc);
+        }
         policy_.onPairMeasured(sample);
+    }
+
+    if (metrics_) {
+        metrics_->observe(
+            "runtime.ready_memory_depth",
+            static_cast<double>(ready_memory_.size()),
+            Histogram::Options{.min_value = 1.0, .growth = 2.0,
+                               .buckets = 24});
+        metrics_->observe(
+            "runtime.ready_compute_depth",
+            static_cast<double>(ready_compute_.size()),
+            Histogram::Options{.min_value = 1.0, .growth = 2.0,
+                               .buckets = 24});
     }
 
     // Unlock successors within the phase.
@@ -259,15 +280,31 @@ SimRuntime::run()
         result.phases.push_back(std::move(pr));
     }
 
+    if (metrics_) {
+        metrics_->add("runtime.tasks_done", tasks_done_);
+        metrics_->setMax("runtime.peak_mem_in_flight",
+                         peak_mem_in_flight_);
+        metrics_->set("runtime.makespan_seconds", result.seconds);
+        metrics_->set("runtime.monitor_overhead",
+                      result.monitor_overhead);
+        metrics_->set("sim.dram_accesses",
+                      static_cast<double>(result.dram_accesses));
+        metrics_->set("sim.bus_utilisation", result.bus_utilisation);
+        metrics_->set(
+            "sim.peak_llc_occupancy_bytes",
+            static_cast<double>(result.peak_llc_occupancy));
+    }
+
     return result;
 }
 
 RunResult
 runOnce(const cpu::MachineConfig &config, const stream::TaskGraph &graph,
-        core::SchedulingPolicy &policy)
+        core::SchedulingPolicy &policy, MetricsRegistry *metrics)
 {
     cpu::SimMachine machine(config);
     SimRuntime runtime(machine, graph, policy);
+    runtime.bindMetrics(metrics);
     return runtime.run();
 }
 

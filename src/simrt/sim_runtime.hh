@@ -33,6 +33,10 @@
 #include "cpu/sim_machine.hh"
 #include "stream/task_graph.hh"
 
+namespace tt {
+class MetricsRegistry;
+}
+
 namespace tt::simrt {
 
 /** One task execution recorded in the schedule trace. */
@@ -96,6 +100,14 @@ class SimRuntime
     SimRuntime(cpu::SimMachine &machine, const stream::TaskGraph &graph,
                core::SchedulingPolicy &policy);
 
+    /**
+     * Attach a metrics sink (not owned; nullptr detaches). Publishes
+     * the same "runtime.*" series as the host runtime -- T_m/T_c per
+     * MTL, ready-queue depths, mem_in_flight high-water -- plus the
+     * simulator-only DRAM/bus/LLC gauges.
+     */
+    void bindMetrics(MetricsRegistry *metrics) { metrics_ = metrics; }
+
     /** Execute the whole graph; returns the measurements. */
     RunResult run();
 
@@ -108,6 +120,7 @@ class SimRuntime
     cpu::SimMachine &machine_;
     const stream::TaskGraph &graph_;
     core::SchedulingPolicy &policy_;
+    MetricsRegistry *metrics_ = nullptr;
 
     std::vector<int> deps_left_;
     std::vector<std::vector<stream::TaskId>> succs_;
@@ -131,10 +144,14 @@ class SimRuntime
     std::vector<int> trace_index_;
 };
 
-/** Run `graph` once on a fresh machine built from `config`. */
+/**
+ * Run `graph` once on a fresh machine built from `config`. When
+ * `metrics` is non-null the run publishes into it (see bindMetrics).
+ */
 RunResult runOnce(const cpu::MachineConfig &config,
                   const stream::TaskGraph &graph,
-                  core::SchedulingPolicy &policy);
+                  core::SchedulingPolicy &policy,
+                  MetricsRegistry *metrics = nullptr);
 
 /**
  * Check the structural invariants of a recorded schedule against its

@@ -1,88 +1,41 @@
 #include "simrt/trace_export.hh"
 
-#include <algorithm>
-#include <iomanip>
 #include <sstream>
+
+#include "obs/chrome_trace.hh"
 
 namespace tt::simrt {
 
-namespace {
-
-/** Escape a string for a JSON literal (names are simple, but be safe). */
-std::string
-jsonEscape(const std::string &raw)
+obs::TraceData
+toTraceData(const stream::TaskGraph &graph, const RunResult &result)
 {
-    std::string out;
-    out.reserve(raw.size());
-    for (char c : raw) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          default:
-            out += c;
-        }
+    obs::TraceData data;
+    data.events.reserve(result.trace.size());
+    for (const TaskTrace &entry : result.trace) {
+        obs::TaskEvent event;
+        event.task = entry.task;
+        event.pair = entry.pair;
+        event.phase = entry.phase;
+        event.is_memory = entry.is_memory;
+        event.worker = entry.context;
+        event.start = entry.start;
+        event.end = entry.end;
+        event.mtl = entry.mtl_at_dispatch;
+        data.events.push_back(event);
     }
-    return out;
+    data.mtl_trace = result.mtl_trace;
+    data.phase_names.reserve(
+        static_cast<std::size_t>(graph.phaseCount()));
+    for (const stream::Phase &phase : graph.phases())
+        data.phase_names.push_back(phase.name);
+    return data;
 }
-
-} // namespace
 
 void
 writeChromeTrace(const stream::TaskGraph &graph, const RunResult &result,
                  std::ostream &os)
 {
-    os << "[\n";
-    bool first = true;
-    auto sep = [&] {
-        if (!first)
-            os << ",\n";
-        first = false;
-    };
-    os << std::fixed << std::setprecision(3);
-
-    // Context rows: one duration event per task.
-    for (const TaskTrace &entry : result.trace) {
-        sep();
-        const std::string phase_name =
-            entry.phase >= 0 && entry.phase < graph.phaseCount()
-                ? graph.phase(entry.phase).name
-                : "?";
-        os << "  {\"ph\":\"X\",\"pid\":0,\"tid\":" << entry.context
-           << ",\"name\":\"" << (entry.is_memory ? "M" : "C") << " pair"
-           << entry.pair << "\",\"cat\":\""
-           << (entry.is_memory ? "memory" : "compute")
-           << "\",\"ts\":" << entry.start * 1e6
-           << ",\"dur\":" << (entry.end - entry.start) * 1e6
-           << ",\"args\":{\"phase\":\"" << jsonEscape(phase_name)
-           << "\",\"mtl\":" << entry.mtl_at_dispatch << "}}";
-    }
-
-    // MTL counter track.
-    for (const auto &[time, mtl] : result.mtl_trace) {
-        sep();
-        os << "  {\"ph\":\"C\",\"pid\":0,\"name\":\"MTL\",\"ts\":"
-           << time * 1e6 << ",\"args\":{\"mtl\":" << mtl << "}}";
-    }
-
-    // Context naming metadata.
-    int max_context = -1;
-    for (const TaskTrace &entry : result.trace)
-        max_context = std::max(max_context, entry.context);
-    for (int context = 0; context <= max_context; ++context) {
-        sep();
-        os << "  {\"ph\":\"M\",\"pid\":0,\"tid\":" << context
-           << ",\"name\":\"thread_name\",\"args\":{\"name\":\"context "
-           << context << "\"}}";
-    }
-
-    os << "\n]\n";
+    obs::writeChromeTrace(toTraceData(graph, result), os);
 }
 
 std::string

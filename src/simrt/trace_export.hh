@@ -2,11 +2,14 @@
  * @file
  * Schedule-trace export in the Chrome trace-event format.
  *
- * The emitted JSON loads into chrome://tracing or Perfetto: one row
- * per hardware context with its memory (M) and compute (C) task
- * slices, plus a counter track of the policy's MTL over time --
- * which makes throttling decisions and phase adaptation literally
- * visible. `ttsim --chrome-trace out.json` produces one.
+ * The rendering itself lives in obs::writeChromeTrace so host and
+ * simulated runs share one exporter; this header adapts a simulated
+ * RunResult (and its graph's phase names) into the runtime-agnostic
+ * obs::TraceData. The emitted JSON loads into chrome://tracing or
+ * Perfetto: one row per hardware context with its memory (M) and
+ * compute (C) task slices, plus a counter track of the policy's MTL
+ * over time -- which makes throttling decisions and phase adaptation
+ * literally visible. `ttsim --trace-out out.json` produces one.
  */
 
 #ifndef TT_SIMRT_TRACE_EXPORT_HH
@@ -15,10 +18,18 @@
 #include <ostream>
 #include <string>
 
+#include "obs/trace.hh"
 #include "simrt/sim_runtime.hh"
 #include "stream/task_graph.hh"
 
 namespace tt::simrt {
+
+/**
+ * Adapt a simulated run's schedule trace + MTL log + phase names
+ * into the shared exporter's input.
+ */
+obs::TraceData toTraceData(const stream::TaskGraph &graph,
+                           const RunResult &result);
 
 /**
  * Write `result`'s schedule as Chrome trace events. Durations are in

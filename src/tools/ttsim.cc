@@ -1,15 +1,19 @@
 /**
  * @file
- * ttsim: command-line driver for the thread-throttling simulator.
+ * ttsim: command-line driver for the thread-throttling simulator
+ * and the real-thread host runtime.
  *
- * Runs one workload under one scheduling policy on one machine
- * configuration and prints the measurements; the one-stop tool for
+ * Runs one workload under one scheduling policy -- on a simulated
+ * machine configuration, or with --host on a real std::thread worker
+ * pool -- and prints the measurements; the one-stop tool for
  * exploring the design space outside the canned benches.
  *
  *   ttsim --workload synthetic --ratio 0.5 --policy dynamic
  *   ttsim --workload streamcluster --dim 36 --policy offline
  *   ttsim --workload sift --machine 2dimm-smt --policy static --mtl 2
  *   ttsim --workload dft --policy online --window 8 --trace
+ *   ttsim --host --threads 4 --policy dynamic \
+ *         --trace-out trace.json --metrics-out metrics.json
  *
  * Flags:
  *   --workload   synthetic | dft | streamcluster | sift |
@@ -24,9 +28,16 @@
  *   --footprint-kb  synthetic per-task footprint          [512]
  *   --pairs      synthetic pair count                     [128]
  *   --dim        streamcluster input dimension            [128]
- *   --trace      print the full schedule trace
- *   --chrome-trace FILE  write the schedule as Chrome trace events
- *                        (load in chrome://tracing or Perfetto)
+ *   --host       run on real threads (synthetic workload only)
+ *   --threads    host worker threads                      [4]
+ *   --count      host compute-loop repetitions per task   [8]
+ *   --no-pin     host mode: skip CPU-affinity pinning
+ *   --trace      print the full schedule trace (sim only)
+ *   --trace-out FILE    write the schedule as Chrome trace events
+ *                       (load in chrome://tracing or Perfetto);
+ *                       --chrome-trace is an alias
+ *   --metrics-out FILE  write the run's metrics registry as JSON
+ *   --metrics-summary   print the metrics registry as a table
  *   --quiet      suppress the header
  */
 
@@ -39,9 +50,12 @@
 #include "core/online_exhaustive_policy.hh"
 #include "core/policy.hh"
 #include "cpu/machine_config.hh"
+#include "obs/chrome_trace.hh"
+#include "runtime/runtime.hh"
 #include "simrt/sim_runtime.hh"
 #include "simrt/trace_export.hh"
 #include "util/flags.hh"
+#include "util/stats.hh"
 #include "workloads/dft.hh"
 #include "workloads/histogram.hh"
 #include "workloads/sift.hh"
@@ -63,9 +77,39 @@ usage(const char *argv0)
         "offline]\n"
         "          [--mtl K] [--window W] [--hysteresis H]\n"
         "          [--ratio R] [--footprint-kb KB] [--pairs N]\n"
-        "          [--dim D] [--trace] [--quiet]\n",
+        "          [--dim D] [--host] [--threads T] [--count C]\n"
+        "          [--no-pin] [--trace] [--trace-out FILE]\n"
+        "          [--metrics-out FILE] [--metrics-summary] [--quiet]\n",
         argv0);
     return 2;
+}
+
+/** Write the trace JSON; returns false (with a message) on failure. */
+bool
+writeTraceFile(const std::string &path, const tt::obs::TraceData &data)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+        return false;
+    }
+    tt::obs::writeChromeTrace(data, out);
+    std::printf("chrome trace    %10s\n", path.c_str());
+    return true;
+}
+
+bool
+writeMetricsFile(const std::string &path,
+                 const tt::MetricsRegistry &metrics)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+        return false;
+    }
+    metrics.writeJson(out);
+    std::printf("metrics json    %10s\n", path.c_str());
+    return true;
 }
 
 } // namespace
@@ -80,7 +124,10 @@ main(int argc, char **argv)
         return usage(argv[0]);
     }
 
-    // Machine.
+    const bool host_mode = flags.getBool("host");
+
+    // Machine (ignored in --host mode, where the host's threads are
+    // the hardware contexts).
     const std::string machine_name =
         flags.getString("machine", "1dimm");
     tt::cpu::MachineConfig machine;
@@ -97,11 +144,17 @@ main(int argc, char **argv)
                      machine_name.c_str());
         return usage(argv[0]);
     }
-    const int n = machine.contexts();
+    const int threads = static_cast<int>(flags.getInt("threads", 4));
+    if (host_mode && threads < 1) {
+        std::fprintf(stderr, "--threads must be >= 1\n");
+        return usage(argv[0]);
+    }
+    const int n = host_mode ? threads : machine.contexts();
 
     // Workload.
     const std::string workload = flags.getString("workload", "synthetic");
     tt::stream::TaskGraph graph;
+    tt::workloads::HostSynthetic host_workload; // owns host arrays
     if (workload == "synthetic") {
         tt::workloads::SyntheticParams params;
         params.tm1_over_tc = flags.getDouble("ratio", 0.5);
@@ -110,7 +163,18 @@ main(int argc, char **argv)
                 flags.getInt("footprint-kb", 512)) *
             1024;
         params.pairs = static_cast<int>(flags.getInt("pairs", 128));
-        graph = tt::workloads::buildSyntheticSim(machine, params);
+        if (host_mode) {
+            host_workload = tt::workloads::buildSyntheticHost(
+                params, static_cast<int>(flags.getInt("count", 8)));
+            graph = host_workload.graph;
+        } else {
+            graph = tt::workloads::buildSyntheticSim(machine, params);
+        }
+    } else if (host_mode) {
+        std::fprintf(stderr,
+                     "--host supports only the synthetic workload "
+                     "(the others carry sim descriptors only)\n");
+        return usage(argv[0]);
     } else if (workload == "dft") {
         graph = tt::workloads::dftSim(machine);
     } else if (workload == "streamcluster") {
@@ -140,14 +204,27 @@ main(int argc, char **argv)
     const int window = static_cast<int>(flags.getInt("window", 16));
 
     if (!flags.getBool("quiet")) {
-        std::printf("machine %s (%d contexts, %d channel(s)), "
-                    "workload %s (%d pairs, %d phase(s)), policy %s\n",
-                    machine_name.c_str(), n, machine.mem.channels,
-                    workload.c_str(), graph.pairCount(),
-                    graph.phaseCount(), policy_name.c_str());
+        if (host_mode) {
+            std::printf("host threads %d, workload %s (%d pairs, "
+                        "%d phase(s)), policy %s\n",
+                        n, workload.c_str(), graph.pairCount(),
+                        graph.phaseCount(), policy_name.c_str());
+        } else {
+            std::printf("machine %s (%d contexts, %d channel(s)), "
+                        "workload %s (%d pairs, %d phase(s)), "
+                        "policy %s\n",
+                        machine_name.c_str(), n, machine.mem.channels,
+                        workload.c_str(), graph.pairCount(),
+                        graph.phaseCount(), policy_name.c_str());
+        }
     }
 
     if (policy_name == "offline") {
+        if (host_mode) {
+            std::fprintf(stderr,
+                         "--policy offline is simulator-only\n");
+            return usage(argv[0]);
+        }
         const auto search =
             tt::simrt::offlineExhaustiveSearch(machine, graph);
         for (std::size_t k = 0; k < search.seconds_per_mtl.size(); ++k)
@@ -184,7 +261,58 @@ main(int argc, char **argv)
         return usage(argv[0]);
     }
 
-    const auto result = tt::simrt::runOnce(machine, graph, *policy);
+    tt::MetricsRegistry metrics;
+    policy->bindMetrics(&metrics);
+
+    const std::string trace_path = flags.getString(
+        "trace-out", flags.getString("chrome-trace", ""));
+    const std::string metrics_path = flags.getString("metrics-out", "");
+
+    if (host_mode) {
+        tt::runtime::RuntimeOptions options;
+        options.threads = n;
+        options.pin_affinity = !flags.getBool("no-pin");
+        options.metrics = &metrics;
+        tt::runtime::Runtime runtime(graph, *policy, options);
+        const auto result = runtime.run();
+
+        std::printf("makespan        %10.3f ms\n",
+                    result.seconds * 1e3);
+        std::printf("avg T_m / T_c   %10.1f / %.1f us\n",
+                    result.avg_tm * 1e6, result.avg_tc * 1e6);
+        std::printf("peak mem tasks  %10d\n",
+                    result.peak_mem_in_flight);
+        if (result.pin_failures > 0)
+            std::printf("pin failures    %10ld  (workers ran "
+                        "unpinned)\n",
+                        result.pin_failures);
+        const int final_mtl = result.mtl_trace.empty()
+                                  ? n
+                                  : result.mtl_trace.back().second;
+        std::printf("final MTL       %10d  (%ld selections, probe "
+                    "fraction %.2f%%, %ld stale pairs)\n",
+                    final_mtl, result.policy_stats.selections,
+                    result.monitor_overhead * 100.0,
+                    result.policy_stats.stale_pairs);
+        std::printf("trace events    %10zu  (%llu dropped)\n",
+                    result.trace.size(),
+                    static_cast<unsigned long long>(
+                        result.trace_dropped));
+
+        if (!trace_path.empty() &&
+            !writeTraceFile(trace_path,
+                            tt::runtime::toTraceData(graph, result)))
+            return 1;
+        if (!metrics_path.empty() &&
+            !writeMetricsFile(metrics_path, metrics))
+            return 1;
+        if (flags.getBool("metrics-summary"))
+            std::printf("\n%s", metrics.summaryTable().c_str());
+        return 0;
+    }
+
+    const auto result =
+        tt::simrt::runOnce(machine, graph, *policy, &metrics);
 
     std::printf("makespan        %10.3f ms\n", result.seconds * 1e3);
     std::printf("avg T_m / T_c   %10.1f / %.1f us  (ratio %.2f%%)\n",
@@ -197,21 +325,20 @@ main(int argc, char **argv)
     const int final_mtl =
         result.mtl_trace.empty() ? n : result.mtl_trace.back().second;
     std::printf("final MTL       %10d  (%ld selections, probe "
-                "fraction %.2f%%)\n",
+                "fraction %.2f%%, %ld stale pairs)\n",
                 final_mtl, result.policy_stats.selections,
-                result.monitor_overhead * 100.0);
+                result.monitor_overhead * 100.0,
+                result.policy_stats.stale_pairs);
 
-    const std::string chrome_path = flags.getString("chrome-trace", "");
-    if (!chrome_path.empty()) {
-        std::ofstream out(chrome_path);
-        if (!out) {
-            std::fprintf(stderr, "cannot write '%s'\n",
-                         chrome_path.c_str());
-            return 1;
-        }
-        tt::simrt::writeChromeTrace(graph, result, out);
-        std::printf("chrome trace    %10s\n", chrome_path.c_str());
-    }
+    if (!trace_path.empty() &&
+        !writeTraceFile(trace_path,
+                        tt::simrt::toTraceData(graph, result)))
+        return 1;
+    if (!metrics_path.empty() &&
+        !writeMetricsFile(metrics_path, metrics))
+        return 1;
+    if (flags.getBool("metrics-summary"))
+        std::printf("\n%s", metrics.summaryTable().c_str());
 
     if (flags.getBool("trace")) {
         std::printf("\nschedule trace (task kind pair phase context "

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
 
 #include "util/logging.hh"
+#include "util/table.hh"
 
 namespace tt {
 
@@ -161,6 +165,341 @@ double
 SlidingWindow::mean() const
 {
     return tt::mean(data_);
+}
+
+Histogram::Histogram(const Options &options)
+    : options_(options)
+{
+    tt_assert(options_.min_value > 0.0,
+              "Histogram min_value must be positive");
+    tt_assert(options_.growth > 1.0, "Histogram growth must exceed 1");
+    tt_assert(options_.buckets >= 1, "Histogram needs a bucket");
+    edges_.reserve(static_cast<std::size_t>(options_.buckets) + 1);
+    double edge = options_.min_value;
+    for (int k = 0; k <= options_.buckets; ++k) {
+        edges_.push_back(edge);
+        edge *= options_.growth;
+    }
+    hits_.assign(static_cast<std::size_t>(options_.buckets) + 2, 0);
+}
+
+void
+Histogram::add(double x)
+{
+    ++hits_[static_cast<std::size_t>(bucketIndex(x))];
+    stat_.add(x);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    tt_assert(options_.min_value == other.options_.min_value &&
+                  options_.growth == other.options_.growth &&
+                  options_.buckets == other.options_.buckets,
+              "cannot merge histograms with different bucket geometry");
+    for (std::size_t i = 0; i < hits_.size(); ++i)
+        hits_[i] += other.hits_[i];
+    stat_.merge(other.stat_);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(hits_.begin(), hits_.end(), 0);
+    stat_.reset();
+}
+
+std::uint64_t
+Histogram::bucketHits(int bucket) const
+{
+    tt_assert(bucket >= 0 && bucket < bucketCount(),
+              "bucket index out of range");
+    return hits_[static_cast<std::size_t>(bucket)];
+}
+
+double
+Histogram::bucketLowerBound(int bucket) const
+{
+    tt_assert(bucket >= 0 && bucket < bucketCount(),
+              "bucket index out of range");
+    return bucket == 0 ? 0.0
+                       : edges_[static_cast<std::size_t>(bucket) - 1];
+}
+
+double
+Histogram::bucketUpperBound(int bucket) const
+{
+    tt_assert(bucket >= 0 && bucket < bucketCount(),
+              "bucket index out of range");
+    return bucket == bucketCount() - 1
+               ? std::numeric_limits<double>::infinity()
+               : edges_[static_cast<std::size_t>(bucket)];
+}
+
+int
+Histogram::bucketIndex(double x) const
+{
+    // First edge > x; slot 0 is underflow, the last slot overflow.
+    return static_cast<int>(
+        std::upper_bound(edges_.begin(), edges_.end(), x) -
+        edges_.begin());
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (stat_.empty())
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(stat_.count());
+    double seen = 0.0;
+    for (int b = 0; b < bucketCount(); ++b) {
+        const double here = static_cast<double>(bucketHits(b));
+        if (here == 0.0)
+            continue;
+        if (seen + here >= target) {
+            const double lo =
+                std::max(bucketLowerBound(b), stat_.min());
+            const double hi =
+                std::min(bucketUpperBound(b), stat_.max());
+            const double frac =
+                here > 0.0 ? (target - seen) / here : 0.0;
+            return std::clamp(lo + frac * (hi - lo), stat_.min(),
+                              stat_.max());
+        }
+        seen += here;
+    }
+    return stat_.max();
+}
+
+void
+MetricsRegistry::add(const std::string &name, std::int64_t delta)
+{
+    std::lock_guard lock(mutex_);
+    counters_[name] += delta;
+}
+
+void
+MetricsRegistry::set(const std::string &name, double value)
+{
+    std::lock_guard lock(mutex_);
+    gauges_[name] = value;
+}
+
+void
+MetricsRegistry::setMax(const std::string &name, double value)
+{
+    std::lock_guard lock(mutex_);
+    auto [it, inserted] = gauges_.try_emplace(name, value);
+    if (!inserted)
+        it->second = std::max(it->second, value);
+}
+
+void
+MetricsRegistry::observe(const std::string &name, double value)
+{
+    observe(name, value, Histogram::Options{});
+}
+
+void
+MetricsRegistry::observe(const std::string &name, double value,
+                         const Histogram::Options &options)
+{
+    std::lock_guard lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_.emplace(name, Histogram(options)).first;
+    it->second.add(value);
+}
+
+std::int64_t
+MetricsRegistry::counter(const std::string &name) const
+{
+    std::lock_guard lock(mutex_);
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+double
+MetricsRegistry::gauge(const std::string &name, double fallback) const
+{
+    std::lock_guard lock(mutex_);
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? fallback : it->second;
+}
+
+Histogram
+MetricsRegistry::histogram(const std::string &name) const
+{
+    std::lock_guard lock(mutex_);
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? Histogram() : it->second;
+}
+
+bool
+MetricsRegistry::hasCounter(const std::string &name) const
+{
+    std::lock_guard lock(mutex_);
+    return counters_.count(name) > 0;
+}
+
+bool
+MetricsRegistry::hasGauge(const std::string &name) const
+{
+    std::lock_guard lock(mutex_);
+    return gauges_.count(name) > 0;
+}
+
+bool
+MetricsRegistry::hasHistogram(const std::string &name) const
+{
+    std::lock_guard lock(mutex_);
+    return histograms_.count(name) > 0;
+}
+
+namespace {
+
+template <typename Map>
+std::vector<std::string>
+sortedKeys(const Map &map)
+{
+    std::vector<std::string> names;
+    names.reserve(map.size());
+    for (const auto &[name, value] : map)
+        names.push_back(name);
+    return names; // std::map iterates in key order already
+}
+
+/** Escape a metric name for a JSON literal. */
+std::string
+jsonName(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double value)
+{
+    std::ostringstream os;
+    os << std::setprecision(12) << value;
+    return os.str();
+}
+
+} // namespace
+
+std::vector<std::string>
+MetricsRegistry::counterNames() const
+{
+    std::lock_guard lock(mutex_);
+    return sortedKeys(counters_);
+}
+
+std::vector<std::string>
+MetricsRegistry::gaugeNames() const
+{
+    std::lock_guard lock(mutex_);
+    return sortedKeys(gauges_);
+}
+
+std::vector<std::string>
+MetricsRegistry::histogramNames() const
+{
+    std::lock_guard lock(mutex_);
+    return sortedKeys(histograms_);
+}
+
+bool
+MetricsRegistry::empty() const
+{
+    std::lock_guard lock(mutex_);
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+void
+MetricsRegistry::clear()
+{
+    std::lock_guard lock(mutex_);
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    std::lock_guard lock(mutex_);
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, value] : counters_) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonName(name)
+           << "\": " << value;
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+    first = true;
+    for (const auto &[name, value] : gauges_) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonName(name)
+           << "\": " << jsonNumber(value);
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+    first = true;
+    for (const auto &[name, hist] : histograms_) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonName(name)
+           << "\": {\"count\": " << hist.count()
+           << ", \"mean\": " << jsonNumber(hist.mean())
+           << ", \"min\": " << jsonNumber(hist.min())
+           << ", \"max\": " << jsonNumber(hist.max())
+           << ", \"p50\": " << jsonNumber(hist.quantile(0.50))
+           << ", \"p90\": " << jsonNumber(hist.quantile(0.90))
+           << ", \"p99\": " << jsonNumber(hist.quantile(0.99))
+           << ", \"buckets\": [";
+        bool first_bucket = true;
+        for (int b = 0; b < hist.bucketCount(); ++b) {
+            if (hist.bucketHits(b) == 0)
+                continue;
+            if (!first_bucket)
+                os << ", ";
+            first_bucket = false;
+            os << "[" << jsonNumber(hist.bucketLowerBound(b)) << ", "
+               << (b == hist.bucketCount() - 1
+                       ? jsonNumber(hist.max())
+                       : jsonNumber(hist.bucketUpperBound(b)))
+               << ", " << hist.bucketHits(b) << "]";
+        }
+        os << "]}";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+std::string
+MetricsRegistry::summaryTable() const
+{
+    std::lock_guard lock(mutex_);
+    TablePrinter table(
+        {"metric", "type", "count", "value/mean", "p50", "p99", "max"});
+    for (const auto &[name, value] : counters_)
+        table.addRow({name, "counter", "", std::to_string(value), "",
+                      "", ""});
+    for (const auto &[name, value] : gauges_)
+        table.addRow(
+            {name, "gauge", "", TablePrinter::num(value, 3), "", "", ""});
+    for (const auto &[name, hist] : histograms_) {
+        table.addRow({name, "histogram", std::to_string(hist.count()),
+                      TablePrinter::num(hist.mean(), 6),
+                      TablePrinter::num(hist.quantile(0.5), 6),
+                      TablePrinter::num(hist.quantile(0.99), 6),
+                      TablePrinter::num(hist.max(), 6)});
+    }
+    return table.str();
 }
 
 } // namespace tt

@@ -7,12 +7,23 @@
  * measurement noise; trimmedMean() implements that estimator.
  * geometricMean() matches the "geometric mean of 12% improvement"
  * summary statistic used in the abstract.
+ *
+ * Histogram and MetricsRegistry form the metrics half of the runtime
+ * observability layer (src/obs holds the tracing half): policies and
+ * runtimes publish named counters, gauges and log-bucketed
+ * distributions into a registry, which renders them as JSON
+ * (`ttsim --metrics-out=`) or a human-readable table.
  */
 
 #ifndef TT_UTIL_STATS_HH
 #define TT_UTIL_STATS_HH
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
 #include <vector>
 
 namespace tt {
@@ -96,6 +107,130 @@ class SlidingWindow
     std::size_t capacity_;
     std::size_t head_ = 0;
     std::vector<double> data_;
+};
+
+/**
+ * Fixed log-scale-bucket histogram.
+ *
+ * Bucket edges are min_value * growth^k for k in [0, buckets]; slot
+ * 0 is the underflow bucket (x < min_value) and the last slot the
+ * overflow bucket (x >= the top edge). The geometry is fixed at
+ * construction so two histograms with equal options merge exactly;
+ * the defaults span 1 ns .. ~18 s at x2 resolution, covering every
+ * duration the runtimes measure.
+ */
+class Histogram
+{
+  public:
+    struct Options
+    {
+        double min_value = 1e-9; ///< lower edge of the first bucket
+        double growth = 2.0;     ///< geometric factor between edges
+        int buckets = 64;        ///< finite buckets between the edges
+    };
+
+    Histogram() : Histogram(Options{}) {}
+    explicit Histogram(const Options &options);
+
+    void add(double x);
+
+    /** Merge another histogram; the bucket geometry must match. */
+    void merge(const Histogram &other);
+
+    void reset();
+
+    std::size_t count() const { return stat_.count(); }
+    bool empty() const { return stat_.empty(); }
+    double mean() const { return stat_.mean(); }
+    double min() const { return stat_.min(); }
+    double max() const { return stat_.max(); }
+    double sum() const { return stat_.sum(); }
+
+    /** Total slots, including underflow (0) and overflow (last). */
+    int bucketCount() const { return static_cast<int>(hits_.size()); }
+
+    std::uint64_t bucketHits(int bucket) const;
+
+    /** Inclusive lower edge of a slot (0 for the underflow slot). */
+    double bucketLowerBound(int bucket) const;
+
+    /** Exclusive upper edge of a slot (+inf for the overflow slot). */
+    double bucketUpperBound(int bucket) const;
+
+    /** Slot index the value would land in. */
+    int bucketIndex(double x) const;
+
+    /**
+     * Approximate q-quantile (q in [0, 1]): linear interpolation
+     * within the bucket holding the q-th observation, clamped to the
+     * observed min/max. 0 when empty.
+     */
+    double quantile(double q) const;
+
+    const Options &options() const { return options_; }
+
+  private:
+    Options options_;
+    std::vector<double> edges_; ///< buckets + 1 ascending edges
+    std::vector<std::uint64_t> hits_;
+    RunningStat stat_;
+};
+
+/**
+ * Thread-safe registry of named metrics: monotonic counters, last- or
+ * max-value gauges, and log-bucket Histogram distributions. Policies
+ * and runtimes publish into one registry during a run; afterwards it
+ * renders as JSON (writeJson) or an aligned text table (summaryTable,
+ * built on TablePrinter). All operations take one internal mutex --
+ * cheap next to the work each published sample represents.
+ */
+class MetricsRegistry
+{
+  public:
+    /** Add `delta` to a counter, creating it at zero. */
+    void add(const std::string &name, std::int64_t delta = 1);
+
+    /** Set a gauge to `value`. */
+    void set(const std::string &name, double value);
+
+    /** Raise a gauge to `value` if larger (high-water mark). */
+    void setMax(const std::string &name, double value);
+
+    /** Record one observation into a histogram (default geometry). */
+    void observe(const std::string &name, double value);
+
+    /** As observe(), with explicit geometry on first use. */
+    void observe(const std::string &name, double value,
+                 const Histogram::Options &options);
+
+    std::int64_t counter(const std::string &name) const;
+    double gauge(const std::string &name, double fallback = 0.0) const;
+
+    /** Snapshot of a histogram; empty default geometry when absent. */
+    Histogram histogram(const std::string &name) const;
+
+    bool hasCounter(const std::string &name) const;
+    bool hasGauge(const std::string &name) const;
+    bool hasHistogram(const std::string &name) const;
+
+    std::vector<std::string> counterNames() const;
+    std::vector<std::string> gaugeNames() const;
+    std::vector<std::string> histogramNames() const;
+
+    bool empty() const;
+    void clear();
+
+    /** Render every metric as one JSON object. */
+    void writeJson(std::ostream &os) const;
+
+    /** Render every metric as an aligned human-readable table. */
+    std::string summaryTable() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::int64_t> counters_;
+    std::map<std::string, double> gauges_;
+    std::map<std::string, Histogram> histograms_;
 };
 
 } // namespace tt

@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Tests of the runtime observability layer: the per-worker trace
+ * rings and their merge, the log-bucket histogram, the thread-safe
+ * metrics registry, the shared Chrome exporter, and the host
+ * runtime's end-to-end trace/metrics production (including that
+ * per-task MTL annotations agree with the policy's mtlTrace()).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/dynamic_policy.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/trace.hh"
+#include "runtime/runtime.hh"
+#include "util/stats.hh"
+#include "workloads/synthetic.hh"
+
+namespace {
+
+using tt::Histogram;
+using tt::MetricsRegistry;
+using tt::core::DynamicThrottlePolicy;
+using tt::obs::TaskEvent;
+using tt::obs::TraceData;
+using tt::obs::Tracer;
+using tt::obs::TraceRing;
+
+TaskEvent
+eventAt(double start, int task = 0, int worker = 0)
+{
+    TaskEvent event;
+    event.task = task;
+    event.worker = worker;
+    event.start = start;
+    event.end = start + 1.0;
+    return event;
+}
+
+TEST(TraceRing, KeepsEventsInRecordOrder)
+{
+    TraceRing ring(8);
+    for (int i = 0; i < 5; ++i)
+        ring.record(eventAt(static_cast<double>(i), i));
+    EXPECT_EQ(ring.size(), 5u);
+    EXPECT_EQ(ring.recorded(), 5u);
+    EXPECT_EQ(ring.dropped(), 0u);
+    const auto events = ring.events();
+    ASSERT_EQ(events.size(), 5u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(events[static_cast<std::size_t>(i)].task, i);
+}
+
+TEST(TraceRing, WrapsOverwritingOldestAndCountsDrops)
+{
+    TraceRing ring(4);
+    for (int i = 0; i < 10; ++i)
+        ring.record(eventAt(static_cast<double>(i), i));
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.recorded(), 10u);
+    EXPECT_EQ(ring.dropped(), 6u);
+    const auto events = ring.events();
+    ASSERT_EQ(events.size(), 4u);
+    // The four newest survive, oldest first.
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(events[static_cast<std::size_t>(i)].task, 6 + i);
+}
+
+TEST(Tracer, MergeSortsAcrossWorkerRings)
+{
+    Tracer tracer(3, 16);
+    // Interleaved starts across workers, recorded out of global
+    // order (each worker's own record order is chronological).
+    tracer.ring(0).record(eventAt(0.0, 0, 0));
+    tracer.ring(0).record(eventAt(3.0, 3, 0));
+    tracer.ring(1).record(eventAt(1.0, 1, 1));
+    tracer.ring(1).record(eventAt(4.0, 4, 1));
+    tracer.ring(2).record(eventAt(2.0, 2, 2));
+
+    const auto merged = tracer.merged();
+    ASSERT_EQ(merged.size(), 5u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(merged[static_cast<std::size_t>(i)].task, i);
+    EXPECT_EQ(tracer.recorded(), 5u);
+    EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Tracer, ConcurrentWorkersRecordWithoutInterference)
+{
+    // Each worker owns its ring: concurrent recording must need no
+    // synchronisation and lose nothing. (This test is part of the
+    // "concurrency" ctest label exercised under TSan.)
+    const int workers = 4;
+    const int per_worker = 5000;
+    Tracer tracer(workers, per_worker);
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (int w = 0; w < workers; ++w) {
+        threads.emplace_back([&tracer, w] {
+            for (int i = 0; i < per_worker; ++i) {
+                tracer.ring(w).record(
+                    eventAt(static_cast<double>(i), i, w));
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(tracer.recorded(),
+              static_cast<std::uint64_t>(workers * per_worker));
+    EXPECT_EQ(tracer.dropped(), 0u);
+    const auto merged = tracer.merged();
+    EXPECT_EQ(merged.size(),
+              static_cast<std::size_t>(workers * per_worker));
+}
+
+TEST(HistogramTest, BucketBoundariesAreExact)
+{
+    Histogram hist(Histogram::Options{
+        .min_value = 1.0, .growth = 2.0, .buckets = 4});
+    // Slots: [underflow) [1,2) [2,4) [4,8) [8,16) [overflow).
+    EXPECT_EQ(hist.bucketCount(), 6);
+    EXPECT_EQ(hist.bucketIndex(0.5), 0);
+    EXPECT_EQ(hist.bucketIndex(1.0), 1);
+    EXPECT_EQ(hist.bucketIndex(1.999), 1);
+    EXPECT_EQ(hist.bucketIndex(2.0), 2);
+    EXPECT_EQ(hist.bucketIndex(7.999), 3);
+    EXPECT_EQ(hist.bucketIndex(8.0), 4);
+    EXPECT_EQ(hist.bucketIndex(16.0), 5);
+    EXPECT_EQ(hist.bucketIndex(1e9), 5);
+
+    EXPECT_DOUBLE_EQ(hist.bucketLowerBound(0), 0.0);
+    EXPECT_DOUBLE_EQ(hist.bucketUpperBound(0), 1.0);
+    EXPECT_DOUBLE_EQ(hist.bucketLowerBound(2), 2.0);
+    EXPECT_DOUBLE_EQ(hist.bucketUpperBound(2), 4.0);
+    EXPECT_TRUE(std::isinf(hist.bucketUpperBound(5)));
+}
+
+TEST(HistogramTest, CountsMomentsAndHits)
+{
+    Histogram hist(Histogram::Options{
+        .min_value = 1.0, .growth = 2.0, .buckets = 4});
+    for (double x : {0.5, 1.5, 1.5, 3.0, 20.0})
+        hist.add(x);
+    EXPECT_EQ(hist.count(), 5u);
+    EXPECT_EQ(hist.bucketHits(0), 1u);
+    EXPECT_EQ(hist.bucketHits(1), 2u);
+    EXPECT_EQ(hist.bucketHits(2), 1u);
+    EXPECT_EQ(hist.bucketHits(5), 1u);
+    EXPECT_DOUBLE_EQ(hist.min(), 0.5);
+    EXPECT_DOUBLE_EQ(hist.max(), 20.0);
+    EXPECT_NEAR(hist.mean(), (0.5 + 1.5 + 1.5 + 3.0 + 20.0) / 5.0,
+                1e-12);
+}
+
+TEST(HistogramTest, QuantilesAreMonotoneAndClamped)
+{
+    Histogram hist;
+    for (int i = 1; i <= 1000; ++i)
+        hist.add(i * 1e-6); // 1..1000 us
+    double prev = 0.0;
+    for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+        const double value = hist.quantile(q);
+        EXPECT_GE(value, prev);
+        EXPECT_GE(value, hist.min());
+        EXPECT_LE(value, hist.max());
+        prev = value;
+    }
+    // The median of 1..1000 us lands within its x2 bucket.
+    EXPECT_GT(hist.quantile(0.5), 250e-6);
+    EXPECT_LT(hist.quantile(0.5), 1024e-6);
+    EXPECT_EQ(hist.quantile(0.0), hist.min());
+    EXPECT_EQ(hist.quantile(1.0), hist.max());
+}
+
+TEST(HistogramTest, MergeAddsBucketsAndMoments)
+{
+    Histogram a;
+    Histogram b;
+    for (int i = 0; i < 100; ++i) {
+        a.add(1e-6);
+        b.add(1e-3);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), 200u);
+    EXPECT_DOUBLE_EQ(a.min(), 1e-6);
+    EXPECT_DOUBLE_EQ(a.max(), 1e-3);
+    EXPECT_NEAR(a.mean(), (100 * 1e-6 + 100 * 1e-3) / 200.0, 1e-15);
+    EXPECT_EQ(a.bucketHits(a.bucketIndex(1e-6)), 100u);
+    EXPECT_EQ(a.bucketHits(a.bucketIndex(1e-3)), 100u);
+}
+
+TEST(MetricsRegistryTest, CountersGaugesHistograms)
+{
+    MetricsRegistry metrics;
+    EXPECT_TRUE(metrics.empty());
+    metrics.add("a.counter");
+    metrics.add("a.counter", 9);
+    metrics.set("a.gauge", 2.5);
+    metrics.setMax("a.peak", 3.0);
+    metrics.setMax("a.peak", 1.0); // lower: ignored
+    metrics.observe("a.hist", 1e-6);
+    metrics.observe("a.hist", 2e-6);
+
+    EXPECT_EQ(metrics.counter("a.counter"), 10);
+    EXPECT_EQ(metrics.counter("missing"), 0);
+    EXPECT_DOUBLE_EQ(metrics.gauge("a.gauge"), 2.5);
+    EXPECT_DOUBLE_EQ(metrics.gauge("a.peak"), 3.0);
+    EXPECT_DOUBLE_EQ(metrics.gauge("missing", -1.0), -1.0);
+    EXPECT_EQ(metrics.histogram("a.hist").count(), 2u);
+    EXPECT_TRUE(metrics.hasCounter("a.counter"));
+    EXPECT_FALSE(metrics.hasCounter("a.gauge"));
+    EXPECT_FALSE(metrics.empty());
+
+    metrics.clear();
+    EXPECT_TRUE(metrics.empty());
+}
+
+TEST(MetricsRegistryTest, ConcurrentPublishersLoseNothing)
+{
+    // Part of the "concurrency" ctest label exercised under TSan.
+    MetricsRegistry metrics;
+    const int threads = 8;
+    const int iterations = 10000;
+    std::vector<std::thread> publishers;
+    publishers.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+        publishers.emplace_back([&metrics, t] {
+            for (int i = 0; i < iterations; ++i) {
+                metrics.add("shared.counter");
+                metrics.observe("shared.hist",
+                                static_cast<double>(i + 1) * 1e-6);
+                metrics.setMax("shared.peak",
+                               static_cast<double>(t * iterations + i));
+            }
+        });
+    }
+    for (auto &publisher : publishers)
+        publisher.join();
+
+    EXPECT_EQ(metrics.counter("shared.counter"),
+              static_cast<std::int64_t>(threads) * iterations);
+    EXPECT_EQ(metrics.histogram("shared.hist").count(),
+              static_cast<std::size_t>(threads) * iterations);
+    EXPECT_DOUBLE_EQ(metrics.gauge("shared.peak"),
+                     static_cast<double>(threads * iterations - 1));
+}
+
+TEST(MetricsRegistryTest, JsonAndSummaryListEveryMetric)
+{
+    MetricsRegistry metrics;
+    metrics.add("policy.probe_pairs", 7);
+    metrics.set("runtime.makespan_seconds", 0.25);
+    metrics.observe("runtime.tm_seconds.mtl=2", 1e-4);
+
+    std::ostringstream os;
+    metrics.writeJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"policy.probe_pairs\": 7"),
+              std::string::npos);
+    EXPECT_NE(json.find("runtime.makespan_seconds"),
+              std::string::npos);
+    EXPECT_NE(json.find("runtime.tm_seconds.mtl=2"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+    // Balanced braces/brackets (structural sanity).
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+
+    const std::string table = metrics.summaryTable();
+    EXPECT_NE(table.find("policy.probe_pairs"), std::string::npos);
+    EXPECT_NE(table.find("runtime.makespan_seconds"),
+              std::string::npos);
+    EXPECT_NE(table.find("runtime.tm_seconds.mtl=2"),
+              std::string::npos);
+}
+
+TEST(ChromeTrace, RendersEventsCounterTrackAndMetadata)
+{
+    TraceData data;
+    TaskEvent memory = eventAt(0.0, 0, 0);
+    memory.is_memory = true;
+    memory.pair = 0;
+    memory.phase = 0;
+    memory.mtl = 2;
+    TaskEvent compute = eventAt(1.0, 1, 1);
+    compute.pair = 0;
+    compute.phase = 0;
+    compute.mtl = 2;
+    data.events = {memory, compute};
+    data.mtl_trace = {{0.0, 4}, {0.5, 2}};
+    data.phase_names = {"alpha"};
+
+    const std::string json = tt::obs::chromeTraceString(data);
+    auto count = [&json](const std::string &needle) {
+        std::size_t hits = 0;
+        for (std::size_t pos = json.find(needle);
+             pos != std::string::npos;
+             pos = json.find(needle, pos + needle.size()))
+            ++hits;
+        return hits;
+    };
+    EXPECT_EQ(count("\"ph\":\"X\""), 2u);
+    EXPECT_EQ(count("\"cat\":\"memory\""), 1u);
+    EXPECT_EQ(count("\"cat\":\"compute\""), 1u);
+    EXPECT_EQ(count("\"name\":\"MTL\""), 2u);
+    EXPECT_EQ(count("thread_name"), 2u);
+    EXPECT_EQ(count("\"phase\":\"alpha\""), 2u);
+    EXPECT_EQ(count("{"), count("}"));
+}
+
+/** The policy's MTL in force at time t per its transition log. */
+int
+mtlAt(const std::vector<std::pair<double, int>> &mtl_trace, double t)
+{
+    int mtl = 0;
+    for (const auto &[time, value] : mtl_trace) {
+        if (time > t)
+            break;
+        mtl = value;
+    }
+    return mtl;
+}
+
+TEST(HostObservability, TraceCoversEveryTaskAndMatchesMtlTrace)
+{
+    // Single worker: dispatch order is deterministic, so every
+    // recorded event's MTL annotation must equal the policy's
+    // mtlTrace() step function evaluated at the event's start.
+    tt::workloads::SyntheticParams params;
+    params.pairs = 48;
+    params.footprint_bytes = 16 * 1024;
+    auto workload = tt::workloads::buildSyntheticHost(params, 2);
+
+    DynamicThrottlePolicy policy(2, 4);
+    tt::MetricsRegistry metrics;
+    policy.bindMetrics(&metrics);
+    tt::runtime::RuntimeOptions options;
+    options.threads = 1;
+    options.pin_affinity = false;
+    options.metrics = &metrics;
+    tt::runtime::Runtime runtime(workload.graph, policy, options);
+    const auto result = runtime.run();
+
+    ASSERT_EQ(result.trace.size(),
+              static_cast<std::size_t>(workload.graph.taskCount()));
+    EXPECT_EQ(result.trace_dropped, 0u);
+    for (std::size_t i = 1; i < result.trace.size(); ++i)
+        EXPECT_LE(result.trace[i - 1].start, result.trace[i].start);
+    for (const auto &event : result.trace) {
+        EXPECT_EQ(event.worker, 0);
+        EXPECT_EQ(event.mtl, mtlAt(result.mtl_trace, event.start))
+            << "task " << event.task << " at t=" << event.start;
+    }
+
+    // The metrics registry saw both the policy and runtime series.
+    EXPECT_EQ(metrics.counter("runtime.tasks_done"),
+              workload.graph.taskCount());
+    EXPECT_GE(metrics.counter("policy.selections"), 1);
+    EXPECT_TRUE(metrics.hasGauge("policy.mtl"));
+    bool saw_tm_histogram = false;
+    for (const auto &name : metrics.histogramNames())
+        saw_tm_histogram |=
+            name.rfind("runtime.tm_seconds.mtl=", 0) == 0;
+    EXPECT_TRUE(saw_tm_histogram);
+
+    // And the shared exporter renders the host trace.
+    const auto data =
+        tt::runtime::toTraceData(workload.graph, result);
+    const std::string json = tt::obs::chromeTraceString(data);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"MTL\""), std::string::npos);
+}
+
+TEST(HostObservability, TraceCapacityCapDropsOldestNotNewest)
+{
+    tt::workloads::SyntheticParams params;
+    params.pairs = 32;
+    params.footprint_bytes = 16 * 1024;
+    auto workload = tt::workloads::buildSyntheticHost(params, 1);
+
+    tt::core::ConventionalPolicy policy(1);
+    tt::runtime::RuntimeOptions options;
+    options.threads = 1;
+    options.pin_affinity = false;
+    options.trace_capacity = 8;
+    tt::runtime::Runtime runtime(workload.graph, policy, options);
+    const auto result = runtime.run();
+
+    EXPECT_EQ(result.trace.size(), 8u);
+    EXPECT_EQ(result.trace_dropped,
+              static_cast<std::uint64_t>(
+                  workload.graph.taskCount() - 8));
+    // The survivors are the chronologically latest events.
+    double max_start = 0.0;
+    for (const auto &event : result.trace)
+        max_start = std::max(max_start, event.start);
+    EXPECT_GT(max_start, 0.0);
+}
+
+} // namespace

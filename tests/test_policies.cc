@@ -130,6 +130,64 @@ TEST(DynamicPolicy, IgnoresStaleSamplesWhileProbing)
     EXPECT_EQ(policy.currentMtl(), probe_mtl);
 }
 
+TEST(DynamicPolicy, StaleProbeSamplesAreNotCountedAsOverhead)
+{
+    // Regression: probe_pairs used to be incremented before the
+    // staleness check, so pairs measured under the pre-probe MTL
+    // inflated monitor_overhead. They must land in stale_pairs.
+    DynamicThrottlePolicy policy(4, 2);
+    double clock = 0.0;
+    // Complete the first window to trigger the initial selection.
+    driveStationary(policy, 0.5, 0.1, 1.0, 2, &clock);
+    ASSERT_EQ(policy.stats().selections, 1);
+    ASSERT_EQ(policy.stats().probe_pairs, 0);
+
+    // Pairs dispatched before the probe's MTL switch arrive tagged
+    // with a different MTL: rejected, and counted as stale only.
+    PairSample stale;
+    stale.tm = 0.5;
+    stale.tc = 1.0;
+    stale.mtl = policy.currentMtl() == 4 ? 1 : 4;
+    stale.end_time = clock;
+    for (int i = 0; i < 7; ++i)
+        policy.onPairMeasured(stale);
+    EXPECT_EQ(policy.stats().probe_pairs, 0);
+    EXPECT_EQ(policy.stats().stale_pairs, 7);
+
+    // Matching samples still advance the probe and are the only
+    // ones counted toward overhead.
+    driveStationary(policy, 0.5, 0.1, 1.0, 2, &clock);
+    EXPECT_EQ(policy.stats().probe_pairs, 2);
+    EXPECT_EQ(policy.stats().stale_pairs, 7);
+}
+
+TEST(DynamicPolicy, RatioTriggerSurvivesZeroRatioWindow)
+{
+    // Regression: in naive ratio mode a window with tm == 0 set
+    // last_ratio_ = 0, after which the relative-change trigger was
+    // permanently false -- later phases were never detected.
+    DynamicThrottlePolicy policy(
+        4, 2, -1, DynamicThrottlePolicy::TriggerMode::kRatioChange);
+    double clock = 0.0;
+
+    // Establish a normal phase (initial selection + monitoring).
+    driveStationary(policy, 0.5, 0.1, 1.0, 40, &clock);
+    ASSERT_GE(policy.stats().selections, 1);
+
+    // A pure-compute phase: tm == 0 for many windows. The first
+    // zero window is itself a (legitimate) ratio change; afterwards
+    // the all-zero steady state must stay quiet.
+    driveStationary(policy, 0.0, 0.0, 1.0, 40, &clock);
+    const long selections_after_zero = policy.stats().selections;
+    driveStationary(policy, 0.0, 0.0, 1.0, 20, &clock);
+    EXPECT_EQ(policy.stats().selections, selections_after_zero);
+
+    // A later memory-heavy phase must still trigger a re-selection
+    // (the old code wedged here forever).
+    driveStationary(policy, 1.5, 0.2, 1.0, 40, &clock);
+    EXPECT_GT(policy.stats().selections, selections_after_zero);
+}
+
 TEST(DynamicPolicy, SingleCoreDegeneratesGracefully)
 {
     DynamicThrottlePolicy policy(1, 2);
@@ -224,6 +282,26 @@ TEST(OnlineExhaustive, SearchVisitsEveryMtl)
         saw[mtl] = true;
     EXPECT_TRUE(saw[1] && saw[2] && saw[3] && saw[4]);
     EXPECT_GE(policy.stats().probe_pairs, 16);
+}
+
+TEST(OnlineExhaustive, StaleSearchSamplesAreNotCountedAsOverhead)
+{
+    OnlineExhaustivePolicy policy(4, 4);
+    double clock = 0.0;
+    // Baseline group completes -> search begins at MTL=1.
+    driveStationary(policy, 0.08, 0.005, 1.0, 4, &clock);
+    ASSERT_EQ(policy.currentMtl(), 1);
+    const long probe_before = policy.stats().probe_pairs;
+
+    PairSample stale;
+    stale.tm = 0.1;
+    stale.tc = 1.0;
+    stale.mtl = 4; // measured under the pre-search MTL
+    stale.end_time = clock;
+    for (int i = 0; i < 5; ++i)
+        policy.onPairMeasured(stale);
+    EXPECT_EQ(policy.stats().probe_pairs, probe_before);
+    EXPECT_EQ(policy.stats().stale_pairs, 5);
 }
 
 TEST(OnlineExhaustive, PicksFastestGroup)
