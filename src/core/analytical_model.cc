@@ -17,14 +17,37 @@ QueuingModel::fit(int a, double tm_a, int b, double tm_b)
     return qm;
 }
 
+namespace {
+
+/**
+ * Degenerate-measurement guard: the run-time mechanism can feed the
+ * model times from corrupted windows (clock glitches, injected
+ * faults). Negative and NaN durations carry no information and are
+ * clamped to zero, which steers every formula to its harmless
+ * degenerate branch; +infinity is preserved (an "infinitely slow"
+ * task is a meaningful limit the formulas already handle).
+ */
+double
+sanitizeTime(double t)
+{
+    if (std::isnan(t) || t < 0.0)
+        return 0.0;
+    return t;
+}
+
+} // namespace
+
 bool
 AnalyticalModel::someCoresIdle(double tm_k, double tc, int k, int n)
 {
     tt_assert(n >= 1, "need at least one core");
     tt_assert(k >= 1 && k <= n, "MTL ", k, " out of range [1, ", n, "]");
-    tt_assert(tm_k >= 0.0 && tc >= 0.0, "negative task times");
+    tm_k = sanitizeTime(tm_k);
+    tc = sanitizeTime(tc);
     if (k == n)
         return false; // no restriction, cores are never forced idle
+    if (std::isinf(tm_k))
+        return !std::isinf(tc); // inf vs inf: no evidence of idling
     // T_mk / T_c > k / (n - k), cross-multiplied to avoid divide-by-0
     // when tc == 0 (a pure-memory phase is idle-bound at any k < n as
     // long as memory tasks take non-zero time).
@@ -35,7 +58,12 @@ int
 AnalyticalModel::idleBound(double tm, double tc, int n)
 {
     tt_assert(n >= 1, "need at least one core");
-    tt_assert(tm >= 0.0 && tc >= 0.0, "negative task times");
+    tm = sanitizeTime(tm);
+    tc = sanitizeTime(tc);
+    if (std::isinf(tm))
+        return std::isinf(tc) ? 1 : n; // memory-dominated limit
+    if (std::isinf(tc))
+        return 1; // compute-dominated limit: throttling cannot bind
     const double total = tm + tc;
     if (total <= 0.0)
         return 1; // degenerate zero-length tasks: no restriction binds

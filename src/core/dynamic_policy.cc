@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "util/logging.hh"
+#include "util/stats.hh"
 
 namespace tt::core {
 
@@ -16,12 +17,31 @@ DynamicThrottlePolicy::DynamicThrottlePolicy(int cores, int window,
       mtl_(initial < 0 ? cores : initial),
       mode_(mode),
       ratio_threshold_(ratio_threshold),
-      detector_(window, cores)
+      detector_(window, cores),
+      reject_limit_(2 * window),
+      reenter_after_(window)
 {
     tt_assert(cores_ >= 1, "need at least one core");
     tt_assert(window_ >= 1, "monitoring window must be positive");
     tt_assert(mtl_ >= 1 && mtl_ <= cores_, "initial MTL out of range");
     traceMtl(0.0, mtl_);
+}
+
+void
+DynamicThrottlePolicy::setFaultTolerance(int reject_limit,
+                                         int reenter_after)
+{
+    tt_assert(reject_limit >= 1, "rejection limit must be positive");
+    tt_assert(reenter_after >= 1, "re-entry threshold must be positive");
+    reject_limit_ = reject_limit;
+    reenter_after_ = reenter_after;
+}
+
+void
+DynamicThrottlePolicy::setSampleGuardOptions(
+    const SampleGuard::Options &options)
+{
+    guard_ = SampleGuard(options);
 }
 
 void
@@ -35,7 +55,31 @@ void
 DynamicThrottlePolicy::onPairMeasured(const PairSample &sample)
 {
     ++stats_.pairs_observed;
+
+    // Screen before trusting anything in the sample -- even its
+    // timestamp. A rejected sample never reaches the detector or the
+    // selector; enough of them in a row and the measurements are
+    // untrustworthy wholesale, so degrade to the safe static MTL.
+    if (!guard_.accept(sample)) {
+        ++stats_.samples_rejected;
+        countMetric("policy.samples_rejected");
+        ++consecutive_rejected_;
+        degraded_valid_ = 0;
+        if (state_ != State::Degraded &&
+            consecutive_rejected_ >= reject_limit_)
+            enterDegraded();
+        return;
+    }
+    consecutive_rejected_ = 0;
     last_sample_time_ = sample.end_time;
+
+    if (state_ == State::Degraded) {
+        // Hold the safe MTL until measurements look healthy again,
+        // then re-enter dynamic selection from scratch.
+        if (++degraded_valid_ >= reenter_after_)
+            leaveDegraded();
+        return;
+    }
 
     if (state_ == State::Monitor) {
         auto summary = detector_.addSample(sample, mtl_);
@@ -152,6 +196,46 @@ DynamicThrottlePolicy::finishSelection()
     state_ = State::Monitor;
     selector_.reset();
     probe_mtl_.reset();
+}
+
+void
+DynamicThrottlePolicy::enterDegraded()
+{
+    ++stats_.fallbacks;
+    countMetric("policy.fallbacks");
+    if (metrics_)
+        metrics_->set("policy.degraded", 1.0);
+    state_ = State::Degraded;
+    degraded_valid_ = 0;
+
+    // Abandon any in-flight selection: its probe measurements are
+    // tainted by the same corruption that triggered the fallback.
+    selector_.reset();
+    probe_mtl_.reset();
+    detector_.reset();
+    accepted_idle_bound_.reset();
+    last_ratio_ = -1.0;
+
+    // The safe static MTL is the conventional, unthrottled schedule:
+    // it forfeits the paper's speedup but can never corrupt the
+    // schedule the way a garbage-driven D-MTL could.
+    mtl_ = cores_;
+    traceMtl(last_sample_time_, mtl_);
+}
+
+void
+DynamicThrottlePolicy::leaveDegraded()
+{
+    if (metrics_)
+        metrics_->set("policy.degraded", 0.0);
+    state_ = State::Monitor;
+    degraded_valid_ = 0;
+    // With no accepted IdleBound the next completed window counts as
+    // a phase change, which re-runs MTL selection -- the periodic
+    // re-entry into dynamic mode.
+    detector_.reset();
+    accepted_idle_bound_.reset();
+    last_ratio_ = -1.0;
 }
 
 } // namespace tt::core

@@ -27,6 +27,7 @@
 #include "core/mtl_selector.hh"
 #include "core/phase_detector.hh"
 #include "core/policy.hh"
+#include "core/sample_guard.hh"
 
 namespace tt::core {
 
@@ -70,6 +71,29 @@ class DynamicThrottlePolicy : public SchedulingPolicy
      */
     void setIdleBoundHysteresis(int amount);
 
+    /**
+     * Fault-tolerance knobs (robustness extension, not in the
+     * paper). Samples failing the SampleGuard (non-finite, negative
+     * or extreme-outlier durations) are dropped and counted as
+     * `policy.samples_rejected`. After `reject_limit` consecutive
+     * rejections -- i.e. repeated measurement windows made of
+     * garbage -- the policy *degrades*: it abandons any in-flight
+     * selection and pins the MTL to the safe static value (the
+     * conventional, unthrottled n), because acting on corrupt
+     * measurements is worse than not throttling. Once
+     * `reenter_after` consecutive valid samples arrive while
+     * degraded, it re-enters dynamic selection from scratch.
+     *
+     * Defaults: reject_limit = 2 * window, reenter_after = window.
+     */
+    void setFaultTolerance(int reject_limit, int reenter_after);
+
+    /** As setFaultTolerance, plus explicit outlier-screen options. */
+    void setSampleGuardOptions(const SampleGuard::Options &options);
+
+    /** True while degraded to the safe static MTL. */
+    bool degraded() const { return state_ == State::Degraded; }
+
     std::string name() const override { return "dynamic-throttle"; }
     int currentMtl() const override { return mtl_; }
     void onPairMeasured(const PairSample &sample) override;
@@ -88,8 +112,10 @@ class DynamicThrottlePolicy : public SchedulingPolicy
     void beginSelection();
     void finishSelection();
     void startProbe();
+    void enterDegraded();
+    void leaveDegraded();
 
-    enum class State { Monitor, Select };
+    enum class State { Monitor, Select, Degraded };
 
     int cores_;
     int window_;
@@ -101,6 +127,13 @@ class DynamicThrottlePolicy : public SchedulingPolicy
     double last_ratio_ = -1.0;
     State state_ = State::Monitor;
     PhaseDetector detector_;
+
+    // Fault tolerance: sample screening and graceful degradation.
+    SampleGuard guard_;
+    int reject_limit_;
+    int reenter_after_;
+    int consecutive_rejected_ = 0;
+    int degraded_valid_ = 0;
 
     // SELECT-state machinery.
     std::unique_ptr<MtlSelector> selector_;

@@ -4,12 +4,14 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/stats.hh"
 
 namespace tt::core {
 
 OnlineExhaustivePolicy::OnlineExhaustivePolicy(int cores, int window,
                                                double threshold)
-    : cores_(cores), window_(window), threshold_(threshold), mtl_(cores)
+    : cores_(cores), window_(window), threshold_(threshold), mtl_(cores),
+      reject_limit_(2 * window), reenter_after_(window)
 {
     tt_assert(cores_ >= 1, "need at least one core");
     tt_assert(window_ >= 1, "monitoring window must be positive");
@@ -18,9 +20,50 @@ OnlineExhaustivePolicy::OnlineExhaustivePolicy(int cores, int window,
 }
 
 void
+OnlineExhaustivePolicy::setFaultTolerance(int reject_limit,
+                                          int reenter_after)
+{
+    tt_assert(reject_limit >= 1, "rejection limit must be positive");
+    tt_assert(reenter_after >= 1, "re-entry threshold must be positive");
+    reject_limit_ = reject_limit;
+    reenter_after_ = reenter_after;
+}
+
+void
 OnlineExhaustivePolicy::onPairMeasured(const PairSample &sample)
 {
     ++stats_.pairs_observed;
+
+    // Non-finite, negative or extreme-outlier measurements would
+    // poison the timed groups the search compares; drop them, and
+    // after a sustained run of garbage fall back to the safe static
+    // MTL (see DynamicThrottlePolicy for the rationale).
+    if (!guard_.accept(sample)) {
+        ++stats_.samples_rejected;
+        countMetric("policy.samples_rejected");
+        ++consecutive_rejected_;
+        degraded_valid_ = 0;
+        if (state_ != State::Degraded &&
+            consecutive_rejected_ >= reject_limit_)
+            enterDegraded(sample.end_time);
+        return;
+    }
+    consecutive_rejected_ = 0;
+
+    if (state_ == State::Degraded) {
+        if (++degraded_valid_ >= reenter_after_) {
+            if (metrics_)
+                metrics_->set("policy.degraded", 0.0);
+            state_ = State::Monitor;
+            degraded_valid_ = 0;
+            // Forget the search history: the next completed group
+            // re-triggers the initial brute-force search.
+            prev_group_time_ = -1.0;
+            searched_once_ = false;
+            startGroup(sample.end_time);
+        }
+        return;
+    }
 
     if (state_ == State::Search) {
         // Only pairs actually executed under the candidate MTL count
@@ -96,6 +139,20 @@ OnlineExhaustivePolicy::startGroup(double now)
 {
     group_start_ = now;
     group_filled_ = 0;
+}
+
+void
+OnlineExhaustivePolicy::enterDegraded(double now)
+{
+    ++stats_.fallbacks;
+    countMetric("policy.fallbacks");
+    if (metrics_)
+        metrics_->set("policy.degraded", 1.0);
+    state_ = State::Degraded;
+    degraded_valid_ = 0;
+    search_times_.clear();
+    mtl_ = cores_;
+    traceMtl(now, mtl_);
 }
 
 } // namespace tt::core

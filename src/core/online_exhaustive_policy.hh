@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/policy.hh"
+#include "core/sample_guard.hh"
 
 namespace tt::core {
 
@@ -34,6 +35,19 @@ class OnlineExhaustivePolicy : public SchedulingPolicy
      */
     OnlineExhaustivePolicy(int cores, int window, double threshold = 0.10);
 
+    /**
+     * Fault-tolerance knobs, mirroring
+     * DynamicThrottlePolicy::setFaultTolerance: after `reject_limit`
+     * consecutive guard-rejected samples the policy abandons any
+     * brute-force search in flight and pins the MTL to the safe
+     * static value (n); `reenter_after` consecutive valid samples
+     * re-arm the search from scratch.
+     */
+    void setFaultTolerance(int reject_limit, int reenter_after);
+
+    /** True while degraded to the safe static MTL. */
+    bool degraded() const { return state_ == State::Degraded; }
+
     std::string name() const override { return "online-exhaustive"; }
     int currentMtl() const override { return mtl_; }
     void onPairMeasured(const PairSample &sample) override;
@@ -43,8 +57,9 @@ class OnlineExhaustivePolicy : public SchedulingPolicy
   private:
     void beginSearch(double now);
     void startGroup(double now);
+    void enterDegraded(double now);
 
-    enum class State { Monitor, Search };
+    enum class State { Monitor, Search, Degraded };
 
     int cores_;
     int window_;
@@ -61,6 +76,13 @@ class OnlineExhaustivePolicy : public SchedulingPolicy
     // Search progress: measured group time per candidate MTL.
     int search_mtl_ = 0;
     std::vector<double> search_times_;
+
+    // Fault tolerance: sample screening and graceful degradation.
+    SampleGuard guard_;
+    int reject_limit_;
+    int reenter_after_;
+    int consecutive_rejected_ = 0;
+    int degraded_valid_ = 0;
 };
 
 } // namespace tt::core

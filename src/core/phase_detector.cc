@@ -1,5 +1,7 @@
 #include "core/phase_detector.hh"
 
+#include <cmath>
+
 #include "core/analytical_model.hh"
 #include "util/logging.hh"
 
@@ -17,6 +19,14 @@ PhaseDetector::addSample(const PairSample &sample, int expected_mtl)
 {
     if (sample.mtl != expected_mtl)
         return std::nullopt; // stale: measured under an old constraint
+
+    // Defence in depth behind the policies' SampleGuard: one
+    // non-finite duration would poison the whole window's averages
+    // (NaN propagates through the accumulators and IdleBound), so a
+    // degenerate sample never enters the window.
+    if (!std::isfinite(sample.tm) || !std::isfinite(sample.tc) ||
+        sample.tm < 0.0 || sample.tc < 0.0)
+        return std::nullopt;
 
     tm_acc_ += sample.tm;
     tc_acc_ += sample.tc;

@@ -1,0 +1,50 @@
+#include "core/sample_guard.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace tt::core {
+
+SampleGuard::SampleGuard(const Options &options)
+    : options_(options)
+{
+    tt_assert(options_.outlier_factor > 1.0,
+              "outlier factor must exceed 1");
+    tt_assert(options_.min_history >= 1,
+              "outlier screening needs at least one history sample");
+}
+
+bool
+SampleGuard::accept(const PairSample &sample)
+{
+    const bool finite = std::isfinite(sample.tm) &&
+                        std::isfinite(sample.tc) &&
+                        std::isfinite(sample.end_time);
+    if (!finite || sample.tm < 0.0 || sample.tc < 0.0) {
+        ++rejected_;
+        return false;
+    }
+
+    const double total = sample.tm + sample.tc;
+    if (accepted_ >= options_.min_history && total_mean_ > 0.0 &&
+        total > options_.outlier_factor * total_mean_) {
+        ++rejected_;
+        return false;
+    }
+
+    ++accepted_;
+    total_mean_ +=
+        (total - total_mean_) / static_cast<double>(accepted_);
+    return true;
+}
+
+void
+SampleGuard::reset()
+{
+    accepted_ = 0;
+    rejected_ = 0;
+    total_mean_ = 0.0;
+}
+
+} // namespace tt::core

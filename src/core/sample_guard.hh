@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Validity guard for PairSamples feeding the adaptive policies.
+ *
+ * The paper's mechanism trusts every T_mk / T_c measurement, but a
+ * real runtime can deliver garbage: a clock glitch or an injected
+ * fault yields NaN / infinite / negative durations, and a straggling
+ * task yields a sample orders of magnitude away from the workload's
+ * steady state. Feeding any of those into the analytical model
+ * either poisons a whole monitoring window or drives the D-MTL
+ * search to a nonsensical limit. SampleGuard screens samples before
+ * a policy consumes them:
+ *
+ *  - hard rejects: non-finite or negative tm / tc / end_time;
+ *  - soft rejects: once enough history has accumulated, a sample
+ *    whose total duration (tm + tc) exceeds `outlier_factor` times
+ *    the running mean is treated as a straggler artefact.
+ *
+ * The guard is deliberately conservative (default factor 1000x): it
+ * exists to stop garbage, not to second-guess genuine phase changes,
+ * which shift durations by small multiples only.
+ */
+
+#ifndef TT_CORE_SAMPLE_GUARD_HH
+#define TT_CORE_SAMPLE_GUARD_HH
+
+#include <cstddef>
+
+#include "core/samples.hh"
+
+namespace tt::core {
+
+/** Screens PairSamples for the adaptive policies. */
+class SampleGuard
+{
+  public:
+    struct Options
+    {
+        /** Reject samples beyond this multiple of the running mean. */
+        double outlier_factor = 1000.0;
+
+        /** Accepted samples required before outlier screening arms. */
+        int min_history = 16;
+    };
+
+    SampleGuard() : SampleGuard(Options{}) {}
+    explicit SampleGuard(const Options &options);
+
+    /**
+     * True when the sample is trustworthy; accepted samples update
+     * the running mean used for outlier screening.
+     */
+    bool accept(const PairSample &sample);
+
+    /** Forget the accumulated history (e.g. across phases). */
+    void reset();
+
+    long accepted() const { return accepted_; }
+    long rejected() const { return rejected_; }
+
+  private:
+    Options options_;
+    long accepted_ = 0;
+    long rejected_ = 0;
+    double total_mean_ = 0.0; ///< running mean of tm + tc
+};
+
+} // namespace tt::core
+
+#endif // TT_CORE_SAMPLE_GUARD_HH

@@ -35,6 +35,11 @@ struct PolicyStats
     long selections = 0;       ///< MTL-selection rounds triggered
     long phase_changes = 0;    ///< phase changes detected
     long mtl_switches = 0;     ///< times currentMtl() changed value
+    long samples_rejected = 0; ///< non-finite/negative/outlier samples
+                               ///  dropped by the validity guard
+    long fallbacks = 0;        ///< times the policy degraded to the
+                               ///  safe static MTL after repeated
+                               ///  rejected measurement windows
 };
 
 } // namespace tt::core

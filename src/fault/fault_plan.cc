@@ -1,0 +1,110 @@
+#include "fault/fault_plan.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace tt::fault {
+
+namespace {
+
+/** SplitMix64 finaliser: a strong 64-bit mix. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+hashCoords(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+           std::uint64_t salt)
+{
+    // Chain the coordinates through the mixer so nearby (task,
+    // attempt, salt) triples decorrelate fully.
+    std::uint64_t h = mix64(seed ^ 0x5bf03635f0935ad1ULL);
+    h = mix64(h ^ a);
+    h = mix64(h ^ (b + 0x632be59bd9b4e019ULL));
+    h = mix64(h ^ (salt * 0xd6e8feb86659fd93ULL));
+    return h;
+}
+
+double
+toUnit(std::uint64_t h)
+{
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+constexpr std::uint64_t kSaltFail = 1;
+constexpr std::uint64_t kSaltStraggler = 2;
+constexpr std::uint64_t kSaltCorrupt = 3;
+constexpr std::uint64_t kSaltStall = 4;
+constexpr std::uint64_t kSaltCorruptShape = 5;
+
+} // namespace
+
+FaultPlan::FaultPlan(const FaultConfig &config)
+    : config_(config)
+{
+    tt_assert(config_.fail_p >= 0.0 && config_.fail_p <= 1.0,
+              "fail probability out of [0, 1]");
+    tt_assert(config_.straggler_p >= 0.0 && config_.straggler_p <= 1.0,
+              "straggler probability out of [0, 1]");
+    tt_assert(config_.corrupt_p >= 0.0 && config_.corrupt_p <= 1.0,
+              "corrupt probability out of [0, 1]");
+    tt_assert(config_.stall_p >= 0.0 && config_.stall_p <= 1.0,
+              "stall probability out of [0, 1]");
+    tt_assert(config_.straggler_factor >= 1.0,
+              "straggler factor must be >= 1");
+    tt_assert(config_.stall_seconds >= 0.0,
+              "stall duration must be non-negative");
+}
+
+double
+FaultPlan::roll(stream::TaskId task, int attempt, std::uint64_t salt) const
+{
+    return toUnit(hashCoords(config_.seed,
+                             static_cast<std::uint64_t>(task),
+                             static_cast<std::uint64_t>(attempt), salt));
+}
+
+TaskFaults
+FaultPlan::forTask(stream::TaskId task, int attempt) const
+{
+    TaskFaults faults;
+    if (!enabled())
+        return faults;
+    faults.fail = roll(task, attempt, kSaltFail) < config_.fail_p;
+    if (roll(task, attempt, kSaltStraggler) < config_.straggler_p)
+        faults.latency_factor = config_.straggler_factor;
+    faults.stall = roll(task, attempt, kSaltStall) < config_.stall_p;
+    // Corruption ignores the attempt: whether this task's sample is
+    // poisoned is a property of the task, so a retried task corrupts
+    // the same way and host/sim retry histories cannot diverge it.
+    faults.corrupt_sample =
+        roll(task, 0, kSaltCorrupt) < config_.corrupt_p;
+    return faults;
+}
+
+double
+FaultPlan::corruptValue(stream::TaskId task, int field) const
+{
+    const std::uint64_t h = hashCoords(
+        config_.seed, static_cast<std::uint64_t>(task),
+        static_cast<std::uint64_t>(field), kSaltCorruptShape);
+    switch (h % 4) {
+    case 0:
+        return std::numeric_limits<double>::quiet_NaN();
+    case 1:
+        return std::numeric_limits<double>::infinity();
+    case 2:
+        return -1.0e-3;
+    default:
+        return 1.0e18; // finite but absurd: the outlier case
+    }
+}
+
+} // namespace tt::fault

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Deterministic fault injection for chaos-testing the runtimes.
+ *
+ * A FaultPlan is a pure function from (seed, task id, attempt) to a
+ * set of fault decisions: task-body exceptions, straggler latency
+ * multipliers, corrupted (non-finite / negative) timing samples, and
+ * worker stalls. Decisions are derived by hashing, not by drawing
+ * from a sequential RNG stream, so they are independent of thread
+ * interleaving and scheduling order -- the same plan applied to
+ * runtime::Runtime (real threads) and simrt::SimRuntime (simulated
+ * time) injects the *same* faults into the *same* tasks, which makes
+ * chaos runs reproducible and host/sim behaviour directly
+ * comparable.
+ *
+ * The plan is consulted by the runtimes at three points:
+ *  - before executing a task body (fail / stall / straggler);
+ *  - when a pair sample is assembled (corruption, keyed by the
+ *    pair's compute task, independent of the attempt so a retried
+ *    task corrupts identically);
+ *  - by ttsim, to report what was injected.
+ */
+
+#ifndef TT_FAULT_FAULT_PLAN_HH
+#define TT_FAULT_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "stream/task.hh"
+
+namespace tt::fault {
+
+/** Knobs of one fault-injection campaign. */
+struct FaultConfig
+{
+    /** Seed; two plans with equal config inject identical faults. */
+    std::uint64_t seed = 0;
+
+    /** Probability a task attempt throws from its body. */
+    double fail_p = 0.0;
+
+    /** Probability a task attempt runs as a straggler. */
+    double straggler_p = 0.0;
+
+    /** Latency multiplier applied to straggler attempts (>= 1). */
+    double straggler_factor = 4.0;
+
+    /** Probability a pair's timing sample is corrupted. */
+    double corrupt_p = 0.0;
+
+    /** Probability a task attempt stalls its worker. */
+    double stall_p = 0.0;
+
+    /**
+     * How long a stalled worker hangs, in (host wall / simulated)
+     * seconds. Set it beyond the watchdog deadline to model a wedge.
+     */
+    double stall_seconds = 0.05;
+
+    /** True when any injection probability is nonzero. */
+    bool
+    enabled() const
+    {
+        return fail_p > 0.0 || straggler_p > 0.0 || corrupt_p > 0.0 ||
+               stall_p > 0.0;
+    }
+};
+
+/** Decisions for one (task, attempt). */
+struct TaskFaults
+{
+    bool fail = false;           ///< throw from the task body
+    bool stall = false;          ///< hang the worker for stall_seconds
+    bool corrupt_sample = false; ///< poison the pair's PairSample
+    double latency_factor = 1.0; ///< 1.0 = no straggling
+};
+
+/** The exception an injected task-body failure throws. */
+class InjectedFault : public std::runtime_error
+{
+  public:
+    InjectedFault(stream::TaskId task, int attempt)
+        : std::runtime_error("injected fault: task " +
+                             std::to_string(task) + " attempt " +
+                             std::to_string(attempt)),
+          task_(task), attempt_(attempt)
+    {
+    }
+
+    stream::TaskId task() const { return task_; }
+    int attempt() const { return attempt_; }
+
+  private:
+    stream::TaskId task_;
+    int attempt_;
+};
+
+/** Seeded, order-independent fault decision table. */
+class FaultPlan
+{
+  public:
+    explicit FaultPlan(const FaultConfig &config);
+
+    const FaultConfig &config() const { return config_; }
+    bool enabled() const { return config_.enabled(); }
+
+    /**
+     * Decisions for attempt `attempt` (0-based) of task `task`.
+     * Deterministic in (seed, task, attempt) only; corruption is
+     * keyed by the task alone so retries corrupt identically.
+     */
+    TaskFaults forTask(stream::TaskId task, int attempt) const;
+
+    /**
+     * The poisoned value a corrupted sample field takes: cycles
+     * deterministically through NaN, +infinity, a negative time and
+     * an absurdly large outlier, so validators see every shape of
+     * garbage.
+     */
+    double corruptValue(stream::TaskId task, int field) const;
+
+  private:
+    /** Uniform [0, 1) from the decision coordinates. */
+    double roll(stream::TaskId task, int attempt,
+                std::uint64_t salt) const;
+
+    FaultConfig config_;
+};
+
+} // namespace tt::fault
+
+#endif // TT_FAULT_FAULT_PLAN_HH

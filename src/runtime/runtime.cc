@@ -2,9 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
 #include <string>
 #include <thread>
 
+#include "core/sample_guard.hh"
+#include "fault/fault_plan.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 
@@ -128,7 +134,8 @@ Runtime::workerLoop(int worker_index)
     obs::TraceRing &ring = tracer_.ring(worker_index);
 
     std::unique_lock lock(mutex_);
-    while (tasks_done_ < graph_.taskCount()) {
+    while (tasks_done_ < graph_.taskCount() &&
+           !run_failed_.load(std::memory_order_relaxed)) {
         const TaskId id = pickLocked();
         if (id == stream::kInvalidTask) {
             cv_.wait(lock);
@@ -146,29 +153,189 @@ Runtime::workerLoop(int worker_index)
         }
 
         lock.unlock();
-        const double start = nowSeconds() - run_start_;
-        if (task.host_work)
-            task.host_work();
-        const double end = nowSeconds() - run_start_;
+        double start = 0.0;
+        double end = 0.0;
+        std::string why;
+        const bool ok = executeWithRetries(task, &start, &end, &why);
 
-        // Record into this worker's private ring while unlocked:
-        // tracing never contends with the scheduler.
-        obs::TaskEvent event;
-        event.task = id;
-        event.pair = task.pair;
-        event.phase = task.phase;
-        event.is_memory = task.kind == TaskKind::Memory;
-        event.worker = worker_index;
-        event.start = start;
-        event.end = end;
-        event.mtl = mtl_at_dispatch;
-        ring.record(event);
+        if (ok) {
+            // Record into this worker's private ring while unlocked:
+            // tracing never contends with the scheduler.
+            obs::TaskEvent event;
+            event.task = id;
+            event.pair = task.pair;
+            event.phase = task.phase;
+            event.is_memory = task.kind == TaskKind::Memory;
+            event.worker = worker_index;
+            event.start = start;
+            event.end = end;
+            event.mtl = mtl_at_dispatch;
+            ring.record(event);
+        }
 
         lock.lock();
-        completeLocked(id, start, end);
+        if (ok)
+            completeLocked(id, start, end);
+        else
+            failRunLocked(id, why);
         cv_.notify_all();
     }
     cv_.notify_all();
+}
+
+bool
+Runtime::executeWithRetries(const Task &task, double *start,
+                            double *end, std::string *why)
+{
+    const fault::FaultPlan *plan = options_.fault_plan;
+    const bool inject = plan != nullptr && plan->enabled();
+
+    for (int attempt = 0;; ++attempt) {
+        fault::TaskFaults faults;
+        if (inject)
+            faults = plan->forTask(task.id, attempt);
+        try {
+            if (attempt > 0 && task.kind == TaskKind::Compute) {
+                // Pair-granularity retry: the compute body consumes
+                // data its memory partner gathered, and the failed
+                // attempt may have clobbered it mid-flight.
+                // Re-execute the memory body first so the retry sees
+                // a freshly gathered pair, then re-run compute.
+                const Task &mem =
+                    graph_.task(graph_.memoryTaskOf(task.pair));
+                if (mem.host_work)
+                    mem.host_work();
+            }
+            *start = nowSeconds() - run_start_;
+            if (faults.stall)
+                sleepSeconds(plan->config().stall_seconds);
+            if (faults.fail)
+                throw fault::InjectedFault(task.id, attempt);
+            if (task.host_work)
+                task.host_work();
+            if (faults.latency_factor > 1.0) {
+                const double elapsed =
+                    nowSeconds() - run_start_ - *start;
+                sleepSeconds(elapsed * (faults.latency_factor - 1.0));
+            }
+            *end = nowSeconds() - run_start_;
+            return true;
+        } catch (const std::exception &error) {
+            if (attempt >= options_.max_task_retries) {
+                *why = error.what();
+                return false;
+            }
+        } catch (...) {
+            if (attempt >= options_.max_task_retries) {
+                *why = "non-standard exception";
+                return false;
+            }
+        }
+
+        task_retries_.fetch_add(1, std::memory_order_relaxed);
+        if (MetricsRegistry *metrics = options_.metrics)
+            metrics->add("runtime.task_retries", 1);
+        const double backoff =
+            std::min(options_.retry_backoff_seconds *
+                         std::ldexp(1.0, attempt),
+                     50e-3);
+        if (backoff > 0.0)
+            sleepSeconds(backoff);
+        if (run_failed_.load(std::memory_order_relaxed)) {
+            // Another worker already failed the run; don't burn the
+            // remaining attempts racing it to the diagnostic.
+            *why = "run already failed";
+            return false;
+        }
+    }
+}
+
+void
+Runtime::failRunLocked(TaskId id, const std::string &why)
+{
+    ++task_failures_;
+    if (MetricsRegistry *metrics = options_.metrics)
+        metrics->add("runtime.task_failures", 1);
+    const Task &task = graph_.task(id);
+    if (task.kind == TaskKind::Memory)
+        --mem_in_flight_;
+    if (!run_failed_.load(std::memory_order_relaxed)) {
+        failure_reason_ = "task " + std::to_string(id) +
+                          " failed after " +
+                          std::to_string(options_.max_task_retries) +
+                          " retries: " + why;
+        run_failed_.store(true, std::memory_order_relaxed);
+        tt_warn("aborting run: ", failure_reason_);
+    }
+}
+
+void
+Runtime::sleepSeconds(double seconds)
+{
+    // Chunked so stalled/backing-off workers notice a failed run (or
+    // simply finish) within ~10 ms instead of sleeping the full span.
+    const double deadline = nowSeconds() + seconds;
+    while (!run_failed_.load(std::memory_order_relaxed)) {
+        const double left = deadline - nowSeconds();
+        if (left <= 0.0)
+            return;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(std::min(left, 10e-3)));
+    }
+}
+
+void
+Runtime::watchdogLoop()
+{
+    std::unique_lock lock(watchdog_mutex_);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(options_.watchdog_seconds));
+    const bool drained = watchdog_cv_.wait_until(
+        lock, deadline, [this] { return run_complete_; });
+    if (drained)
+        return;
+    lock.unlock();
+
+    if (MetricsRegistry *metrics = options_.metrics)
+        metrics->add("runtime.watchdog_fired", 1);
+    std::fprintf(stderr,
+                 "tt: watchdog: run exceeded %.3f s deadline; dumping "
+                 "diagnostics and exiting with code %d\n",
+                 options_.watchdog_seconds, options_.watchdog_exit_code);
+    runCrashDumpHooks(); // includes this runtime's crashDump()
+    std::fflush(nullptr);
+    // Workers may be wedged holding locks; a normal exit would hang
+    // in their joins/destructors, so leave without unwinding.
+    std::_Exit(options_.watchdog_exit_code);
+}
+
+void
+Runtime::crashDump()
+{
+    // Runs on the watchdog/terminate path with workers possibly
+    // wedged inside the scheduler lock: never block, report whatever
+    // is reachable. The counter reads race with live workers, which
+    // is acceptable for a diagnostic of a dying process.
+    std::unique_lock lock(mutex_, std::try_to_lock);
+    if (lock.owns_lock())
+        std::fprintf(stderr,
+                     "tt: runtime progress: %d/%d tasks done, "
+                     "%d memory tasks in flight\n",
+                     tasks_done_, graph_.taskCount(), mem_in_flight_);
+    else
+        std::fprintf(stderr,
+                     "tt: runtime progress: scheduler lock held "
+                     "(worker wedged mid-dispatch), %d tasks total\n",
+                     graph_.taskCount());
+    std::fprintf(
+        stderr,
+        "tt: runtime trace: %llu events recorded, %llu dropped; "
+        "%ld task retries\n",
+        static_cast<unsigned long long>(tracer_.recorded()),
+        static_cast<unsigned long long>(tracer_.dropped()),
+        task_retries_.load(std::memory_order_relaxed));
 }
 
 void
@@ -190,8 +357,22 @@ Runtime::completeLocked(TaskId id, double start, double end)
         sample.tc = end - start;
         sample.end_time = end;
         sample.mtl = pair_mem_mtl_[static_cast<std::size_t>(pair)];
+        if (options_.fault_plan && options_.fault_plan->enabled()) {
+            // Corruption models a broken clock read at measurement
+            // time. Keyed by the compute task with attempt 0 so the
+            // same pairs corrupt regardless of retry history -- and
+            // identically on the simulated runtime.
+            const fault::TaskFaults faults =
+                options_.fault_plan->forTask(id, 0);
+            if (faults.corrupt_sample) {
+                sample.tm = options_.fault_plan->corruptValue(id, 0);
+                sample.tc = options_.fault_plan->corruptValue(id, 1);
+            }
+        }
         samples_.push_back(sample);
-        if (MetricsRegistry *metrics = options_.metrics) {
+        if (MetricsRegistry *metrics = options_.metrics;
+            metrics != nullptr && std::isfinite(sample.tm) &&
+            std::isfinite(sample.tc)) {
             const std::string suffix =
                 ".mtl=" + std::to_string(sample.mtl);
             metrics->observe("runtime.tm_seconds" + suffix, sample.tm);
@@ -246,6 +427,14 @@ Runtime::run()
         activatePhaseLocked(0);
     }
 
+    // While the run is live, abnormal termination (tt_assert, the
+    // watchdog) can flush this runtime's diagnostics.
+    const int hook_id = registerCrashDumpHook([this] { crashDump(); });
+
+    std::thread watchdog;
+    if (options_.watchdog_seconds > 0.0)
+        watchdog = std::thread([this] { watchdogLoop(); });
+
     std::vector<std::thread> workers;
     workers.reserve(static_cast<std::size_t>(options_.threads));
     for (int w = 0; w < options_.threads; ++w)
@@ -253,7 +442,21 @@ Runtime::run()
     for (auto &worker : workers)
         worker.join();
 
-    tt_assert(tasks_done_ == graph_.taskCount(),
+    {
+        std::lock_guard lock(watchdog_mutex_);
+        run_complete_ = true;
+    }
+    watchdog_cv_.notify_all();
+    if (watchdog.joinable())
+        watchdog.join();
+    unregisterCrashDumpHook(hook_id);
+
+    result.failed = run_failed_.load(std::memory_order_relaxed);
+    result.failure_reason = failure_reason_;
+    result.task_retries =
+        task_retries_.load(std::memory_order_relaxed);
+    result.task_failures = task_failures_;
+    tt_assert(result.failed || tasks_done_ == graph_.taskCount(),
               "runtime drained with unfinished tasks");
 
     result.seconds = nowSeconds() - run_start_;
@@ -265,15 +468,26 @@ Runtime::run()
     result.trace_dropped = tracer_.dropped();
     result.pin_failures = pin_failures_.load(std::memory_order_relaxed);
 
+    // Corrupted samples (injected or from a glitched clock) stay in
+    // result.samples for inspection but are excluded from the
+    // averages — same screen the policies apply — so one NaN or
+    // absurd outlier cannot blank the whole summary.
+    core::SampleGuard summary_guard;
     double tm_sum = 0.0;
     double tc_sum = 0.0;
+    long clean = 0;
     for (const auto &sample : samples_) {
+        if (!summary_guard.accept(sample))
+            continue;
         tm_sum += sample.tm;
         tc_sum += sample.tc;
+        ++clean;
+    }
+    if (clean > 0) {
+        result.avg_tm = tm_sum / static_cast<double>(clean);
+        result.avg_tc = tc_sum / static_cast<double>(clean);
     }
     if (!samples_.empty()) {
-        result.avg_tm = tm_sum / static_cast<double>(samples_.size());
-        result.avg_tc = tc_sum / static_cast<double>(samples_.size());
         // Probe overhead counts only samples a selection accepted;
         // stale pairs (measured under a pre-probe MTL) are tracked
         // separately in policy_stats.stale_pairs.

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -34,6 +35,10 @@
 
 namespace tt {
 class MetricsRegistry;
+}
+
+namespace tt::fault {
+class FaultPlan;
 }
 
 namespace tt::runtime {
@@ -63,6 +68,41 @@ struct RuntimeOptions
      * get the "policy.*" series alongside.
      */
     MetricsRegistry *metrics = nullptr;
+
+    /**
+     * Optional fault-injection plan (not owned). Faults are applied
+     * deterministically per (task, attempt); see fault/fault_plan.hh.
+     */
+    const fault::FaultPlan *fault_plan = nullptr;
+
+    /**
+     * Attempts beyond the first before a throwing task fails the
+     * run. Failed compute attempts are retried at *pair*
+     * granularity: the pair's memory body is re-executed first so
+     * the compute body sees freshly gathered data. Each retry is
+     * counted in `runtime.task_retries`.
+     */
+    int max_task_retries = 3;
+
+    /**
+     * Base of the exponential retry backoff: attempt a sleeps
+     * base * 2^a seconds (capped at 50 ms) before re-executing.
+     */
+    double retry_backoff_seconds = 100e-6;
+
+    /**
+     * Watchdog deadline for the whole run, in wall seconds; 0
+     * disables it. A run that has not drained by then is assumed
+     * wedged (stalled worker, livelocked policy): the watchdog dumps
+     * diagnostics -- crash-dump hooks flush bound trace rings and
+     * metrics -- and terminates the process with
+     * `watchdog_exit_code`, converting a hang into a clean, bounded
+     * failure.
+     */
+    double watchdog_seconds = 0.0;
+
+    /** Process exit code used when the watchdog fires. */
+    int watchdog_exit_code = 3;
 };
 
 /** Measurements from one host run. */
@@ -87,6 +127,18 @@ struct HostRunResult
 
     /** Workers whose CPU-affinity pin failed (0 when pinning is off). */
     long pin_failures = 0;
+
+    /** Task attempts re-executed after a body exception. */
+    long task_retries = 0;
+
+    /** Tasks abandoned after exhausting max_task_retries. */
+    long task_failures = 0;
+
+    /** True when the run aborted instead of draining the graph. */
+    bool failed = false;
+
+    /** Human-readable cause when failed (empty otherwise). */
+    std::string failure_reason;
 };
 
 /**
@@ -117,6 +169,22 @@ class Runtime
     void completeLocked(stream::TaskId id, double start, double end);
     void activatePhaseLocked(int phase);
 
+    /**
+     * Execute one task body with injected faults, bounded retries
+     * and exponential backoff (no lock held). Returns false -- with
+     * the cause in *why -- when the attempts are exhausted.
+     */
+    bool executeWithRetries(const stream::Task &task, double *start,
+                            double *end, std::string *why);
+    /** Under lock: abort the run with a diagnostic cause. */
+    void failRunLocked(stream::TaskId id, const std::string &why);
+    /** Interruptible sleep used by stalls, stragglers and backoff. */
+    void sleepSeconds(double seconds);
+    /** Watchdog thread body: deadline wait, then diagnostic exit. */
+    void watchdogLoop();
+    /** Best-effort diagnostics dump (crash hook / watchdog path). */
+    void crashDump();
+
     const stream::TaskGraph &graph_;
     core::SchedulingPolicy &policy_;
     RuntimeOptions options_;
@@ -143,6 +211,18 @@ class Runtime
     obs::Tracer tracer_; ///< one lock-free event ring per worker
     std::atomic<long> pin_failures_{0};
     std::once_flag pin_warn_once_;
+
+    // Fault tolerance. run_failed_ is written under mutex_ but read
+    // lock-free by sleeping workers and the crash-dump path.
+    std::atomic<bool> run_failed_{false};
+    std::string failure_reason_;
+    std::atomic<long> task_retries_{0};
+    long task_failures_ = 0;
+
+    // Watchdog handshake.
+    std::mutex watchdog_mutex_;
+    std::condition_variable watchdog_cv_;
+    bool run_complete_ = false;
 
     double run_start_ = 0.0; ///< steady-clock origin, seconds
 };

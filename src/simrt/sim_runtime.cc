@@ -1,10 +1,13 @@
 #include "simrt/sim_runtime.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <string>
 
 #include "core/policy.hh"
+#include "core/sample_guard.hh"
+#include "fault/fault_plan.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 
@@ -13,6 +16,17 @@ namespace tt::simrt {
 using stream::Task;
 using stream::TaskId;
 using stream::TaskKind;
+
+namespace {
+
+sim::Tick
+ticksFromSeconds(double seconds)
+{
+    return static_cast<sim::Tick>(
+        seconds * static_cast<double>(sim::kTicksPerSecond) + 0.5);
+}
+
+} // namespace
 
 SimRuntime::SimRuntime(cpu::SimMachine &machine,
                        const stream::TaskGraph &graph,
@@ -25,6 +39,9 @@ SimRuntime::SimRuntime(cpu::SimMachine &machine,
     task_start_.assign(n_tasks, 0);
     task_end_.assign(n_tasks, 0);
     pair_mem_mtl_.assign(static_cast<std::size_t>(graph_.pairCount()), 0);
+    attempts_.assign(n_tasks, 0);
+    attempt_start_.assign(n_tasks, 0);
+    penalty_applied_.assign(n_tasks, 0);
     trace_index_.assign(n_tasks, -1);
     trace_.reserve(n_tasks);
     context_busy_.assign(static_cast<std::size_t>(machine_.contexts()),
@@ -57,8 +74,21 @@ SimRuntime::activatePhase(int phase)
 }
 
 void
+SimRuntime::setFaultPlan(const fault::FaultPlan *plan, int max_retries,
+                         double backoff_seconds)
+{
+    tt_assert(max_retries >= 0, "retry budget cannot be negative");
+    tt_assert(backoff_seconds >= 0.0, "backoff cannot be negative");
+    fault_plan_ = plan;
+    max_task_retries_ = max_retries;
+    retry_backoff_seconds_ = backoff_seconds;
+}
+
+void
 SimRuntime::trySchedule()
 {
+    if (failed_)
+        return; // aborting: let in-flight tasks drain, dispatch nothing
     while (true) {
         // Lowest-numbered idle context: fills distinct physical
         // cores before SMT siblings (see SimMachine::coreOf).
@@ -95,6 +125,7 @@ SimRuntime::dispatch(int context, TaskId id)
     const Task &task = graph_.task(id);
     context_busy_[static_cast<std::size_t>(context)] = true;
     task_start_[static_cast<std::size_t>(id)] = machine_.events().now();
+    attempt_start_[static_cast<std::size_t>(id)] = machine_.events().now();
 
     double miss_fraction = 0.0;
     if (task.kind == TaskKind::Memory) {
@@ -132,6 +163,54 @@ void
 SimRuntime::onTaskDone(int context, TaskId id)
 {
     const Task &task = graph_.task(id);
+    const bool inject = fault_plan_ != nullptr && fault_plan_->enabled();
+
+    if (inject && penalty_applied_[static_cast<std::size_t>(id)] == 0) {
+        const int attempt = attempts_[static_cast<std::size_t>(id)];
+        const fault::TaskFaults faults =
+            fault_plan_->forTask(id, attempt);
+        if (faults.fail) {
+            if (attempt >= max_task_retries_ || failed_) {
+                failRun(id, attempt);
+                context_busy_[static_cast<std::size_t>(context)] = false;
+                return;
+            }
+            ++attempts_[static_cast<std::size_t>(id)];
+            ++task_retries_;
+            if (metrics_)
+                metrics_->add("runtime.task_retries", 1);
+            const double backoff =
+                std::min(retry_backoff_seconds_ *
+                             std::ldexp(1.0, attempt),
+                         50e-3);
+            machine_.events().scheduleIn(
+                ticksFromSeconds(backoff),
+                [this, context, id] { retryTask(context, id); });
+            return;
+        }
+        sim::Tick extra = 0;
+        if (faults.stall)
+            extra += ticksFromSeconds(fault_plan_->config().stall_seconds);
+        if (faults.latency_factor > 1.0) {
+            const sim::Tick elapsed =
+                machine_.events().now() -
+                attempt_start_[static_cast<std::size_t>(id)];
+            extra += static_cast<sim::Tick>(
+                static_cast<double>(elapsed) *
+                (faults.latency_factor - 1.0));
+        }
+        if (extra > 0) {
+            // Model the stall/straggler as extra completion latency:
+            // re-enter once, flagged so the faults are not re-rolled.
+            penalty_applied_[static_cast<std::size_t>(id)] = 1;
+            machine_.events().scheduleIn(extra, [this, context, id] {
+                onTaskDone(context, id);
+            });
+            return;
+        }
+    }
+    penalty_applied_[static_cast<std::size_t>(id)] = 0;
+
     context_busy_[static_cast<std::size_t>(context)] = false;
     task_end_[static_cast<std::size_t>(id)] = machine_.events().now();
     trace_[static_cast<std::size_t>(
@@ -157,8 +236,20 @@ SimRuntime::onTaskDone(int context, TaskId id)
             task_start_[static_cast<std::size_t>(id)]);
         sample.end_time = machine_.nowSeconds();
         sample.mtl = pair_mem_mtl_[static_cast<std::size_t>(pair)];
+        if (inject) {
+            // Corruption models a broken clock read at measurement
+            // time. Keyed by the compute task with attempt 0 so the
+            // same pairs corrupt regardless of retry history -- and
+            // identically on the host runtime.
+            const fault::TaskFaults faults = fault_plan_->forTask(id, 0);
+            if (faults.corrupt_sample) {
+                sample.tm = fault_plan_->corruptValue(id, 0);
+                sample.tc = fault_plan_->corruptValue(id, 1);
+            }
+        }
         samples_.push_back(sample);
-        if (metrics_) {
+        if (metrics_ && std::isfinite(sample.tm) &&
+            std::isfinite(sample.tc)) {
             const std::string suffix =
                 ".mtl=" + std::to_string(sample.mtl);
             metrics_->observe("runtime.tm_seconds" + suffix, sample.tm);
@@ -201,6 +292,48 @@ SimRuntime::onTaskDone(int context, TaskId id)
     trySchedule();
 }
 
+void
+SimRuntime::retryTask(int context, TaskId id)
+{
+    if (failed_) {
+        context_busy_[static_cast<std::size_t>(context)] = false;
+        return;
+    }
+    const Task &task = graph_.task(id);
+    attempt_start_[static_cast<std::size_t>(id)] = machine_.events().now();
+    if (task.kind == TaskKind::Compute) {
+        // Pair-granularity retry: re-gather before re-computing. The
+        // pair's footprint is still LLC-resident (released only at
+        // pair completion), so the re-run does not install it again.
+        const Task &mem = graph_.task(graph_.memoryTaskOf(task.pair));
+        machine_.run(context, mem, 0.0, [this, context, id] {
+            machine_.run(context, graph_.task(id),
+                         machine_.mem().llc().missFraction(),
+                         [this, context, id] {
+                             onTaskDone(context, id);
+                         });
+        });
+        return;
+    }
+    machine_.run(context, task, 0.0,
+                 [this, context, id] { onTaskDone(context, id); });
+}
+
+void
+SimRuntime::failRun(TaskId id, int attempts)
+{
+    ++task_failures_;
+    if (metrics_)
+        metrics_->add("runtime.task_failures", 1);
+    if (!failed_) {
+        failed_ = true;
+        failure_reason_ = "task " + std::to_string(id) +
+                          " failed after " + std::to_string(attempts) +
+                          " retries: injected fault";
+        tt_warn("aborting simulated run: ", failure_reason_);
+    }
+}
+
 RunResult
 SimRuntime::run()
 {
@@ -214,25 +347,38 @@ SimRuntime::run()
     trySchedule();
     machine_.events().run();
 
-    tt_assert(tasks_done_ == graph_.taskCount(),
+    tt_assert(failed_ || tasks_done_ == graph_.taskCount(),
               "simulation drained with ", tasks_done_, " of ",
               graph_.taskCount(), " tasks done (deadlock in graph or "
               "scheduler)");
 
+    result.failed = failed_;
+    result.failure_reason = failure_reason_;
+    result.task_retries = task_retries_;
+    result.task_failures = task_failures_;
     result.seconds = machine_.nowSeconds();
     result.samples = samples_;
     result.policy_stats = policy_.stats();
     result.mtl_trace = policy_.mtlTrace();
 
+    // Same screening as the host runtime: corrupted samples stay in
+    // result.samples but do not poison the averages.
+    core::SampleGuard summary_guard;
     double tm_sum = 0.0;
     double tc_sum = 0.0;
+    long clean = 0;
     for (const auto &sample : samples_) {
+        if (!summary_guard.accept(sample))
+            continue;
         tm_sum += sample.tm;
         tc_sum += sample.tc;
+        ++clean;
+    }
+    if (clean > 0) {
+        result.avg_tm = tm_sum / static_cast<double>(clean);
+        result.avg_tc = tc_sum / static_cast<double>(clean);
     }
     if (!samples_.empty()) {
-        result.avg_tm = tm_sum / static_cast<double>(samples_.size());
-        result.avg_tc = tc_sum / static_cast<double>(samples_.size());
         result.monitor_overhead =
             static_cast<double>(result.policy_stats.probe_pairs) /
             static_cast<double>(samples_.size());

@@ -37,6 +37,10 @@ namespace tt {
 class MetricsRegistry;
 }
 
+namespace tt::fault {
+class FaultPlan;
+}
+
 namespace tt::simrt {
 
 /** One task execution recorded in the schedule trace. */
@@ -91,6 +95,18 @@ struct RunResult
         double end = 0.0;   ///< last task end, seconds
     };
     std::vector<PhaseResult> phases;
+
+    /** Task attempts re-executed after an injected failure. */
+    long task_retries = 0;
+
+    /** Tasks abandoned after exhausting the retry budget. */
+    long task_failures = 0;
+
+    /** True when the run aborted instead of draining the graph. */
+    bool failed = false;
+
+    /** Human-readable cause when failed (empty otherwise). */
+    std::string failure_reason;
 };
 
 /** Scheduler binding one graph + one policy to one machine. */
@@ -108,6 +124,22 @@ class SimRuntime
      */
     void bindMetrics(MetricsRegistry *metrics) { metrics_ = metrics; }
 
+    /**
+     * Attach a fault-injection plan (not owned; nullptr detaches).
+     * Faults mirror the host runtime's semantics on simulated time:
+     * an injected failure consumes the attempt and re-dispatches the
+     * task after an exponential sim-time backoff (compute retries
+     * re-run the pair's memory body first); a stall adds
+     * stall_seconds of latency; a straggler multiplies the attempt's
+     * elapsed time; a corrupted pair reports garbage PairSample
+     * timings to the policy. Because the fault decisions hash
+     * (seed, task, attempt), a seeded plan injects the same faults
+     * here and on the real-thread runtime.
+     */
+    void setFaultPlan(const fault::FaultPlan *plan,
+                      int max_retries = 3,
+                      double backoff_seconds = 100e-6);
+
     /** Execute the whole graph; returns the measurements. */
     RunResult run();
 
@@ -116,11 +148,27 @@ class SimRuntime
     void trySchedule();
     void dispatch(int context, stream::TaskId id);
     void onTaskDone(int context, stream::TaskId id);
+    /** Re-execute `id` on `context` after an injected failure. */
+    void retryTask(int context, stream::TaskId id);
+    /** Abort the run: record the cause, stop dispatching. */
+    void failRun(stream::TaskId id, int attempts);
 
     cpu::SimMachine &machine_;
     const stream::TaskGraph &graph_;
     core::SchedulingPolicy &policy_;
     MetricsRegistry *metrics_ = nullptr;
+
+    // Fault injection (see setFaultPlan).
+    const fault::FaultPlan *fault_plan_ = nullptr;
+    int max_task_retries_ = 3;
+    double retry_backoff_seconds_ = 100e-6;
+    std::vector<int> attempts_;          ///< failed attempts per task
+    std::vector<sim::Tick> attempt_start_;
+    std::vector<char> penalty_applied_;  ///< stall/straggler delay done
+    long task_retries_ = 0;
+    long task_failures_ = 0;
+    bool failed_ = false;
+    std::string failure_reason_;
 
     std::vector<int> deps_left_;
     std::vector<std::vector<stream::TaskId>> succs_;

@@ -39,14 +39,32 @@
  *   --metrics-out FILE  write the run's metrics registry as JSON
  *   --metrics-summary   print the metrics registry as a table
  *   --quiet      suppress the header
+ *
+ * Fault injection (see fault/fault_plan.hh; applies to --host and
+ * the simulator alike, with identical seeded decisions):
+ *   --inject-seed S       fault plan seed                    [0]
+ *   --inject-fail-p P     task-body exception probability    [0]
+ *   --inject-straggler P  straggler probability              [0]
+ *   --inject-straggler-x F  straggler latency multiplier     [4]
+ *   --inject-corrupt-p P  sample-corruption probability      [0]
+ *   --inject-stall-p P    worker-stall probability           [0]
+ *   --inject-stall-ms MS  stall duration                     [50]
+ *   --max-retries N       attempts beyond the first          [3]
+ *   --watchdog-ms MS      host run deadline, 0 = off         [0]
+ *
+ * Exit codes: 0 success; 1 output file could not be written;
+ * 2 usage error; 3 watchdog deadline exceeded (run wedged);
+ * 4 a task failed after exhausting its retries.
  */
 
 #include <cstdio>
 #include <string>
 
 #include <fstream>
+#include <optional>
 
 #include "core/dynamic_policy.hh"
+#include "fault/fault_plan.hh"
 #include "core/online_exhaustive_policy.hh"
 #include "core/policy.hh"
 #include "cpu/machine_config.hh"
@@ -55,6 +73,7 @@
 #include "simrt/sim_runtime.hh"
 #include "simrt/trace_export.hh"
 #include "util/flags.hh"
+#include "util/logging.hh"
 #include "util/stats.hh"
 #include "workloads/dft.hh"
 #include "workloads/histogram.hh"
@@ -79,7 +98,14 @@ usage(const char *argv0)
         "          [--ratio R] [--footprint-kb KB] [--pairs N]\n"
         "          [--dim D] [--host] [--threads T] [--count C]\n"
         "          [--no-pin] [--trace] [--trace-out FILE]\n"
-        "          [--metrics-out FILE] [--metrics-summary] [--quiet]\n",
+        "          [--metrics-out FILE] [--metrics-summary] [--quiet]\n"
+        "          [--inject-seed S] [--inject-fail-p P]\n"
+        "          [--inject-straggler P] [--inject-straggler-x F]\n"
+        "          [--inject-corrupt-p P] [--inject-stall-p P]\n"
+        "          [--inject-stall-ms MS] [--max-retries N]\n"
+        "          [--watchdog-ms MS]\n"
+        "exit codes: 0 ok, 1 output write failed, 2 usage,\n"
+        "            3 watchdog fired, 4 task failed after retries\n",
         argv0);
     return 2;
 }
@@ -90,10 +116,20 @@ writeTraceFile(const std::string &path, const tt::obs::TraceData &data)
 {
     std::ofstream out(path);
     if (!out) {
-        std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+        std::fprintf(stderr, "cannot open '%s' for writing\n",
+                     path.c_str());
         return false;
     }
     tt::obs::writeChromeTrace(data, out);
+    // Write errors (full disk, dead pipe, revoked permissions) only
+    // surface on the stream state, not the open -- check after the
+    // flush or the file is silently truncated.
+    out.flush();
+    if (!out) {
+        std::fprintf(stderr, "writing '%s' failed (disk full?)\n",
+                     path.c_str());
+        return false;
+    }
     std::printf("chrome trace    %10s\n", path.c_str());
     return true;
 }
@@ -104,12 +140,29 @@ writeMetricsFile(const std::string &path,
 {
     std::ofstream out(path);
     if (!out) {
-        std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+        std::fprintf(stderr, "cannot open '%s' for writing\n",
+                     path.c_str());
         return false;
     }
     metrics.writeJson(out);
+    out.flush();
+    if (!out) {
+        std::fprintf(stderr, "writing '%s' failed (disk full?)\n",
+                     path.c_str());
+        return false;
+    }
     std::printf("metrics json    %10s\n", path.c_str());
     return true;
+}
+
+/** True when `p` is a probability; complains otherwise. */
+bool
+checkProbability(const char *flag, double p)
+{
+    if (p >= 0.0 && p <= 1.0)
+        return true;
+    std::fprintf(stderr, "--%s must be in [0, 1], got %g\n", flag, p);
+    return false;
 }
 
 } // namespace
@@ -118,7 +171,20 @@ int
 main(int argc, char **argv)
 {
     tt::Flags flags;
-    if (!flags.parse(argc, argv) || flags.has("help")) {
+    static const std::vector<std::string> known_flags = {
+        "help",           "workload",       "machine",
+        "policy",         "mtl",            "window",
+        "hysteresis",     "ratio",          "footprint-kb",
+        "pairs",          "dim",            "host",
+        "threads",        "count",          "no-pin",
+        "trace",          "trace-out",      "chrome-trace",
+        "metrics-out",    "metrics-summary", "quiet",
+        "inject-seed",    "inject-fail-p",  "inject-straggler",
+        "inject-straggler-x", "inject-corrupt-p", "inject-stall-p",
+        "inject-stall-ms", "max-retries",   "watchdog-ms",
+    };
+    if (!flags.parse(argc, argv) || !flags.allowOnly(known_flags) ||
+        flags.has("help")) {
         if (!flags.error().empty())
             std::fprintf(stderr, "error: %s\n", flags.error().c_str());
         return usage(argv[0]);
@@ -261,6 +327,53 @@ main(int argc, char **argv)
         return usage(argv[0]);
     }
 
+    // Fault injection.
+    tt::fault::FaultConfig fault_config;
+    fault_config.seed =
+        static_cast<std::uint64_t>(flags.getInt("inject-seed", 0));
+    fault_config.fail_p = flags.getDouble("inject-fail-p", 0.0);
+    fault_config.straggler_p = flags.getDouble("inject-straggler", 0.0);
+    fault_config.straggler_factor =
+        flags.getDouble("inject-straggler-x", 4.0);
+    fault_config.corrupt_p = flags.getDouble("inject-corrupt-p", 0.0);
+    fault_config.stall_p = flags.getDouble("inject-stall-p", 0.0);
+    fault_config.stall_seconds =
+        flags.getDouble("inject-stall-ms", 50.0) * 1e-3;
+    const int max_retries =
+        static_cast<int>(flags.getInt("max-retries", 3));
+    const double watchdog_seconds =
+        flags.getDouble("watchdog-ms", 0.0) * 1e-3;
+    if (!checkProbability("inject-fail-p", fault_config.fail_p) ||
+        !checkProbability("inject-straggler",
+                          fault_config.straggler_p) ||
+        !checkProbability("inject-corrupt-p", fault_config.corrupt_p) ||
+        !checkProbability("inject-stall-p", fault_config.stall_p))
+        return 2;
+    if (fault_config.straggler_factor < 1.0 ||
+        fault_config.stall_seconds < 0.0 || max_retries < 0 ||
+        watchdog_seconds < 0.0) {
+        std::fprintf(stderr, "fault/watchdog parameters out of range\n");
+        return 2;
+    }
+    if (!flags.error().empty()) {
+        std::fprintf(stderr, "error: %s\n", flags.error().c_str());
+        return usage(argv[0]);
+    }
+    std::optional<tt::fault::FaultPlan> fault_plan;
+    if (fault_config.enabled()) {
+        fault_plan.emplace(fault_config);
+        if (!flags.getBool("quiet"))
+            std::printf("injecting: seed %llu, fail %.3f, straggler "
+                        "%.3f x%.1f, corrupt %.3f, stall %.3f "
+                        "(%.0f ms)\n",
+                        static_cast<unsigned long long>(
+                            fault_config.seed),
+                        fault_config.fail_p, fault_config.straggler_p,
+                        fault_config.straggler_factor,
+                        fault_config.corrupt_p, fault_config.stall_p,
+                        fault_config.stall_seconds * 1e3);
+    }
+
     tt::MetricsRegistry metrics;
     policy->bindMetrics(&metrics);
 
@@ -268,13 +381,40 @@ main(int argc, char **argv)
         "trace-out", flags.getString("chrome-trace", ""));
     const std::string metrics_path = flags.getString("metrics-out", "");
 
+    // On abnormal termination (watchdog, tt_assert) still leave the
+    // metrics JSON behind for post-mortems; the hooks run before the
+    // process exits.
+    int metrics_hook = -1;
+    if (!metrics_path.empty())
+        metrics_hook = tt::registerCrashDumpHook([&metrics,
+                                                  metrics_path] {
+            std::ofstream out(metrics_path);
+            if (out)
+                metrics.writeJson(out);
+        });
+    (void)metrics_hook;
+
     if (host_mode) {
         tt::runtime::RuntimeOptions options;
         options.threads = n;
         options.pin_affinity = !flags.getBool("no-pin");
         options.metrics = &metrics;
+        options.fault_plan = fault_plan ? &*fault_plan : nullptr;
+        options.max_task_retries = max_retries;
+        options.watchdog_seconds = watchdog_seconds;
         tt::runtime::Runtime runtime(graph, *policy, options);
         const auto result = runtime.run();
+
+        if (result.task_retries > 0 || result.task_failures > 0)
+            std::printf("task retries    %10ld  (%ld gave up)\n",
+                        result.task_retries, result.task_failures);
+        if (result.failed) {
+            std::fprintf(stderr, "run failed: %s\n",
+                         result.failure_reason.c_str());
+            if (!metrics_path.empty())
+                writeMetricsFile(metrics_path, metrics);
+            return 4;
+        }
 
         std::printf("makespan        %10.3f ms\n",
                     result.seconds * 1e3);
@@ -311,8 +451,25 @@ main(int argc, char **argv)
         return 0;
     }
 
-    const auto result =
-        tt::simrt::runOnce(machine, graph, *policy, &metrics);
+    // Simulated runs need no watchdog: the event queue's budget
+    // already bounds a runaway simulation deterministically.
+    tt::cpu::SimMachine sim_machine(machine);
+    tt::simrt::SimRuntime sim_runtime(sim_machine, graph, *policy);
+    sim_runtime.bindMetrics(&metrics);
+    if (fault_plan)
+        sim_runtime.setFaultPlan(&*fault_plan, max_retries);
+    const auto result = sim_runtime.run();
+
+    if (result.task_retries > 0 || result.task_failures > 0)
+        std::printf("task retries    %10ld  (%ld gave up)\n",
+                    result.task_retries, result.task_failures);
+    if (result.failed) {
+        std::fprintf(stderr, "run failed: %s\n",
+                     result.failure_reason.c_str());
+        if (!metrics_path.empty())
+            writeMetricsFile(metrics_path, metrics);
+        return 4;
+    }
 
     std::printf("makespan        %10.3f ms\n", result.seconds * 1e3);
     std::printf("avg T_m / T_c   %10.1f / %.1f us  (ratio %.2f%%)\n",

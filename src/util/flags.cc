@@ -98,4 +98,23 @@ Flags::getBool(const std::string &name, bool fallback) const
     return fallback;
 }
 
+bool
+Flags::allowOnly(const std::vector<std::string> &known) const
+{
+    for (const auto &entry : values_) {
+        bool found = false;
+        for (const std::string &name : known) {
+            if (entry.first == name) {
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            error_ = "unknown flag --" + entry.first;
+            return false;
+        }
+    }
+    return true;
+}
+
 } // namespace tt

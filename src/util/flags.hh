@@ -53,6 +53,13 @@ class Flags
         return positional_;
     }
 
+    /**
+     * Verify every parsed flag appears in `known`. The first
+     * unknown flag sets error() and returns false, so a typo'd
+     * flag fails loudly instead of silently using the default.
+     */
+    bool allowOnly(const std::vector<std::string> &known) const;
+
     /** First parse/convert error, empty when none. */
     const std::string &error() const { return error_; }
 

@@ -14,10 +14,36 @@
 #define TT_UTIL_LOGGING_HH
 
 #include <cstdlib>
+#include <functional>
 #include <sstream>
 #include <string>
 
 namespace tt {
+
+/**
+ * Crash-dump hooks: callbacks invoked (once, in registration order)
+ * when the process is about to terminate abnormally -- a tt_panic /
+ * tt_fatal / failed tt_assert, or a runtime watchdog firing. Long
+ * running components (the runtimes, ttsim) register a hook that
+ * flushes their diagnostics -- trace rings, metrics registries --
+ * so a failed run still leaves artefacts. Hooks must be best-effort:
+ * they run on the crashing thread while other threads may still be
+ * live, and any exception they throw is swallowed.
+ */
+using CrashDumpHook = std::function<void()>;
+
+/** Register a hook; returns an id for unregisterCrashDumpHook(). */
+int registerCrashDumpHook(CrashDumpHook hook);
+
+/** Remove a previously registered hook (no-op on unknown id). */
+void unregisterCrashDumpHook(int id);
+
+/**
+ * Run every registered hook once. Reentrant calls (e.g. a hook that
+ * itself panics) and repeated calls are no-ops, so the process
+ * cannot recurse through the crash path.
+ */
+void runCrashDumpHooks() noexcept;
 
 namespace detail {
 

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "core/analytical_model.hh"
 
@@ -202,6 +203,77 @@ TEST(QueuingModelFit, RoundTrips)
     EXPECT_NEAR(fitted.tml, truth.tml, 1e-12);
     EXPECT_NEAR(fitted.tql, truth.tql, 1e-12);
     EXPECT_NEAR(fitted.tmAt(7), truth.tmAt(7), 1e-12);
+}
+
+// ---------------------------------------------------------------------
+// Degenerate measurement windows (fault tolerance): the run-time
+// mechanism can hand the model corrupted averages -- zero, negative,
+// NaN, infinite. Every formula must return an in-range, well-defined
+// answer instead of dividing by zero or tripping an assertion.
+
+TEST(DegenerateInputs, ZeroTimesNeverDivideByZero)
+{
+    // T_c == 0 and T_mk == 0 together: no information, no restriction.
+    EXPECT_EQ(AnalyticalModel::idleBound(0.0, 0.0, 4), 1);
+    EXPECT_FALSE(AnalyticalModel::someCoresIdle(0.0, 0.0, 2, 4));
+    // T_c == 0 with real memory time: memory-bound, bound = n.
+    EXPECT_EQ(AnalyticalModel::idleBound(1.0, 0.0, 4), 4);
+    // T_mk == 0 with real compute time: compute-bound, bound = 1.
+    EXPECT_EQ(AnalyticalModel::idleBound(0.0, 1.0, 4), 1);
+}
+
+TEST(DegenerateInputs, NegativeTimesAreClampedToZero)
+{
+    EXPECT_EQ(AnalyticalModel::idleBound(-3.0, 1.0, 4),
+              AnalyticalModel::idleBound(0.0, 1.0, 4));
+    EXPECT_EQ(AnalyticalModel::idleBound(1.0, -3.0, 4),
+              AnalyticalModel::idleBound(1.0, 0.0, 4));
+    EXPECT_FALSE(AnalyticalModel::someCoresIdle(-1.0, -1.0, 1, 4));
+}
+
+TEST(DegenerateInputs, NanTimesCarryNoInformation)
+{
+    const double nan = std::nan("");
+    const int bound = AnalyticalModel::idleBound(nan, nan, 4);
+    EXPECT_GE(bound, 1);
+    EXPECT_LE(bound, 4);
+    EXPECT_FALSE(AnalyticalModel::someCoresIdle(nan, 1.0, 2, 4));
+    EXPECT_EQ(AnalyticalModel::idleBound(nan, 1.0, 4), 1);
+}
+
+TEST(DegenerateInputs, InfiniteTimesPickTheMeaningfulLimit)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    // Infinitely slow memory: fully memory-bound.
+    EXPECT_EQ(AnalyticalModel::idleBound(inf, 1.0, 4), 4);
+    // Infinitely slow compute: throttling can never bind.
+    EXPECT_EQ(AnalyticalModel::idleBound(1.0, inf, 4), 1);
+    // Both infinite: no evidence either way, stay unrestricted-safe.
+    const int bound = AnalyticalModel::idleBound(inf, inf, 4);
+    EXPECT_GE(bound, 1);
+    EXPECT_LE(bound, 4);
+    EXPECT_TRUE(AnalyticalModel::someCoresIdle(inf, 1.0, 2, 4));
+    EXPECT_FALSE(AnalyticalModel::someCoresIdle(inf, inf, 2, 4));
+}
+
+TEST(DegenerateInputs, IdleBoundAlwaysInRange)
+{
+    const double inputs[] = {0.0,
+                             -1.0,
+                             1e-300,
+                             1e300,
+                             std::nan(""),
+                             std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity()};
+    for (int n : {1, 2, 4, 32}) {
+        for (double tm : inputs) {
+            for (double tc : inputs) {
+                const int bound = AnalyticalModel::idleBound(tm, tc, n);
+                EXPECT_GE(bound, 1) << "tm=" << tm << " tc=" << tc;
+                EXPECT_LE(bound, n) << "tm=" << tm << " tc=" << tc;
+            }
+        }
+    }
 }
 
 } // namespace

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "core/phase_detector.hh"
 
 namespace {
@@ -136,6 +139,60 @@ TEST(PhaseDetector, ResetWindowKeepsIdleBound)
     // Window restarted: needs two fresh samples again.
     EXPECT_FALSE(det.addSample(sample(0.1, 1.0, 4), 4));
     EXPECT_TRUE(det.addSample(sample(0.1, 1.0, 4), 4));
+}
+
+// ---------------------------------------------------------------------
+// Degenerate measurement samples (fault tolerance): corrupted
+// durations must never enter a window, wedge it, or yield an
+// out-of-range IdleBound.
+
+TEST(PhaseDetectorDegenerate, NonFiniteSamplesNeverEnterTheWindow)
+{
+    PhaseDetector det(2, 4);
+    const double nan = std::nan("");
+    const double inf = std::numeric_limits<double>::infinity();
+    // A full window's worth of garbage produces no summary...
+    EXPECT_FALSE(det.addSample(sample(nan, 1.0, 4), 4));
+    EXPECT_FALSE(det.addSample(sample(1.0, nan, 4), 4));
+    EXPECT_FALSE(det.addSample(sample(inf, 1.0, 4), 4));
+    EXPECT_FALSE(det.addSample(sample(1.0, -inf, 4), 4));
+    // ...and the window is not wedged: two clean samples complete it
+    // with finite averages untouched by the rejected garbage.
+    EXPECT_FALSE(det.addSample(sample(0.1, 1.0, 4), 4));
+    const auto summary = det.addSample(sample(0.3, 1.0, 4), 4);
+    ASSERT_TRUE(summary);
+    EXPECT_DOUBLE_EQ(summary->tm, 0.2);
+    EXPECT_DOUBLE_EQ(summary->tc, 1.0);
+    EXPECT_EQ(summary->idle_bound, 1);
+}
+
+TEST(PhaseDetectorDegenerate, NegativeDurationsAreRejected)
+{
+    PhaseDetector det(1, 4);
+    EXPECT_FALSE(det.addSample(sample(-0.1, 1.0, 4), 4));
+    EXPECT_FALSE(det.addSample(sample(0.1, -1.0, 4), 4));
+    // Still no summary: nothing entered the window.
+    const auto summary = det.addSample(sample(0.1, 1.0, 4), 4);
+    ASSERT_TRUE(summary);
+    EXPECT_EQ(summary->idle_bound, 1);
+}
+
+TEST(PhaseDetectorDegenerate, ZeroTimedWindowStaysInRange)
+{
+    // T_c == 0 (pure-memory window): bound = n, no division by zero.
+    PhaseDetector mem_bound(2, 4);
+    mem_bound.addSample(sample(1.0, 0.0, 4), 4);
+    const auto mem_summary = mem_bound.addSample(sample(1.0, 0.0, 4), 4);
+    ASSERT_TRUE(mem_summary);
+    EXPECT_EQ(mem_summary->idle_bound, 4);
+
+    // Both zero: degenerate but defined, bound stays in [1, n].
+    PhaseDetector zeros(2, 4);
+    zeros.addSample(sample(0.0, 0.0, 4), 4);
+    const auto zero_summary = zeros.addSample(sample(0.0, 0.0, 4), 4);
+    ASSERT_TRUE(zero_summary);
+    EXPECT_GE(zero_summary->idle_bound, 1);
+    EXPECT_LE(zero_summary->idle_bound, 4);
 }
 
 } // namespace
