@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Policy decision audit records.
+ *
+ * Every MTL transition an adaptive policy makes is driven by
+ * measurements: a monitoring window's T_m/T_c and IdleBound, a probe
+ * schedule, the model ranks of the two candidate MTLs, or a
+ * fault-tolerance fallback. MtlDecision captures those inputs at the
+ * moment of the transition so a run can be audited after the fact --
+ * "why did the policy pick MTL=2 at t=1.3ms?" becomes a lookup, not
+ * a re-derivation. The records ride along in obs::TraceData, render
+ * as Chrome-trace instant events, and feed the ttreport audit table.
+ */
+
+#ifndef TT_CORE_AUDIT_HH
+#define TT_CORE_AUDIT_HH
+
+#include <vector>
+
+namespace tt::core {
+
+/** Why a policy changed (or confirmed) its MTL. */
+enum class DecisionReason
+{
+    Initial, ///< the policy's starting MTL, before any measurement
+    Probe,   ///< temporary switch to measure a candidate MTL
+    Search,  ///< online-exhaustive brute-force sweep started
+    Select,  ///< a completed selection applied its winner
+    Degrade, ///< fault-tolerance fallback to the safe static MTL
+    Reenter, ///< left degraded mode, measurements healthy again
+};
+
+/** Stable lower-case name for reports and trace events. */
+const char *decisionReasonName(DecisionReason reason);
+
+/**
+ * One audited MTL transition with the inputs that drove it. Fields
+ * that a given reason cannot know stay at their zero defaults (e.g.
+ * a Probe has no candidate ranks yet; the model-free online
+ * exhaustive search never computes an IdleBound).
+ */
+struct MtlDecision
+{
+    double time = 0.0;  ///< seconds from run start (last sample time)
+    int from_mtl = 0;   ///< MTL in force before (0 for Initial)
+    int to_mtl = 0;     ///< MTL in force after
+    DecisionReason reason = DecisionReason::Initial;
+
+    double window_tm = 0.0; ///< triggering window's mean T_m (seconds)
+    double window_tc = 0.0; ///< triggering window's mean T_c (seconds)
+    int idle_bound = 0;     ///< IdleBound derived from that window
+
+    int mtl_no_idle = 0;      ///< candidate: min MTL with all cores busy
+    int mtl_idle = 0;         ///< candidate: max MTL with idle cores (0 if none)
+    double rank_no_idle = 0.0; ///< model rank of mtl_no_idle
+    double rank_idle = 0.0;    ///< model rank of mtl_idle
+
+    /** Predicted speedup of to_mtl over the unthrottled MTL=n. */
+    double predicted_speedup = 0.0;
+
+    int probes_used = 0;         ///< probe measurements consumed
+    std::vector<int> probed_mtls; ///< MTLs measured by the selection
+
+    bool degraded = false; ///< decision made in/into degraded state
+};
+
+} // namespace tt::core
+
+#endif // TT_CORE_AUDIT_HH

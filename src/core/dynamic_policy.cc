@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "core/analytical_model.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 
@@ -25,6 +26,11 @@ DynamicThrottlePolicy::DynamicThrottlePolicy(int cores, int window,
     tt_assert(window_ >= 1, "monitoring window must be positive");
     tt_assert(mtl_ >= 1 && mtl_ <= cores_, "initial MTL out of range");
     traceMtl(0.0, mtl_);
+
+    MtlDecision d;
+    d.reason = DecisionReason::Initial;
+    d.to_mtl = mtl_;
+    recordDecision(std::move(d));
 }
 
 void
@@ -114,6 +120,7 @@ DynamicThrottlePolicy::onPairMeasured(const PairSample &sample)
         if (triggered) {
             ++stats_.phase_changes;
             countMetric("policy.phase_changes");
+            trigger_window_ = *summary;
             beginSelection();
         }
         return;
@@ -167,8 +174,21 @@ DynamicThrottlePolicy::startProbe()
     probe_filled_ = 0;
     probe_tm_acc_ = 0.0;
     probe_tc_acc_ = 0.0;
+    const int prev = mtl_;
     mtl_ = *probe_mtl_;
     traceMtl(last_sample_time_, mtl_);
+
+    MtlDecision d;
+    d.reason = DecisionReason::Probe;
+    d.time = last_sample_time_;
+    d.from_mtl = prev;
+    d.to_mtl = mtl_;
+    if (trigger_window_) {
+        d.window_tm = trigger_window_->tm;
+        d.window_tc = trigger_window_->tc;
+        d.idle_bound = trigger_window_->idle_bound;
+    }
+    recordDecision(std::move(d));
 }
 
 void
@@ -183,8 +203,58 @@ DynamicThrottlePolicy::finishSelection()
     }
     selection_log_.push_back(res);
 
+    const int prev = mtl_;
     mtl_ = res.d_mtl;
     traceMtl(last_sample_time_, mtl_);
+
+    // Audit the selection: candidates, ranks and the model's
+    // predicted speedup of the winner over the unthrottled MTL=n.
+    // T_mn comes from the probe at n when the search measured it,
+    // otherwise from the queuing decomposition fitted across the
+    // lowest and highest probed MTLs (T_mb = T_ml + b*T_ql).
+    MtlDecision d;
+    d.reason = DecisionReason::Select;
+    d.time = last_sample_time_;
+    d.from_mtl = prev;
+    d.to_mtl = mtl_;
+    if (trigger_window_) {
+        d.window_tm = trigger_window_->tm;
+        d.window_tc = trigger_window_->tc;
+        d.idle_bound = trigger_window_->idle_bound;
+    }
+    d.mtl_no_idle = res.mtl_no_idle;
+    d.mtl_idle = res.mtl_idle.value_or(0);
+    d.rank_no_idle = res.rank_no_idle;
+    d.rank_idle = res.rank_idle;
+    d.probes_used = res.probes_used;
+    d.predicted_speedup = 1.0;
+    if (selector_) {
+        const auto &tm_probes = selector_->probedTm();
+        for (const auto &[mtl, tm] : tm_probes)
+            d.probed_mtls.push_back(mtl);
+        const auto it_k = tm_probes.find(res.d_mtl);
+        if (cores_ > 1 && it_k != tm_probes.end()) {
+            double tm_n = it_k->second;
+            const auto it_n = tm_probes.find(cores_);
+            if (it_n != tm_probes.end()) {
+                tm_n = it_n->second;
+            } else if (tm_probes.size() >= 2) {
+                const auto lo = *tm_probes.begin();
+                const auto hi = *tm_probes.rbegin();
+                const auto fit = QueuingModel::fit(
+                    lo.first, lo.second, hi.first, hi.second);
+                if (fit.tmAt(cores_) > 0.0)
+                    tm_n = fit.tmAt(cores_);
+            }
+            const double predicted = AnalyticalModel::speedup(
+                it_k->second, tm_n, selector_->probedTc(), res.d_mtl,
+                cores_);
+            if (predicted > 0.0 && std::isfinite(predicted))
+                d.predicted_speedup = predicted;
+        }
+    }
+    recordDecision(std::move(d));
+    trigger_window_.reset();
 
     // Resume monitoring under the new MTL. Accept the boundary the
     // selection just established so the very next window does not
@@ -208,10 +278,19 @@ DynamicThrottlePolicy::enterDegraded()
     state_ = State::Degraded;
     degraded_valid_ = 0;
 
+    MtlDecision d;
+    d.reason = DecisionReason::Degrade;
+    d.time = last_sample_time_;
+    d.from_mtl = mtl_;
+    d.to_mtl = cores_;
+    d.idle_bound = accepted_idle_bound_.value_or(0);
+    d.degraded = true;
+
     // Abandon any in-flight selection: its probe measurements are
     // tainted by the same corruption that triggered the fallback.
     selector_.reset();
     probe_mtl_.reset();
+    trigger_window_.reset();
     detector_.reset();
     accepted_idle_bound_.reset();
     last_ratio_ = -1.0;
@@ -221,6 +300,7 @@ DynamicThrottlePolicy::enterDegraded()
     // schedule the way a garbage-driven D-MTL could.
     mtl_ = cores_;
     traceMtl(last_sample_time_, mtl_);
+    recordDecision(std::move(d));
 }
 
 void
@@ -236,6 +316,13 @@ DynamicThrottlePolicy::leaveDegraded()
     detector_.reset();
     accepted_idle_bound_.reset();
     last_ratio_ = -1.0;
+
+    MtlDecision d;
+    d.reason = DecisionReason::Reenter;
+    d.time = last_sample_time_;
+    d.from_mtl = mtl_;
+    d.to_mtl = mtl_;
+    recordDecision(std::move(d));
 }
 
 } // namespace tt::core

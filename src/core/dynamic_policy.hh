@@ -92,7 +92,7 @@ class DynamicThrottlePolicy : public SchedulingPolicy
     void setSampleGuardOptions(const SampleGuard::Options &options);
 
     /** True while degraded to the safe static MTL. */
-    bool degraded() const { return state_ == State::Degraded; }
+    bool degraded() const override { return state_ == State::Degraded; }
 
     std::string name() const override { return "dynamic-throttle"; }
     int currentMtl() const override { return mtl_; }
@@ -127,6 +127,9 @@ class DynamicThrottlePolicy : public SchedulingPolicy
     double last_ratio_ = -1.0;
     State state_ = State::Monitor;
     PhaseDetector detector_;
+
+    /** Window whose measurements triggered the in-flight selection. */
+    std::optional<WindowSummary> trigger_window_;
 
     // Fault tolerance: sample screening and graceful degradation.
     SampleGuard guard_;

@@ -17,6 +17,11 @@ OnlineExhaustivePolicy::OnlineExhaustivePolicy(int cores, int window,
     tt_assert(window_ >= 1, "monitoring window must be positive");
     tt_assert(threshold_ > 0.0, "threshold must be positive");
     traceMtl(0.0, mtl_);
+
+    MtlDecision d;
+    d.reason = DecisionReason::Initial;
+    d.to_mtl = mtl_;
+    recordDecision(std::move(d));
 }
 
 void
@@ -61,6 +66,13 @@ OnlineExhaustivePolicy::onPairMeasured(const PairSample &sample)
             prev_group_time_ = -1.0;
             searched_once_ = false;
             startGroup(sample.end_time);
+
+            MtlDecision d;
+            d.reason = DecisionReason::Reenter;
+            d.time = sample.end_time;
+            d.from_mtl = mtl_;
+            d.to_mtl = mtl_;
+            recordDecision(std::move(d));
         }
         return;
     }
@@ -80,19 +92,46 @@ OnlineExhaustivePolicy::onPairMeasured(const PairSample &sample)
 
         search_times_.push_back(sample.end_time - group_start_);
         if (search_mtl_ < cores_) {
+            const int prev = mtl_;
             ++search_mtl_;
             mtl_ = search_mtl_;
             traceMtl(sample.end_time, mtl_);
             startGroup(sample.end_time);
+
+            MtlDecision d;
+            d.reason = DecisionReason::Probe;
+            d.time = sample.end_time;
+            d.from_mtl = prev;
+            d.to_mtl = mtl_;
+            d.window_tm = search_times_.back(); // candidate group time
+            recordDecision(std::move(d));
             return;
         }
         // All candidates timed: keep the fastest.
+        const int prev = mtl_;
         const auto best = std::min_element(search_times_.begin(),
                                            search_times_.end());
         mtl_ = static_cast<int>(best - search_times_.begin()) + 1;
         traceMtl(sample.end_time, mtl_);
         state_ = State::Monitor;
         prev_group_time_ = -1.0; // re-establish the baseline
+
+        // Model-free audit record: the candidate ranks stay zero, and
+        // the predicted speedup is the ratio of the measured group
+        // time at MTL=n to the winner's (the search's implicit
+        // estimate of its gain over the unthrottled schedule).
+        MtlDecision d;
+        d.reason = DecisionReason::Select;
+        d.time = sample.end_time;
+        d.from_mtl = prev;
+        d.to_mtl = mtl_;
+        d.window_tm = *best;
+        d.probes_used = cores_ * window_;
+        for (int k = 1; k <= cores_; ++k)
+            d.probed_mtls.push_back(k);
+        if (*best > 0.0)
+            d.predicted_speedup = search_times_.back() / *best;
+        recordDecision(std::move(d));
         startGroup(sample.end_time);
         return;
     }
@@ -128,10 +167,19 @@ OnlineExhaustivePolicy::beginSearch(double now)
     searched_once_ = true;
     state_ = State::Search;
     search_times_.clear();
+    const int prev = mtl_;
     search_mtl_ = 1;
     mtl_ = 1;
     traceMtl(now, mtl_);
     startGroup(now);
+
+    MtlDecision d;
+    d.reason = DecisionReason::Search;
+    d.time = now;
+    d.from_mtl = prev;
+    d.to_mtl = mtl_;
+    d.window_tm = prev_group_time_ > 0.0 ? prev_group_time_ : 0.0;
+    recordDecision(std::move(d));
 }
 
 void
@@ -151,8 +199,17 @@ OnlineExhaustivePolicy::enterDegraded(double now)
     state_ = State::Degraded;
     degraded_valid_ = 0;
     search_times_.clear();
+    const int prev = mtl_;
     mtl_ = cores_;
     traceMtl(now, mtl_);
+
+    MtlDecision d;
+    d.reason = DecisionReason::Degrade;
+    d.time = now;
+    d.from_mtl = prev;
+    d.to_mtl = mtl_;
+    d.degraded = true;
+    recordDecision(std::move(d));
 }
 
 } // namespace tt::core

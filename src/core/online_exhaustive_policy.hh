@@ -46,7 +46,7 @@ class OnlineExhaustivePolicy : public SchedulingPolicy
     void setFaultTolerance(int reject_limit, int reenter_after);
 
     /** True while degraded to the safe static MTL. */
-    bool degraded() const { return state_ == State::Degraded; }
+    bool degraded() const override { return state_ == State::Degraded; }
 
     std::string name() const override { return "online-exhaustive"; }
     int currentMtl() const override { return mtl_; }

@@ -26,6 +26,38 @@ SchedulingPolicy::countMetric(const char *name, long delta)
         metrics_->add(name, delta);
 }
 
+void
+SchedulingPolicy::recordDecision(MtlDecision decision)
+{
+    if (metrics_) {
+        metrics_->add("policy.decisions", 1);
+        if (decision.predicted_speedup > 0.0)
+            metrics_->set("policy.predicted_speedup",
+                          decision.predicted_speedup);
+    }
+    decision_log_.push_back(std::move(decision));
+}
+
+const char *
+decisionReasonName(DecisionReason reason)
+{
+    switch (reason) {
+      case DecisionReason::Initial:
+        return "initial";
+      case DecisionReason::Probe:
+        return "probe";
+      case DecisionReason::Search:
+        return "search";
+      case DecisionReason::Select:
+        return "select";
+      case DecisionReason::Degrade:
+        return "degrade";
+      case DecisionReason::Reenter:
+        return "reenter";
+    }
+    return "?";
+}
+
 ConventionalPolicy::ConventionalPolicy(int cores)
     : cores_(cores)
 {

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/audit.hh"
 #include "core/samples.hh"
 
 namespace tt {
@@ -43,6 +44,9 @@ class SchedulingPolicy
     /** Counters accumulated so far. */
     virtual PolicyStats stats() const { return stats_; }
 
+    /** True while in a fault-tolerance fallback (adaptive policies). */
+    virtual bool degraded() const { return false; }
+
     /**
      * Attach a metrics registry (not owned; nullptr detaches). A
      * bound policy publishes its decision counters -- MTL switches,
@@ -62,9 +66,24 @@ class SchedulingPolicy
         return mtl_trace_;
     }
 
+    /**
+     * Audit log: every MTL transition with the measurements that
+     * drove it, in decision order. Static policies leave it empty;
+     * the adaptive policies append one record per transition (see
+     * core/audit.hh). Consumed by obs::TraceData / ttreport.
+     */
+    const std::vector<MtlDecision> &
+    decisions() const
+    {
+        return decision_log_;
+    }
+
   protected:
     /** Record an MTL change in the trace, counters and metrics. */
     void traceMtl(double time, int mtl);
+
+    /** Append one audit record (and publish its headline metrics). */
+    void recordDecision(MtlDecision decision);
 
     /** Bump a counter in the bound registry, if any. */
     void countMetric(const char *name, long delta = 1);
@@ -74,6 +93,7 @@ class SchedulingPolicy
 
   private:
     std::vector<std::pair<double, int>> mtl_trace_;
+    std::vector<MtlDecision> decision_log_;
 };
 
 /**

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Post-run latency attribution and model-validation analysis.
+ *
+ * The tracing substrate (trace.hh) records what happened; this module
+ * explains where the time went. analyze() consumes a TraceData stream
+ * and produces a Report: per-phase T_m/T_c distributions attributed
+ * to the MTL in force at dispatch, per-worker busy/stall/idle
+ * accounting, a least-squares fit of the paper's queuing
+ * decomposition T_mb = T_ml + b * T_ql (Sec. IV-C) from the observed
+ * memory-task concurrency at dispatch, a model-validation section
+ * comparing the Sec. IV-A predicted speedup against the measured run,
+ * and the policy's decision audit log. ttreport renders the Report as
+ * a table or JSON; diffReports() compares two JSON reports for
+ * regression gating in CI.
+ */
+
+#ifndef TT_OBS_ANALYZER_HH
+#define TT_OBS_ANALYZER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/samples.hh"
+#include "obs/trace.hh"
+#include "util/json.hh"
+
+namespace tt::obs {
+
+/** Five-number summary of a raw sample vector (exact, not bucketed). */
+struct DistSummary
+{
+    std::size_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+};
+
+/** Summarise raw samples (sorts a copy; exact order statistics). */
+DistSummary summarize(std::vector<double> samples);
+
+/** Time and latency attributed to one MTL value within a phase. */
+struct MtlAttribution
+{
+    int mtl = 0;
+    double wall_seconds = 0.0; ///< phase time spent under this MTL
+    long pairs = 0;            ///< memory tasks dispatched under it
+    DistSummary tm;
+    DistSummary tc;
+};
+
+/**
+ * Least-squares fit of T_mb = T_ml + b * T_ql over the phase's memory
+ * events, where b is the number of memory tasks in flight at each
+ * dispatch (including the task itself). Invalid when the phase never
+ * varied its concurrency (zero variance in b).
+ */
+struct QueueFit
+{
+    bool valid = false;
+    double tml = 0.0; ///< fitted contention-free latency (seconds)
+    double tql = 0.0; ///< fitted queuing increment per competitor
+    double mean_b = 0.0;
+    std::size_t samples = 0;
+};
+
+/**
+ * Predicted-vs-measured check of the Sec. IV-A speedup model for one
+ * phase. T_mn comes from a measurement at MTL=n when the phase has
+ * one, else from the queue-fit extrapolation; "measured" speedup is
+ * the model's estimated unthrottled phase time over the phase's
+ * actual wall time. Invalid when the phase lacks the inputs.
+ */
+struct ModelValidation
+{
+    bool valid = false;
+    int mtl = 0;          ///< dominant MTL the phase ran under
+    double tm_k = 0.0;    ///< measured mean T_m at that MTL
+    double tm_n = 0.0;    ///< T_m at MTL=n (measured or extrapolated)
+    double tc = 0.0;      ///< measured mean T_c
+    bool tm_n_measured = false;
+    double predicted_speedup = 0.0;
+    double measured_speedup = 0.0;
+    double abs_error = 0.0; ///< |predicted - measured|
+};
+
+/** Attribution report for one phase of the task graph. */
+struct PhaseReport
+{
+    int phase = -1;
+    std::string name;
+    double start = 0.0; ///< first dispatch in the phase
+    double end = 0.0;   ///< last completion in the phase
+    long pairs = 0;
+    DistSummary tm;
+    DistSummary tc;
+    std::vector<MtlAttribution> by_mtl;
+    QueueFit queue_fit;
+    ModelValidation validation;
+};
+
+/**
+ * Wall-time accounting for one worker/context: busy is time inside
+ * recorded events, stall the gaps between consecutive events, idle
+ * the remainder of the makespan (lead-in + drain).
+ */
+struct WorkerReport
+{
+    int worker = -1;
+    std::size_t events = 0;
+    double busy = 0.0;
+    double stall = 0.0;
+    double idle = 0.0;
+};
+
+/** Monitoring/probing overhead attribution from the policy counters. */
+struct OverheadReport
+{
+    long pairs_observed = 0;
+    long probe_pairs = 0;
+    long stale_pairs = 0;
+    double probe_fraction = 0.0; ///< probe_pairs / pairs_observed
+    double stale_fraction = 0.0; ///< stale_pairs / pairs_observed
+    long decisions = 0;          ///< audit records (MTL transitions)
+    long fallbacks = 0;
+};
+
+/** Everything analyze() derives from one run. */
+struct Report
+{
+    std::string policy;
+    int cores = 0;
+    double makespan = 0.0;
+    std::uint64_t trace_events = 0;
+    std::uint64_t trace_dropped = 0;
+    std::vector<PhaseReport> phases;
+    std::vector<WorkerReport> workers;
+    OverheadReport overhead;
+    std::vector<core::MtlDecision> decisions;
+};
+
+/** Run facts the trace stream alone cannot know. */
+struct AnalyzeOptions
+{
+    std::string policy;       ///< policy name for the report header
+    int cores = 0;            ///< hardware contexts (the model's n)
+    double makespan = 0.0;    ///< run wall/sim seconds (0: from events)
+    std::uint64_t trace_dropped = 0;
+    core::PolicyStats policy_stats;
+};
+
+/** Derive the full attribution report from one run's trace. */
+Report analyze(const TraceData &data, const AnalyzeOptions &options);
+
+/** Render the report as one JSON object. */
+void writeReportJson(const Report &report, std::ostream &os);
+
+/** Render the report as aligned human-readable tables. */
+std::string reportTable(const Report &report);
+
+/** One threshold violation found by diffReports(). */
+struct DiffFinding
+{
+    std::string metric;
+    double baseline = 0.0;
+    double candidate = 0.0;
+    double change = 0.0; ///< relative change, positive = worse
+};
+
+/** Outcome of comparing two report JSON documents. */
+struct DiffResult
+{
+    std::vector<DiffFinding> regressions;
+    std::vector<std::string> notes; ///< structural mismatches etc.
+    bool regressed() const
+    {
+        return !regressions.empty() || !notes.empty();
+    }
+};
+
+/**
+ * Compare a candidate report against a baseline (both parsed from
+ * writeReportJson output). A metric regresses when it worsens by more
+ * than `threshold` (relative, e.g. 0.05 = 5%): run makespan, each
+ * phase's duration and mean/p95 T_m, and the probe-overhead fraction.
+ * Phase-set mismatches are reported as notes (also a failure).
+ */
+DiffResult diffReports(const json::Value &baseline,
+                       const json::Value &candidate, double threshold);
+
+} // namespace tt::obs
+
+#endif // TT_OBS_ANALYZER_HH

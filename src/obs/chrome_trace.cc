@@ -72,6 +72,39 @@ writeChromeTrace(const TraceData &data, std::ostream &os)
            << time * 1e6 << ",\"args\":{\"mtl\":" << mtl << "}}";
     }
 
+    // Policy decision audit: one global instant event per record,
+    // carrying the measurements that drove the transition, plus a
+    // counter track of the predicted speedup at each selection.
+    for (const core::MtlDecision &d : data.decisions) {
+        sep();
+        os << "  {\"ph\":\"i\",\"pid\":0,\"tid\":0,\"s\":\"g\","
+           << "\"cat\":\"policy\",\"name\":\"policy "
+           << core::decisionReasonName(d.reason)
+           << "\",\"ts\":" << d.time * 1e6 << ",\"args\":{"
+           << "\"from_mtl\":" << d.from_mtl
+           << ",\"to_mtl\":" << d.to_mtl
+           << ",\"window_tm_us\":" << d.window_tm * 1e6
+           << ",\"window_tc_us\":" << d.window_tc * 1e6
+           << ",\"idle_bound\":" << d.idle_bound
+           << ",\"mtl_no_idle\":" << d.mtl_no_idle
+           << ",\"mtl_idle\":" << d.mtl_idle
+           << ",\"rank_no_idle\":" << d.rank_no_idle
+           << ",\"rank_idle\":" << d.rank_idle
+           << ",\"predicted_speedup\":" << d.predicted_speedup
+           << ",\"probes_used\":" << d.probes_used
+           << ",\"degraded\":" << (d.degraded ? "true" : "false")
+           << "}}";
+    }
+    for (const core::MtlDecision &d : data.decisions) {
+        if (d.predicted_speedup <= 0.0)
+            continue;
+        sep();
+        os << "  {\"ph\":\"C\",\"pid\":0,\"name\":\"predicted "
+           << "speedup\",\"ts\":" << d.time * 1e6
+           << ",\"args\":{\"speedup\":" << d.predicted_speedup
+           << "}}";
+    }
+
     // Worker naming metadata.
     int max_worker = -1;
     for (const TaskEvent &event : data.events)

@@ -1,0 +1,24 @@
+#include "obs/timeseries.hh"
+
+#include <iomanip>
+
+namespace tt::obs {
+
+void
+writeTimeseriesRow(const TimeseriesSample &sample, std::ostream &os)
+{
+    const auto flags = os.flags();
+    os << std::setprecision(9) << std::fixed;
+    os << "{\"t\":" << sample.time << ",\"mtl\":" << sample.mtl
+       << ",\"mem_in_flight\":" << sample.mem_in_flight
+       << ",\"tasks_done\":" << sample.tasks_done
+       << ",\"pairs_done\":" << sample.pairs_done
+       << ",\"ready_memory\":" << sample.ready_memory
+       << ",\"ready_compute\":" << sample.ready_compute
+       << ",\"selections\":" << sample.selections
+       << ",\"degraded\":" << (sample.degraded ? "true" : "false")
+       << "}\n";
+    os.flags(flags);
+}
+
+} // namespace tt::obs

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Periodic run-state snapshots as JSON Lines.
+ *
+ * Both runtimes can emit a time series of their live scheduler state
+ * -- one JSON object per line, so the file streams cleanly into
+ * jq/pandas and survives a crashed run up to the last flushed row.
+ * The host runtime samples from a background thread on wall time;
+ * SimRuntime samples on simulated time from its event queue. ttsim
+ * exposes both via --timeseries-out FILE.
+ */
+
+#ifndef TT_OBS_TIMESERIES_HH
+#define TT_OBS_TIMESERIES_HH
+
+#include <cstdint>
+#include <ostream>
+
+namespace tt::obs {
+
+/** One snapshot of a running schedule. */
+struct TimeseriesSample
+{
+    double time = 0.0;     ///< seconds from run start (wall or sim)
+    int mtl = 0;           ///< MTL the policy currently publishes
+    int mem_in_flight = 0; ///< memory tasks executing right now
+    int tasks_done = 0;
+    long pairs_done = 0;            ///< pairs measured so far
+    std::size_t ready_memory = 0;   ///< ready-queue depths
+    std::size_t ready_compute = 0;
+    long selections = 0;  ///< MTL selections completed so far
+    bool degraded = false; ///< policy in fault-tolerance fallback
+};
+
+/** Append `sample` to `os` as one JSONL row (with trailing newline). */
+void writeTimeseriesRow(const TimeseriesSample &sample,
+                        std::ostream &os);
+
+} // namespace tt::obs
+
+#endif // TT_OBS_TIMESERIES_HH

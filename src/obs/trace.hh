@@ -22,6 +22,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/audit.hh"
+
 namespace tt::obs {
 
 /** One executed task, as recorded by the worker that ran it. */
@@ -101,14 +103,15 @@ class Tracer
 /**
  * Everything the exporter needs, decoupled from which runtime
  * produced it: the merged event stream, the policy's (time, MTL)
- * transition log, and the graph's phase names (indexed by
- * TaskEvent::phase).
+ * transition log, its decision audit records, and the graph's phase
+ * names (indexed by TaskEvent::phase).
  */
 struct TraceData
 {
     std::vector<TaskEvent> events;
     std::vector<std::pair<double, int>> mtl_trace;
     std::vector<std::string> phase_names;
+    std::vector<core::MtlDecision> decisions;
 };
 
 } // namespace tt::obs

@@ -11,6 +11,7 @@
 
 #include "core/sample_guard.hh"
 #include "fault/fault_plan.hh"
+#include "obs/timeseries.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 
@@ -312,6 +313,48 @@ Runtime::watchdogLoop()
 }
 
 void
+Runtime::emitTimeseriesRow()
+{
+    obs::TimeseriesSample row;
+    {
+        std::lock_guard lock(mutex_);
+        row.time = nowSeconds() - run_start_;
+        row.mtl = policy_.currentMtl();
+        row.mem_in_flight = mem_in_flight_;
+        row.tasks_done = tasks_done_;
+        row.pairs_done = static_cast<long>(samples_.size());
+        row.ready_memory = ready_memory_.size();
+        row.ready_compute = ready_compute_.size();
+        row.selections = policy_.stats().selections;
+        row.degraded = policy_.degraded();
+    }
+    obs::writeTimeseriesRow(row, *options_.timeseries_out);
+}
+
+void
+Runtime::samplerLoop()
+{
+    // Shares the watchdog's handshake: wait_for() doubles as the
+    // sampling period and as a prompt wake-up when the run drains.
+    const auto interval = std::chrono::duration<double>(
+        std::max(options_.timeseries_interval_seconds, 1e-6));
+    std::unique_lock lock(watchdog_mutex_);
+    while (!run_complete_) {
+        watchdog_cv_.wait_for(lock, interval,
+                              [this] { return run_complete_; });
+        if (run_complete_)
+            break;
+        lock.unlock();
+        emitTimeseriesRow();
+        lock.lock();
+    }
+    lock.unlock();
+    // Final row so even a sub-interval run leaves a snapshot behind.
+    emitTimeseriesRow();
+    options_.timeseries_out->flush();
+}
+
+void
 Runtime::crashDump()
 {
     // Runs on the watchdog/terminate path with workers possibly
@@ -434,6 +477,9 @@ Runtime::run()
     std::thread watchdog;
     if (options_.watchdog_seconds > 0.0)
         watchdog = std::thread([this] { watchdogLoop(); });
+    std::thread sampler;
+    if (options_.timeseries_out != nullptr)
+        sampler = std::thread([this] { samplerLoop(); });
 
     std::vector<std::thread> workers;
     workers.reserve(static_cast<std::size_t>(options_.threads));
@@ -449,6 +495,8 @@ Runtime::run()
     watchdog_cv_.notify_all();
     if (watchdog.joinable())
         watchdog.join();
+    if (sampler.joinable())
+        sampler.join();
     unregisterCrashDumpHook(hook_id);
 
     result.failed = run_failed_.load(std::memory_order_relaxed);
@@ -463,6 +511,7 @@ Runtime::run()
     result.samples = samples_;
     result.policy_stats = policy_.stats();
     result.mtl_trace = policy_.mtlTrace();
+    result.decisions = policy_.decisions();
     result.peak_mem_in_flight = peak_mem_in_flight_;
     result.trace = tracer_.merged();
     result.trace_dropped = tracer_.dropped();
@@ -499,7 +548,7 @@ Runtime::run()
     if (MetricsRegistry *metrics = options_.metrics) {
         metrics->add("runtime.tasks_done", tasks_done_);
         metrics->add("runtime.pin_failed", result.pin_failures);
-        metrics->add("runtime.trace_dropped",
+        metrics->add("trace.events_dropped",
                      static_cast<std::int64_t>(result.trace_dropped));
         metrics->setMax("runtime.peak_mem_in_flight",
                         peak_mem_in_flight_);
@@ -516,6 +565,7 @@ toTraceData(const stream::TaskGraph &graph, const HostRunResult &result)
     obs::TraceData data;
     data.events = result.trace;
     data.mtl_trace = result.mtl_trace;
+    data.decisions = result.decisions;
     data.phase_names.reserve(
         static_cast<std::size_t>(graph.phaseCount()));
     for (const stream::Phase &phase : graph.phases())

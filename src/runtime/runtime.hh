@@ -103,6 +103,18 @@ struct RuntimeOptions
 
     /** Process exit code used when the watchdog fires. */
     int watchdog_exit_code = 3;
+
+    /**
+     * Optional time-series sink (not owned). When set, a background
+     * sampler thread appends one JSONL row (see obs/timeseries.hh)
+     * every `timeseries_interval_seconds` while the run is live,
+     * plus one final row at drain: wall time, current MTL, in-flight
+     * memory tasks, ready-queue depths, pairs done, selections.
+     */
+    std::ostream *timeseries_out = nullptr;
+
+    /** Sampling period of the time-series thread, in wall seconds. */
+    double timeseries_interval_seconds = 1e-3;
 };
 
 /** Measurements from one host run. */
@@ -121,6 +133,9 @@ struct HostRunResult
 
     /** Merged per-worker event trace, ordered by start time. */
     std::vector<obs::TaskEvent> trace;
+
+    /** Policy decision audit log (see core/audit.hh). */
+    std::vector<core::MtlDecision> decisions;
 
     /** Events lost to trace-ring overwrites (0 unless capped). */
     std::uint64_t trace_dropped = 0;
@@ -182,6 +197,10 @@ class Runtime
     void sleepSeconds(double seconds);
     /** Watchdog thread body: deadline wait, then diagnostic exit. */
     void watchdogLoop();
+    /** Time-series sampler thread body (see RuntimeOptions). */
+    void samplerLoop();
+    /** Append one time-series row reflecting the live state. */
+    void emitTimeseriesRow();
     /** Best-effort diagnostics dump (crash hook / watchdog path). */
     void crashDump();
 

@@ -8,6 +8,7 @@
 #include "core/policy.hh"
 #include "core/sample_guard.hh"
 #include "fault/fault_plan.hh"
+#include "obs/timeseries.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 
@@ -82,6 +83,38 @@ SimRuntime::setFaultPlan(const fault::FaultPlan *plan, int max_retries,
     fault_plan_ = plan;
     max_task_retries_ = max_retries;
     retry_backoff_seconds_ = backoff_seconds;
+}
+
+void
+SimRuntime::setTimeseries(std::ostream *out, double interval_seconds)
+{
+    tt_assert(out == nullptr || interval_seconds > 0.0,
+              "sampling interval must be positive");
+    timeseries_out_ = out;
+    timeseries_interval_seconds_ = interval_seconds;
+}
+
+void
+SimRuntime::emitTimeseriesSample()
+{
+    obs::TimeseriesSample row;
+    row.time = machine_.nowSeconds();
+    row.mtl = policy_.currentMtl();
+    row.mem_in_flight = mem_in_flight_;
+    row.tasks_done = tasks_done_;
+    row.pairs_done = static_cast<long>(samples_.size());
+    row.ready_memory = ready_memory_.size();
+    row.ready_compute = ready_compute_.size();
+    row.selections = policy_.stats().selections;
+    row.degraded = policy_.degraded();
+    obs::writeTimeseriesRow(row, *timeseries_out_);
+
+    // Keep sampling only while the schedule is live; the final
+    // reschedule past the drain yields the closing snapshot.
+    if (tasks_done_ < graph_.taskCount() && !failed_)
+        machine_.events().scheduleIn(
+            ticksFromSeconds(timeseries_interval_seconds_),
+            [this] { emitTimeseriesSample(); });
 }
 
 void
@@ -217,6 +250,8 @@ SimRuntime::onTaskDone(int context, TaskId id)
                trace_index_[static_cast<std::size_t>(id)])]
         .end = machine_.nowSeconds();
     ++tasks_done_;
+    if (tasks_done_ == graph_.taskCount())
+        drain_seconds_ = machine_.nowSeconds();
 
     if (task.kind == TaskKind::Memory) {
         --mem_in_flight_;
@@ -344,6 +379,8 @@ SimRuntime::run()
     }
 
     activatePhase(0);
+    if (timeseries_out_ != nullptr)
+        emitTimeseriesSample();
     trySchedule();
     machine_.events().run();
 
@@ -356,10 +393,16 @@ SimRuntime::run()
     result.failure_reason = failure_reason_;
     result.task_retries = task_retries_;
     result.task_failures = task_failures_;
-    result.seconds = machine_.nowSeconds();
+    // With the sampler attached, the last event in the queue is a
+    // trailing time-series snapshot; the makespan is the last task
+    // completion, not that sampler tick.
+    result.seconds = timeseries_out_ != nullptr && drain_seconds_ >= 0.0
+                         ? drain_seconds_
+                         : machine_.nowSeconds();
     result.samples = samples_;
     result.policy_stats = policy_.stats();
     result.mtl_trace = policy_.mtlTrace();
+    result.decisions = policy_.decisions();
 
     // Same screening as the host runtime: corrupted samples stay in
     // result.samples but do not poison the averages.

@@ -25,6 +25,7 @@
 #define TT_SIMRT_SIM_RUNTIME_HH
 
 #include <deque>
+#include <iosfwd>
 #include <string>
 #include <utility>
 #include <vector>
@@ -66,6 +67,9 @@ struct RunResult
 
     core::PolicyStats policy_stats;
     std::vector<std::pair<double, int>> mtl_trace;
+
+    /** Policy decision audit log (see core/audit.hh). */
+    std::vector<core::MtlDecision> decisions;
 
     double avg_tm = 0.0; ///< mean memory-task duration
     double avg_tc = 0.0; ///< mean compute-task duration
@@ -140,6 +144,15 @@ class SimRuntime
                       int max_retries = 3,
                       double backoff_seconds = 100e-6);
 
+    /**
+     * Attach a time-series sink (not owned; nullptr detaches): one
+     * JSONL row (see obs/timeseries.hh) every `interval_seconds` of
+     * *simulated* time while tasks remain, plus a final row after
+     * the last completion. The trailing sampler event does not
+     * extend the reported makespan.
+     */
+    void setTimeseries(std::ostream *out, double interval_seconds);
+
     /** Execute the whole graph; returns the measurements. */
     RunResult run();
 
@@ -152,6 +165,8 @@ class SimRuntime
     void retryTask(int context, stream::TaskId id);
     /** Abort the run: record the cause, stop dispatching. */
     void failRun(stream::TaskId id, int attempts);
+    /** Emit one time-series row; self-reschedules while tasks remain. */
+    void emitTimeseriesSample();
 
     cpu::SimMachine &machine_;
     const stream::TaskGraph &graph_;
@@ -190,6 +205,11 @@ class SimRuntime
     std::vector<core::PairSample> samples_;
     std::vector<TaskTrace> trace_;
     std::vector<int> trace_index_;
+
+    // Time-series sampling (see setTimeseries).
+    std::ostream *timeseries_out_ = nullptr;
+    double timeseries_interval_seconds_ = 1e-3;
+    double drain_seconds_ = -1.0; ///< last task completion time
 };
 
 /**

@@ -24,6 +24,7 @@ toTraceData(const stream::TaskGraph &graph, const RunResult &result)
         data.events.push_back(event);
     }
     data.mtl_trace = result.mtl_trace;
+    data.decisions = result.decisions;
     data.phase_names.reserve(
         static_cast<std::size_t>(graph.phaseCount()));
     for (const stream::Phase &phase : graph.phases())

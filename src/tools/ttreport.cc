@@ -1,0 +1,316 @@
+/**
+ * @file
+ * ttreport: latency attribution and regression analysis for one run.
+ *
+ * Run mode executes a workload on the simulator (in process, like
+ * ttsim) and renders the obs::analyze() report: per-phase T_m/T_c
+ * distributions attributed to the MTL in force, the queuing
+ * decomposition fit, predicted-vs-measured model validation,
+ * per-worker busy/stall/idle accounting and the policy's decision
+ * audit log.
+ *
+ *   ttreport --workload phased --policy dynamic
+ *   ttreport --workload synthetic --ratio 1.2 --json > report.json
+ *   ttreport --policy dynamic --out baseline.json
+ *
+ * Diff mode compares two saved reports and fails when the candidate
+ * regresses past the threshold -- the CI gate:
+ *
+ *   ttreport --diff baseline.json candidate.json --threshold 5
+ *
+ * Flags (run mode mirrors ttsim's simulator subset):
+ *   --workload   synthetic | dft | streamcluster | sift | stencil |
+ *                histogram | phased                      [phased]
+ *   --machine    1dimm | 2dimm | 2dimm-smt | power7       [1dimm]
+ *   --policy     conventional | static | dynamic | online [dynamic]
+ *   --mtl K --window W --hysteresis H --ratio R
+ *   --footprint-kb KB --pairs N --dim D
+ *   --json       print the report as JSON instead of tables
+ *   --out FILE   also write the JSON report to FILE
+ *   --diff BASELINE.json CANDIDATE.json   compare two reports
+ *   --threshold PCT   relative regression threshold, percent  [5]
+ *
+ * Exit codes: 0 success / no regression; 1 regression found, input
+ * unreadable or output write failed; 2 usage error.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/dynamic_policy.hh"
+#include "core/online_exhaustive_policy.hh"
+#include "core/policy.hh"
+#include "cpu/machine_config.hh"
+#include "obs/analyzer.hh"
+#include "simrt/sim_runtime.hh"
+#include "simrt/trace_export.hh"
+#include "util/flags.hh"
+#include "util/json.hh"
+#include "workloads/dft.hh"
+#include "workloads/histogram.hh"
+#include "workloads/phased.hh"
+#include "workloads/sift.hh"
+#include "workloads/stencil.hh"
+#include "workloads/streamcluster.hh"
+#include "workloads/synthetic.hh"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--workload synthetic|dft|streamcluster|sift|"
+        "stencil|histogram|phased]\n"
+        "          [--machine 1dimm|2dimm|2dimm-smt|power7]\n"
+        "          [--policy conventional|static|dynamic|online]\n"
+        "          [--mtl K] [--window W] [--hysteresis H]\n"
+        "          [--ratio R] [--footprint-kb KB] [--pairs N]\n"
+        "          [--dim D] [--json] [--out FILE]\n"
+        "       %s --diff BASELINE.json CANDIDATE.json "
+        "[--threshold PCT]\n"
+        "exit codes: 0 ok / no regression, 1 regression or I/O "
+        "failure, 2 usage\n",
+        argv0, argv0);
+    return 2;
+}
+
+/** Read a whole file; false (with a message) when unreadable. */
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot read '%s'\n", path.c_str());
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    out = buffer.str();
+    return true;
+}
+
+int
+runDiff(const std::string &baseline_path,
+        const std::string &candidate_path, double threshold)
+{
+    std::string baseline_text;
+    std::string candidate_text;
+    if (!readFile(baseline_path, baseline_text) ||
+        !readFile(candidate_path, candidate_text))
+        return 1;
+    std::string error;
+    const auto baseline = tt::json::parse(baseline_text, &error);
+    if (!baseline) {
+        std::fprintf(stderr, "parse '%s': %s\n", baseline_path.c_str(),
+                     error.c_str());
+        return 1;
+    }
+    const auto candidate = tt::json::parse(candidate_text, &error);
+    if (!candidate) {
+        std::fprintf(stderr, "parse '%s': %s\n",
+                     candidate_path.c_str(), error.c_str());
+        return 1;
+    }
+    const tt::obs::DiffResult diff =
+        tt::obs::diffReports(*baseline, *candidate, threshold);
+    for (const std::string &note : diff.notes)
+        std::printf("MISMATCH  %s\n", note.c_str());
+    for (const tt::obs::DiffFinding &finding : diff.regressions)
+        std::printf("REGRESSED %s: %.6g -> %.6g (%+.2f%%)\n",
+                    finding.metric.c_str(), finding.baseline,
+                    finding.candidate, finding.change * 100.0);
+    if (!diff.regressed()) {
+        std::printf("no regressions past %.2f%% (%s vs %s)\n",
+                    threshold * 100.0, candidate_path.c_str(),
+                    baseline_path.c_str());
+        return 0;
+    }
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    tt::Flags flags;
+    static const std::vector<std::string> known_flags = {
+        "help",    "workload",     "machine", "policy",
+        "mtl",     "window",       "hysteresis", "ratio",
+        "footprint-kb", "pairs",   "dim",     "json",
+        "out",     "diff",         "threshold",
+    };
+    if (!flags.parse(argc, argv) || !flags.allowOnly(known_flags) ||
+        flags.has("help")) {
+        if (!flags.error().empty())
+            std::fprintf(stderr, "error: %s\n", flags.error().c_str());
+        return usage(argv[0]);
+    }
+
+    const double threshold =
+        flags.getDouble("threshold", 5.0) / 100.0;
+    if (!flags.error().empty()) {
+        std::fprintf(stderr, "error: %s\n", flags.error().c_str());
+        return usage(argv[0]);
+    }
+    if (threshold < 0.0) {
+        std::fprintf(stderr, "--threshold must be >= 0\n");
+        return 2;
+    }
+
+    if (flags.has("diff")) {
+        const std::string baseline = flags.getString("diff", "");
+        if (baseline.empty() || flags.positional().size() != 1) {
+            std::fprintf(stderr,
+                         "--diff needs BASELINE.json CANDIDATE.json\n");
+            return usage(argv[0]);
+        }
+        return runDiff(baseline, flags.positional().front(),
+                       threshold);
+    }
+    if (!flags.positional().empty()) {
+        std::fprintf(stderr, "unexpected positional argument '%s'\n",
+                     flags.positional().front().c_str());
+        return usage(argv[0]);
+    }
+
+    // ---- run mode: one simulated run, analysed in process ----------
+    const std::string machine_name =
+        flags.getString("machine", "1dimm");
+    tt::cpu::MachineConfig machine;
+    if (machine_name == "1dimm") {
+        machine = tt::cpu::MachineConfig::i7_860_1dimm();
+    } else if (machine_name == "2dimm") {
+        machine = tt::cpu::MachineConfig::i7_860_2dimm();
+    } else if (machine_name == "2dimm-smt") {
+        machine = tt::cpu::MachineConfig::i7_860_2dimm_smt();
+    } else if (machine_name == "power7") {
+        machine = tt::cpu::MachineConfig::power7();
+    } else {
+        std::fprintf(stderr, "unknown machine '%s'\n",
+                     machine_name.c_str());
+        return usage(argv[0]);
+    }
+    const int n = machine.contexts();
+
+    const std::string workload =
+        flags.getString("workload", "phased");
+    const int pairs = static_cast<int>(flags.getInt("pairs", 128));
+    tt::stream::TaskGraph graph;
+    if (workload == "synthetic") {
+        tt::workloads::SyntheticParams params;
+        params.tm1_over_tc = flags.getDouble("ratio", 0.5);
+        params.footprint_bytes =
+            static_cast<std::uint64_t>(
+                flags.getInt("footprint-kb", 512)) *
+            1024;
+        params.pairs = pairs;
+        graph = tt::workloads::buildSyntheticSim(machine, params);
+    } else if (workload == "phased") {
+        // Three phases crossing the IdleBound in both directions, so
+        // an adaptive policy has real transitions to audit.
+        std::vector<tt::workloads::PhaseSpec> specs(3);
+        specs[0].name = "low-intensity";
+        specs[0].tm1_over_tc = 0.25;
+        specs[0].pairs = pairs;
+        specs[1].name = "high-intensity";
+        specs[1].tm1_over_tc = 1.5;
+        specs[1].pairs = pairs;
+        specs[2].name = "mid-intensity";
+        specs[2].tm1_over_tc = 0.6;
+        specs[2].pairs = pairs;
+        graph = tt::workloads::buildPhasedSim(machine, specs);
+    } else if (workload == "dft") {
+        graph = tt::workloads::dftSim(machine);
+    } else if (workload == "streamcluster") {
+        graph = tt::workloads::streamclusterSim(
+            machine, static_cast<int>(flags.getInt("dim", 128)));
+    } else if (workload == "sift") {
+        graph = tt::workloads::siftSim(machine);
+    } else if (workload == "stencil") {
+        tt::workloads::StencilParams params;
+        graph = tt::workloads::stencilSim(machine, params);
+    } else if (workload == "histogram") {
+        tt::workloads::HistogramParams params;
+        params.pairs = pairs;
+        graph = tt::workloads::histogramSim(machine, params);
+    } else {
+        std::fprintf(stderr, "unknown workload '%s'\n",
+                     workload.c_str());
+        return usage(argv[0]);
+    }
+
+    const std::string policy_name =
+        flags.getString("policy", "dynamic");
+    const int window = static_cast<int>(flags.getInt("window", 16));
+    std::unique_ptr<tt::core::SchedulingPolicy> policy;
+    if (policy_name == "conventional") {
+        policy = std::make_unique<tt::core::ConventionalPolicy>(n);
+    } else if (policy_name == "static") {
+        policy = std::make_unique<tt::core::StaticMtlPolicy>(
+            static_cast<int>(flags.getInt("mtl", 1)), n);
+    } else if (policy_name == "dynamic") {
+        auto dynamic =
+            std::make_unique<tt::core::DynamicThrottlePolicy>(n,
+                                                              window);
+        dynamic->setIdleBoundHysteresis(
+            static_cast<int>(flags.getInt("hysteresis", 0)));
+        policy = std::move(dynamic);
+    } else if (policy_name == "online") {
+        policy = std::make_unique<tt::core::OnlineExhaustivePolicy>(
+            n, window);
+    } else {
+        std::fprintf(stderr, "unknown policy '%s'\n",
+                     policy_name.c_str());
+        return usage(argv[0]);
+    }
+    if (!flags.error().empty()) {
+        std::fprintf(stderr, "error: %s\n", flags.error().c_str());
+        return usage(argv[0]);
+    }
+
+    tt::cpu::SimMachine sim_machine(machine);
+    tt::simrt::SimRuntime sim_runtime(sim_machine, graph, *policy);
+    const tt::simrt::RunResult result = sim_runtime.run();
+    if (result.failed) {
+        std::fprintf(stderr, "run failed: %s\n",
+                     result.failure_reason.c_str());
+        return 1;
+    }
+
+    tt::obs::AnalyzeOptions options;
+    options.policy = policy->name();
+    options.cores = n;
+    options.makespan = result.seconds;
+    options.policy_stats = result.policy_stats;
+    const tt::obs::Report report =
+        tt::obs::analyze(tt::simrt::toTraceData(graph, result),
+                         options);
+
+    const std::string out_path = flags.getString("out", "");
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        if (out)
+            tt::obs::writeReportJson(report, out);
+        out.flush();
+        if (!out) {
+            std::fprintf(stderr, "writing '%s' failed\n",
+                         out_path.c_str());
+            return 1;
+        }
+    }
+    if (flags.getBool("json")) {
+        std::ostringstream os;
+        tt::obs::writeReportJson(report, os);
+        std::fputs(os.str().c_str(), stdout);
+    } else {
+        std::fputs(tt::obs::reportTable(report).c_str(), stdout);
+    }
+    return 0;
+}

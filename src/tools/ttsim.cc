@@ -38,6 +38,11 @@
  *                       --chrome-trace is an alias
  *   --metrics-out FILE  write the run's metrics registry as JSON
  *   --metrics-summary   print the metrics registry as a table
+ *   --timeseries-out FILE     write periodic run snapshots as JSONL
+ *                             (one row per sampling interval; sim
+ *                             time in the simulator, wall time with
+ *                             --host -- see obs/timeseries.hh)
+ *   --timeseries-interval-us US  sampling interval           [100]
  *   --quiet      suppress the header
  *
  * Fault injection (see fault/fault_plan.hh; applies to --host and
@@ -99,6 +104,8 @@ usage(const char *argv0)
         "          [--dim D] [--host] [--threads T] [--count C]\n"
         "          [--no-pin] [--trace] [--trace-out FILE]\n"
         "          [--metrics-out FILE] [--metrics-summary] [--quiet]\n"
+        "          [--timeseries-out FILE] "
+        "[--timeseries-interval-us US]\n"
         "          [--inject-seed S] [--inject-fail-p P]\n"
         "          [--inject-straggler P] [--inject-straggler-x F]\n"
         "          [--inject-corrupt-p P] [--inject-stall-p P]\n"
@@ -179,6 +186,7 @@ main(int argc, char **argv)
         "threads",        "count",          "no-pin",
         "trace",          "trace-out",      "chrome-trace",
         "metrics-out",    "metrics-summary", "quiet",
+        "timeseries-out", "timeseries-interval-us",
         "inject-seed",    "inject-fail-p",  "inject-straggler",
         "inject-straggler-x", "inject-corrupt-p", "inject-stall-p",
         "inject-stall-ms", "max-retries",   "watchdog-ms",
@@ -380,6 +388,41 @@ main(int argc, char **argv)
     const std::string trace_path = flags.getString(
         "trace-out", flags.getString("chrome-trace", ""));
     const std::string metrics_path = flags.getString("metrics-out", "");
+    const std::string timeseries_path =
+        flags.getString("timeseries-out", "");
+    const double timeseries_interval =
+        flags.getDouble("timeseries-interval-us", 100.0) * 1e-6;
+    if (!flags.error().empty()) {
+        std::fprintf(stderr, "error: %s\n", flags.error().c_str());
+        return usage(argv[0]);
+    }
+    if (!timeseries_path.empty() && timeseries_interval <= 0.0) {
+        std::fprintf(stderr,
+                     "--timeseries-interval-us must be > 0\n");
+        return 2;
+    }
+    std::ofstream timeseries_out;
+    if (!timeseries_path.empty()) {
+        timeseries_out.open(timeseries_path);
+        if (!timeseries_out) {
+            std::fprintf(stderr, "cannot open '%s' for writing\n",
+                         timeseries_path.c_str());
+            return 1;
+        }
+    }
+    // Flush + error-check the JSONL stream once the run is over.
+    const auto finishTimeseries = [&]() -> bool {
+        if (timeseries_path.empty())
+            return true;
+        timeseries_out.flush();
+        if (!timeseries_out) {
+            std::fprintf(stderr, "writing '%s' failed (disk full?)\n",
+                         timeseries_path.c_str());
+            return false;
+        }
+        std::printf("timeseries      %10s\n", timeseries_path.c_str());
+        return true;
+    };
 
     // On abnormal termination (watchdog, tt_assert) still leave the
     // metrics JSON behind for post-mortems; the hooks run before the
@@ -402,6 +445,10 @@ main(int argc, char **argv)
         options.fault_plan = fault_plan ? &*fault_plan : nullptr;
         options.max_task_retries = max_retries;
         options.watchdog_seconds = watchdog_seconds;
+        if (!timeseries_path.empty()) {
+            options.timeseries_out = &timeseries_out;
+            options.timeseries_interval_seconds = timeseries_interval;
+        }
         tt::runtime::Runtime runtime(graph, *policy, options);
         const auto result = runtime.run();
 
@@ -438,6 +485,13 @@ main(int argc, char **argv)
                     result.trace.size(),
                     static_cast<unsigned long long>(
                         result.trace_dropped));
+        if (result.trace_dropped > 0)
+            std::fprintf(stderr,
+                         "warning: %llu trace events dropped (ring "
+                         "full) -- attribution reports will be "
+                         "incomplete; see trace.events_dropped\n",
+                         static_cast<unsigned long long>(
+                             result.trace_dropped));
 
         if (!trace_path.empty() &&
             !writeTraceFile(trace_path,
@@ -445,6 +499,8 @@ main(int argc, char **argv)
             return 1;
         if (!metrics_path.empty() &&
             !writeMetricsFile(metrics_path, metrics))
+            return 1;
+        if (!finishTimeseries())
             return 1;
         if (flags.getBool("metrics-summary"))
             std::printf("\n%s", metrics.summaryTable().c_str());
@@ -458,6 +514,9 @@ main(int argc, char **argv)
     sim_runtime.bindMetrics(&metrics);
     if (fault_plan)
         sim_runtime.setFaultPlan(&*fault_plan, max_retries);
+    if (!timeseries_path.empty())
+        sim_runtime.setTimeseries(&timeseries_out,
+                                  timeseries_interval);
     const auto result = sim_runtime.run();
 
     if (result.task_retries > 0 || result.task_failures > 0)
@@ -493,6 +552,8 @@ main(int argc, char **argv)
         return 1;
     if (!metrics_path.empty() &&
         !writeMetricsFile(metrics_path, metrics))
+        return 1;
+    if (!finishTimeseries())
         return 1;
     if (flags.getBool("metrics-summary"))
         std::printf("\n%s", metrics.summaryTable().c_str());

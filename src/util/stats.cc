@@ -457,9 +457,10 @@ MetricsRegistry::writeJson(std::ostream &os) const
            << ", \"mean\": " << jsonNumber(hist.mean())
            << ", \"min\": " << jsonNumber(hist.min())
            << ", \"max\": " << jsonNumber(hist.max())
-           << ", \"p50\": " << jsonNumber(hist.quantile(0.50))
-           << ", \"p90\": " << jsonNumber(hist.quantile(0.90))
-           << ", \"p99\": " << jsonNumber(hist.quantile(0.99))
+           << ", \"p50\": " << jsonNumber(hist.p50())
+           << ", \"p90\": " << jsonNumber(hist.p90())
+           << ", \"p95\": " << jsonNumber(hist.p95())
+           << ", \"p99\": " << jsonNumber(hist.p99())
            << ", \"buckets\": [";
         bool first_bucket = true;
         for (int b = 0; b < hist.bucketCount(); ++b) {
@@ -484,19 +485,21 @@ std::string
 MetricsRegistry::summaryTable() const
 {
     std::lock_guard lock(mutex_);
-    TablePrinter table(
-        {"metric", "type", "count", "value/mean", "p50", "p99", "max"});
+    TablePrinter table({"metric", "type", "count", "value/mean", "p50",
+                        "p90", "p95", "p99", "max"});
     for (const auto &[name, value] : counters_)
         table.addRow({name, "counter", "", std::to_string(value), "",
-                      "", ""});
+                      "", "", "", ""});
     for (const auto &[name, value] : gauges_)
-        table.addRow(
-            {name, "gauge", "", TablePrinter::num(value, 3), "", "", ""});
+        table.addRow({name, "gauge", "", TablePrinter::num(value, 3),
+                      "", "", "", "", ""});
     for (const auto &[name, hist] : histograms_) {
         table.addRow({name, "histogram", std::to_string(hist.count()),
                       TablePrinter::num(hist.mean(), 6),
-                      TablePrinter::num(hist.quantile(0.5), 6),
-                      TablePrinter::num(hist.quantile(0.99), 6),
+                      TablePrinter::num(hist.p50(), 6),
+                      TablePrinter::num(hist.p90(), 6),
+                      TablePrinter::num(hist.p95(), 6),
+                      TablePrinter::num(hist.p99(), 6),
                       TablePrinter::num(hist.max(), 6)});
     }
     return table.str();

@@ -167,6 +167,12 @@ class Histogram
      */
     double quantile(double q) const;
 
+    /** Common percentiles (log-bucket interpolation via quantile). */
+    double p50() const { return quantile(0.50); }
+    double p90() const { return quantile(0.90); }
+    double p95() const { return quantile(0.95); }
+    double p99() const { return quantile(0.99); }
+
     const Options &options() const { return options_; }
 
   private:

@@ -1,0 +1,66 @@
+# End-to-end smoke of the observability tooling, run as a ctest via
+# `cmake -P` (see tests/CMakeLists.txt): ttsim writes a time-series
+# file, ttreport writes report JSON from two seeded runs, and the
+# --diff gate exits 0 on identical runs and non-zero on an injected
+# regression. Expects -DTTSIM=, -DTTREPORT=, -DWORK_DIR=.
+
+foreach(var TTSIM TTREPORT WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "obs_smoke: missing -D${var}=")
+    endif()
+endforeach()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# 1. ttsim emits a non-empty JSONL time series.
+execute_process(
+    COMMAND "${TTSIM}" --workload synthetic --policy dynamic
+            --pairs 64 --quiet
+            --timeseries-out "${WORK_DIR}/ts.jsonl"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ttsim --timeseries-out failed (rc=${rc})")
+endif()
+file(READ "${WORK_DIR}/ts.jsonl" ts_rows)
+if(ts_rows STREQUAL "")
+    message(FATAL_ERROR "time-series file is empty")
+endif()
+
+# 2. Two identical seeded runs produce identical reports: diff passes.
+foreach(name a b)
+    execute_process(
+        COMMAND "${TTREPORT}" --workload phased --policy dynamic
+                --out "${WORK_DIR}/${name}.json"
+        OUTPUT_QUIET
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "ttreport run '${name}' failed (rc=${rc})")
+    endif()
+endforeach()
+execute_process(
+    COMMAND "${TTREPORT}" --diff "${WORK_DIR}/a.json"
+            "${WORK_DIR}/b.json"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "diff of identical runs exited ${rc}, want 0")
+endif()
+
+# 3. A shorter run of the same workload spends a larger share of its
+# pairs probing and settles later, so its per-phase latencies regress
+# against the baseline -- the gate must catch it.
+execute_process(
+    COMMAND "${TTREPORT}" --workload phased --policy dynamic
+            --pairs 32 --out "${WORK_DIR}/c.json"
+    OUTPUT_QUIET
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ttreport regressed run failed (rc=${rc})")
+endif()
+execute_process(
+    COMMAND "${TTREPORT}" --diff "${WORK_DIR}/a.json"
+            "${WORK_DIR}/c.json"
+    RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+    message(FATAL_ERROR "diff missed the injected regression")
+endif()
+
+message(STATUS "obs smoke passed")

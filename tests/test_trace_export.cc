@@ -11,9 +11,11 @@
 #include "core/dynamic_policy.hh"
 #include "core/policy.hh"
 #include "cpu/machine_config.hh"
+#include "obs/chrome_trace.hh"
 #include "simrt/sim_runtime.hh"
 #include "simrt/trace_export.hh"
 #include "stream/builder.hh"
+#include "util/json.hh"
 
 namespace {
 
@@ -91,6 +93,85 @@ TEST(TraceExport, DynamicPolicyProducesMtlCounterTrack)
         tt::simrt::chromeTraceString(graph, result);
     // The adaptive policy changes MTL at least once after t=0.
     EXPECT_GE(countOccurrences(json, "\"name\":\"MTL\""), 2u);
+}
+
+/**
+ * Golden-structure check: parse the emitted document with the
+ * bundled JSON parser and verify the trace-event schema field by
+ * field, not by substring counting.
+ */
+TEST(TraceExport, GoldenStructureParsesAndMatchesSchema)
+{
+    const auto cfg = MachineConfig::i7_860_1dimm();
+    StreamProgramBuilder builder;
+    builder.beginPhase("p");
+    builder.addPairs(48, [](int) {
+        PairSpec spec;
+        spec.bytes = 128 * 1024;
+        spec.compute_cycles = 400000;
+        return spec;
+    });
+    const TaskGraph graph = std::move(builder).build();
+    tt::core::DynamicThrottlePolicy policy(cfg.contexts(), 8);
+    const auto result = tt::simrt::runOnce(cfg, graph, policy);
+    const std::string json =
+        tt::simrt::chromeTraceString(graph, result);
+
+    std::string error;
+    const auto doc = tt::json::parse(json, &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    ASSERT_TRUE(doc->isArray());
+
+    std::size_t durations = 0;
+    std::size_t counters = 0;
+    std::size_t instants = 0;
+    std::size_t metadata = 0;
+    for (const auto &event : doc->array) {
+        ASSERT_TRUE(event.isObject());
+        const std::string ph = event.stringAt("ph");
+        const auto *args = event.find("args");
+        if (ph == "X") {
+            ++durations;
+            EXPECT_GE(event.numberAt("ts", -1.0), 0.0);
+            EXPECT_GE(event.numberAt("dur", -1.0), 0.0);
+            ASSERT_NE(args, nullptr);
+            EXPECT_GE(args->numberAt("mtl"), 1.0);
+            EXPECT_EQ(args->stringAt("phase"), "p");
+        } else if (ph == "C") {
+            ++counters;
+            ASSERT_NE(args, nullptr);
+        } else if (ph == "i") {
+            ++instants;
+            // Policy decision instants carry the audit payload.
+            EXPECT_EQ(event.stringAt("cat"), "policy");
+            ASSERT_NE(args, nullptr);
+            EXPECT_GE(args->numberAt("to_mtl"), 1.0);
+            EXPECT_NE(args->find("predicted_speedup"), nullptr);
+            EXPECT_NE(args->find("idle_bound"), nullptr);
+        } else {
+            EXPECT_EQ(ph, "M");
+            ++metadata;
+        }
+    }
+    EXPECT_EQ(durations, 96u); // 48 memory + 48 compute slices
+    EXPECT_GE(counters, 1u);
+    EXPECT_GE(metadata, 1u);
+    // The adaptive run made decisions; each one became an instant.
+    EXPECT_EQ(instants, result.decisions.size());
+    EXPECT_GE(instants, 1u);
+}
+
+/** A run with no events still round-trips as valid, empty JSON. */
+TEST(TraceExport, EmptyRunRoundTripsThroughParser)
+{
+    const tt::obs::TraceData empty;
+    const std::string json = tt::obs::chromeTraceString(empty);
+    std::string error;
+    const auto doc = tt::json::parse(json, &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    ASSERT_TRUE(doc->isArray());
+    for (const auto &event : doc->array)
+        EXPECT_EQ(event.stringAt("ph"), "M"); // metadata only, if any
 }
 
 TEST(TraceExport, EscapesAwkwardPhaseNames)

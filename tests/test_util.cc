@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "util/env.hh"
+#include "util/json.hh"
 #include "util/random.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -181,6 +182,91 @@ TEST(Table, Formatters)
     EXPECT_EQ(TablePrinter::num(1.2345, 2), "1.23");
     EXPECT_EQ(TablePrinter::num(1.0, 0), "1");
     EXPECT_EQ(TablePrinter::pct(0.1277), "12.77%");
+}
+
+TEST(Histogram, PercentileAccessorsMatchQuantile)
+{
+    tt::Histogram hist;
+    for (int i = 1; i <= 1000; ++i)
+        hist.add(static_cast<double>(i) * 1e-6);
+    EXPECT_DOUBLE_EQ(hist.p50(), hist.quantile(0.50));
+    EXPECT_DOUBLE_EQ(hist.p90(), hist.quantile(0.90));
+    EXPECT_DOUBLE_EQ(hist.p95(), hist.quantile(0.95));
+    EXPECT_DOUBLE_EQ(hist.p99(), hist.quantile(0.99));
+    // Monotone and inside the observed range.
+    EXPECT_LE(hist.p50(), hist.p90());
+    EXPECT_LE(hist.p90(), hist.p95());
+    EXPECT_LE(hist.p95(), hist.p99());
+    EXPECT_GE(hist.p50(), hist.min());
+    EXPECT_LE(hist.p99(), hist.max());
+}
+
+TEST(MetricsRegistry, SummaryTableAndJsonCarryPercentiles)
+{
+    tt::MetricsRegistry metrics;
+    for (int i = 1; i <= 100; ++i)
+        metrics.observe("latency", static_cast<double>(i) * 1e-6);
+    const std::string table = metrics.summaryTable();
+    EXPECT_NE(table.find("p90"), std::string::npos);
+    EXPECT_NE(table.find("p95"), std::string::npos);
+    std::ostringstream os;
+    metrics.writeJson(os);
+    EXPECT_NE(os.str().find("\"p95\""), std::string::npos);
+}
+
+TEST(Json, ParsesScalarsArraysAndObjects)
+{
+    std::string error;
+    const auto doc = tt::json::parse(
+        R"({"a": 1.5, "b": [1, 2, 3], "c": {"d": "x\ny"},)"
+        R"( "t": true, "f": false, "n": null, "neg": -2e-3})",
+        &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    ASSERT_TRUE(doc->isObject());
+    EXPECT_DOUBLE_EQ(doc->numberAt("a"), 1.5);
+    const auto *b = doc->find("b");
+    ASSERT_NE(b, nullptr);
+    ASSERT_TRUE(b->isArray());
+    ASSERT_EQ(b->array.size(), 3u);
+    EXPECT_DOUBLE_EQ(b->array[2].number, 3.0);
+    const auto *c = doc->find("c");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->stringAt("d"), "x\ny");
+    EXPECT_TRUE(doc->find("t")->boolean);
+    EXPECT_FALSE(doc->find("f")->boolean);
+    EXPECT_TRUE(doc->find("n")->isNull());
+    EXPECT_DOUBLE_EQ(doc->numberAt("neg"), -2e-3);
+}
+
+TEST(Json, ParsesEscapesAndUnicode)
+{
+    const auto doc =
+        tt::json::parse(R"("quote\" slash\\ tab\t uA")");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->string, "quote\" slash\\ tab\t uA");
+}
+
+TEST(Json, RejectsMalformedDocuments)
+{
+    std::string error;
+    EXPECT_FALSE(tt::json::parse("{", &error).has_value());
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(tt::json::parse("[1, 2,]").has_value());
+    EXPECT_FALSE(tt::json::parse("{\"a\" 1}").has_value());
+    EXPECT_FALSE(tt::json::parse("12x").has_value());
+    EXPECT_FALSE(tt::json::parse("[1] trailing").has_value());
+    EXPECT_FALSE(tt::json::parse("\"unterminated").has_value());
+    EXPECT_FALSE(tt::json::parse("").has_value());
+}
+
+TEST(Json, FallbacksOnMissingOrMistypedMembers)
+{
+    const auto doc = tt::json::parse(R"({"s": "str", "x": 4})");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_DOUBLE_EQ(doc->numberAt("missing", 7.0), 7.0);
+    EXPECT_DOUBLE_EQ(doc->numberAt("s", 7.0), 7.0);
+    EXPECT_EQ(doc->stringAt("x", "d"), "d");
+    EXPECT_EQ(doc->find("missing"), nullptr);
 }
 
 TEST(Env, ParsesWithFallbacks)
