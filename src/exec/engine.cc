@@ -1,0 +1,773 @@
+#include "exec/engine.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "core/sample_guard.hh"
+#include "obs/timeseries.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace tt::exec {
+
+using stream::Task;
+using stream::TaskId;
+using stream::TaskKind;
+
+namespace {
+
+std::size_t
+ringCapacity(const EngineOptions &options, int task_count)
+{
+    const auto wanted = std::min(
+        options.trace_capacity, static_cast<std::size_t>(task_count));
+    return std::max<std::size_t>(1, wanted);
+}
+
+} // namespace
+
+void
+ExecutionBackend::terminateProcess(int exit_code)
+{
+    std::fflush(nullptr);
+    std::_Exit(exit_code);
+}
+
+Engine::Engine(const stream::TaskGraph &graph,
+               core::SchedulingPolicy &policy,
+               const EngineOptions &options)
+    : graph_(graph), policy_(policy), options_(options)
+{
+    tt_assert(options_.max_task_retries >= 0,
+              "retry budget cannot be negative");
+    tt_assert(options_.retry_backoff_seconds >= 0.0,
+              "backoff cannot be negative");
+    tt_assert(options_.timeseries_out == nullptr ||
+                  options_.timeseries_interval_seconds > 0.0,
+              "sampling interval must be positive");
+
+    const auto n_tasks = static_cast<std::size_t>(graph_.taskCount());
+    deps_left_.assign(n_tasks, 0);
+    succs_.assign(n_tasks, {});
+    attempts_.assign(n_tasks, 0);
+    task_start_.assign(n_tasks, 0.0);
+    task_end_.assign(n_tasks, 0.0);
+    task_mtl_.assign(n_tasks, 0);
+    pair_mem_mtl_.assign(static_cast<std::size_t>(graph_.pairCount()), 0);
+    for (const Task &task : graph_.tasks()) {
+        deps_left_[static_cast<std::size_t>(task.id)] =
+            static_cast<int>(task.deps.size());
+        for (TaskId dep : task.deps)
+            succs_[static_cast<std::size_t>(dep)].push_back(task.id);
+    }
+}
+
+void
+Engine::activatePhaseLocked(int phase)
+{
+    current_phase_ = phase;
+    phase_remaining_ = 0;
+    for (const Task &task : graph_.tasks()) {
+        if (task.phase != phase)
+            continue;
+        ++phase_remaining_;
+        if (deps_left_[static_cast<std::size_t>(task.id)] == 0) {
+            tt_assert(task.kind == TaskKind::Memory,
+                      "only memory tasks can be initially ready");
+            ready_memory_.push_back(task.id);
+        }
+    }
+    tt_assert(phase_remaining_ > 0 || graph_.empty(),
+              "phase ", phase, " has no tasks");
+}
+
+void
+Engine::tryScheduleLocked()
+{
+    if (run_failed_.load(std::memory_order_relaxed) || finished_)
+        return; // aborting: let in-flight tasks drain, dispatch nothing
+    while (true) {
+        // Lowest-numbered idle context: on the sim backend this fills
+        // distinct physical cores before SMT siblings (see
+        // SimMachine::coreOf); on the host it is simply deterministic.
+        int context = -1;
+        const int n = static_cast<int>(context_busy_.size());
+        for (int c = 0; c < n; ++c) {
+            if (!context_busy_[static_cast<std::size_t>(c)]) {
+                context = c;
+                break;
+            }
+        }
+        if (context < 0)
+            return;
+
+        if (!ready_compute_.empty()) {
+            const TaskId id = ready_compute_.front();
+            ready_compute_.pop_front();
+            dispatchLocked(context, id);
+            continue;
+        }
+        if (!ready_memory_.empty() &&
+            mem_in_flight_ < policy_.currentMtl()) {
+            const TaskId id = ready_memory_.front();
+            ready_memory_.pop_front();
+            dispatchLocked(context, id);
+            continue;
+        }
+        return;
+    }
+}
+
+void
+Engine::dispatchLocked(int context, TaskId id)
+{
+    const Task &task = graph_.task(id);
+    context_busy_[static_cast<std::size_t>(context)] = true;
+    running_[static_cast<std::size_t>(context)] = id;
+
+    const int mtl = policy_.currentMtl();
+    task_mtl_[static_cast<std::size_t>(id)] = mtl;
+    if (task.kind == TaskKind::Memory) {
+        ++mem_in_flight_;
+        peak_mem_in_flight_ =
+            std::max(peak_mem_in_flight_, mem_in_flight_);
+        tt_assert(mem_in_flight_ <= policy_.currentMtl(),
+                  "MTL restriction violated by the scheduler");
+        pair_mem_mtl_[static_cast<std::size_t>(task.pair)] = mtl;
+    }
+
+    startAttemptLocked(context, id);
+}
+
+void
+Engine::startAttemptLocked(int context, TaskId id)
+{
+    AttemptSpec spec;
+    spec.task = id;
+    spec.attempt = attempts_[static_cast<std::size_t>(id)];
+    spec.rerun_memory_first =
+        spec.attempt > 0 && graph_.task(id).kind == TaskKind::Compute;
+    const fault::FaultPlan *plan = options_.fault_plan;
+    if (plan != nullptr && plan->enabled()) {
+        spec.faults = plan->forTask(id, spec.attempt);
+        spec.stall_seconds = plan->config().stall_seconds;
+    }
+    backend_->startAttempt(context, spec);
+}
+
+void
+Engine::onAttemptDone(int context, const AttemptOutcome &outcome)
+{
+    std::lock_guard lock(mutex_);
+    const TaskId id = running_[static_cast<std::size_t>(context)];
+
+    if (!outcome.failed) {
+        completeLocked(context, id, outcome.start, outcome.end);
+        tryScheduleLocked();
+        maybeFinishLocked();
+        return;
+    }
+
+    const int attempt = attempts_[static_cast<std::size_t>(id)];
+    if (!run_failed_.load(std::memory_order_relaxed) &&
+        attempt < options_.max_task_retries) {
+        ++attempts_[static_cast<std::size_t>(id)];
+        task_retries_.fetch_add(1, std::memory_order_relaxed);
+        if (MetricsRegistry *metrics = options_.metrics)
+            metrics->add("runtime.task_retries", 1);
+        retry_log_.push_back(RetryRecord{id, attempt});
+        const double backoff =
+            std::min(options_.retry_backoff_seconds *
+                         std::ldexp(1.0, attempt),
+                     50e-3);
+        // The context stays reserved through the backoff so the retry
+        // cannot be starved out by fresh dispatches.
+        auto &pending = pending_retry_[static_cast<std::size_t>(context)];
+        pending.active = true;
+        pending.token = backend_->after(
+            backoff, [this, context] { onRetryTimer(context); });
+        return;
+    }
+
+    failTaskLocked(context, id, outcome.error);
+    maybeFinishLocked();
+}
+
+void
+Engine::onRetryTimer(int context)
+{
+    std::lock_guard lock(mutex_);
+    auto &pending = pending_retry_[static_cast<std::size_t>(context)];
+    if (!pending.active || finished_)
+        return; // already cancelled / abandoned by a failed run
+    pending.active = false;
+    pending.token = 0;
+    const TaskId id = running_[static_cast<std::size_t>(context)];
+    if (run_failed_.load(std::memory_order_relaxed)) {
+        abandonContextLocked(context, id);
+        maybeFinishLocked();
+        return;
+    }
+    startAttemptLocked(context, id);
+}
+
+void
+Engine::completeLocked(int context, TaskId id, double start, double end)
+{
+    const Task &task = graph_.task(id);
+    context_busy_[static_cast<std::size_t>(context)] = false;
+    running_[static_cast<std::size_t>(context)] = stream::kInvalidTask;
+    task_start_[static_cast<std::size_t>(id)] = start;
+    task_end_[static_cast<std::size_t>(id)] = end;
+    ++tasks_done_;
+
+    obs::TaskEvent event;
+    event.task = id;
+    event.pair = task.pair;
+    event.phase = task.phase;
+    event.is_memory = task.kind == TaskKind::Memory;
+    event.worker = context;
+    event.start = start;
+    event.end = end;
+    event.mtl = task_mtl_[static_cast<std::size_t>(id)];
+    tracer_->ring(context).record(event);
+
+    if (task.kind == TaskKind::Memory) {
+        --mem_in_flight_;
+    } else {
+        // Pair complete: time it, maybe corrupt it, report it.
+        const stream::PairId pair = task.pair;
+        const TaskId mem_id = graph_.memoryTaskOf(pair);
+        core::PairSample sample;
+        sample.tm = task_end_[static_cast<std::size_t>(mem_id)] -
+                    task_start_[static_cast<std::size_t>(mem_id)];
+        sample.tc = end - start;
+        sample.end_time = end;
+        sample.mtl = pair_mem_mtl_[static_cast<std::size_t>(pair)];
+        if (options_.fault_plan && options_.fault_plan->enabled()) {
+            // Corruption models a broken clock read at measurement
+            // time. Keyed by the compute task with attempt 0 so the
+            // same pairs corrupt regardless of retry history -- and
+            // identically on every backend.
+            const fault::TaskFaults faults =
+                options_.fault_plan->forTask(id, 0);
+            if (faults.corrupt_sample) {
+                sample.tm = options_.fault_plan->corruptValue(id, 0);
+                sample.tc = options_.fault_plan->corruptValue(id, 1);
+            }
+        }
+        backend_->pairCompleted(graph_.task(mem_id));
+        samples_.push_back(sample);
+        if (MetricsRegistry *metrics = options_.metrics;
+            metrics != nullptr && std::isfinite(sample.tm) &&
+            std::isfinite(sample.tc)) {
+            const std::string suffix =
+                ".mtl=" + std::to_string(sample.mtl);
+            metrics->observe("runtime.tm_seconds" + suffix, sample.tm);
+            metrics->observe("runtime.tc_seconds" + suffix, sample.tc);
+        }
+        policy_.onPairMeasured(sample);
+    }
+
+    if (MetricsRegistry *metrics = options_.metrics) {
+        metrics->observe(
+            "runtime.ready_memory_depth",
+            static_cast<double>(ready_memory_.size()),
+            Histogram::Options{.min_value = 1.0, .growth = 2.0,
+                               .buckets = 24});
+        metrics->observe(
+            "runtime.ready_compute_depth",
+            static_cast<double>(ready_compute_.size()),
+            Histogram::Options{.min_value = 1.0, .growth = 2.0,
+                               .buckets = 24});
+    }
+
+    // Unlock successors within the phase.
+    for (TaskId succ : succs_[static_cast<std::size_t>(id)]) {
+        if (--deps_left_[static_cast<std::size_t>(succ)] == 0) {
+            if (graph_.task(succ).kind == TaskKind::Memory)
+                ready_memory_.push_back(succ);
+            else
+                ready_compute_.push_back(succ);
+        }
+    }
+
+    // Phase barrier.
+    if (--phase_remaining_ == 0 &&
+        current_phase_ + 1 < graph_.phaseCount()) {
+        tt_assert(ready_memory_.empty() && ready_compute_.empty(),
+                  "ready tasks left at a phase barrier");
+        activatePhaseLocked(current_phase_ + 1);
+    }
+}
+
+void
+Engine::failTaskLocked(int context, TaskId id, const std::string &why)
+{
+    ++task_failures_;
+    if (MetricsRegistry *metrics = options_.metrics)
+        metrics->add("runtime.task_failures", 1);
+    context_busy_[static_cast<std::size_t>(context)] = false;
+    running_[static_cast<std::size_t>(context)] = stream::kInvalidTask;
+    if (graph_.task(id).kind == TaskKind::Memory)
+        --mem_in_flight_;
+    if (!run_failed_.load(std::memory_order_relaxed)) {
+        failure_reason_ = "task " + std::to_string(id) +
+                          " failed after " +
+                          std::to_string(options_.max_task_retries) +
+                          " retries: " + why;
+        run_failed_.store(true, std::memory_order_relaxed);
+        tt_warn("aborting run: ", failure_reason_);
+        abandonPendingRetriesLocked();
+    }
+}
+
+void
+Engine::abandonContextLocked(int context, TaskId id)
+{
+    // The task never re-ran, so it is abandoned rather than failed:
+    // only the task that exhausted its retries counts as a failure.
+    context_busy_[static_cast<std::size_t>(context)] = false;
+    running_[static_cast<std::size_t>(context)] = stream::kInvalidTask;
+    if (graph_.task(id).kind == TaskKind::Memory)
+        --mem_in_flight_;
+}
+
+void
+Engine::abandonPendingRetriesLocked()
+{
+    const int n = static_cast<int>(pending_retry_.size());
+    for (int c = 0; c < n; ++c) {
+        auto &pending = pending_retry_[static_cast<std::size_t>(c)];
+        if (!pending.active)
+            continue;
+        pending.active = false;
+        backend_->cancel(pending.token);
+        pending.token = 0;
+        abandonContextLocked(c, running_[static_cast<std::size_t>(c)]);
+    }
+}
+
+void
+Engine::maybeFinishLocked()
+{
+    if (finished_)
+        return;
+    const bool drained = tasks_done_ == graph_.taskCount();
+    if (!drained) {
+        if (!run_failed_.load(std::memory_order_relaxed))
+            return;
+        for (const bool busy : context_busy_)
+            if (busy)
+                return; // let in-flight attempts deliver first
+    }
+    finished_ = true;
+    drain_seconds_ = backend_->now();
+    run_complete_.store(true, std::memory_order_relaxed);
+    if (watchdog_token_ != 0) {
+        backend_->cancel(watchdog_token_);
+        watchdog_token_ = 0;
+    }
+    if (timeseries_token_ != 0) {
+        backend_->cancel(timeseries_token_);
+        timeseries_token_ = 0;
+    }
+    if (options_.timeseries_out != nullptr) {
+        // Final row so even a sub-interval run leaves a snapshot
+        // behind; stamped at drain time so it cannot extend the
+        // reported makespan.
+        emitTimeseriesRowLocked();
+        options_.timeseries_out->flush();
+    }
+    backend_->runDrained();
+}
+
+void
+Engine::onWatchdogDeadline()
+{
+    if (run_complete_.load(std::memory_order_relaxed))
+        return; // drained while the deadline callback was in flight
+    if (MetricsRegistry *metrics = options_.metrics)
+        metrics->add("runtime.watchdog_fired", 1);
+
+    if (backend_->watchdogTerminatesProcess()) {
+        std::fprintf(
+            stderr,
+            "tt: watchdog: run exceeded %.3f s deadline; dumping "
+            "diagnostics and exiting with code %d\n",
+            options_.watchdog_seconds, options_.watchdog_exit_code);
+        runCrashDumpHooks(); // includes this engine's crashDump()
+        std::fflush(nullptr);
+        // Workers may be wedged holding locks; a normal exit would
+        // hang in their joins/destructors, so leave without unwinding.
+        backend_->terminateProcess(options_.watchdog_exit_code);
+        return;
+    }
+
+    // Backends without real threads (sim, mocks) cannot wedge: fail
+    // the run in-band through the same diagnostics path and let any
+    // in-flight attempts drain.
+    std::fprintf(stderr,
+                 "tt: watchdog: run exceeded %.3f s deadline; failing "
+                 "the run\n",
+                 options_.watchdog_seconds);
+    std::lock_guard lock(mutex_);
+    if (finished_)
+        return;
+    watchdog_fired_ = true;
+    watchdog_token_ = 0;
+    if (!run_failed_.load(std::memory_order_relaxed)) {
+        char reason[96];
+        std::snprintf(reason, sizeof reason,
+                      "watchdog: run exceeded %.3f s deadline",
+                      options_.watchdog_seconds);
+        failure_reason_ = reason;
+        run_failed_.store(true, std::memory_order_relaxed);
+        tt_warn("aborting run: ", failure_reason_);
+        abandonPendingRetriesLocked();
+    }
+    maybeFinishLocked();
+}
+
+void
+Engine::onTimeseriesTick()
+{
+    std::lock_guard lock(mutex_);
+    if (finished_)
+        return;
+    emitTimeseriesRowLocked();
+    timeseries_token_ = backend_->after(
+        std::max(options_.timeseries_interval_seconds, 1e-6),
+        [this] { onTimeseriesTick(); });
+}
+
+void
+Engine::emitTimeseriesRowLocked()
+{
+    obs::TimeseriesSample row;
+    row.time = finished_ ? drain_seconds_ : backend_->now();
+    row.mtl = policy_.currentMtl();
+    row.mem_in_flight = mem_in_flight_;
+    row.tasks_done = tasks_done_;
+    row.pairs_done = static_cast<long>(samples_.size());
+    row.ready_memory = ready_memory_.size();
+    row.ready_compute = ready_compute_.size();
+    row.selections = policy_.stats().selections;
+    row.degraded = policy_.degraded();
+    obs::writeTimeseriesRow(row, *options_.timeseries_out);
+}
+
+void
+Engine::crashDump()
+{
+    // Runs on the watchdog/terminate path with workers possibly
+    // wedged inside the scheduler lock: never block, report whatever
+    // is reachable. The counter reads race with live workers, which
+    // is acceptable for a diagnostic of a dying process.
+    std::unique_lock lock(mutex_, std::try_to_lock);
+    if (lock.owns_lock())
+        std::fprintf(stderr,
+                     "tt: runtime progress: %d/%d tasks done, "
+                     "%d memory tasks in flight\n",
+                     tasks_done_, graph_.taskCount(), mem_in_flight_);
+    else
+        std::fprintf(stderr,
+                     "tt: runtime progress: scheduler lock held "
+                     "(worker wedged mid-dispatch), %d tasks total\n",
+                     graph_.taskCount());
+    if (tracer_.has_value())
+        std::fprintf(
+            stderr,
+            "tt: runtime trace: %llu events recorded, %llu dropped; "
+            "%ld task retries\n",
+            static_cast<unsigned long long>(tracer_->recorded()),
+            static_cast<unsigned long long>(tracer_->dropped()),
+            task_retries_.load(std::memory_order_relaxed));
+}
+
+RunResult
+Engine::run(ExecutionBackend &backend)
+{
+    tt_assert(!started_, "Engine::run() is single-shot");
+    started_ = true;
+
+    if (graph_.empty()) {
+        RunResult result;
+        result.mtl_trace = policy_.mtlTrace();
+        return result;
+    }
+
+    backend_ = &backend;
+    const int contexts = backend.contexts();
+    tt_assert(contexts >= 1, "need at least one execution context");
+    context_busy_.assign(static_cast<std::size_t>(contexts), false);
+    running_.assign(static_cast<std::size_t>(contexts),
+                    stream::kInvalidTask);
+    pending_retry_.assign(static_cast<std::size_t>(contexts),
+                          PendingRetry{});
+    tracer_.emplace(contexts, ringCapacity(options_, graph_.taskCount()));
+
+    backend.beginRun(*this);
+
+    // While the run is live, abnormal termination (tt_assert, the
+    // watchdog) can flush this engine's diagnostics.
+    const int hook_id = registerCrashDumpHook([this] { crashDump(); });
+
+    {
+        std::lock_guard lock(mutex_);
+        activatePhaseLocked(0);
+        if (options_.timeseries_out != nullptr) {
+            emitTimeseriesRowLocked();
+            timeseries_token_ = backend.after(
+                std::max(options_.timeseries_interval_seconds, 1e-6),
+                [this] { onTimeseriesTick(); });
+        }
+        if (options_.watchdog_seconds > 0.0)
+            watchdog_token_ =
+                backend.after(options_.watchdog_seconds,
+                              [this] { onWatchdogDeadline(); });
+        tryScheduleLocked();
+    }
+
+    backend.drive(*this);
+    unregisterCrashDumpHook(hook_id);
+    return finishResult();
+}
+
+RunResult
+Engine::finishResult()
+{
+    std::lock_guard lock(mutex_);
+    RunResult result;
+    result.failed = run_failed_.load(std::memory_order_relaxed);
+    result.watchdog_fired = watchdog_fired_;
+    result.failure_reason = failure_reason_;
+    result.task_retries =
+        task_retries_.load(std::memory_order_relaxed);
+    result.task_failures = task_failures_;
+    result.retries = retry_log_;
+    tt_assert(result.failed || tasks_done_ == graph_.taskCount(),
+              "run drained with ", tasks_done_, " of ",
+              graph_.taskCount(),
+              " tasks done (deadlock in graph or scheduler)");
+
+    result.seconds =
+        drain_seconds_ >= 0.0 ? drain_seconds_ : backend_->now();
+    result.samples = samples_;
+    result.policy_stats = policy_.stats();
+    result.mtl_trace = policy_.mtlTrace();
+    result.decisions = policy_.decisions();
+    result.peak_mem_in_flight = peak_mem_in_flight_;
+    result.trace = tracer_->merged();
+    result.trace_dropped = tracer_->dropped();
+    result.pin_failures = backend_->pinFailures();
+
+    // Corrupted samples (injected or from a glitched clock) stay in
+    // result.samples for inspection but are excluded from the
+    // averages -- same screen the policies apply -- so one NaN or
+    // absurd outlier cannot blank the whole summary.
+    core::SampleGuard summary_guard;
+    double tm_sum = 0.0;
+    double tc_sum = 0.0;
+    long clean = 0;
+    for (const auto &sample : samples_) {
+        if (!summary_guard.accept(sample))
+            continue;
+        tm_sum += sample.tm;
+        tc_sum += sample.tc;
+        ++clean;
+    }
+    if (clean > 0) {
+        result.avg_tm = tm_sum / static_cast<double>(clean);
+        result.avg_tc = tc_sum / static_cast<double>(clean);
+    }
+    if (!samples_.empty()) {
+        // Probe overhead counts only samples a selection accepted;
+        // stale pairs (measured under a pre-probe MTL) are tracked
+        // separately in policy_stats.stale_pairs.
+        result.monitor_overhead =
+            static_cast<double>(result.policy_stats.probe_pairs) /
+            static_cast<double>(samples_.size());
+    }
+
+    // Per-phase aggregates.
+    for (const stream::Phase &phase : graph_.phases()) {
+        PhaseResult pr;
+        pr.name = phase.name;
+        double tm = 0.0;
+        double tc = 0.0;
+        double start = std::numeric_limits<double>::infinity();
+        double end = 0.0;
+        for (int p = phase.first_pair;
+             p < phase.first_pair + phase.pair_count; ++p) {
+            const TaskId mem_id = graph_.memoryTaskOf(p);
+            const TaskId cmp_id = graph_.computeTaskOf(p);
+            tm += task_end_[static_cast<std::size_t>(mem_id)] -
+                  task_start_[static_cast<std::size_t>(mem_id)];
+            tc += task_end_[static_cast<std::size_t>(cmp_id)] -
+                  task_start_[static_cast<std::size_t>(cmp_id)];
+            start = std::min(
+                start, task_start_[static_cast<std::size_t>(mem_id)]);
+            end = std::max(end,
+                           task_end_[static_cast<std::size_t>(cmp_id)]);
+        }
+        if (phase.pair_count > 0) {
+            pr.tm_mean = tm / phase.pair_count;
+            pr.tc_mean = tc / phase.pair_count;
+            pr.start = start;
+            pr.end = end;
+        }
+        result.phases.push_back(std::move(pr));
+    }
+
+    if (MetricsRegistry *metrics = options_.metrics) {
+        metrics->add("runtime.tasks_done", tasks_done_);
+        metrics->add("runtime.pin_failed", result.pin_failures);
+        metrics->add("trace.events_dropped",
+                     static_cast<std::int64_t>(result.trace_dropped));
+        metrics->setMax("runtime.peak_mem_in_flight",
+                        peak_mem_in_flight_);
+        metrics->set("runtime.makespan_seconds", result.seconds);
+        metrics->set("runtime.monitor_overhead",
+                     result.monitor_overhead);
+    }
+
+    backend_->finalize(result);
+    return result;
+}
+
+obs::TraceData
+toTraceData(const stream::TaskGraph &graph, const RunResult &result)
+{
+    obs::TraceData data;
+    data.events = result.trace;
+    data.mtl_trace = result.mtl_trace;
+    data.decisions = result.decisions;
+    data.phase_names.reserve(
+        static_cast<std::size_t>(graph.phaseCount()));
+    for (const stream::Phase &phase : graph.phases())
+        data.phase_names.push_back(phase.name);
+    return data;
+}
+
+namespace {
+
+std::string
+violation(const char *what, stream::TaskId id)
+{
+    return std::string(what) + " (task " + std::to_string(id) + ")";
+}
+
+} // namespace
+
+std::string
+validateSchedule(const stream::TaskGraph &graph, const RunResult &result,
+                 int contexts)
+{
+    const auto n_tasks = static_cast<std::size_t>(graph.taskCount());
+    if (result.trace.size() != n_tasks)
+        return "trace has " + std::to_string(result.trace.size()) +
+               " entries for " + std::to_string(graph.taskCount()) +
+               " tasks";
+
+    std::vector<int> runs(n_tasks, 0);
+    for (const obs::TaskEvent &entry : result.trace) {
+        if (entry.task < 0 || entry.task >= graph.taskCount())
+            return violation("trace entry with bad task id", entry.task);
+        ++runs[static_cast<std::size_t>(entry.task)];
+        if (entry.end < entry.start)
+            return violation("task ends before it starts", entry.task);
+        if (entry.worker < 0 || entry.worker >= contexts)
+            return violation("task ran on a bad context", entry.task);
+    }
+    for (std::size_t id = 0; id < n_tasks; ++id)
+        if (runs[id] != 1)
+            return violation("task did not run exactly once",
+                             static_cast<stream::TaskId>(id));
+
+    // Index trace entries by task for dependency checks.
+    std::vector<const obs::TaskEvent *> by_task(n_tasks, nullptr);
+    for (const obs::TaskEvent &entry : result.trace)
+        by_task[static_cast<std::size_t>(entry.task)] = &entry;
+
+    // No overlap per execution context.
+    std::vector<std::vector<const obs::TaskEvent *>> per_context(
+        static_cast<std::size_t>(contexts));
+    for (const obs::TaskEvent &entry : result.trace)
+        per_context[static_cast<std::size_t>(entry.worker)].push_back(
+            &entry);
+    for (auto &entries : per_context) {
+        std::sort(entries.begin(), entries.end(),
+                  [](const obs::TaskEvent *a, const obs::TaskEvent *b) {
+                      return a->start < b->start;
+                  });
+        for (std::size_t i = 1; i < entries.size(); ++i) {
+            if (entries[i]->start < entries[i - 1]->end - 1e-12)
+                return violation("two tasks overlap on one context",
+                                 entries[i]->task);
+        }
+    }
+
+    // MTL respected at every memory-task start instant.
+    for (const obs::TaskEvent &entry : result.trace) {
+        if (!entry.is_memory)
+            continue;
+        int concurrent = 0;
+        for (const obs::TaskEvent &other : result.trace) {
+            if (!other.is_memory)
+                continue;
+            if (other.start <= entry.start + 1e-15 &&
+                entry.start < other.end - 1e-15) {
+                ++concurrent;
+            }
+            // A zero-length memory task that dispatched exactly at
+            // this instant still occupied a slot; count it when it
+            // is the task under test itself.
+        }
+        if (concurrent == 0)
+            concurrent = 1; // entry itself had zero length
+        if (concurrent > entry.mtl)
+            return violation("MTL exceeded at dispatch", entry.task);
+    }
+
+    // Dependencies.
+    for (const stream::Task &task : graph.tasks()) {
+        const obs::TaskEvent *entry =
+            by_task[static_cast<std::size_t>(task.id)];
+        for (stream::TaskId dep : task.deps) {
+            const obs::TaskEvent *dep_entry =
+                by_task[static_cast<std::size_t>(dep)];
+            if (entry->start < dep_entry->end - 1e-12)
+                return violation("task started before its dependency",
+                                 task.id);
+        }
+    }
+    // Phase barrier: min start of phase p+1 >= max end of phase p.
+    std::vector<double> phase_min_start(
+        static_cast<std::size_t>(graph.phaseCount()), 1e300);
+    std::vector<double> phase_max_end(
+        static_cast<std::size_t>(graph.phaseCount()), 0.0);
+    for (const obs::TaskEvent &entry : result.trace) {
+        auto &min_start =
+            phase_min_start[static_cast<std::size_t>(entry.phase)];
+        auto &max_end =
+            phase_max_end[static_cast<std::size_t>(entry.phase)];
+        min_start = std::min(min_start, entry.start);
+        max_end = std::max(max_end, entry.end);
+    }
+    for (int p = 1; p < graph.phaseCount(); ++p) {
+        if (phase_min_start[static_cast<std::size_t>(p)] <
+            phase_max_end[static_cast<std::size_t>(p - 1)] - 1e-12) {
+            return "phase " + std::to_string(p) +
+                   " started before phase " + std::to_string(p - 1) +
+                   " completed";
+        }
+    }
+
+    return {};
+}
+
+} // namespace tt::exec

@@ -1,0 +1,474 @@
+/**
+ * @file
+ * Backend-agnostic MTL scheduling engine.
+ *
+ * The paper describes ONE scheduling discipline (Sec. IV/V): pairs
+ * of memory and compute tasks drained from barrier-separated phases,
+ * compute dispatched freely, memory admission gated by the policy's
+ * current MTL through "a lock and a counter". The repo used to
+ * implement that discipline twice -- once over real threads
+ * (runtime::Runtime) and once over the discrete-event simulator
+ * (simrt::SimRuntime). This layer extracts the shared state machine
+ * into a single Engine parameterized over a small ExecutionBackend
+ * interface (clock, attempt dispatch, completion delivery, timers),
+ * so host and sim runs make identical policy-visible decisions by
+ * construction and every scheduler feature -- pair-granularity
+ * retries with exponential backoff, fault-plan mirroring, sample
+ * screening, audit/decision capture, metrics publication,
+ * time-series sampling, watchdog deadlines -- lands exactly once.
+ *
+ * runtime::Runtime and simrt::SimRuntime are now thin adapters that
+ * pick a backend (HostThreadBackend / SimBackend) and delegate here.
+ */
+
+#ifndef TT_EXEC_ENGINE_HH
+#define TT_EXEC_ENGINE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/policy.hh"
+#include "fault/fault_plan.hh"
+#include "obs/trace.hh"
+#include "stream/task_graph.hh"
+
+namespace tt {
+class MetricsRegistry;
+}
+
+namespace tt::exec {
+
+class Engine;
+
+/** Options controlling an Engine run (host and sim alike). */
+struct EngineOptions
+{
+    /**
+     * Worker threads for the host backend (= hardware contexts, the
+     * model's n). The sim backend ignores it and uses the machine's
+     * context count.
+     */
+    int threads = 1;
+
+    /** Pin worker i to CPU i % hw_cpus (host backend, Linux only). */
+    bool pin_affinity = true;
+
+    /**
+     * Per-context event-trace ring capacity. The rings are sized to
+     * min(trace_capacity, task count), so the default traces every
+     * task of any reasonable graph; shrink it to bound memory on
+     * huge graphs (the oldest events are then dropped and counted).
+     */
+    std::size_t trace_capacity = 1 << 16;
+
+    /**
+     * Optional metrics sink (not owned). When set, the engine
+     * publishes "runtime.*" counters/gauges/histograms: T_m and T_c
+     * per MTL, ready-queue depths, the mem_in_flight high-water
+     * mark, pin failures. Bind the same registry to the policy to
+     * get the "policy.*" series alongside.
+     */
+    MetricsRegistry *metrics = nullptr;
+
+    /**
+     * Optional fault-injection plan (not owned). Faults are applied
+     * deterministically per (task, attempt); see fault/fault_plan.hh.
+     */
+    const fault::FaultPlan *fault_plan = nullptr;
+
+    /**
+     * Attempts beyond the first before a failing task fails the
+     * run. Failed compute attempts are retried at *pair*
+     * granularity: the pair's memory body is re-executed first so
+     * the compute body sees freshly gathered data. Each retry is
+     * counted in `runtime.task_retries`.
+     */
+    int max_task_retries = 3;
+
+    /**
+     * Base of the exponential retry backoff: attempt a waits
+     * base * 2^a seconds (capped at 50 ms) before re-executing.
+     */
+    double retry_backoff_seconds = 100e-6;
+
+    /**
+     * Watchdog deadline for the whole run, in engine-clock seconds
+     * (wall time on the host backend, simulated time on the sim
+     * backend); 0 disables it. A run that has not drained by then is
+     * assumed wedged (stalled worker, livelocked policy). On the
+     * host the watchdog dumps diagnostics -- crash-dump hooks flush
+     * bound trace rings and metrics -- and terminates the process
+     * with `watchdog_exit_code`, because wedged threads cannot be
+     * unwound. On the sim (and any backend without real threads) it
+     * fails the run in-band through the same diagnostics path:
+     * `failed`/`watchdog_fired`/`failure_reason` are set and run()
+     * returns normally.
+     */
+    double watchdog_seconds = 0.0;
+
+    /** Process exit code used when the host watchdog fires. */
+    int watchdog_exit_code = 3;
+
+    /**
+     * Optional time-series sink (not owned). When set, the engine
+     * appends one JSONL row (see obs/timeseries.hh) every
+     * `timeseries_interval_seconds` of engine-clock time while the
+     * run is live, plus one final row at drain: time, current MTL,
+     * in-flight memory tasks, ready-queue depths, pairs done,
+     * selections.
+     */
+    std::ostream *timeseries_out = nullptr;
+
+    /** Sampling period of the time series, engine-clock seconds. */
+    double timeseries_interval_seconds = 1e-3;
+};
+
+/** One retry the engine granted, in grant order. */
+struct RetryRecord
+{
+    stream::TaskId task = stream::kInvalidTask;
+    int attempt = 0; ///< the failed attempt being retried
+};
+
+/** Per-phase aggregates (phase order). */
+struct PhaseResult
+{
+    std::string name;
+    double tm_mean = 0.0;
+    double tc_mean = 0.0;
+    double start = 0.0; ///< first memory-task start, seconds
+    double end = 0.0;   ///< last compute-task end, seconds
+};
+
+/**
+ * Everything measured during one run, on any backend. Times are
+ * engine-clock seconds from run start (wall on host, simulated on
+ * sim). The simulator-only fields at the bottom stay zero on the
+ * host backend.
+ */
+struct RunResult
+{
+    double seconds = 0.0; ///< makespan of the whole graph
+
+    /** One sample per completed pair, in completion order. */
+    std::vector<core::PairSample> samples;
+
+    core::PolicyStats policy_stats;
+    std::vector<std::pair<double, int>> mtl_trace;
+
+    /** Policy decision audit log (see core/audit.hh). */
+    std::vector<core::MtlDecision> decisions;
+
+    double avg_tm = 0.0; ///< mean memory-task duration
+    double avg_tc = 0.0; ///< mean compute-task duration
+
+    /** Fraction of pairs consumed while probing candidate MTLs. */
+    double monitor_overhead = 0.0;
+
+    /** Peak number of concurrently executing memory tasks. */
+    int peak_mem_in_flight = 0;
+
+    /** Merged per-context event trace, ordered by start time. */
+    std::vector<obs::TaskEvent> trace;
+
+    /** Events lost to trace-ring overwrites (0 unless capped). */
+    std::uint64_t trace_dropped = 0;
+
+    /** Per-phase aggregates (phase order). */
+    std::vector<PhaseResult> phases;
+
+    /** Every granted retry, in grant order (deterministic per seed
+     *  on a single-context backend). */
+    std::vector<RetryRecord> retries;
+
+    /** Workers whose CPU-affinity pin failed (host backend only). */
+    long pin_failures = 0;
+
+    /** Task attempts re-executed after a failure. */
+    long task_retries = 0;
+
+    /** Tasks abandoned after exhausting max_task_retries. */
+    long task_failures = 0;
+
+    /** True when the run aborted instead of draining the graph. */
+    bool failed = false;
+
+    /** True when the watchdog deadline caused the failure. */
+    bool watchdog_fired = false;
+
+    /** Human-readable cause when failed (empty otherwise). */
+    std::string failure_reason;
+
+    // --- simulator-only measurements (0 on the host backend) ---
+
+    std::uint64_t dram_accesses = 0;
+    double bus_utilisation = 0.0; ///< mean across channels
+
+    /** Peak LLC occupancy observed (bytes). */
+    std::uint64_t peak_llc_occupancy = 0;
+};
+
+/** One task attempt the engine asks a backend to execute. */
+struct AttemptSpec
+{
+    stream::TaskId task = stream::kInvalidTask;
+    int attempt = 0; ///< 0 = first execution
+
+    /**
+     * Pair-granularity retry: re-run the pair's *memory* body before
+     * this compute attempt so it sees freshly gathered data.
+     */
+    bool rerun_memory_first = false;
+
+    /** Faults to realize during this attempt (all clear when no
+     *  plan is attached). */
+    fault::TaskFaults faults;
+
+    /** Stall duration used when faults.stall is set, seconds. */
+    double stall_seconds = 0.0;
+};
+
+/** What a backend reports back for one finished attempt. */
+struct AttemptOutcome
+{
+    bool failed = false; ///< attempt threw / injected failure
+    double start = 0.0;  ///< body start, engine-clock seconds
+    double end = 0.0;    ///< body end (incl. fault penalties)
+    std::string error;   ///< cause when failed (exception text)
+};
+
+/**
+ * What the engine needs from an execution substrate: a clock, a way
+ * to start a task attempt on an idle context, one-shot timers (for
+ * retry backoff, the watchdog and the time-series sampler), and a
+ * drive loop that blocks until the run is over.
+ *
+ * Contract: startAttempt()/after()/cancel() are called with the
+ * engine lock held and must not call back into the engine
+ * synchronously. Completions are delivered by calling
+ * Engine::onAttemptDone(context, outcome) from the backend's
+ * execution context (a worker thread, a sim event, a test loop);
+ * timer callbacks fire the std::function verbatim. runDrained() is
+ * the engine's notification that no further attempts or timer
+ * callbacks are needed; drive() must then return.
+ */
+class ExecutionBackend
+{
+  public:
+    /** Timer handle; 0 is reserved for "no timer". */
+    using TimerToken = std::uint64_t;
+
+    virtual ~ExecutionBackend() = default;
+
+    /** Execution contexts available (worker threads / hw contexts). */
+    virtual int contexts() const = 0;
+
+    /** Engine-clock seconds since beginRun(). */
+    virtual double now() const = 0;
+
+    /** Called once at the start of run(); stamps the clock origin. */
+    virtual void beginRun(Engine &engine) { engine_ = &engine; }
+
+    /** Begin executing one attempt on an idle context. */
+    virtual void startAttempt(int context, const AttemptSpec &spec) = 0;
+
+    /** Schedule `fn` to run `seconds` from now; returns a handle. */
+    virtual TimerToken after(double seconds,
+                             std::function<void()> fn) = 0;
+
+    /** Cancel a pending timer (no-op if it already fired). */
+    virtual void cancel(TimerToken token) = 0;
+
+    /** Block until the run is over (drive workers / event queue). */
+    virtual void drive(Engine &engine) = 0;
+
+    /** The run finished: release workers, stop timers. */
+    virtual void runDrained() {}
+
+    /** A pair completed; the sim backend releases its LLC footprint. */
+    virtual void
+    pairCompleted(const stream::Task &memory_task)
+    {
+        (void)memory_task;
+    }
+
+    /** CPU-affinity pin failures observed so far (host backend). */
+    virtual long pinFailures() const { return 0; }
+
+    /**
+     * True when a fired watchdog must kill the process (real threads
+     * may be wedged holding locks and cannot be unwound); false to
+     * fail the run in-band and let in-flight work drain.
+     */
+    virtual bool watchdogTerminatesProcess() const { return false; }
+
+    /** Terminate without unwinding (only called when the above is
+     *  true, after diagnostics were dumped). */
+    [[noreturn]] virtual void terminateProcess(int exit_code);
+
+    /** Fill backend-specific RunResult fields / publish gauges. */
+    virtual void finalize(RunResult &result) { (void)result; }
+
+  protected:
+    Engine *engine_ = nullptr; ///< set by beginRun()
+};
+
+/**
+ * The MTL-gated scheduling state machine, shared by every backend:
+ * phase activation, ready queues, compute-first dispatch with memory
+ * admission against policy.currentMtl(), pair timing and sample
+ * delivery (with fault-plan corruption mirroring), bounded retries
+ * with exponential backoff, clean run failure, watchdog and
+ * time-series timers, trace rings and metrics.
+ *
+ * Thread-safe: all scheduler state is guarded by one mutex (the
+ * paper's "lock and a counter"); single-threaded backends simply
+ * never contend on it.
+ */
+class Engine
+{
+  public:
+    /** `options` is borrowed and must outlive the engine. */
+    Engine(const stream::TaskGraph &graph,
+           core::SchedulingPolicy &policy, const EngineOptions &options);
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /** Execute the graph on `backend` to completion; callable once. */
+    RunResult run(ExecutionBackend &backend);
+
+    /**
+     * Backend upcall: the attempt running on `context` finished.
+     * Success completes the task (samples, successors, barriers);
+     * failure schedules a backoff retry or fails the run.
+     */
+    void onAttemptDone(int context, const AttemptOutcome &outcome);
+
+    /** Lock-free: true once the run aborted (workers should bail). */
+    bool
+    runFailed() const
+    {
+        return run_failed_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct PendingRetry
+    {
+        bool active = false;
+        ExecutionBackend::TimerToken token = 0;
+    };
+
+    void activatePhaseLocked(int phase);
+    void tryScheduleLocked();
+    /** Dispatch a fresh (attempt-0) task onto an idle context. */
+    void dispatchLocked(int context, stream::TaskId id);
+    /** Hand the task's current attempt to the backend. */
+    void startAttemptLocked(int context, stream::TaskId id);
+    void completeLocked(int context, stream::TaskId id, double start,
+                        double end);
+    /** Exhausted/abandoned attempt: count the failure, abort run. */
+    void failTaskLocked(int context, stream::TaskId id,
+                        const std::string &why);
+    /** Retry backoff timer fired for `context`. */
+    void onRetryTimer(int context);
+    /** Free a context whose retry was abandoned by a failed run. */
+    void abandonContextLocked(int context, stream::TaskId id);
+    void abandonPendingRetriesLocked();
+    /** Finish the run when drained (or failed and idle). */
+    void maybeFinishLocked();
+    /** Watchdog timer fired: terminate (host) or fail in-band. */
+    void onWatchdogDeadline();
+    /** Self-rescheduling time-series sampler tick. */
+    void onTimeseriesTick();
+    void emitTimeseriesRowLocked();
+    /** Best-effort diagnostics dump (crash hook / watchdog path). */
+    void crashDump();
+    /** Assemble the RunResult after drive() returned. */
+    RunResult finishResult();
+
+    const stream::TaskGraph &graph_;
+    core::SchedulingPolicy &policy_;
+    const EngineOptions &options_;
+    ExecutionBackend *backend_ = nullptr;
+
+    std::mutex mutex_;
+
+    std::vector<int> deps_left_;
+    std::vector<std::vector<stream::TaskId>> succs_;
+    std::deque<stream::TaskId> ready_memory_;
+    std::deque<stream::TaskId> ready_compute_;
+    std::vector<bool> context_busy_;
+    std::vector<stream::TaskId> running_;
+    std::vector<PendingRetry> pending_retry_;
+    std::vector<int> attempts_; ///< failed attempts per task
+
+    int mem_in_flight_ = 0;
+    int peak_mem_in_flight_ = 0;
+    int current_phase_ = -1;
+    int phase_remaining_ = 0;
+    int tasks_done_ = 0;
+    bool started_ = false;
+    bool finished_ = false;
+
+    // Per-task and per-pair measurement state (engine-clock seconds).
+    std::vector<double> task_start_;
+    std::vector<double> task_end_;
+    std::vector<int> task_mtl_; ///< MTL at first dispatch (trace)
+    std::vector<int> pair_mem_mtl_;
+    std::vector<core::PairSample> samples_;
+    std::vector<RetryRecord> retry_log_;
+
+    std::optional<obs::Tracer> tracer_; ///< one ring per context
+
+    // Fault tolerance. run_failed_ is written under mutex_ but read
+    // lock-free by sleeping workers and the crash-dump path.
+    std::atomic<bool> run_failed_{false};
+    std::string failure_reason_;
+    std::atomic<long> task_retries_{0};
+    long task_failures_ = 0;
+    bool watchdog_fired_ = false;
+
+    // run_complete_ gates late timer callbacks (watchdog, sampler).
+    std::atomic<bool> run_complete_{false};
+    ExecutionBackend::TimerToken watchdog_token_ = 0;
+    ExecutionBackend::TimerToken timeseries_token_ = 0;
+    double drain_seconds_ = -1.0; ///< engine clock at finish
+};
+
+/**
+ * Couple a run's event trace with the policy's MTL transition log
+ * and the graph's phase names, ready for obs::writeChromeTrace.
+ */
+obs::TraceData toTraceData(const stream::TaskGraph &graph,
+                           const RunResult &result);
+
+/**
+ * Check the structural invariants of a recorded schedule against its
+ * graph:
+ *  - every task ran exactly once, with end >= start;
+ *  - no two tasks overlap on one context;
+ *  - at every memory-task start instant, the number of memory tasks
+ *    in flight (including the new one) is within the MTL the policy
+ *    had published at that moment;
+ *  - a task starts only after its dependencies finished;
+ *  - phase barriers hold: no task of phase p+1 starts before every
+ *    task of phase p ended.
+ *
+ * Returns an empty string when the schedule is valid, otherwise a
+ * description of the first violation (for test diagnostics).
+ */
+std::string validateSchedule(const stream::TaskGraph &graph,
+                             const RunResult &result, int contexts);
+
+} // namespace tt::exec
+
+#endif // TT_EXEC_ENGINE_HH

@@ -7,9 +7,9 @@
  * annotated with the pair, the phase name and the MTL in force at
  * dispatch, plus a counter track of the policy's MTL over time --
  * which makes throttling decisions and phase adaptation literally
- * visible. Both runtimes export through here: the simulator via
- * simrt::writeChromeTrace's TraceData conversion, the host runtime
- * via runtime::toTraceData, and ttsim's --trace-out flag via either.
+ * visible. Every backend exports through here: exec::toTraceData
+ * couples any run's RunResult with its graph, and ttsim's
+ * --trace-out flag uses it for host and simulated runs alike.
  */
 
 #ifndef TT_OBS_CHROME_TRACE_HH

@@ -2,248 +2,58 @@
  * @file
  * Real-thread stream-task runtime (the paper's prototype, Sec. V).
  *
- * The main thread enqueues every memory and compute task of the
- * graph with their dependencies, then spawns one software thread per
- * hardware context (pinned with CPU affinity where the platform
- * supports it). Workers dequeue tasks under a single lock; a counter
- * under the same lock enforces the MTL restriction -- exactly the
- * "lock and a counter" mechanism the paper describes. Every finished
- * pair is timed with the steady clock and reported to the policy, so
- * DynamicThrottlePolicy and friends behave identically here and on
- * the simulated machine.
+ * A thin adapter: the MTL-gated scheduling state machine lives in
+ * exec::Engine (shared with the simulated runtime), and this class
+ * merely binds it to a HostThreadBackend -- one pinned software
+ * thread per hardware context, timed with the steady clock. Workers
+ * receive attempts under a single scheduler lock; a counter under the
+ * same lock enforces the MTL restriction -- exactly the "lock and a
+ * counter" mechanism the paper describes. Every finished pair is
+ * reported to the policy, so DynamicThrottlePolicy and friends behave
+ * identically here and on the simulated machine.
  *
- * Scheduling rules match simrt::SimRuntime: barrier-separated
- * phases, compute-first dispatch, memory dispatch gated by
- * policy.currentMtl().
+ * RuntimeOptions and HostRunResult are aliases of the unified
+ * exec::EngineOptions / exec::RunResult.
  */
 
 #ifndef TT_RUNTIME_RUNTIME_HH
 #define TT_RUNTIME_RUNTIME_HH
 
-#include <atomic>
-#include <condition_variable>
-#include <cstdint>
-#include <deque>
-#include <mutex>
-#include <string>
-#include <utility>
-#include <vector>
-
-#include "core/policy.hh"
-#include "obs/trace.hh"
-#include "stream/task_graph.hh"
-
-namespace tt {
-class MetricsRegistry;
-}
-
-namespace tt::fault {
-class FaultPlan;
-}
+#include "exec/engine.hh"
+#include "runtime/host_backend.hh"
 
 namespace tt::runtime {
 
-/** Options controlling the worker pool. */
-struct RuntimeOptions
-{
-    /** Worker threads (= hardware contexts, the model's n). */
-    int threads = 1;
+/** Options controlling the worker pool (unified engine options). */
+using RuntimeOptions = exec::EngineOptions;
 
-    /** Pin worker i to CPU i % hw_cpus (Linux only; no-op elsewhere). */
-    bool pin_affinity = true;
+/** Measurements from one host run (unified run result). */
+using HostRunResult = exec::RunResult;
 
-    /**
-     * Per-worker event-trace ring capacity. The rings are sized to
-     * min(trace_capacity, task count), so the default traces every
-     * task of any reasonable graph; shrink it to bound memory on
-     * huge graphs (the oldest events are then dropped and counted).
-     */
-    std::size_t trace_capacity = 1 << 16;
-
-    /**
-     * Optional metrics sink (not owned). When set, the runtime
-     * publishes "runtime.*" counters/gauges/histograms: T_m and T_c
-     * per MTL, ready-queue depths, the mem_in_flight high-water
-     * mark, pin failures. Bind the same registry to the policy to
-     * get the "policy.*" series alongside.
-     */
-    MetricsRegistry *metrics = nullptr;
-
-    /**
-     * Optional fault-injection plan (not owned). Faults are applied
-     * deterministically per (task, attempt); see fault/fault_plan.hh.
-     */
-    const fault::FaultPlan *fault_plan = nullptr;
-
-    /**
-     * Attempts beyond the first before a throwing task fails the
-     * run. Failed compute attempts are retried at *pair*
-     * granularity: the pair's memory body is re-executed first so
-     * the compute body sees freshly gathered data. Each retry is
-     * counted in `runtime.task_retries`.
-     */
-    int max_task_retries = 3;
-
-    /**
-     * Base of the exponential retry backoff: attempt a sleeps
-     * base * 2^a seconds (capped at 50 ms) before re-executing.
-     */
-    double retry_backoff_seconds = 100e-6;
-
-    /**
-     * Watchdog deadline for the whole run, in wall seconds; 0
-     * disables it. A run that has not drained by then is assumed
-     * wedged (stalled worker, livelocked policy): the watchdog dumps
-     * diagnostics -- crash-dump hooks flush bound trace rings and
-     * metrics -- and terminates the process with
-     * `watchdog_exit_code`, converting a hang into a clean, bounded
-     * failure.
-     */
-    double watchdog_seconds = 0.0;
-
-    /** Process exit code used when the watchdog fires. */
-    int watchdog_exit_code = 3;
-
-    /**
-     * Optional time-series sink (not owned). When set, a background
-     * sampler thread appends one JSONL row (see obs/timeseries.hh)
-     * every `timeseries_interval_seconds` while the run is live,
-     * plus one final row at drain: wall time, current MTL, in-flight
-     * memory tasks, ready-queue depths, pairs done, selections.
-     */
-    std::ostream *timeseries_out = nullptr;
-
-    /** Sampling period of the time-series thread, in wall seconds. */
-    double timeseries_interval_seconds = 1e-3;
-};
-
-/** Measurements from one host run. */
-struct HostRunResult
-{
-    double seconds = 0.0;
-    std::vector<core::PairSample> samples;
-    core::PolicyStats policy_stats;
-    std::vector<std::pair<double, int>> mtl_trace;
-    double avg_tm = 0.0;
-    double avg_tc = 0.0;
-    double monitor_overhead = 0.0;
-
-    /** Peak number of concurrently executing memory tasks observed. */
-    int peak_mem_in_flight = 0;
-
-    /** Merged per-worker event trace, ordered by start time. */
-    std::vector<obs::TaskEvent> trace;
-
-    /** Policy decision audit log (see core/audit.hh). */
-    std::vector<core::MtlDecision> decisions;
-
-    /** Events lost to trace-ring overwrites (0 unless capped). */
-    std::uint64_t trace_dropped = 0;
-
-    /** Workers whose CPU-affinity pin failed (0 when pinning is off). */
-    long pin_failures = 0;
-
-    /** Task attempts re-executed after a body exception. */
-    long task_retries = 0;
-
-    /** Tasks abandoned after exhausting max_task_retries. */
-    long task_failures = 0;
-
-    /** True when the run aborted instead of draining the graph. */
-    bool failed = false;
-
-    /** Human-readable cause when failed (empty otherwise). */
-    std::string failure_reason;
-};
-
-/**
- * Couple a host run's event trace with the policy's MTL transition
- * log and the graph's phase names, ready for obs::writeChromeTrace.
- */
-obs::TraceData toTraceData(const stream::TaskGraph &graph,
-                           const HostRunResult &result);
+/** See exec::toTraceData. */
+using exec::toTraceData;
 
 /** Thread-pool scheduler enforcing the MTL restriction. */
 class Runtime
 {
   public:
     Runtime(const stream::TaskGraph &graph,
-            core::SchedulingPolicy &policy, RuntimeOptions options);
+            core::SchedulingPolicy &policy, RuntimeOptions options)
+        : options_(options), backend_(graph, options_),
+          engine_(graph, policy, options_)
+    {
+    }
 
     Runtime(const Runtime &) = delete;
     Runtime &operator=(const Runtime &) = delete;
 
     /** Execute the graph to completion; callable once. */
-    HostRunResult run();
+    HostRunResult run() { return engine_.run(backend_); }
 
   private:
-    void workerLoop(int worker_index);
-    /** Under lock: next runnable task id, or kInvalidTask. */
-    stream::TaskId pickLocked();
-    /** Under lock: post-completion bookkeeping. */
-    void completeLocked(stream::TaskId id, double start, double end);
-    void activatePhaseLocked(int phase);
-
-    /**
-     * Execute one task body with injected faults, bounded retries
-     * and exponential backoff (no lock held). Returns false -- with
-     * the cause in *why -- when the attempts are exhausted.
-     */
-    bool executeWithRetries(const stream::Task &task, double *start,
-                            double *end, std::string *why);
-    /** Under lock: abort the run with a diagnostic cause. */
-    void failRunLocked(stream::TaskId id, const std::string &why);
-    /** Interruptible sleep used by stalls, stragglers and backoff. */
-    void sleepSeconds(double seconds);
-    /** Watchdog thread body: deadline wait, then diagnostic exit. */
-    void watchdogLoop();
-    /** Time-series sampler thread body (see RuntimeOptions). */
-    void samplerLoop();
-    /** Append one time-series row reflecting the live state. */
-    void emitTimeseriesRow();
-    /** Best-effort diagnostics dump (crash hook / watchdog path). */
-    void crashDump();
-
-    const stream::TaskGraph &graph_;
-    core::SchedulingPolicy &policy_;
     RuntimeOptions options_;
-
-    std::mutex mutex_;
-    std::condition_variable cv_;
-
-    std::vector<int> deps_left_;
-    std::vector<std::vector<stream::TaskId>> succs_;
-    std::deque<stream::TaskId> ready_memory_;
-    std::deque<stream::TaskId> ready_compute_;
-    int mem_in_flight_ = 0;
-    int peak_mem_in_flight_ = 0;
-    int current_phase_ = -1;
-    int phase_remaining_ = 0;
-    int tasks_done_ = 0;
-    bool started_ = false;
-
-    std::vector<double> task_start_;
-    std::vector<double> task_end_;
-    std::vector<int> pair_mem_mtl_;
-    std::vector<core::PairSample> samples_;
-
-    obs::Tracer tracer_; ///< one lock-free event ring per worker
-    std::atomic<long> pin_failures_{0};
-    std::once_flag pin_warn_once_;
-
-    // Fault tolerance. run_failed_ is written under mutex_ but read
-    // lock-free by sleeping workers and the crash-dump path.
-    std::atomic<bool> run_failed_{false};
-    std::string failure_reason_;
-    std::atomic<long> task_retries_{0};
-    long task_failures_ = 0;
-
-    // Watchdog handshake.
-    std::mutex watchdog_mutex_;
-    std::condition_variable watchdog_cv_;
-    bool run_complete_ = false;
-
-    double run_start_ = 0.0; ///< steady-clock origin, seconds
+    HostThreadBackend backend_;
+    exec::Engine engine_;
 };
 
 } // namespace tt::runtime

@@ -1,0 +1,169 @@
+#include "simrt/sim_backend.hh"
+
+#include <utility>
+
+#include "fault/fault_plan.hh"
+#include "util/stats.hh"
+
+namespace tt::simrt {
+
+using stream::Task;
+using stream::TaskKind;
+
+namespace {
+
+sim::Tick
+ticksFromSeconds(double seconds)
+{
+    return static_cast<sim::Tick>(
+        seconds * static_cast<double>(sim::kTicksPerSecond) + 0.5);
+}
+
+} // namespace
+
+SimBackend::SimBackend(cpu::SimMachine &machine,
+                       const stream::TaskGraph &graph,
+                       MetricsRegistry *metrics)
+    : machine_(machine), graph_(graph), metrics_(metrics)
+{
+}
+
+double
+SimBackend::now() const
+{
+    return machine_.nowSeconds() - start_seconds_;
+}
+
+void
+SimBackend::beginRun(exec::Engine &engine)
+{
+    ExecutionBackend::beginRun(engine);
+    // Engine times are seconds from run start even when the machine's
+    // clock is not at zero (e.g. a reused machine).
+    start_seconds_ = machine_.nowSeconds();
+}
+
+void
+SimBackend::startAttempt(int context, const exec::AttemptSpec &spec)
+{
+    const Task &task = graph_.task(spec.task);
+    if (task.kind == TaskKind::Memory && spec.attempt == 0) {
+        // The pair's working set occupies the LLC from the moment the
+        // prefetch stream starts filling it. Retries re-use the still
+        // resident footprint (released only at pair completion).
+        machine_.mem().llc().install(task.sim_work.footprint_bytes);
+    }
+    if (spec.rerun_memory_first) {
+        // Pair-granularity retry: re-gather before re-computing.
+        const Task &mem = graph_.task(graph_.memoryTaskOf(task.pair));
+        machine_.run(context, mem, 0.0, [this, context, spec] {
+            runMainBody(context, spec);
+        });
+        return;
+    }
+    runMainBody(context, spec);
+}
+
+void
+SimBackend::runMainBody(int context, const exec::AttemptSpec &spec)
+{
+    const Task &task = graph_.task(spec.task);
+    const sim::Tick start_tick = machine_.events().now();
+    const double miss_fraction =
+        task.kind == TaskKind::Compute
+            ? machine_.mem().llc().missFraction()
+            : 0.0;
+    machine_.run(context, task, miss_fraction,
+                 [this, context, spec, start_tick] {
+                     onBodyDone(context, spec, start_tick);
+                 });
+}
+
+void
+SimBackend::onBodyDone(int context, const exec::AttemptSpec &spec,
+                       sim::Tick start_tick)
+{
+    exec::AttemptOutcome out;
+    out.start = sim::toSeconds(start_tick) - start_seconds_;
+
+    if (spec.faults.fail) {
+        out.failed = true;
+        out.error =
+            fault::InjectedFault(spec.task, spec.attempt).what();
+        out.end = now();
+        engine_->onAttemptDone(context, out);
+        return;
+    }
+
+    // Model a stall/straggler as extra completion latency.
+    sim::Tick extra = 0;
+    if (spec.faults.stall)
+        extra += ticksFromSeconds(spec.stall_seconds);
+    if (spec.faults.latency_factor > 1.0) {
+        const sim::Tick elapsed = machine_.events().now() - start_tick;
+        extra += static_cast<sim::Tick>(
+            static_cast<double>(elapsed) *
+            (spec.faults.latency_factor - 1.0));
+    }
+    auto deliver = [this, context, out]() mutable {
+        out.end = now();
+        engine_->onAttemptDone(context, out);
+    };
+    if (extra > 0)
+        machine_.events().scheduleIn(extra, std::move(deliver));
+    else
+        deliver();
+}
+
+SimBackend::TimerToken
+SimBackend::after(double seconds, std::function<void()> fn)
+{
+    // EventId starts at 0; shift by one so 0 stays the "no timer"
+    // sentinel of the backend contract.
+    return machine_.events().scheduleIn(ticksFromSeconds(seconds),
+                                        std::move(fn)) +
+           1;
+}
+
+void
+SimBackend::cancel(TimerToken token)
+{
+    if (token != 0)
+        machine_.events().deschedule(token - 1);
+}
+
+void
+SimBackend::drive(exec::Engine &engine)
+{
+    (void)engine;
+    machine_.events().run();
+}
+
+void
+SimBackend::pairCompleted(const stream::Task &memory_task)
+{
+    machine_.mem().llc().release(memory_task.sim_work.footprint_bytes);
+}
+
+void
+SimBackend::finalize(exec::RunResult &result)
+{
+    result.peak_llc_occupancy = machine_.mem().llc().peakOccupancy();
+    result.dram_accesses = machine_.mem().totalAccesses();
+    double util = 0.0;
+    for (int c = 0; c < machine_.mem().channelCount(); ++c)
+        util += machine_.mem().channel(c).busUtilisation();
+    result.bus_utilisation =
+        util / static_cast<double>(machine_.mem().channelCount());
+
+    if (metrics_) {
+        metrics_->set("sim.dram_accesses",
+                      static_cast<double>(result.dram_accesses));
+        metrics_->set("sim.bus_utilisation", result.bus_utilisation);
+        metrics_->set(
+            "sim.peak_llc_occupancy_bytes",
+            static_cast<double>(result.peak_llc_occupancy));
+    }
+}
+
+} // namespace tt::simrt

@@ -1,621 +1,20 @@
 #include "simrt/sim_runtime.hh"
 
-#include <algorithm>
-#include <cmath>
 #include <limits>
-#include <string>
 
 #include "core/policy.hh"
-#include "core/sample_guard.hh"
-#include "fault/fault_plan.hh"
-#include "obs/timeseries.hh"
-#include "util/logging.hh"
-#include "util/stats.hh"
 
 namespace tt::simrt {
-
-using stream::Task;
-using stream::TaskId;
-using stream::TaskKind;
-
-namespace {
-
-sim::Tick
-ticksFromSeconds(double seconds)
-{
-    return static_cast<sim::Tick>(
-        seconds * static_cast<double>(sim::kTicksPerSecond) + 0.5);
-}
-
-} // namespace
-
-SimRuntime::SimRuntime(cpu::SimMachine &machine,
-                       const stream::TaskGraph &graph,
-                       core::SchedulingPolicy &policy)
-    : machine_(machine), graph_(graph), policy_(policy)
-{
-    const auto n_tasks = static_cast<std::size_t>(graph_.taskCount());
-    deps_left_.assign(n_tasks, 0);
-    succs_.assign(n_tasks, {});
-    task_start_.assign(n_tasks, 0);
-    task_end_.assign(n_tasks, 0);
-    pair_mem_mtl_.assign(static_cast<std::size_t>(graph_.pairCount()), 0);
-    attempts_.assign(n_tasks, 0);
-    attempt_start_.assign(n_tasks, 0);
-    penalty_applied_.assign(n_tasks, 0);
-    trace_index_.assign(n_tasks, -1);
-    trace_.reserve(n_tasks);
-    context_busy_.assign(static_cast<std::size_t>(machine_.contexts()),
-                         false);
-    for (const Task &task : graph_.tasks()) {
-        deps_left_[static_cast<std::size_t>(task.id)] =
-            static_cast<int>(task.deps.size());
-        for (TaskId dep : task.deps)
-            succs_[static_cast<std::size_t>(dep)].push_back(task.id);
-    }
-}
-
-void
-SimRuntime::activatePhase(int phase)
-{
-    current_phase_ = phase;
-    phase_remaining_ = 0;
-    for (const Task &task : graph_.tasks()) {
-        if (task.phase != phase)
-            continue;
-        ++phase_remaining_;
-        if (deps_left_[static_cast<std::size_t>(task.id)] == 0) {
-            tt_assert(task.kind == TaskKind::Memory,
-                      "only memory tasks can be initially ready");
-            ready_memory_.push_back(task.id);
-        }
-    }
-    tt_assert(phase_remaining_ > 0 || graph_.empty(),
-              "phase ", phase, " has no tasks");
-}
-
-void
-SimRuntime::setFaultPlan(const fault::FaultPlan *plan, int max_retries,
-                         double backoff_seconds)
-{
-    tt_assert(max_retries >= 0, "retry budget cannot be negative");
-    tt_assert(backoff_seconds >= 0.0, "backoff cannot be negative");
-    fault_plan_ = plan;
-    max_task_retries_ = max_retries;
-    retry_backoff_seconds_ = backoff_seconds;
-}
-
-void
-SimRuntime::setTimeseries(std::ostream *out, double interval_seconds)
-{
-    tt_assert(out == nullptr || interval_seconds > 0.0,
-              "sampling interval must be positive");
-    timeseries_out_ = out;
-    timeseries_interval_seconds_ = interval_seconds;
-}
-
-void
-SimRuntime::emitTimeseriesSample()
-{
-    obs::TimeseriesSample row;
-    row.time = machine_.nowSeconds();
-    row.mtl = policy_.currentMtl();
-    row.mem_in_flight = mem_in_flight_;
-    row.tasks_done = tasks_done_;
-    row.pairs_done = static_cast<long>(samples_.size());
-    row.ready_memory = ready_memory_.size();
-    row.ready_compute = ready_compute_.size();
-    row.selections = policy_.stats().selections;
-    row.degraded = policy_.degraded();
-    obs::writeTimeseriesRow(row, *timeseries_out_);
-
-    // Keep sampling only while the schedule is live; the final
-    // reschedule past the drain yields the closing snapshot.
-    if (tasks_done_ < graph_.taskCount() && !failed_)
-        machine_.events().scheduleIn(
-            ticksFromSeconds(timeseries_interval_seconds_),
-            [this] { emitTimeseriesSample(); });
-}
-
-void
-SimRuntime::trySchedule()
-{
-    if (failed_)
-        return; // aborting: let in-flight tasks drain, dispatch nothing
-    while (true) {
-        // Lowest-numbered idle context: fills distinct physical
-        // cores before SMT siblings (see SimMachine::coreOf).
-        int context = -1;
-        for (int c = 0; c < machine_.contexts(); ++c) {
-            if (!context_busy_[static_cast<std::size_t>(c)]) {
-                context = c;
-                break;
-            }
-        }
-        if (context < 0)
-            return;
-
-        if (!ready_compute_.empty()) {
-            const TaskId id = ready_compute_.front();
-            ready_compute_.pop_front();
-            dispatch(context, id);
-            continue;
-        }
-        if (!ready_memory_.empty() &&
-            mem_in_flight_ < policy_.currentMtl()) {
-            const TaskId id = ready_memory_.front();
-            ready_memory_.pop_front();
-            dispatch(context, id);
-            continue;
-        }
-        return;
-    }
-}
-
-void
-SimRuntime::dispatch(int context, TaskId id)
-{
-    const Task &task = graph_.task(id);
-    context_busy_[static_cast<std::size_t>(context)] = true;
-    task_start_[static_cast<std::size_t>(id)] = machine_.events().now();
-    attempt_start_[static_cast<std::size_t>(id)] = machine_.events().now();
-
-    double miss_fraction = 0.0;
-    if (task.kind == TaskKind::Memory) {
-        ++mem_in_flight_;
-        peak_mem_in_flight_ =
-            std::max(peak_mem_in_flight_, mem_in_flight_);
-        tt_assert(mem_in_flight_ <= policy_.currentMtl(),
-                  "MTL restriction violated by the scheduler");
-        pair_mem_mtl_[static_cast<std::size_t>(task.pair)] =
-            policy_.currentMtl();
-        // The pair's working set occupies the LLC from the moment
-        // the prefetch stream starts filling it.
-        machine_.mem().llc().install(task.sim_work.footprint_bytes);
-    } else {
-        miss_fraction = machine_.mem().llc().missFraction();
-    }
-
-    TaskTrace record;
-    record.task = id;
-    record.pair = task.pair;
-    record.phase = task.phase;
-    record.is_memory = task.kind == TaskKind::Memory;
-    record.context = context;
-    record.start = machine_.nowSeconds();
-    record.mtl_at_dispatch = policy_.currentMtl();
-    trace_index_[static_cast<std::size_t>(id)] =
-        static_cast<int>(trace_.size());
-    trace_.push_back(record);
-
-    machine_.run(context, task, miss_fraction,
-                 [this, context, id] { onTaskDone(context, id); });
-}
-
-void
-SimRuntime::onTaskDone(int context, TaskId id)
-{
-    const Task &task = graph_.task(id);
-    const bool inject = fault_plan_ != nullptr && fault_plan_->enabled();
-
-    if (inject && penalty_applied_[static_cast<std::size_t>(id)] == 0) {
-        const int attempt = attempts_[static_cast<std::size_t>(id)];
-        const fault::TaskFaults faults =
-            fault_plan_->forTask(id, attempt);
-        if (faults.fail) {
-            if (attempt >= max_task_retries_ || failed_) {
-                failRun(id, attempt);
-                context_busy_[static_cast<std::size_t>(context)] = false;
-                return;
-            }
-            ++attempts_[static_cast<std::size_t>(id)];
-            ++task_retries_;
-            if (metrics_)
-                metrics_->add("runtime.task_retries", 1);
-            const double backoff =
-                std::min(retry_backoff_seconds_ *
-                             std::ldexp(1.0, attempt),
-                         50e-3);
-            machine_.events().scheduleIn(
-                ticksFromSeconds(backoff),
-                [this, context, id] { retryTask(context, id); });
-            return;
-        }
-        sim::Tick extra = 0;
-        if (faults.stall)
-            extra += ticksFromSeconds(fault_plan_->config().stall_seconds);
-        if (faults.latency_factor > 1.0) {
-            const sim::Tick elapsed =
-                machine_.events().now() -
-                attempt_start_[static_cast<std::size_t>(id)];
-            extra += static_cast<sim::Tick>(
-                static_cast<double>(elapsed) *
-                (faults.latency_factor - 1.0));
-        }
-        if (extra > 0) {
-            // Model the stall/straggler as extra completion latency:
-            // re-enter once, flagged so the faults are not re-rolled.
-            penalty_applied_[static_cast<std::size_t>(id)] = 1;
-            machine_.events().scheduleIn(extra, [this, context, id] {
-                onTaskDone(context, id);
-            });
-            return;
-        }
-    }
-    penalty_applied_[static_cast<std::size_t>(id)] = 0;
-
-    context_busy_[static_cast<std::size_t>(context)] = false;
-    task_end_[static_cast<std::size_t>(id)] = machine_.events().now();
-    trace_[static_cast<std::size_t>(
-               trace_index_[static_cast<std::size_t>(id)])]
-        .end = machine_.nowSeconds();
-    ++tasks_done_;
-    if (tasks_done_ == graph_.taskCount())
-        drain_seconds_ = machine_.nowSeconds();
-
-    if (task.kind == TaskKind::Memory) {
-        --mem_in_flight_;
-    } else {
-        // Pair complete: release the footprint and report the sample.
-        const stream::PairId pair = task.pair;
-        const TaskId mem_id = graph_.memoryTaskOf(pair);
-        machine_.mem().llc().release(
-            graph_.task(mem_id).sim_work.footprint_bytes);
-
-        core::PairSample sample;
-        sample.tm = sim::toSeconds(
-            task_end_[static_cast<std::size_t>(mem_id)] -
-            task_start_[static_cast<std::size_t>(mem_id)]);
-        sample.tc = sim::toSeconds(
-            task_end_[static_cast<std::size_t>(id)] -
-            task_start_[static_cast<std::size_t>(id)]);
-        sample.end_time = machine_.nowSeconds();
-        sample.mtl = pair_mem_mtl_[static_cast<std::size_t>(pair)];
-        if (inject) {
-            // Corruption models a broken clock read at measurement
-            // time. Keyed by the compute task with attempt 0 so the
-            // same pairs corrupt regardless of retry history -- and
-            // identically on the host runtime.
-            const fault::TaskFaults faults = fault_plan_->forTask(id, 0);
-            if (faults.corrupt_sample) {
-                sample.tm = fault_plan_->corruptValue(id, 0);
-                sample.tc = fault_plan_->corruptValue(id, 1);
-            }
-        }
-        samples_.push_back(sample);
-        if (metrics_ && std::isfinite(sample.tm) &&
-            std::isfinite(sample.tc)) {
-            const std::string suffix =
-                ".mtl=" + std::to_string(sample.mtl);
-            metrics_->observe("runtime.tm_seconds" + suffix, sample.tm);
-            metrics_->observe("runtime.tc_seconds" + suffix, sample.tc);
-        }
-        policy_.onPairMeasured(sample);
-    }
-
-    if (metrics_) {
-        metrics_->observe(
-            "runtime.ready_memory_depth",
-            static_cast<double>(ready_memory_.size()),
-            Histogram::Options{.min_value = 1.0, .growth = 2.0,
-                               .buckets = 24});
-        metrics_->observe(
-            "runtime.ready_compute_depth",
-            static_cast<double>(ready_compute_.size()),
-            Histogram::Options{.min_value = 1.0, .growth = 2.0,
-                               .buckets = 24});
-    }
-
-    // Unlock successors within the phase.
-    for (TaskId succ : succs_[static_cast<std::size_t>(id)]) {
-        if (--deps_left_[static_cast<std::size_t>(succ)] == 0) {
-            if (graph_.task(succ).kind == TaskKind::Memory)
-                ready_memory_.push_back(succ);
-            else
-                ready_compute_.push_back(succ);
-        }
-    }
-
-    // Phase barrier.
-    if (--phase_remaining_ == 0 &&
-        current_phase_ + 1 < graph_.phaseCount()) {
-        tt_assert(ready_memory_.empty() && ready_compute_.empty(),
-                  "ready tasks left at a phase barrier");
-        activatePhase(current_phase_ + 1);
-    }
-
-    trySchedule();
-}
-
-void
-SimRuntime::retryTask(int context, TaskId id)
-{
-    if (failed_) {
-        context_busy_[static_cast<std::size_t>(context)] = false;
-        return;
-    }
-    const Task &task = graph_.task(id);
-    attempt_start_[static_cast<std::size_t>(id)] = machine_.events().now();
-    if (task.kind == TaskKind::Compute) {
-        // Pair-granularity retry: re-gather before re-computing. The
-        // pair's footprint is still LLC-resident (released only at
-        // pair completion), so the re-run does not install it again.
-        const Task &mem = graph_.task(graph_.memoryTaskOf(task.pair));
-        machine_.run(context, mem, 0.0, [this, context, id] {
-            machine_.run(context, graph_.task(id),
-                         machine_.mem().llc().missFraction(),
-                         [this, context, id] {
-                             onTaskDone(context, id);
-                         });
-        });
-        return;
-    }
-    machine_.run(context, task, 0.0,
-                 [this, context, id] { onTaskDone(context, id); });
-}
-
-void
-SimRuntime::failRun(TaskId id, int attempts)
-{
-    ++task_failures_;
-    if (metrics_)
-        metrics_->add("runtime.task_failures", 1);
-    if (!failed_) {
-        failed_ = true;
-        failure_reason_ = "task " + std::to_string(id) +
-                          " failed after " + std::to_string(attempts) +
-                          " retries: injected fault";
-        tt_warn("aborting simulated run: ", failure_reason_);
-    }
-}
-
-RunResult
-SimRuntime::run()
-{
-    RunResult result;
-    if (graph_.empty()) {
-        result.mtl_trace = policy_.mtlTrace();
-        return result;
-    }
-
-    activatePhase(0);
-    if (timeseries_out_ != nullptr)
-        emitTimeseriesSample();
-    trySchedule();
-    machine_.events().run();
-
-    tt_assert(failed_ || tasks_done_ == graph_.taskCount(),
-              "simulation drained with ", tasks_done_, " of ",
-              graph_.taskCount(), " tasks done (deadlock in graph or "
-              "scheduler)");
-
-    result.failed = failed_;
-    result.failure_reason = failure_reason_;
-    result.task_retries = task_retries_;
-    result.task_failures = task_failures_;
-    // With the sampler attached, the last event in the queue is a
-    // trailing time-series snapshot; the makespan is the last task
-    // completion, not that sampler tick.
-    result.seconds = timeseries_out_ != nullptr && drain_seconds_ >= 0.0
-                         ? drain_seconds_
-                         : machine_.nowSeconds();
-    result.samples = samples_;
-    result.policy_stats = policy_.stats();
-    result.mtl_trace = policy_.mtlTrace();
-    result.decisions = policy_.decisions();
-
-    // Same screening as the host runtime: corrupted samples stay in
-    // result.samples but do not poison the averages.
-    core::SampleGuard summary_guard;
-    double tm_sum = 0.0;
-    double tc_sum = 0.0;
-    long clean = 0;
-    for (const auto &sample : samples_) {
-        if (!summary_guard.accept(sample))
-            continue;
-        tm_sum += sample.tm;
-        tc_sum += sample.tc;
-        ++clean;
-    }
-    if (clean > 0) {
-        result.avg_tm = tm_sum / static_cast<double>(clean);
-        result.avg_tc = tc_sum / static_cast<double>(clean);
-    }
-    if (!samples_.empty()) {
-        result.monitor_overhead =
-            static_cast<double>(result.policy_stats.probe_pairs) /
-            static_cast<double>(samples_.size());
-    }
-
-    result.trace = trace_;
-    result.peak_mem_in_flight = peak_mem_in_flight_;
-    result.peak_llc_occupancy = machine_.mem().llc().peakOccupancy();
-    result.dram_accesses = machine_.mem().totalAccesses();
-    double util = 0.0;
-    for (int c = 0; c < machine_.mem().channelCount(); ++c)
-        util += machine_.mem().channel(c).busUtilisation();
-    result.bus_utilisation =
-        util / static_cast<double>(machine_.mem().channelCount());
-
-    // Per-phase aggregates.
-    for (const stream::Phase &phase : graph_.phases()) {
-        RunResult::PhaseResult pr;
-        pr.name = phase.name;
-        double tm = 0.0;
-        double tc = 0.0;
-        sim::Tick start = std::numeric_limits<sim::Tick>::max();
-        sim::Tick end = 0;
-        for (int p = phase.first_pair;
-             p < phase.first_pair + phase.pair_count; ++p) {
-            const TaskId mem_id = graph_.memoryTaskOf(p);
-            const TaskId cmp_id = graph_.computeTaskOf(p);
-            tm += sim::toSeconds(
-                task_end_[static_cast<std::size_t>(mem_id)] -
-                task_start_[static_cast<std::size_t>(mem_id)]);
-            tc += sim::toSeconds(
-                task_end_[static_cast<std::size_t>(cmp_id)] -
-                task_start_[static_cast<std::size_t>(cmp_id)]);
-            start = std::min(start,
-                             task_start_[static_cast<std::size_t>(mem_id)]);
-            end = std::max(end,
-                           task_end_[static_cast<std::size_t>(cmp_id)]);
-        }
-        if (phase.pair_count > 0) {
-            pr.tm_mean = tm / phase.pair_count;
-            pr.tc_mean = tc / phase.pair_count;
-            pr.start = sim::toSeconds(start);
-            pr.end = sim::toSeconds(end);
-        }
-        result.phases.push_back(std::move(pr));
-    }
-
-    if (metrics_) {
-        metrics_->add("runtime.tasks_done", tasks_done_);
-        metrics_->setMax("runtime.peak_mem_in_flight",
-                         peak_mem_in_flight_);
-        metrics_->set("runtime.makespan_seconds", result.seconds);
-        metrics_->set("runtime.monitor_overhead",
-                      result.monitor_overhead);
-        metrics_->set("sim.dram_accesses",
-                      static_cast<double>(result.dram_accesses));
-        metrics_->set("sim.bus_utilisation", result.bus_utilisation);
-        metrics_->set(
-            "sim.peak_llc_occupancy_bytes",
-            static_cast<double>(result.peak_llc_occupancy));
-    }
-
-    return result;
-}
 
 RunResult
 runOnce(const cpu::MachineConfig &config, const stream::TaskGraph &graph,
         core::SchedulingPolicy &policy, MetricsRegistry *metrics)
 {
     cpu::SimMachine machine(config);
-    SimRuntime runtime(machine, graph, policy);
-    runtime.bindMetrics(metrics);
+    exec::EngineOptions options;
+    options.metrics = metrics;
+    SimRuntime runtime(machine, graph, policy, options);
     return runtime.run();
-}
-
-namespace {
-
-std::string
-violation(const char *what, stream::TaskId id)
-{
-    return std::string(what) + " (task " + std::to_string(id) + ")";
-}
-
-} // namespace
-
-std::string
-validateSchedule(const stream::TaskGraph &graph, const RunResult &result,
-                 int contexts)
-{
-    const auto n_tasks = static_cast<std::size_t>(graph.taskCount());
-    if (result.trace.size() != n_tasks)
-        return "trace has " + std::to_string(result.trace.size()) +
-               " entries for " + std::to_string(graph.taskCount()) +
-               " tasks";
-
-    std::vector<int> runs(n_tasks, 0);
-    for (const TaskTrace &entry : result.trace) {
-        if (entry.task < 0 || entry.task >= graph.taskCount())
-            return violation("trace entry with bad task id", entry.task);
-        ++runs[static_cast<std::size_t>(entry.task)];
-        if (entry.end < entry.start)
-            return violation("task ends before it starts", entry.task);
-        if (entry.context < 0 || entry.context >= contexts)
-            return violation("task ran on a bad context", entry.task);
-    }
-    for (std::size_t id = 0; id < n_tasks; ++id)
-        if (runs[id] != 1)
-            return violation("task did not run exactly once",
-                             static_cast<stream::TaskId>(id));
-
-    // Index trace entries by task for dependency checks.
-    std::vector<const TaskTrace *> by_task(n_tasks, nullptr);
-    for (const TaskTrace &entry : result.trace)
-        by_task[static_cast<std::size_t>(entry.task)] = &entry;
-
-    // No overlap per hardware context.
-    std::vector<std::vector<const TaskTrace *>> per_context(
-        static_cast<std::size_t>(contexts));
-    for (const TaskTrace &entry : result.trace)
-        per_context[static_cast<std::size_t>(entry.context)].push_back(
-            &entry);
-    for (auto &entries : per_context) {
-        std::sort(entries.begin(), entries.end(),
-                  [](const TaskTrace *a, const TaskTrace *b) {
-                      return a->start < b->start;
-                  });
-        for (std::size_t i = 1; i < entries.size(); ++i) {
-            if (entries[i]->start < entries[i - 1]->end - 1e-12)
-                return violation("two tasks overlap on one context",
-                                 entries[i]->task);
-        }
-    }
-
-    // MTL respected at every memory-task dispatch instant.
-    for (const TaskTrace &entry : result.trace) {
-        if (!entry.is_memory)
-            continue;
-        int concurrent = 0;
-        for (const TaskTrace &other : result.trace) {
-            if (!other.is_memory)
-                continue;
-            if (other.start <= entry.start + 1e-15 &&
-                entry.start < other.end - 1e-15) {
-                ++concurrent;
-            }
-            // A zero-length memory task that dispatched exactly at
-            // this instant still occupied a slot; count it when it
-            // is the task under test itself.
-        }
-        if (concurrent == 0)
-            concurrent = 1; // entry itself had zero length
-        if (concurrent > entry.mtl_at_dispatch)
-            return violation("MTL exceeded at dispatch", entry.task);
-    }
-
-    // Dependencies and phase barriers.
-    double prev_phase_end = 0.0;
-    stream::PhaseId prev_phase = -1;
-    for (const stream::Task &task : graph.tasks()) {
-        const TaskTrace *entry =
-            by_task[static_cast<std::size_t>(task.id)];
-        for (stream::TaskId dep : task.deps) {
-            const TaskTrace *dep_entry =
-                by_task[static_cast<std::size_t>(dep)];
-            if (entry->start < dep_entry->end - 1e-12)
-                return violation("task started before its dependency",
-                                 task.id);
-        }
-        (void)prev_phase_end;
-        (void)prev_phase;
-    }
-    // Phase barrier: min start of phase p+1 >= max end of phase p.
-    std::vector<double> phase_min_start(
-        static_cast<std::size_t>(graph.phaseCount()), 1e300);
-    std::vector<double> phase_max_end(
-        static_cast<std::size_t>(graph.phaseCount()), 0.0);
-    for (const TaskTrace &entry : result.trace) {
-        auto &min_start =
-            phase_min_start[static_cast<std::size_t>(entry.phase)];
-        auto &max_end =
-            phase_max_end[static_cast<std::size_t>(entry.phase)];
-        min_start = std::min(min_start, entry.start);
-        max_end = std::max(max_end, entry.end);
-    }
-    for (int p = 1; p < graph.phaseCount(); ++p) {
-        if (phase_min_start[static_cast<std::size_t>(p)] <
-            phase_max_end[static_cast<std::size_t>(p - 1)] - 1e-12) {
-            return "phase " + std::to_string(p) +
-                   " started before phase " + std::to_string(p - 1) +
-                   " completed";
-        }
-    }
-
-    return {};
 }
 
 OfflineSearchResult

@@ -2,10 +2,11 @@
  * @file
  * SimRuntime: the stream-task scheduler running on simulated time.
  *
- * Mirrors the application-layer runtime the paper prototypes
- * (Sec. V): a work queue drained by one software thread per hardware
- * context, with the MTL restriction enforced by a counter at dequeue
- * time. Scheduling rules:
+ * A thin adapter: the MTL-gated scheduling state machine lives in
+ * exec::Engine (shared with the real-thread runtime), and this class
+ * merely binds it to a SimBackend over one cpu::SimMachine. The
+ * scheduling rules the engine enforces are the ones the paper
+ * prototypes (Sec. V):
  *
  *  - phases are barrier-separated; a phase's tasks unlock only when
  *    the previous phase fully completes;
@@ -18,226 +19,73 @@
  *
  * Every finished pair is reported to the policy as a PairSample, so
  * the adaptive policies observe exactly what they would observe on
- * the real machine.
+ * the real machine. Configuration (metrics, fault plan, retries,
+ * watchdog, time series) comes in through the same
+ * exec::EngineOptions the host runtime takes; RunResult is an alias
+ * of the unified exec::RunResult.
  */
 
 #ifndef TT_SIMRT_SIM_RUNTIME_HH
 #define TT_SIMRT_SIM_RUNTIME_HH
 
-#include <deque>
-#include <iosfwd>
-#include <string>
-#include <utility>
-#include <vector>
-
-#include "core/policy.hh"
 #include "cpu/sim_machine.hh"
-#include "stream/task_graph.hh"
-
-namespace tt {
-class MetricsRegistry;
-}
-
-namespace tt::fault {
-class FaultPlan;
-}
+#include "exec/engine.hh"
+#include "simrt/sim_backend.hh"
 
 namespace tt::simrt {
 
-/** One task execution recorded in the schedule trace. */
-struct TaskTrace
-{
-    stream::TaskId task = stream::kInvalidTask;
-    stream::PairId pair = -1;
-    stream::PhaseId phase = -1;
-    bool is_memory = false;
-    int context = -1;      ///< hardware context that ran the task
-    double start = 0.0;    ///< dispatch time, seconds
-    double end = 0.0;      ///< completion time, seconds
-    int mtl_at_dispatch = 0; ///< policy MTL when the task started
-};
+/** Everything measured during one simulated run (unified result). */
+using RunResult = exec::RunResult;
 
-/** Everything measured during one simulated run. */
-struct RunResult
-{
-    double seconds = 0.0; ///< makespan of the whole graph
+/** See exec::toTraceData. */
+using exec::toTraceData;
 
-    /** One sample per completed pair, in completion order. */
-    std::vector<core::PairSample> samples;
-
-    core::PolicyStats policy_stats;
-    std::vector<std::pair<double, int>> mtl_trace;
-
-    /** Policy decision audit log (see core/audit.hh). */
-    std::vector<core::MtlDecision> decisions;
-
-    double avg_tm = 0.0; ///< mean memory-task duration
-    double avg_tc = 0.0; ///< mean compute-task duration
-
-    std::uint64_t dram_accesses = 0;
-    double bus_utilisation = 0.0; ///< mean across channels
-
-    /** Fraction of pairs consumed while probing candidate MTLs. */
-    double monitor_overhead = 0.0;
-
-    /** Peak number of concurrently executing memory tasks. */
-    int peak_mem_in_flight = 0;
-
-    /** Peak LLC occupancy observed (bytes). */
-    std::uint64_t peak_llc_occupancy = 0;
-
-    /** Full schedule trace in dispatch order. */
-    std::vector<TaskTrace> trace;
-
-    /** Per-phase aggregates (phase order). */
-    struct PhaseResult
-    {
-        std::string name;
-        double tm_mean = 0.0;
-        double tc_mean = 0.0;
-        double start = 0.0; ///< first task start, seconds
-        double end = 0.0;   ///< last task end, seconds
-    };
-    std::vector<PhaseResult> phases;
-
-    /** Task attempts re-executed after an injected failure. */
-    long task_retries = 0;
-
-    /** Tasks abandoned after exhausting the retry budget. */
-    long task_failures = 0;
-
-    /** True when the run aborted instead of draining the graph. */
-    bool failed = false;
-
-    /** Human-readable cause when failed (empty otherwise). */
-    std::string failure_reason;
-};
+/** See exec::validateSchedule. */
+using exec::validateSchedule;
 
 /** Scheduler binding one graph + one policy to one machine. */
 class SimRuntime
 {
   public:
+    /**
+     * `options` configures the shared engine: `metrics` publishes
+     * the same "runtime.*" series as the host runtime (plus the
+     * simulator-only "sim.*" gauges), `fault_plan` mirrors the host
+     * fault semantics on simulated time, `watchdog_seconds` is a
+     * *simulated-time* deadline that fails the run in-band, and
+     * `timeseries_out` samples on simulated time. `threads` and
+     * `pin_affinity` are ignored -- the machine's hardware contexts
+     * define the worker pool.
+     */
     SimRuntime(cpu::SimMachine &machine, const stream::TaskGraph &graph,
-               core::SchedulingPolicy &policy);
+               core::SchedulingPolicy &policy,
+               exec::EngineOptions options = {})
+        : options_(options),
+          backend_(machine, graph, options_.metrics),
+          engine_(graph, policy, options_)
+    {
+    }
 
-    /**
-     * Attach a metrics sink (not owned; nullptr detaches). Publishes
-     * the same "runtime.*" series as the host runtime -- T_m/T_c per
-     * MTL, ready-queue depths, mem_in_flight high-water -- plus the
-     * simulator-only DRAM/bus/LLC gauges.
-     */
-    void bindMetrics(MetricsRegistry *metrics) { metrics_ = metrics; }
+    SimRuntime(const SimRuntime &) = delete;
+    SimRuntime &operator=(const SimRuntime &) = delete;
 
-    /**
-     * Attach a fault-injection plan (not owned; nullptr detaches).
-     * Faults mirror the host runtime's semantics on simulated time:
-     * an injected failure consumes the attempt and re-dispatches the
-     * task after an exponential sim-time backoff (compute retries
-     * re-run the pair's memory body first); a stall adds
-     * stall_seconds of latency; a straggler multiplies the attempt's
-     * elapsed time; a corrupted pair reports garbage PairSample
-     * timings to the policy. Because the fault decisions hash
-     * (seed, task, attempt), a seeded plan injects the same faults
-     * here and on the real-thread runtime.
-     */
-    void setFaultPlan(const fault::FaultPlan *plan,
-                      int max_retries = 3,
-                      double backoff_seconds = 100e-6);
-
-    /**
-     * Attach a time-series sink (not owned; nullptr detaches): one
-     * JSONL row (see obs/timeseries.hh) every `interval_seconds` of
-     * *simulated* time while tasks remain, plus a final row after
-     * the last completion. The trailing sampler event does not
-     * extend the reported makespan.
-     */
-    void setTimeseries(std::ostream *out, double interval_seconds);
-
-    /** Execute the whole graph; returns the measurements. */
-    RunResult run();
+    /** Execute the whole graph; callable once. */
+    RunResult run() { return engine_.run(backend_); }
 
   private:
-    void activatePhase(int phase);
-    void trySchedule();
-    void dispatch(int context, stream::TaskId id);
-    void onTaskDone(int context, stream::TaskId id);
-    /** Re-execute `id` on `context` after an injected failure. */
-    void retryTask(int context, stream::TaskId id);
-    /** Abort the run: record the cause, stop dispatching. */
-    void failRun(stream::TaskId id, int attempts);
-    /** Emit one time-series row; self-reschedules while tasks remain. */
-    void emitTimeseriesSample();
-
-    cpu::SimMachine &machine_;
-    const stream::TaskGraph &graph_;
-    core::SchedulingPolicy &policy_;
-    MetricsRegistry *metrics_ = nullptr;
-
-    // Fault injection (see setFaultPlan).
-    const fault::FaultPlan *fault_plan_ = nullptr;
-    int max_task_retries_ = 3;
-    double retry_backoff_seconds_ = 100e-6;
-    std::vector<int> attempts_;          ///< failed attempts per task
-    std::vector<sim::Tick> attempt_start_;
-    std::vector<char> penalty_applied_;  ///< stall/straggler delay done
-    long task_retries_ = 0;
-    long task_failures_ = 0;
-    bool failed_ = false;
-    std::string failure_reason_;
-
-    std::vector<int> deps_left_;
-    std::vector<std::vector<stream::TaskId>> succs_;
-    std::deque<stream::TaskId> ready_memory_;
-    std::deque<stream::TaskId> ready_compute_;
-    std::vector<bool> context_busy_;
-
-    int mem_in_flight_ = 0;
-    int peak_mem_in_flight_ = 0;
-    int current_phase_ = -1;
-    int phase_remaining_ = 0;
-    int tasks_done_ = 0;
-
-    // Per-task and per-pair measurement state.
-    std::vector<sim::Tick> task_start_;
-    std::vector<sim::Tick> task_end_;
-    std::vector<int> pair_mem_mtl_;
-
-    std::vector<core::PairSample> samples_;
-    std::vector<TaskTrace> trace_;
-    std::vector<int> trace_index_;
-
-    // Time-series sampling (see setTimeseries).
-    std::ostream *timeseries_out_ = nullptr;
-    double timeseries_interval_seconds_ = 1e-3;
-    double drain_seconds_ = -1.0; ///< last task completion time
+    exec::EngineOptions options_;
+    SimBackend backend_;
+    exec::Engine engine_;
 };
 
 /**
  * Run `graph` once on a fresh machine built from `config`. When
- * `metrics` is non-null the run publishes into it (see bindMetrics).
+ * `metrics` is non-null the run publishes into it.
  */
 RunResult runOnce(const cpu::MachineConfig &config,
                   const stream::TaskGraph &graph,
                   core::SchedulingPolicy &policy,
                   MetricsRegistry *metrics = nullptr);
-
-/**
- * Check the structural invariants of a recorded schedule against its
- * graph:
- *  - every task ran exactly once, with end >= start;
- *  - no two tasks overlap on one hardware context;
- *  - at every memory-task dispatch instant, the number of memory
- *    tasks in flight (including the new one) is within the MTL the
- *    policy had published at that moment;
- *  - a compute task starts only after its dependencies finished;
- *  - phase barriers hold: no task of phase p+1 starts before every
- *    task of phase p ended.
- *
- * Returns an empty string when the schedule is valid, otherwise a
- * description of the first violation (for test diagnostics).
- */
-std::string validateSchedule(const stream::TaskGraph &graph,
-                             const RunResult &result, int contexts);
 
 /** Result of the paper's Offline Exhaustive Search baseline. */
 struct OfflineSearchResult

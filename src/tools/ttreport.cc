@@ -47,7 +47,6 @@
 #include "cpu/machine_config.hh"
 #include "obs/analyzer.hh"
 #include "simrt/sim_runtime.hh"
-#include "simrt/trace_export.hh"
 #include "util/flags.hh"
 #include "util/json.hh"
 #include "workloads/dft.hh"

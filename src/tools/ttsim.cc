@@ -55,7 +55,8 @@
  *   --inject-stall-p P    worker-stall probability           [0]
  *   --inject-stall-ms MS  stall duration                     [50]
  *   --max-retries N       attempts beyond the first          [3]
- *   --watchdog-ms MS      host run deadline, 0 = off         [0]
+ *   --watchdog-ms MS      run deadline, 0 = off (wall time with
+ *                         --host; simulated time otherwise)  [0]
  *
  * Exit codes: 0 success; 1 output file could not be written;
  * 2 usage error; 3 watchdog deadline exceeded (run wedged);
@@ -76,7 +77,6 @@
 #include "obs/chrome_trace.hh"
 #include "runtime/runtime.hh"
 #include "simrt/sim_runtime.hh"
-#include "simrt/trace_export.hh"
 #include "util/flags.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
@@ -507,16 +507,21 @@ main(int argc, char **argv)
         return 0;
     }
 
-    // Simulated runs need no watchdog: the event queue's budget
-    // already bounds a runaway simulation deterministically.
+    // Simulated runs share the host options; the watchdog deadline
+    // counts *simulated* seconds and fails the run in-band (the event
+    // queue's budget still bounds a runaway simulation).
     tt::cpu::SimMachine sim_machine(machine);
-    tt::simrt::SimRuntime sim_runtime(sim_machine, graph, *policy);
-    sim_runtime.bindMetrics(&metrics);
-    if (fault_plan)
-        sim_runtime.setFaultPlan(&*fault_plan, max_retries);
-    if (!timeseries_path.empty())
-        sim_runtime.setTimeseries(&timeseries_out,
-                                  timeseries_interval);
+    tt::exec::EngineOptions sim_options;
+    sim_options.metrics = &metrics;
+    sim_options.fault_plan = fault_plan ? &*fault_plan : nullptr;
+    sim_options.max_task_retries = max_retries;
+    sim_options.watchdog_seconds = watchdog_seconds;
+    if (!timeseries_path.empty()) {
+        sim_options.timeseries_out = &timeseries_out;
+        sim_options.timeseries_interval_seconds = timeseries_interval;
+    }
+    tt::simrt::SimRuntime sim_runtime(sim_machine, graph, *policy,
+                                      sim_options);
     const auto result = sim_runtime.run();
 
     if (result.task_retries > 0 || result.task_failures > 0)
@@ -527,7 +532,7 @@ main(int argc, char **argv)
                      result.failure_reason.c_str());
         if (!metrics_path.empty())
             writeMetricsFile(metrics_path, metrics);
-        return 4;
+        return result.watchdog_fired ? 3 : 4;
     }
 
     std::printf("makespan        %10.3f ms\n", result.seconds * 1e3);
@@ -564,9 +569,9 @@ main(int argc, char **argv)
         for (const auto &entry : result.trace) {
             std::printf("%5d %s %5d %3d %3d %12.2f %12.2f %3d\n",
                         entry.task, entry.is_memory ? "M" : "C",
-                        entry.pair, entry.phase, entry.context,
+                        entry.pair, entry.phase, entry.worker,
                         entry.start * 1e6, entry.end * 1e6,
-                        entry.mtl_at_dispatch);
+                        entry.mtl);
         }
     }
     return 0;

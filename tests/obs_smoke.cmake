@@ -25,6 +25,21 @@ if(ts_rows STREQUAL "")
     message(FATAL_ERROR "time-series file is empty")
 endif()
 
+# 1b. The real-thread backend drives the same engine and tooling:
+# a host run must also produce a non-empty time series.
+execute_process(
+    COMMAND "${TTSIM}" --host --workload synthetic --policy dynamic
+            --pairs 32 --quiet
+            --timeseries-out "${WORK_DIR}/ts_host.jsonl"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ttsim --host failed (rc=${rc})")
+endif()
+file(READ "${WORK_DIR}/ts_host.jsonl" host_rows)
+if(host_rows STREQUAL "")
+    message(FATAL_ERROR "host time-series file is empty")
+endif()
+
 # 2. Two identical seeded runs produce identical reports: diff passes.
 foreach(name a b)
     execute_process(

@@ -20,7 +20,6 @@
 #include "obs/timeseries.hh"
 #include "runtime/runtime.hh"
 #include "simrt/sim_runtime.hh"
-#include "simrt/trace_export.hh"
 #include "util/json.hh"
 #include "workloads/phased.hh"
 #include "workloads/synthetic.hh"
@@ -333,9 +332,11 @@ TEST(Timeseries, SimSamplerEmitsParsableRowsWithoutSkewingMakespan)
 
     DynamicThrottlePolicy policy(machine.contexts(), 8);
     tt::cpu::SimMachine sim_machine(machine);
-    tt::simrt::SimRuntime runtime(sim_machine, graph, policy);
     std::ostringstream rows;
-    runtime.setTimeseries(&rows, 100e-6);
+    tt::exec::EngineOptions options;
+    options.timeseries_out = &rows;
+    options.timeseries_interval_seconds = 100e-6;
+    tt::simrt::SimRuntime runtime(sim_machine, graph, policy, options);
     const auto result = runtime.run();
 
     // Sampling must not inflate the reported makespan.

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Cross-backend contracts of the shared scheduling engine: the same
+ * graph, policy and fault plan must produce the same policy-visible
+ * behaviour whether executed by real threads (runtime::Runtime) or
+ * on simulated time (simrt::SimRuntime), and both must publish the
+ * same metric names and the same run-relative time base.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/dynamic_policy.hh"
+#include "core/policy.hh"
+#include "cpu/machine_config.hh"
+#include "cpu/sim_machine.hh"
+#include "exec/engine.hh"
+#include "fault/fault_plan.hh"
+#include "obs/analyzer.hh"
+#include "runtime/runtime.hh"
+#include "simrt/sim_runtime.hh"
+#include "stream/builder.hh"
+#include "util/stats.hh"
+
+namespace {
+
+using tt::core::StaticMtlPolicy;
+using tt::exec::EngineOptions;
+using tt::fault::FaultConfig;
+using tt::fault::FaultPlan;
+using tt::stream::PairSpec;
+using tt::stream::StreamProgramBuilder;
+using tt::stream::TaskGraph;
+
+/** ~tens of microseconds of real work for host task bodies. */
+void
+spin()
+{
+    volatile double acc = 0.0;
+    for (int i = 0; i < 20000; ++i)
+        acc = acc + static_cast<double>(i);
+}
+
+/**
+ * One graph both backends can execute: host closures for the thread
+ * runtime, bytes/cycles for the simulator.
+ */
+TaskGraph
+dualGraph(int pairs)
+{
+    StreamProgramBuilder builder;
+    builder.beginPhase("p");
+    builder.addPairs(pairs, [](int) {
+        PairSpec spec;
+        spec.bytes = 128 * 1024;
+        spec.compute_cycles = 200000;
+        spec.host_memory = [] { spin(); };
+        spec.host_compute = [] { spin(); };
+        return spec;
+    });
+    return std::move(builder).build();
+}
+
+tt::cpu::MachineConfig
+simConfig(int contexts)
+{
+    auto config = tt::cpu::MachineConfig::i7_860_1dimm();
+    config.cores = contexts;
+    config.smt_ways = 1;
+    return config;
+}
+
+/**
+ * The acceptance contract of the unified engine: a seeded fault plan
+ * drives the *same* retry/trace/sample sequence on one host worker
+ * and on a one-context simulated machine, because fault decisions
+ * hash (task, attempt) and the scheduling state machine is shared.
+ */
+TEST(CrossBackend, SeededFaultsProduceIdenticalSchedulingSequences)
+{
+    const TaskGraph graph = dualGraph(48);
+    FaultConfig config;
+    config.seed = 7;
+    config.fail_p = 0.08;
+    const FaultPlan plan(config);
+
+    EngineOptions options;
+    options.threads = 1;
+    options.pin_affinity = false;
+    options.fault_plan = &plan;
+    options.max_task_retries = 3;
+    options.retry_backoff_seconds = 20e-6;
+
+    StaticMtlPolicy host_policy(1, 1);
+    tt::runtime::Runtime host(graph, host_policy, options);
+    const auto host_result = host.run();
+
+    tt::cpu::SimMachine machine(simConfig(1));
+    StaticMtlPolicy sim_policy(1, 1);
+    tt::simrt::SimRuntime sim(machine, graph, sim_policy, options);
+    const auto sim_result = sim.run();
+
+    EXPECT_FALSE(host_result.failed);
+    EXPECT_FALSE(sim_result.failed);
+    EXPECT_GT(host_result.task_retries, 0);
+
+    // Identical retry grants: same tasks, same attempts, same order.
+    EXPECT_EQ(host_result.task_retries, sim_result.task_retries);
+    ASSERT_EQ(host_result.retries.size(), sim_result.retries.size());
+    for (std::size_t i = 0; i < host_result.retries.size(); ++i) {
+        EXPECT_EQ(host_result.retries[i].task,
+                  sim_result.retries[i].task)
+            << "retry " << i;
+        EXPECT_EQ(host_result.retries[i].attempt,
+                  sim_result.retries[i].attempt)
+            << "retry " << i;
+    }
+
+    // Identical dispatch sequence in the merged trace.
+    ASSERT_EQ(host_result.trace.size(), sim_result.trace.size());
+    for (std::size_t i = 0; i < host_result.trace.size(); ++i) {
+        EXPECT_EQ(host_result.trace[i].task, sim_result.trace[i].task)
+            << "event " << i;
+        EXPECT_EQ(host_result.trace[i].is_memory,
+                  sim_result.trace[i].is_memory)
+            << "event " << i;
+        EXPECT_EQ(host_result.trace[i].mtl, sim_result.trace[i].mtl)
+            << "event " << i;
+    }
+
+    // Identical sample stream as far as the policy can see it.
+    ASSERT_EQ(host_result.samples.size(), sim_result.samples.size());
+    for (std::size_t i = 0; i < host_result.samples.size(); ++i)
+        EXPECT_EQ(host_result.samples[i].mtl,
+                  sim_result.samples[i].mtl);
+}
+
+/**
+ * With every sample corrupted, the policy's inputs are fully
+ * deterministic (corruption values hash the pair, not the clock), so
+ * an adaptive policy must make the identical decision sequence --
+ * including entering its degraded state -- on both backends, even
+ * with two real threads racing.
+ */
+TEST(CrossBackend, CorruptedRunsMakeIdenticalPolicyDecisions)
+{
+    const TaskGraph graph = dualGraph(64);
+    FaultConfig config;
+    config.seed = 21;
+    config.corrupt_p = 1.0;
+    const FaultPlan plan(config);
+
+    EngineOptions options;
+    options.threads = 2;
+    options.pin_affinity = false;
+    options.fault_plan = &plan;
+
+    tt::core::DynamicThrottlePolicy host_policy(2, 8);
+    tt::runtime::Runtime host(graph, host_policy, options);
+    const auto host_result = host.run();
+
+    tt::cpu::SimMachine machine(simConfig(2));
+    tt::core::DynamicThrottlePolicy sim_policy(2, 8);
+    tt::simrt::SimRuntime sim(machine, graph, sim_policy, options);
+    const auto sim_result = sim.run();
+
+    EXPECT_FALSE(host_result.failed);
+    EXPECT_FALSE(sim_result.failed);
+    EXPECT_TRUE(host_policy.degraded());
+    EXPECT_TRUE(sim_policy.degraded());
+
+    ASSERT_EQ(host_result.decisions.size(),
+              sim_result.decisions.size());
+    for (std::size_t i = 0; i < host_result.decisions.size(); ++i) {
+        const auto &h = host_result.decisions[i];
+        const auto &s = sim_result.decisions[i];
+        EXPECT_EQ(h.from_mtl, s.from_mtl) << "decision " << i;
+        EXPECT_EQ(h.to_mtl, s.to_mtl) << "decision " << i;
+        EXPECT_EQ(static_cast<int>(h.reason),
+                  static_cast<int>(s.reason))
+            << "decision " << i;
+        EXPECT_EQ(h.degraded, s.degraded) << "decision " << i;
+    }
+
+    // Same MTL transition values (times are backend clocks).
+    ASSERT_EQ(host_result.mtl_trace.size(),
+              sim_result.mtl_trace.size());
+    for (std::size_t i = 0; i < host_result.mtl_trace.size(); ++i)
+        EXPECT_EQ(host_result.mtl_trace[i].second,
+                  sim_result.mtl_trace[i].second)
+            << "transition " << i;
+}
+
+/**
+ * Satellite: both backends publish the identical "runtime.*" metric
+ * name sets; the simulator adds exactly its three documented
+ * machine gauges on top.
+ */
+TEST(CrossBackend, MetricNamesMatchModuloSimMachineGauges)
+{
+    const TaskGraph graph = dualGraph(24);
+
+    tt::MetricsRegistry host_metrics;
+    EngineOptions host_options;
+    host_options.threads = 2;
+    host_options.pin_affinity = false;
+    host_options.metrics = &host_metrics;
+    StaticMtlPolicy host_policy(1, 2);
+    tt::runtime::Runtime host(graph, host_policy, host_options);
+    host.run();
+
+    tt::MetricsRegistry sim_metrics;
+    EngineOptions sim_options;
+    sim_options.metrics = &sim_metrics;
+    tt::cpu::SimMachine machine(simConfig(2));
+    StaticMtlPolicy sim_policy(1, 2);
+    tt::simrt::SimRuntime sim(machine, graph, sim_policy,
+                              sim_options);
+    sim.run();
+
+    auto names = [](std::vector<std::string> v) {
+        return std::set<std::string>(v.begin(), v.end());
+    };
+    EXPECT_EQ(names(host_metrics.counterNames()),
+              names(sim_metrics.counterNames()));
+    EXPECT_EQ(names(host_metrics.histogramNames()),
+              names(sim_metrics.histogramNames()));
+
+    const auto host_gauges = names(host_metrics.gaugeNames());
+    const auto sim_gauges = names(sim_metrics.gaugeNames());
+    std::set<std::string> host_only;
+    std::set_difference(host_gauges.begin(), host_gauges.end(),
+                        sim_gauges.begin(), sim_gauges.end(),
+                        std::inserter(host_only, host_only.end()));
+    std::set<std::string> sim_only;
+    std::set_difference(sim_gauges.begin(), sim_gauges.end(),
+                        host_gauges.begin(), host_gauges.end(),
+                        std::inserter(sim_only, sim_only.end()));
+    EXPECT_TRUE(host_only.empty());
+    EXPECT_EQ(sim_only,
+              (std::set<std::string>{"sim.bus_utilisation",
+                                     "sim.dram_accesses",
+                                     "sim.peak_llc_occupancy_bytes"}));
+}
+
+/**
+ * Satellite: one time base. Every timestamp a run reports -- trace
+ * events, MTL transitions, samples -- counts engine-clock seconds
+ * from *run start* on both backends, even when the simulated
+ * machine's clock is already deep into a previous run.
+ */
+TEST(CrossBackend, TimesAreRunRelativeOnBothBackendsAndOnReuse)
+{
+    const TaskGraph graph = dualGraph(24);
+
+    auto checkTimeBase = [](const tt::exec::RunResult &result) {
+        ASSERT_FALSE(result.trace.empty());
+        const double eps = 1e-9;
+        for (const auto &event : result.trace) {
+            EXPECT_GE(event.start, 0.0);
+            EXPECT_LE(event.end, result.seconds + eps);
+        }
+        for (const auto &entry : result.mtl_trace) {
+            EXPECT_GE(entry.first, 0.0);
+            EXPECT_LE(entry.first, result.seconds + eps);
+        }
+        for (const auto &sample : result.samples) {
+            EXPECT_GE(sample.end_time, 0.0);
+            EXPECT_LE(sample.end_time, result.seconds + eps);
+        }
+    };
+
+    EngineOptions host_options;
+    host_options.threads = 2;
+    host_options.pin_affinity = false;
+    StaticMtlPolicy host_policy(2, 2);
+    tt::runtime::Runtime host(graph, host_policy, host_options);
+    const auto host_result = host.run();
+    checkTimeBase(host_result);
+
+    // Two consecutive runs on ONE simulated machine: the second run
+    // starts with the machine clock well past zero, but its reported
+    // times must still be run-relative.
+    tt::cpu::SimMachine machine(simConfig(2));
+    StaticMtlPolicy first_policy(2, 2);
+    tt::simrt::SimRuntime first(machine, graph, first_policy);
+    const auto first_result = first.run();
+    checkTimeBase(first_result);
+
+    StaticMtlPolicy second_policy(2, 2);
+    tt::simrt::SimRuntime second(machine, graph, second_policy);
+    const auto second_result = second.run();
+    checkTimeBase(second_result);
+    EXPECT_NEAR(second_result.seconds, first_result.seconds,
+                first_result.seconds * 0.01);
+
+    // And the analyzer, fed either backend's trace, attributes the
+    // whole phase to the static MTL -- wall-time shares agree.
+    auto mtlShare = [&graph](const tt::exec::RunResult &result) {
+        tt::obs::AnalyzeOptions options;
+        options.cores = 2;
+        options.makespan = result.seconds;
+        const auto report = tt::obs::analyze(
+            tt::exec::toTraceData(graph, result), options);
+        EXPECT_EQ(report.phases.size(), 1u);
+        double at_mtl2 = 0.0;
+        double total = 0.0;
+        for (const auto &attribution : report.phases[0].by_mtl) {
+            total += attribution.wall_seconds;
+            if (attribution.mtl == 2)
+                at_mtl2 += attribution.wall_seconds;
+        }
+        return total > 0.0 ? at_mtl2 / total : -1.0;
+    };
+    const double host_share = mtlShare(host_result);
+    const double sim_share = mtlShare(second_result);
+    EXPECT_NEAR(host_share, 1.0, 1e-9);
+    EXPECT_NEAR(sim_share, 1.0, 1e-9);
+}
+
+} // namespace

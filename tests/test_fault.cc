@@ -481,9 +481,11 @@ TEST(SimChaos, SeededRunsAreBitIdentical)
         const TaskGraph graph =
             tt::workloads::buildSyntheticSim(machine_config, params);
         DynamicThrottlePolicy policy(machine_config.contexts(), 8);
-        tt::simrt::SimRuntime runtime(machine, graph, policy);
-        runtime.setFaultPlan(&plan, /*max_retries=*/3,
-                             /*backoff_seconds=*/1e-6);
+        tt::exec::EngineOptions options;
+        options.fault_plan = &plan;
+        options.max_task_retries = 3;
+        options.retry_backoff_seconds = 1e-6;
+        tt::simrt::SimRuntime runtime(machine, graph, policy, options);
         return runtime.run();
     };
 
@@ -520,9 +522,11 @@ TEST(SimChaos, RetryExhaustionFailsCleanly)
     const FaultPlan plan(config);
 
     ConventionalPolicy policy(machine_config.contexts());
-    tt::simrt::SimRuntime runtime(machine, graph, policy);
-    runtime.setFaultPlan(&plan, /*max_retries=*/1,
-                         /*backoff_seconds=*/1e-6);
+    tt::exec::EngineOptions options;
+    options.fault_plan = &plan;
+    options.max_task_retries = 1;
+    options.retry_backoff_seconds = 1e-6;
+    tt::simrt::SimRuntime runtime(machine, graph, policy, options);
     const auto result = runtime.run();
     EXPECT_TRUE(result.failed);
     EXPECT_FALSE(result.failure_reason.empty());

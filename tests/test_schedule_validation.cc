@@ -63,7 +63,7 @@ TEST(ScheduleValidation, DetectsForgedOverlap)
     // Forge the trace: move every task onto context 0 at time 0.
     RunResult forged = result;
     for (auto &entry : forged.trace) {
-        entry.context = 0;
+        entry.worker = 0;
         entry.start = 0.0;
     }
     EXPECT_NE(validateSchedule(graph, forged, cfg.contexts()), "");
@@ -88,7 +88,7 @@ TEST(ScheduleValidation, DetectsForgedMtlViolation)
     // Forge: claim the MTL was 1 at every dispatch.
     RunResult forged = result;
     for (auto &entry : forged.trace)
-        entry.mtl_at_dispatch = 1;
+        entry.mtl = 1;
     EXPECT_NE(validateSchedule(graph, forged, cfg.contexts()), "");
 }
 

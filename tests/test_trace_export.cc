@@ -13,7 +13,6 @@
 #include "cpu/machine_config.hh"
 #include "obs/chrome_trace.hh"
 #include "simrt/sim_runtime.hh"
-#include "simrt/trace_export.hh"
 #include "stream/builder.hh"
 #include "util/json.hh"
 
@@ -52,7 +51,8 @@ TEST(TraceExport, EmitsOneEventPerTaskPlusCountersAndMetadata)
     const auto result = tt::simrt::runOnce(cfg, graph, policy);
 
     const std::string json =
-        tt::simrt::chromeTraceString(graph, result);
+        tt::obs::chromeTraceString(
+            tt::simrt::toTraceData(graph, result));
 
     // Valid-ish JSON array with balanced braces.
     EXPECT_EQ(json.front(), '[');
@@ -90,7 +90,8 @@ TEST(TraceExport, DynamicPolicyProducesMtlCounterTrack)
     const auto result = tt::simrt::runOnce(cfg, graph, policy);
 
     const std::string json =
-        tt::simrt::chromeTraceString(graph, result);
+        tt::obs::chromeTraceString(
+            tt::simrt::toTraceData(graph, result));
     // The adaptive policy changes MTL at least once after t=0.
     EXPECT_GE(countOccurrences(json, "\"name\":\"MTL\""), 2u);
 }
@@ -115,7 +116,8 @@ TEST(TraceExport, GoldenStructureParsesAndMatchesSchema)
     tt::core::DynamicThrottlePolicy policy(cfg.contexts(), 8);
     const auto result = tt::simrt::runOnce(cfg, graph, policy);
     const std::string json =
-        tt::simrt::chromeTraceString(graph, result);
+        tt::obs::chromeTraceString(
+            tt::simrt::toTraceData(graph, result));
 
     std::string error;
     const auto doc = tt::json::parse(json, &error);
@@ -189,7 +191,8 @@ TEST(TraceExport, EscapesAwkwardPhaseNames)
     tt::core::ConventionalPolicy policy(cfg.contexts());
     const auto result = tt::simrt::runOnce(cfg, graph, policy);
     const std::string json =
-        tt::simrt::chromeTraceString(graph, result);
+        tt::obs::chromeTraceString(
+            tt::simrt::toTraceData(graph, result));
     EXPECT_NE(json.find("weird \\\"quoted\\\\name"), std::string::npos);
 }
 
