@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hh"
 #include "core/dynamic_policy.hh"
 #include "core/online_exhaustive_policy.hh"
 #include "core/policy.hh"
@@ -58,11 +59,31 @@ driftingWorkload(const tt::cpu::MachineConfig &machine)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    tt::bench::BenchJson bench_json("ablation_selection");
+    if (!bench_json.parseArgs(argc, argv))
+        return 2;
     const auto machine = tt::cpu::MachineConfig::i7_860_1dimm();
     const int n = machine.contexts();
     const int w = 16;
+    bench_json.config("machine", "1dimm");
+    bench_json.config("window", w);
+
+    // One row per (experiment, variant) measurement.
+    const auto addRow = [&bench_json](const std::string &experiment,
+                                      const std::string &variant,
+                                      double speedup,
+                                      const tt::simrt::RunResult &run) {
+        bench_json.beginRow();
+        bench_json.value("experiment", experiment);
+        bench_json.value("variant", variant);
+        bench_json.value("speedup", speedup);
+        bench_json.value("probe_pairs",
+                         run.policy_stats.probe_pairs);
+        bench_json.value("probe_fraction", run.monitor_overhead);
+        bench_json.value("selections", run.policy_stats.selections);
+    };
 
     std::printf("=== Ablation 1: model-pruned MTL selection vs "
                 "brute-force probing ===\n\n");
@@ -77,6 +98,11 @@ main()
 
         tt::core::OnlineExhaustivePolicy brute(n, w);
         const auto brute_run = tt::simrt::runOnce(machine, graph, brute);
+
+        addRow("selection", "pruned", base / pruned_run.seconds,
+               pruned_run);
+        addRow("selection", "brute_force", base / brute_run.seconds,
+               brute_run);
 
         tt::TablePrinter table({"selector", "speedup", "probe pairs",
                                 "probe fraction", "selections"});
@@ -112,6 +138,10 @@ main()
             n, w, -1, DynamicThrottlePolicy::TriggerMode::kRatioChange);
         const auto naive_run = tt::simrt::runOnce(machine, graph, naive);
 
+        addRow("trigger", "idle_bound", base / ib_run.seconds, ib_run);
+        addRow("trigger", "ratio_change", base / naive_run.seconds,
+               naive_run);
+
         tt::TablePrinter table({"trigger", "speedup", "selections",
                                 "probe fraction"});
         table.addRow({"IdleBound (paper)",
@@ -127,5 +157,5 @@ main()
                     "behaviour, so every selection beyond the first "
                     "is wasted monitoring\n");
     }
-    return 0;
+    return bench_json.write() ? 0 : 1;
 }

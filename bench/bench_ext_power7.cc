@@ -27,10 +27,15 @@
 #include "workloads/synthetic.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    tt::bench::BenchJson bench_json("ext_power7");
+    if (!bench_json.parseArgs(argc, argv))
+        return 2;
     const auto machine = tt::cpu::MachineConfig::power7();
     const int n = machine.contexts();
+    bench_json.config("machine", "power7");
+    bench_json.config("contexts", n);
 
     std::printf("=== Extension: POWER7-class scalability (%d cores x "
                 "%d-way SMT = %d contexts, %d DDR3-1333 channels) "
@@ -66,6 +71,11 @@ main()
         sweep.addRow({tt::TablePrinter::num(ratio, 2),
                       std::to_string(best_mtl),
                       tt::TablePrinter::num(base / best, 3)});
+        bench_json.beginRow();
+        bench_json.value("experiment", "static_sweep");
+        bench_json.value("ratio", ratio);
+        bench_json.value("best_mtl", best_mtl);
+        bench_json.value("speedup", base / best);
     }
     sweep.print(std::cout);
 
@@ -111,6 +121,14 @@ main()
                           std::to_string(run.policy_stats.selections),
                           tt::TablePrinter::pct(run.monitor_overhead),
                           std::to_string(mtl)});
+            bench_json.beginRow();
+            bench_json.value("experiment", "idle_bound_trigger");
+            bench_json.value("hysteresis", hysteresis);
+            bench_json.value("speedup", base / run.seconds);
+            bench_json.value("selections",
+                             run.policy_stats.selections);
+            bench_json.value("probe_fraction", run.monitor_overhead);
+            bench_json.value("final_mtl", mtl);
         }
         tt::core::OnlineExhaustivePolicy online(n, 8);
         const auto online_run =
@@ -122,6 +140,14 @@ main()
              tt::TablePrinter::pct(online_run.monitor_overhead),
              std::to_string(online_run.mtl_trace.back().second)});
         table.print(std::cout);
+        bench_json.beginRow();
+        bench_json.value("experiment", "idle_bound_trigger");
+        bench_json.value("variant", "online_exhaustive");
+        bench_json.value("speedup", base / online_run.seconds);
+        bench_json.value("selections",
+                         online_run.policy_stats.selections);
+        bench_json.value("probe_fraction",
+                         online_run.monitor_overhead);
     }
     std::printf("\nnote: offline exhaustive needs %d full runs at this "
                 "scale; the model-pruned dynamic mechanism probes "
@@ -129,5 +155,5 @@ main()
                 "exact IdleBound trigger needs hysteresis to stay "
                 "quiet when n is large.\n",
                 n);
-    return 0;
+    return bench_json.write() ? 0 : 1;
 }

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hh"
 #include "core/analytical_model.hh"
 #include "core/policy.hh"
 #include "cpu/machine_config.hh"
@@ -77,12 +78,19 @@ runPoint(const tt::cpu::MachineConfig &machine, double ratio,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    tt::bench::BenchJson bench_json("fig13_synthetic");
+    if (!bench_json.parseArgs(argc, argv))
+        return 2;
     const double step = tt::envDouble("FIG13_STEP", 0.10);
     const double max_ratio = tt::envDouble("FIG13_MAX_RATIO", 4.0);
     const int pairs = static_cast<int>(tt::envInt("FIG13_PAIRS", 48));
     const auto machine = tt::cpu::MachineConfig::i7_860_1dimm();
+    bench_json.config("step", step);
+    bench_json.config("max_ratio", max_ratio);
+    bench_json.config("pairs", pairs);
+    bench_json.config("machine", "1dimm");
 
     const std::vector<std::uint64_t> footprints{
         512 * 1024, 1024 * 1024, 2048 * 1024};
@@ -103,6 +111,13 @@ main()
              ratio += step) {
             const Point point =
                 runPoint(machine, ratio, footprints[f], pairs);
+            bench_json.beginRow();
+            bench_json.value("footprint", labels[f]);
+            bench_json.value("ratio", point.ratio);
+            bench_json.value("s_mtl", point.s_mtl);
+            bench_json.value("measured_speedup",
+                             point.measured_speedup);
+            bench_json.value("model_speedup", point.model_speedup);
             table.addRow(
                 {tt::TablePrinter::num(point.ratio, 2),
                  std::to_string(point.s_mtl),
@@ -122,5 +137,5 @@ main()
                     "(paper: up to ~1.21x)\n\n",
                     peak, peak_ratio);
     }
-    return 0;
+    return bench_json.write() ? 0 : 1;
 }

@@ -26,9 +26,14 @@
 #include "workloads/streamcluster.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    tt::bench::BenchJson bench_json("fig14_realistic");
+    if (!bench_json.parseArgs(argc, argv))
+        return 2;
     const auto machine = tt::cpu::MachineConfig::i7_860_1dimm();
+    bench_json.config("machine", "1dimm");
+    bench_json.config("threads", machine.contexts());
 
     struct Entry
     {
@@ -55,6 +60,7 @@ main()
             machine, entry.graph, entry.w_dynamic, entry.w_dynamic);
         dynamic_speedups.push_back(cmp.dynamicSpeedup());
         online_speedups.push_back(cmp.onlineSpeedup());
+        tt::bench::addComparisonRow(bench_json, entry.name, cmp);
         table.addRow(
             {entry.name,
              tt::TablePrinter::num(cmp.offlineSpeedup(), 3) + "  (" +
@@ -77,5 +83,5 @@ main()
     std::printf("\nprobe%% = fraction of task pairs executed while "
                 "monitoring candidate MTLs\n(the paper's overhead "
                 "metric; dynamic must be far below online)\n");
-    return 0;
+    return bench_json.write() ? 0 : 1;
 }

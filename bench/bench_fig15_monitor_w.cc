@@ -22,10 +22,14 @@
 #include "workloads/streamcluster.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    tt::bench::BenchJson bench_json("fig15_monitor_w");
+    if (!bench_json.parseArgs(argc, argv))
+        return 2;
     const auto machine = tt::cpu::MachineConfig::i7_860_1dimm();
     const std::vector<int> windows{4, 8, 16, 24};
+    bench_json.config("machine", "1dimm");
 
     struct Entry
     {
@@ -55,11 +59,15 @@ main()
             const auto run =
                 tt::simrt::runOnce(machine, entry.graph, dynamic);
             row.push_back(tt::TablePrinter::num(base / run.seconds, 3));
+            bench_json.beginRow();
+            bench_json.value("workload", entry.name);
+            bench_json.value("window", w);
+            bench_json.value("speedup", base / run.seconds);
         }
         table.addRow(std::move(row));
     }
     table.print(std::cout);
     std::printf("\npaper: dft peaks at W<=8 (96 pairs -> monitoring "
                 "dominates beyond); SC/SIFT are accurate by W=16\n");
-    return 0;
+    return bench_json.write() ? 0 : 1;
 }

@@ -23,10 +23,15 @@
 #include "workloads/sift.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    tt::bench::BenchJson bench_json("fig16_sift_phases");
+    if (!bench_json.parseArgs(argc, argv))
+        return 2;
     const auto machine = tt::cpu::MachineConfig::i7_860_1dimm();
     const int w = 16; // best W for SIFT (Fig. 15)
+    bench_json.config("machine", "1dimm");
+    bench_json.config("window", w);
 
     std::printf("=== Figure 16: SIFT parallel functions, speedup and "
                 "selected MTL ===\n\n");
@@ -41,6 +46,7 @@ main()
             tt::workloads::buildPhasedSim(machine, {phase});
         const auto cmp =
             tt::bench::comparePolicies(machine, graph, w, w);
+        tt::bench::addComparisonRow(bench_json, phase.name, cmp);
         table.addRow(
             {phase.name, tt::TablePrinter::pct(phase.tm1_over_tc),
              tt::TablePrinter::num(cmp.offlineSpeedup(), 3) + "  (" +
@@ -67,5 +73,10 @@ main()
     for (const auto &[time, mtl] : run.mtl_trace)
         trace << mtl << " ";
     std::printf("D-MTL trace across phases: %s\n", trace.str().c_str());
-    return 0;
+    bench_json.beginRow();
+    bench_json.value("workload", "SIFT_full");
+    bench_json.value("dynamic_speedup", base / run.seconds);
+    bench_json.value("selections", run.policy_stats.selections);
+    bench_json.value("mtl_switches", run.policy_stats.mtl_switches);
+    return bench_json.write() ? 0 : 1;
 }

@@ -19,10 +19,15 @@
 #include "workloads/tables.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    tt::bench::BenchJson bench_json("fig17_inputs");
+    if (!bench_json.parseArgs(argc, argv))
+        return 2;
     const auto machine = tt::cpu::MachineConfig::i7_860_1dimm();
     const int w = 16;
+    bench_json.config("machine", "1dimm");
+    bench_json.config("window", w);
 
     std::printf("=== Figure 17: streamcluster across input "
                 "dimensions ===\n\n");
@@ -35,6 +40,8 @@ main()
             tt::workloads::streamclusterSim(machine, entry.dim);
         const auto cmp =
             tt::bench::comparePolicies(machine, graph, w, w);
+        tt::bench::addComparisonRow(
+            bench_json, "SC_d" + std::to_string(entry.dim), cmp);
         table.addRow(
             {"SC_d" + std::to_string(entry.dim),
              tt::TablePrinter::pct(entry.ratio),
@@ -46,5 +53,5 @@ main()
     table.print(std::cout);
     std::printf("\npaper: ratios <= 33%% (d48, d32) pick D-MTL=1; "
                 "ratios > 33%% (d128, d72, d36, d20) pick D-MTL=2\n");
-    return 0;
+    return bench_json.write() ? 0 : 1;
 }

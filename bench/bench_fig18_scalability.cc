@@ -25,7 +25,8 @@
 namespace {
 
 void
-runConfig(const tt::cpu::MachineConfig &machine, const char *title)
+runConfig(const tt::cpu::MachineConfig &machine, const char *title,
+          const char *config_label, tt::bench::BenchJson &bench_json)
 {
     struct Entry
     {
@@ -46,6 +47,9 @@ runConfig(const tt::cpu::MachineConfig &machine, const char *title)
     for (const auto &entry : entries) {
         const auto cmp = tt::bench::comparePolicies(
             machine, entry.graph, entry.w, entry.w);
+        tt::bench::addComparisonRow(
+            bench_json, std::string(config_label) + "/" + entry.name,
+            cmp);
         table.addRow(
             {entry.name,
              tt::TablePrinter::num(cmp.offlineSpeedup(), 3) + "  (" +
@@ -60,16 +64,19 @@ runConfig(const tt::cpu::MachineConfig &machine, const char *title)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    tt::bench::BenchJson bench_json("fig18_scalability");
+    if (!bench_json.parseArgs(argc, argv))
+        return 2;
     std::printf("=== Figure 18: 2-DIMM scalability, without and with "
                 "SMT ===\n\n");
     runConfig(tt::cpu::MachineConfig::i7_860_2dimm(),
-              "2-DIMM, SMT off (4 threads)");
+              "2-DIMM, SMT off (4 threads)", "2dimm", bench_json);
     runConfig(tt::cpu::MachineConfig::i7_860_2dimm_smt(),
-              "2-DIMM, SMT on (8 threads)");
+              "2-DIMM, SMT on (8 threads)", "2dimm-smt", bench_json);
     std::printf("paper: 4-thread speedups drop to 1.03-1.09x on the "
                 "wider memory system;\nSMT adds contention back and "
                 "speedups rise (SC ~1.13x)\n");
-    return 0;
+    return bench_json.write() ? 0 : 1;
 }

@@ -10,6 +10,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "core/analytical_model.hh"
 #include "core/dynamic_policy.hh"
 #include "core/mtl_selector.hh"
@@ -177,4 +180,46 @@ BENCHMARK(BM_HostRuntimePairDispatch);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Same contract as the figure benches: `--json-out [FILE]` writes
+ * machine-readable results (default BENCH_micro_runtime.json). Here
+ * it is sugar for google-benchmark's own JSON reporter
+ * (--benchmark_out=FILE --benchmark_out_format=json), so the file
+ * follows that schema rather than the BenchJson one; native
+ * --benchmark_* flags still pass through untouched.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv, argv + argc);
+    std::string json_path;
+    for (std::size_t i = 1; i < args.size();) {
+        if (args[i] == "--json-out") {
+            json_path = "BENCH_micro_runtime.json";
+            args.erase(args.begin() + static_cast<long>(i));
+            if (i < args.size() && args[i][0] != '-') {
+                json_path = args[i];
+                args.erase(args.begin() + static_cast<long>(i));
+            }
+        } else if (args[i].rfind("--json-out=", 0) == 0) {
+            json_path = args[i].substr(std::string("--json-out=").size());
+            args.erase(args.begin() + static_cast<long>(i));
+        } else {
+            ++i;
+        }
+    }
+    if (!json_path.empty()) {
+        args.push_back("--benchmark_out=" + json_path);
+        args.push_back("--benchmark_out_format=json");
+    }
+    std::vector<char *> cargs;
+    for (auto &arg : args)
+        cargs.push_back(arg.data());
+    int cargc = static_cast<int>(cargs.size());
+    benchmark::Initialize(&cargc, cargs.data());
+    if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

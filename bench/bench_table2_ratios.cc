@@ -16,6 +16,7 @@
 #include <iostream>
 #include <string>
 
+#include "bench_common.hh"
 #include "core/policy.hh"
 #include "cpu/machine_config.hh"
 #include "simrt/sim_runtime.hh"
@@ -38,9 +39,14 @@ measureRatio(const tt::cpu::MachineConfig &machine,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    tt::bench::BenchJson bench_json("table2_ratios");
+    if (!bench_json.parseArgs(argc, argv))
+        return 2;
     const auto machine = tt::cpu::MachineConfig::i7_860_1dimm();
+    bench_json.config("machine", "1dimm");
+    bench_json.config("mtl", 1);
 
     std::printf("=== Table II: workload memory-to-compute ratios "
                 "(T_m1/T_c) ===\n\n");
@@ -51,6 +57,10 @@ main()
         const auto graph = tt::workloads::dftSim(machine);
         const double measured = measureRatio(machine, graph);
         const double paper = tt::workloads::tables::kDftRatio;
+        bench_json.beginRow();
+        bench_json.value("workload", "dft");
+        bench_json.value("paper_ratio", paper);
+        bench_json.value("measured_ratio", measured);
         table.addRow({"dft in OpenCV", "dft",
                       tt::TablePrinter::pct(paper),
                       tt::TablePrinter::pct(measured),
@@ -60,6 +70,10 @@ main()
         const auto graph =
             tt::workloads::streamclusterSim(machine, entry.dim);
         const double measured = measureRatio(machine, graph);
+        bench_json.beginRow();
+        bench_json.value("workload", "SC_d" + std::to_string(entry.dim));
+        bench_json.value("paper_ratio", entry.ratio);
+        bench_json.value("measured_ratio", measured);
         table.addRow(
             {"streamcluster", "SC_d" + std::to_string(entry.dim),
              tt::TablePrinter::pct(entry.ratio),
@@ -68,5 +82,5 @@ main()
                                    entry.ratio)});
     }
     table.print(std::cout);
-    return 0;
+    return bench_json.write() ? 0 : 1;
 }

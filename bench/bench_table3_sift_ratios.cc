@@ -10,6 +10,7 @@
 #include <iostream>
 #include <string>
 
+#include "bench_common.hh"
 #include "core/policy.hh"
 #include "cpu/machine_config.hh"
 #include "simrt/sim_runtime.hh"
@@ -18,9 +19,14 @@
 #include "workloads/tables.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    tt::bench::BenchJson bench_json("table3_sift_ratios");
+    if (!bench_json.parseArgs(argc, argv))
+        return 2;
     const auto machine = tt::cpu::MachineConfig::i7_860_1dimm();
+    bench_json.config("machine", "1dimm");
+    bench_json.config("mtl", 1);
 
     // One run of the whole pipeline at MTL=1; per-phase averages
     // come from the per-phase aggregation of the scheduler.
@@ -36,10 +42,14 @@ main()
         const double paper =
             tt::workloads::tables::kSift[i].ratio;
         const double measured = phase.tm_mean / phase.tc_mean;
+        bench_json.beginRow();
+        bench_json.value("function", phase.name);
+        bench_json.value("paper_ratio", paper);
+        bench_json.value("measured_ratio", measured);
         table.addRow({phase.name, tt::TablePrinter::pct(paper),
                       tt::TablePrinter::pct(measured),
                       tt::TablePrinter::pct((measured - paper) / paper)});
     }
     table.print(std::cout);
-    return 0;
+    return bench_json.write() ? 0 : 1;
 }

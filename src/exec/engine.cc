@@ -165,7 +165,7 @@ Engine::onAttemptDone(int context, const AttemptOutcome &outcome)
     const TaskId id = running_[static_cast<std::size_t>(context)];
 
     if (!outcome.failed) {
-        completeLocked(context, id, outcome.start, outcome.end);
+        completeLocked(context, id, outcome);
         tryScheduleLocked();
         maybeFinishLocked();
         return;
@@ -215,9 +215,12 @@ Engine::onRetryTimer(int context)
 }
 
 void
-Engine::completeLocked(int context, TaskId id, double start, double end)
+Engine::completeLocked(int context, TaskId id,
+                       const AttemptOutcome &outcome)
 {
     const Task &task = graph_.task(id);
+    const double start = outcome.start;
+    const double end = outcome.end;
     context_busy_[static_cast<std::size_t>(context)] = false;
     running_[static_cast<std::size_t>(context)] = stream::kInvalidTask;
     task_start_[static_cast<std::size_t>(id)] = start;
@@ -233,6 +236,16 @@ Engine::completeLocked(int context, TaskId id, double start, double end)
     event.start = start;
     event.end = end;
     event.mtl = task_mtl_[static_cast<std::size_t>(id)];
+    event.attempt = attempts_[static_cast<std::size_t>(id)];
+    if (outcome.has_counters) {
+        // The delta covers this (successful) attempt's body only --
+        // failed attempts never reach here, so retries are never
+        // merged into one event.
+        event.has_counters = true;
+        event.counters = outcome.counters;
+        saw_counters_ = true;
+        counter_totals_ += outcome.counters;
+    }
     tracer_->ring(context).record(event);
 
     if (task.kind == TaskKind::Memory) {
@@ -512,6 +525,13 @@ Engine::run(ExecutionBackend &backend)
 
     backend.beginRun(*this);
 
+    // Surface degraded counter providers up front: a crash dump or
+    // watchdog report should already carry the gauge.
+    if (options_.counters != nullptr && options_.metrics != nullptr)
+        options_.metrics->set(
+            "runtime.perf_unavailable",
+            options_.counters->available() ? 0.0 : 1.0);
+
     // While the run is live, abnormal termination (tt_assert, the
     // watchdog) can flush this engine's diagnostics.
     const int hook_id = registerCrashDumpHook([this] { crashDump(); });
@@ -623,6 +643,9 @@ Engine::finishResult()
         result.phases.push_back(std::move(pr));
     }
 
+    result.has_counters = saw_counters_;
+    result.counters = counter_totals_;
+
     if (MetricsRegistry *metrics = options_.metrics) {
         metrics->add("runtime.tasks_done", tasks_done_);
         metrics->add("runtime.pin_failed", result.pin_failures);
@@ -633,6 +656,23 @@ Engine::finishResult()
         metrics->set("runtime.makespan_seconds", result.seconds);
         metrics->set("runtime.monitor_overhead",
                      result.monitor_overhead);
+        if (options_.counters != nullptr) {
+            // Published whenever a provider is configured -- zeros
+            // under the null fallback -- so host and sim runs expose
+            // the identical metric-name schema either way.
+            metrics->add("runtime.perf.llc_misses",
+                         static_cast<std::int64_t>(
+                             counter_totals_.llc_misses));
+            metrics->add(
+                "runtime.perf.cycles",
+                static_cast<std::int64_t>(counter_totals_.cycles));
+            metrics->add("runtime.perf.stalled_cycles",
+                         static_cast<std::int64_t>(
+                             counter_totals_.stalled_cycles));
+            metrics->add("runtime.perf.instructions",
+                         static_cast<std::int64_t>(
+                             counter_totals_.instructions));
+        }
     }
 
     backend_->finalize(result);

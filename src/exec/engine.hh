@@ -129,6 +129,19 @@ struct EngineOptions
 
     /** Sampling period of the time series, engine-clock seconds. */
     double timeseries_interval_seconds = 1e-3;
+
+    /**
+     * Optional hardware-counter source (not owned; see
+     * obs/perf/counters.hh). When set, the backend brackets every
+     * task-attempt body with counter reads, the per-attempt delta
+     * rides on the attempt's obs::TaskEvent (retried attempts are
+     * recorded separately, never merged), and the engine publishes
+     * "runtime.perf.*" aggregate counters plus the
+     * "runtime.perf_unavailable" gauge (1 when the provider degraded
+     * to null -- e.g. perf_event_open refused in a container -- in
+     * which case the run proceeds unchanged with zero reads).
+     */
+    obs::perf::CounterProvider *counters = nullptr;
 };
 
 /** One retry the engine granted, in grant order. */
@@ -198,6 +211,12 @@ struct RunResult
     /** Tasks abandoned after exhausting max_task_retries. */
     long task_failures = 0;
 
+    /** True when the run carried hardware-counter attribution. */
+    bool has_counters = false;
+
+    /** Whole-run counter totals (sum of per-event deltas). */
+    obs::perf::CounterSet counters;
+
     /** True when the run aborted instead of draining the graph. */
     bool failed = false;
 
@@ -243,6 +262,11 @@ struct AttemptOutcome
     double start = 0.0;  ///< body start, engine-clock seconds
     double end = 0.0;    ///< body end (incl. fault penalties)
     std::string error;   ///< cause when failed (exception text)
+
+    /** True when `counters` holds this attempt's counter delta
+     *  (EngineOptions::counters set and the provider is live). */
+    bool has_counters = false;
+    obs::perf::CounterSet counters;
 };
 
 /**
@@ -373,8 +397,8 @@ class Engine
     void dispatchLocked(int context, stream::TaskId id);
     /** Hand the task's current attempt to the backend. */
     void startAttemptLocked(int context, stream::TaskId id);
-    void completeLocked(int context, stream::TaskId id, double start,
-                        double end);
+    void completeLocked(int context, stream::TaskId id,
+                        const AttemptOutcome &outcome);
     /** Exhausted/abandoned attempt: count the failure, abort run. */
     void failTaskLocked(int context, stream::TaskId id,
                         const std::string &why);
@@ -428,6 +452,10 @@ class Engine
     std::vector<RetryRecord> retry_log_;
 
     std::optional<obs::Tracer> tracer_; ///< one ring per context
+
+    // Hardware-counter aggregation (options_.counters only).
+    bool saw_counters_ = false;
+    obs::perf::CounterSet counter_totals_;
 
     // Fault tolerance. run_failed_ is written under mutex_ but read
     // lock-free by sleeping workers and the crash-dump path.

@@ -128,6 +128,48 @@ mtlWallTime(const std::vector<std::pair<double, int>> &mtl_trace,
     return wall;
 }
 
+/** Running CounterStats accumulator over trace events. */
+struct CounterAccumulator
+{
+    CounterStats stats;
+
+    void
+    add(const TaskEvent &e)
+    {
+        if (!e.has_counters)
+            return;
+        stats.present = true;
+        stats.llc_misses += e.counters.llc_misses;
+        stats.cycles += e.counters.cycles;
+        stats.stalled_cycles += e.counters.stalled_cycles;
+        stats.instructions += e.counters.instructions;
+    }
+
+    /** Derive the interference ratios from the raw sums. */
+    CounterStats
+    finish(double miss_latency_cycles) const
+    {
+        CounterStats out = stats;
+        if (out.instructions > 0)
+            out.mpki = 1e3 * static_cast<double>(out.llc_misses) /
+                       static_cast<double>(out.instructions);
+        if (out.cycles > 0)
+            out.stall_share =
+                static_cast<double>(out.stalled_cycles) /
+                static_cast<double>(out.cycles);
+        if (out.llc_misses > 0)
+            out.stalls_per_miss =
+                static_cast<double>(out.stalled_cycles) /
+                static_cast<double>(out.llc_misses);
+        if (out.stalled_cycles > 0)
+            out.achieved_mlp =
+                static_cast<double>(out.llc_misses) *
+                miss_latency_cycles /
+                static_cast<double>(out.stalled_cycles);
+        return out;
+    }
+};
+
 ModelValidation
 validatePhase(const PhaseReport &phase, int cores)
 {
@@ -219,10 +261,15 @@ analyze(const TraceData &data, const AnalyzeOptions &options)
         std::map<int, std::vector<double>> tc_by_mtl;
         std::map<int, long> pairs_by_mtl;
         std::vector<const TaskEvent *> memory_events;
+        CounterAccumulator phase_counters;
+        std::map<int, CounterAccumulator> counters_by_mtl;
         for (const TaskEvent *e : events) {
             phase.start = std::min(phase.start, e->start);
             phase.end = std::max(phase.end, e->end);
             const double duration = e->end - e->start;
+            phase_counters.add(*e);
+            if (e->has_counters)
+                counters_by_mtl[e->mtl].add(*e);
             if (e->is_memory) {
                 tm_all.push_back(duration);
                 tm_by_mtl[e->mtl].push_back(duration);
@@ -253,14 +300,28 @@ analyze(const TraceData &data, const AnalyzeOptions &options)
         }
         for (const auto &[mtl, seconds] : wall)
             attrs[mtl].mtl = mtl, attrs[mtl].wall_seconds = seconds;
+        for (const auto &[mtl, acc] : counters_by_mtl) {
+            attrs[mtl].mtl = mtl;
+            attrs[mtl].counters =
+                acc.finish(options.miss_latency_cycles);
+        }
         for (auto &[mtl, attr] : attrs)
             phase.by_mtl.push_back(std::move(attr));
 
+        phase.counters =
+            phase_counters.finish(options.miss_latency_cycles);
         phase.queue_fit =
             fitQueueModel(concurrencySamples(std::move(memory_events)));
         phase.validation = validatePhase(phase, options.cores);
         report.phases.push_back(std::move(phase));
     }
+
+    // ---- whole-run interference totals -----------------------------
+    CounterAccumulator run_counters;
+    for (const TaskEvent &e : data.events)
+        run_counters.add(e);
+    report.counters = run_counters.finish(options.miss_latency_cycles);
+    report.has_counters = report.counters.present;
 
     // ---- per-worker accounting -------------------------------------
     std::map<int, std::vector<const TaskEvent *>> by_worker;
@@ -365,6 +426,19 @@ writeDist(const DistSummary &d, std::ostream &os)
 }
 
 void
+writeCounters(const CounterStats &c, std::ostream &os)
+{
+    os << "{\"llc_misses\": " << c.llc_misses
+       << ", \"cycles\": " << c.cycles
+       << ", \"stalled_cycles\": " << c.stalled_cycles
+       << ", \"instructions\": " << c.instructions
+       << ", \"mpki\": " << jsonNum(c.mpki)
+       << ", \"stall_share\": " << jsonNum(c.stall_share)
+       << ", \"stalls_per_miss\": " << jsonNum(c.stalls_per_miss)
+       << ", \"achieved_mlp\": " << jsonNum(c.achieved_mlp) << "}";
+}
+
+void
 writeDecision(const core::MtlDecision &d, std::ostream &os)
 {
     os << "{\"time\": " << jsonNum(d.time)
@@ -398,6 +472,15 @@ writeReportJson(const Report &report, std::ostream &os)
        << ",\n  \"trace\": {\"events\": " << report.trace_events
        << ", \"dropped\": " << report.trace_dropped << "}";
 
+    // Counter sections appear only on runs that carried counters, so
+    // reports written before this schema existed (or without a
+    // provider) stay byte-compatible -- diffReports() tolerates the
+    // absence on either side.
+    if (report.has_counters) {
+        os << ",\n  \"counters\": ";
+        writeCounters(report.counters, os);
+    }
+
     os << ",\n  \"phases\": [";
     for (std::size_t i = 0; i < report.phases.size(); ++i) {
         const PhaseReport &p = report.phases[i];
@@ -421,6 +504,10 @@ writeReportJson(const Report &report, std::ostream &os)
             writeDist(a.tm, os);
             os << ", \"tc\": ";
             writeDist(a.tc, os);
+            if (a.counters.present) {
+                os << ", \"counters\": ";
+                writeCounters(a.counters, os);
+            }
             os << "}";
         }
         os << (p.by_mtl.empty() ? "]" : "\n     ]");
@@ -443,7 +530,12 @@ writeReportJson(const Report &report, std::ostream &os)
            << jsonNum(v.predicted_speedup)
            << ", \"measured_speedup\": "
            << jsonNum(v.measured_speedup)
-           << ", \"abs_error\": " << jsonNum(v.abs_error) << "}}";
+           << ", \"abs_error\": " << jsonNum(v.abs_error) << "}";
+        if (p.counters.present) {
+            os << ",\n     \"counters\": ";
+            writeCounters(p.counters, os);
+        }
+        os << "}";
     }
     os << (report.phases.empty() ? "]" : "\n  ]");
 
@@ -519,6 +611,41 @@ reportTable(const Report &report)
                  us(a.tc.p95)});
     }
     attribution.print(os);
+
+    if (report.has_counters) {
+        os << "\nmemory interference by (phase, mtl) -- source: "
+              "hardware counters\n";
+        TablePrinter interference(
+            {"phase", "mtl", "llc_misses", "mpki", "stall%",
+             "stalls/miss", "mlp"});
+        auto counterRow = [&](const std::string &phase,
+                              const std::string &mtl,
+                              const CounterStats &c) {
+            interference.addRow(
+                {phase, mtl, std::to_string(c.llc_misses),
+                 TablePrinter::num(c.mpki, 2),
+                 TablePrinter::pct(c.stall_share),
+                 TablePrinter::num(c.stalls_per_miss, 1),
+                 TablePrinter::num(c.achieved_mlp, 2)});
+        };
+        for (const PhaseReport &p : report.phases) {
+            if (!p.counters.present)
+                continue;
+            counterRow(p.name, "all", p.counters);
+            for (const MtlAttribution &a : p.by_mtl)
+                if (a.counters.present)
+                    counterRow(p.name, std::to_string(a.mtl),
+                               a.counters);
+        }
+        interference.print(os);
+        const CounterStats &c = report.counters;
+        os << "run totals: " << c.llc_misses << " LLC misses, "
+           << TablePrinter::pct(c.stall_share) << " of "
+           << c.cycles << " cycles stalled, "
+           << TablePrinter::num(c.stalls_per_miss, 1)
+           << " stalls/miss, achieved MLP "
+           << TablePrinter::num(c.achieved_mlp, 2) << "\n";
+    }
 
     os << "\nqueueing decomposition T_mb = T_ml + b*T_ql (us)\n";
     TablePrinter queue({"phase", "T_ml", "T_ql", "mean b", "samples",
@@ -636,6 +763,23 @@ diffReports(const json::Value &baseline, const json::Value &candidate,
     compareMetric("makespan", baseline.numberAt("makespan"),
                   candidate.numberAt("makespan"), threshold, out);
 
+    // The counters section only exists on runs that carried hardware
+    // counters; an old baseline (or a null-provider run) simply lacks
+    // it, which must not fail the diff -- compare only when both
+    // sides have it.
+    const json::Value *base_counters = baseline.find("counters");
+    const json::Value *cand_counters = candidate.find("counters");
+    if (base_counters != nullptr && cand_counters != nullptr) {
+        compareMetric("counters.stalls_per_miss",
+                      base_counters->numberAt("stalls_per_miss"),
+                      cand_counters->numberAt("stalls_per_miss"),
+                      threshold, out);
+        compareMetric("counters.stall_share",
+                      base_counters->numberAt("stall_share"),
+                      cand_counters->numberAt("stall_share"),
+                      threshold, out);
+    }
+
     const json::Value *base_overhead = baseline.find("overhead");
     const json::Value *cand_overhead = candidate.find("overhead");
     if (base_overhead != nullptr && cand_overhead != nullptr)
@@ -669,6 +813,14 @@ diffReports(const json::Value &baseline, const json::Value &candidate,
                               cand_tm->numberAt("p95"), threshold,
                               out);
             }
+            const json::Value *base_pc = phase.find("counters");
+            const json::Value *cand_pc = other->find("counters");
+            if (base_pc != nullptr && cand_pc != nullptr)
+                compareMetric(
+                    "phase " + name + " counters.stalls_per_miss",
+                    base_pc->numberAt("stalls_per_miss"),
+                    cand_pc->numberAt("stalls_per_miss"), threshold,
+                    out);
         }
     }
     const json::Value *cand_phases = candidate.find("phases");

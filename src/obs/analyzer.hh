@@ -44,6 +44,33 @@ struct DistSummary
 /** Summarise raw samples (sorts a copy; exact order statistics). */
 DistSummary summarize(std::vector<double> samples);
 
+/**
+ * Hardware-counter interference statistics over a set of events (a
+ * phase, or one MTL within a phase). The raw sums come from the
+ * per-event CounterSet deltas; the derived ratios are the signals
+ * that separate "fewer requests in flight" from "each request got
+ * faster":
+ *  - mpki: LLC misses per kilo-instruction (miss *rate*);
+ *  - stall_share: stalled cycles / cycles (how memory-bound);
+ *  - stalls_per_miss: stalled cycles / LLC miss -- the per-request
+ *    latency proxy that should *fall* as throttling cuts
+ *    interference;
+ *  - achieved_mlp: misses * assumed miss latency / stalled cycles --
+ *    how much miss latency was overlapped rather than serialized.
+ */
+struct CounterStats
+{
+    bool present = false; ///< at least one event carried counters
+    std::uint64_t llc_misses = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t stalled_cycles = 0;
+    std::uint64_t instructions = 0;
+    double mpki = 0.0;
+    double stall_share = 0.0;
+    double stalls_per_miss = 0.0;
+    double achieved_mlp = 0.0;
+};
+
 /** Time and latency attributed to one MTL value within a phase. */
 struct MtlAttribution
 {
@@ -52,6 +79,7 @@ struct MtlAttribution
     long pairs = 0;            ///< memory tasks dispatched under it
     DistSummary tm;
     DistSummary tc;
+    CounterStats counters; ///< interference under this MTL
 };
 
 /**
@@ -102,6 +130,7 @@ struct PhaseReport
     std::vector<MtlAttribution> by_mtl;
     QueueFit queue_fit;
     ModelValidation validation;
+    CounterStats counters; ///< whole-phase interference
 };
 
 /**
@@ -142,6 +171,11 @@ struct Report
     std::vector<WorkerReport> workers;
     OverheadReport overhead;
     std::vector<core::MtlDecision> decisions;
+
+    /** True when any trace event carried hardware counters; the
+     *  counters sections below (and in JSON) exist only then. */
+    bool has_counters = false;
+    CounterStats counters; ///< whole-run interference totals
 };
 
 /** Run facts the trace stream alone cannot know. */
@@ -152,6 +186,13 @@ struct AnalyzeOptions
     double makespan = 0.0;    ///< run wall/sim seconds (0: from events)
     std::uint64_t trace_dropped = 0;
     core::PolicyStats policy_stats;
+
+    /**
+     * Assumed round-trip LLC-miss latency used for the achieved-MLP
+     * proxy (misses * latency / stalled cycles). The default is in
+     * the right range for the paper's i7-860 at 2.8 GHz (~90 ns).
+     */
+    double miss_latency_cycles = 250.0;
 };
 
 /** Derive the full attribution report from one run's trace. */
@@ -187,8 +228,13 @@ struct DiffResult
  * Compare a candidate report against a baseline (both parsed from
  * writeReportJson output). A metric regresses when it worsens by more
  * than `threshold` (relative, e.g. 0.05 = 5%): run makespan, each
- * phase's duration and mean/p95 T_m, and the probe-overhead fraction.
- * Phase-set mismatches are reported as notes (also a failure).
+ * phase's duration and mean/p95 T_m, the probe-overhead fraction,
+ * and -- when both reports carry them -- the hardware-counter
+ * interference ratios (stalls-per-miss, stall share). Reports
+ * written before the counters section existed diff cleanly against
+ * newer ones: a counters section missing from either side is simply
+ * skipped, never an error. Phase-set mismatches are reported as
+ * notes (also a failure).
  */
 DiffResult diffReports(const json::Value &baseline,
                        const json::Value &candidate, double threshold);

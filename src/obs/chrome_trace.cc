@@ -62,7 +62,39 @@ writeChromeTrace(const TraceData &data, std::ostream &os)
            << "\",\"ts\":" << event.start * 1e6
            << ",\"dur\":" << (event.end - event.start) * 1e6
            << ",\"args\":{\"phase\":\"" << jsonEscape(phase_name)
-           << "\",\"mtl\":" << event.mtl << "}}";
+           << "\",\"mtl\":" << event.mtl;
+        if (event.has_counters)
+            os << ",\"llc_misses\":" << event.counters.llc_misses
+               << ",\"stalled_cycles\":"
+               << event.counters.stalled_cycles
+               << ",\"instructions\":"
+               << event.counters.instructions;
+        os << "}}";
+    }
+
+    // Hardware-counter tracks: cumulative totals sampled at each
+    // counting event's completion, so the track slopes show where
+    // misses and stalls concentrated over the run.
+    {
+        std::vector<const TaskEvent *> counted;
+        for (const TaskEvent &event : data.events)
+            if (event.has_counters)
+                counted.push_back(&event);
+        std::sort(counted.begin(), counted.end(),
+                  [](const TaskEvent *a, const TaskEvent *b) {
+                      return a->end < b->end;
+                  });
+        std::uint64_t misses = 0;
+        std::uint64_t stalled = 0;
+        for (const TaskEvent *event : counted) {
+            misses += event->counters.llc_misses;
+            stalled += event->counters.stalled_cycles;
+            sep();
+            os << "  {\"ph\":\"C\",\"pid\":0,\"name\":\"hw "
+               << "counters\",\"ts\":" << event->end * 1e6
+               << ",\"args\":{\"llc_misses\":" << misses
+               << ",\"stalled_cycles\":" << stalled << "}}";
+        }
     }
 
     // MTL counter track.

@@ -1,0 +1,109 @@
+#include "obs/perf/counters.hh"
+
+#include "util/logging.hh"
+
+namespace tt::obs::perf {
+
+const std::array<const char *, kCounterCount> &
+counterNames()
+{
+    static const std::array<const char *, kCounterCount> names = {
+        "llc_misses",
+        "cycles",
+        "stalled_cycles",
+        "instructions",
+    };
+    return names;
+}
+
+std::uint64_t
+CounterSet::value(int id) const
+{
+    switch (id) {
+    case kLlcMisses:
+        return llc_misses;
+    case kCycles:
+        return cycles;
+    case kStalledCycles:
+        return stalled_cycles;
+    case kInstructions:
+        return instructions;
+    default:
+        tt_assert(false, "counter id ", id, " out of range");
+        return 0;
+    }
+}
+
+CounterSet &
+CounterSet::operator+=(const CounterSet &other)
+{
+    llc_misses += other.llc_misses;
+    cycles += other.cycles;
+    stalled_cycles += other.stalled_cycles;
+    instructions += other.instructions;
+    return *this;
+}
+
+namespace {
+
+std::uint64_t
+clampedDelta(std::uint64_t later, std::uint64_t earlier)
+{
+    return later >= earlier ? later - earlier : 0;
+}
+
+} // namespace
+
+CounterSet
+CounterSet::operator-(const CounterSet &earlier) const
+{
+    CounterSet delta;
+    delta.llc_misses = clampedDelta(llc_misses, earlier.llc_misses);
+    delta.cycles = clampedDelta(cycles, earlier.cycles);
+    delta.stalled_cycles =
+        clampedDelta(stalled_cycles, earlier.stalled_cycles);
+    delta.instructions =
+        clampedDelta(instructions, earlier.instructions);
+    return delta;
+}
+
+void
+FakeCounterProvider::prepare(int workers)
+{
+    totals_.assign(static_cast<std::size_t>(workers), CounterSet{});
+    reads_.assign(static_cast<std::size_t>(workers), 0);
+}
+
+CounterSet
+FakeCounterProvider::read(int worker)
+{
+    tt_assert(worker >= 0 &&
+                  worker < static_cast<int>(totals_.size()),
+              "worker ", worker, " not prepared");
+    CounterSet scaled = step_;
+    const auto factor = static_cast<std::uint64_t>(worker + 1);
+    scaled.llc_misses *= factor;
+    scaled.cycles *= factor;
+    scaled.stalled_cycles *= factor;
+    scaled.instructions *= factor;
+    totals_[static_cast<std::size_t>(worker)] += scaled;
+    ++reads_[static_cast<std::size_t>(worker)];
+    return totals_[static_cast<std::size_t>(worker)];
+}
+
+void
+FakeCounterProvider::advance(int worker, const CounterSet &delta)
+{
+    tt_assert(worker >= 0 &&
+                  worker < static_cast<int>(totals_.size()),
+              "worker ", worker, " not prepared");
+    totals_[static_cast<std::size_t>(worker)] += delta;
+}
+
+int
+FakeCounterProvider::reads(int worker) const
+{
+    return reads_[static_cast<std::size_t>(worker)];
+}
+
+} // namespace tt::obs::perf

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Hardware-counter abstraction shared by the host and sim backends.
+ *
+ * The paper validated its throttling argument with hardware counters
+ * on an i7-860: LLC misses and stall cycles are what separate "fewer
+ * requests in flight" from "each request got faster". This layer
+ * defines the one counter schema both backends publish --
+ * llc_misses, cycles, stalled_cycles, instructions -- behind a small
+ * CounterProvider interface, so the engine can bracket every task
+ * attempt with two reads and attach the delta to the attempt's
+ * obs::TaskEvent without knowing where the numbers come from.
+ *
+ * Three providers implement it:
+ *  - PerfEventProvider (perf_event_provider.hh): Linux
+ *    perf_event_open, one grouped fd set per worker thread;
+ *  - SimCounterProvider (sim_counter_provider.hh): synthesizes the
+ *    identical schema from the discrete-event machine model, so host
+ *    and sim stay schema-parity;
+ *  - NullCounterProvider (below): graceful degradation when perf is
+ *    unavailable (containers, CI) -- reads are zero, the run is
+ *    otherwise unchanged and `runtime.perf_unavailable` is set.
+ *
+ * Threading contract: prepare() is called once before any worker
+ * runs; attachWorker()/detachWorker()/read() for worker i are called
+ * only from the thread that executes worker i's attempts (or from
+ * the single sim/event thread), so per-worker state needs no locks.
+ */
+
+#ifndef TT_OBS_PERF_COUNTERS_HH
+#define TT_OBS_PERF_COUNTERS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tt::obs::perf {
+
+/** Counters in the shared schema, in schema order. */
+enum CounterId
+{
+    kLlcMisses = 0,
+    kCycles = 1,
+    kStalledCycles = 2,
+    kInstructions = 3,
+};
+
+inline constexpr int kCounterCount = 4;
+
+/** Schema names, indexed by CounterId (stable across backends). */
+const std::array<const char *, kCounterCount> &counterNames();
+
+/**
+ * One sample (or delta) of the shared schema. Values are monotonic
+ * totals when returned by CounterProvider::read(), plain differences
+ * when attached to an attempt.
+ */
+struct CounterSet
+{
+    std::uint64_t llc_misses = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t stalled_cycles = 0;
+    std::uint64_t instructions = 0;
+
+    std::uint64_t value(int id) const;
+
+    CounterSet &operator+=(const CounterSet &other);
+
+    /**
+     * Delta between two monotonic reads. Counters can appear to run
+     * backwards (multiplexed perf events, a worker migrating between
+     * sockets); each field clamps at zero instead of wrapping.
+     */
+    CounterSet operator-(const CounterSet &earlier) const;
+
+    bool
+    operator==(const CounterSet &other) const
+    {
+        return llc_misses == other.llc_misses &&
+               cycles == other.cycles &&
+               stalled_cycles == other.stalled_cycles &&
+               instructions == other.instructions;
+    }
+};
+
+/**
+ * A source of per-worker counter totals. The engine brackets every
+ * task-attempt body with read() pairs and records the difference;
+ * which hardware (or model) backs the numbers is the provider's
+ * business.
+ */
+class CounterProvider
+{
+  public:
+    virtual ~CounterProvider() = default;
+
+    /** Provider identity for logs and reports: "perf", "sim", ... */
+    virtual std::string name() const = 0;
+
+    /**
+     * True when reads carry real data. A false provider still
+     * honours the full interface (reads return zero); the engine
+     * publishes `runtime.perf_unavailable` and skips per-event
+     * attachment.
+     */
+    virtual bool available() const = 0;
+
+    /** Size per-worker state; called once before workers run. */
+    virtual void prepare(int workers) = 0;
+
+    /** Called on worker i's own thread before its first attempt. */
+    virtual void
+    attachWorker(int worker)
+    {
+        (void)worker;
+    }
+
+    /** Called on worker i's own thread after its last attempt. */
+    virtual void
+    detachWorker(int worker)
+    {
+        (void)worker;
+    }
+
+    /** Monotonic totals for `worker` since attach. */
+    virtual CounterSet read(int worker) = 0;
+};
+
+/** The degradation path: schema present, every read zero. */
+class NullCounterProvider final : public CounterProvider
+{
+  public:
+    std::string name() const override { return "null"; }
+    bool available() const override { return false; }
+    void prepare(int workers) override { (void)workers; }
+    CounterSet read(int worker) override
+    {
+        (void)worker;
+        return {};
+    }
+};
+
+/**
+ * Deterministic provider for tests: every read() advances worker
+ * w's totals by `step` scaled by (w + 1), so per-attempt deltas are
+ * predictable and per-worker streams are distinguishable. advance()
+ * injects extra totals for delta-arithmetic tests.
+ */
+class FakeCounterProvider final : public CounterProvider
+{
+  public:
+    explicit FakeCounterProvider(const CounterSet &step) : step_(step) {}
+
+    std::string name() const override { return "fake"; }
+    bool available() const override { return true; }
+    void prepare(int workers) override;
+    CounterSet read(int worker) override;
+
+    /** Add `delta` to worker w's totals without counting a read. */
+    void advance(int worker, const CounterSet &delta);
+
+    /** read() calls observed for `worker` (attachment diagnostics). */
+    int reads(int worker) const;
+
+  private:
+    CounterSet step_;
+    std::vector<CounterSet> totals_;
+    std::vector<int> reads_;
+};
+
+} // namespace tt::obs::perf
+
+#endif // TT_OBS_PERF_COUNTERS_HH

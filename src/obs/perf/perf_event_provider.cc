@@ -1,0 +1,261 @@
+#include "obs/perf/perf_event_provider.hh"
+
+#include "util/logging.hh"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace tt::obs::perf {
+
+#if defined(__linux__)
+
+namespace {
+
+int
+perfEventOpen(perf_event_attr *attr, pid_t pid, int cpu, int group_fd,
+              unsigned long flags)
+{
+    return static_cast<int>(
+        syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags));
+}
+
+perf_event_attr
+makeAttr(std::uint32_t type, std::uint64_t config)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.size = sizeof(attr);
+    attr.type = type;
+    attr.config = config;
+    // Counting starts immediately; the engine's bracketing reads turn
+    // running totals into per-attempt deltas, so enable/disable ioctls
+    // are unnecessary on the hot path.
+    attr.disabled = 0;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.read_format = PERF_FORMAT_GROUP;
+    return attr;
+}
+
+/** Candidate (type, config) encodings per schema slot, best first. */
+std::vector<perf_event_attr>
+attrCandidates(int id)
+{
+    switch (id) {
+    case kLlcMisses:
+        // LLC-load-misses when the cache map is wired up, otherwise
+        // the generic miss count.
+        return {
+            makeAttr(PERF_TYPE_HW_CACHE,
+                     PERF_COUNT_HW_CACHE_LL |
+                         (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+                         (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)),
+            makeAttr(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES),
+        };
+    case kCycles:
+        return {makeAttr(PERF_TYPE_HARDWARE,
+                         PERF_COUNT_HW_CPU_CYCLES)};
+    case kStalledCycles:
+        return {
+            makeAttr(PERF_TYPE_HARDWARE,
+                     PERF_COUNT_HW_STALLED_CYCLES_BACKEND),
+            makeAttr(PERF_TYPE_HARDWARE,
+                     PERF_COUNT_HW_STALLED_CYCLES_FRONTEND),
+        };
+    case kInstructions:
+        return {
+            makeAttr(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS)};
+    default:
+        tt_assert(false, "counter id ", id, " out of range");
+        return {};
+    }
+}
+
+} // namespace
+
+PerfEventProvider::PerfEventProvider()
+{
+    // Probe with the cycles event on this thread: if the kernel
+    // refuses the simplest possible counter, it will refuse them all
+    // (perf_event_paranoid, seccomp, missing PMU).
+    perf_event_attr attr =
+        makeAttr(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+    attr.read_format = 0;
+    const int fd = perfEventOpen(&attr, 0, -1, -1, 0);
+    if (fd < 0) {
+        reason_ = std::strerror(errno);
+        return;
+    }
+    close(fd);
+    available_ = true;
+}
+
+PerfEventProvider::~PerfEventProvider()
+{
+    for (WorkerGroup &group : groups_)
+        closeGroup(group);
+}
+
+void
+PerfEventProvider::prepare(int workers)
+{
+    groups_.assign(static_cast<std::size_t>(workers), WorkerGroup{});
+}
+
+void
+PerfEventProvider::attachWorker(int worker)
+{
+    if (!available_)
+        return;
+    tt_assert(worker >= 0 && worker < static_cast<int>(groups_.size()),
+              "worker ", worker, " not prepared");
+    WorkerGroup &group = groups_[static_cast<std::size_t>(worker)];
+
+    // The leader must open first; open order defines each event's
+    // position in the PERF_FORMAT_GROUP read buffer.
+    static const std::array<int, kCounterCount> open_order = {
+        kCycles, kInstructions, kLlcMisses, kStalledCycles};
+    for (const int id : open_order) {
+        int fd = -1;
+        for (perf_event_attr attr : attrCandidates(id)) {
+            fd = perfEventOpen(&attr, 0, -1, group.leader, 0);
+            if (fd >= 0)
+                break;
+        }
+        if (fd < 0)
+            continue; // slot stays in the schema, reads zero
+        group.fds[static_cast<std::size_t>(id)] = fd;
+        group.position[static_cast<std::size_t>(id)] = group.members++;
+        if (group.leader < 0)
+            group.leader = fd;
+    }
+}
+
+void
+PerfEventProvider::detachWorker(int worker)
+{
+    if (groups_.empty())
+        return;
+    closeGroup(groups_[static_cast<std::size_t>(worker)]);
+}
+
+CounterSet
+PerfEventProvider::read(int worker)
+{
+    CounterSet out;
+    const WorkerGroup &group =
+        groups_[static_cast<std::size_t>(worker)];
+    if (group.leader < 0)
+        return out;
+
+    // PERF_FORMAT_GROUP layout: { u64 nr; u64 values[nr]; } in open
+    // order, one atomic snapshot for the whole group.
+    std::array<std::uint64_t, 1 + kCounterCount> buffer{};
+    const ssize_t wanted = static_cast<ssize_t>(
+        sizeof(std::uint64_t) *
+        (1 + static_cast<std::size_t>(group.members)));
+    if (::read(group.leader, buffer.data(),
+               static_cast<std::size_t>(wanted)) != wanted)
+        return out;
+
+    const auto count = static_cast<int>(buffer[0]);
+    for (int id = 0; id < kCounterCount; ++id) {
+        const int pos = group.position[static_cast<std::size_t>(id)];
+        if (pos < 0 || pos >= count)
+            continue;
+        const std::uint64_t value =
+            buffer[static_cast<std::size_t>(1 + pos)];
+        switch (id) {
+        case kLlcMisses:
+            out.llc_misses = value;
+            break;
+        case kCycles:
+            out.cycles = value;
+            break;
+        case kStalledCycles:
+            out.stalled_cycles = value;
+            break;
+        case kInstructions:
+            out.instructions = value;
+            break;
+        }
+    }
+    return out;
+}
+
+void
+PerfEventProvider::closeGroup(WorkerGroup &group)
+{
+    for (int id = 0; id < kCounterCount; ++id) {
+        int &fd = group.fds[static_cast<std::size_t>(id)];
+        if (fd >= 0)
+            close(fd);
+        fd = -1;
+        group.position[static_cast<std::size_t>(id)] = -1;
+    }
+    group.leader = -1;
+    group.members = 0;
+}
+
+#else // !__linux__
+
+PerfEventProvider::PerfEventProvider()
+    : reason_("perf_event_open is Linux-only")
+{
+}
+
+PerfEventProvider::~PerfEventProvider() = default;
+
+void
+PerfEventProvider::prepare(int workers)
+{
+    groups_.assign(static_cast<std::size_t>(workers), WorkerGroup{});
+}
+
+void
+PerfEventProvider::attachWorker(int worker)
+{
+    (void)worker;
+}
+
+void
+PerfEventProvider::detachWorker(int worker)
+{
+    (void)worker;
+}
+
+CounterSet
+PerfEventProvider::read(int worker)
+{
+    (void)worker;
+    return {};
+}
+
+void
+PerfEventProvider::closeGroup(WorkerGroup &group)
+{
+    (void)group;
+}
+
+#endif // __linux__
+
+std::unique_ptr<CounterProvider>
+makeHostCounterProvider()
+{
+    auto perf = std::make_unique<PerfEventProvider>();
+    if (perf->available())
+        return perf;
+    tt_warn("hardware counters unavailable (",
+            perf->unavailableReason(),
+            "); continuing without perf attribution "
+            "(runtime.perf_unavailable = 1)");
+    return std::make_unique<NullCounterProvider>();
+}
+
+} // namespace tt::obs::perf

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * PerfEventProvider: the shared counter schema read from Linux
+ * perf_event_open(2).
+ *
+ * Each worker thread opens one *grouped* fd set on itself (leader =
+ * cycles; members = instructions, LLC-load-misses, stalled cycles),
+ * so a single read(2) with PERF_FORMAT_GROUP returns every counter
+ * from the same atomic snapshot. Events that the host PMU cannot
+ * deliver (stalled-cycles is often absent on modern parts, and any
+ * event under a locked-down perf_event_paranoid) are tolerated
+ * per-event: the schema slot stays, its reads are zero.
+ *
+ * Availability is probed at construction with a trial open on the
+ * calling thread; use makeHostCounterProvider() to fall back to
+ * NullCounterProvider (with a single warning) when the probe fails,
+ * which is the expected outcome in unprivileged containers and CI.
+ */
+
+#ifndef TT_OBS_PERF_PERF_EVENT_PROVIDER_HH
+#define TT_OBS_PERF_PERF_EVENT_PROVIDER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/perf/counters.hh"
+
+namespace tt::obs::perf {
+
+/** Linux hardware-counter provider (degrades off-Linux). */
+class PerfEventProvider final : public CounterProvider
+{
+  public:
+    PerfEventProvider();
+    ~PerfEventProvider() override;
+
+    PerfEventProvider(const PerfEventProvider &) = delete;
+    PerfEventProvider &operator=(const PerfEventProvider &) = delete;
+
+    std::string name() const override { return "perf"; }
+    bool available() const override { return available_; }
+    void prepare(int workers) override;
+    void attachWorker(int worker) override;
+    void detachWorker(int worker) override;
+    CounterSet read(int worker) override;
+
+    /** Human-readable probe failure ("" when available). */
+    const std::string &unavailableReason() const { return reason_; }
+
+  private:
+    /** One grouped fd set owned by exactly one worker thread. */
+    struct WorkerGroup
+    {
+        int leader = -1;
+        /** fd per schema slot (== leader for the leader's slot). */
+        std::array<int, kCounterCount> fds{{-1, -1, -1, -1}};
+        /** Position of each schema slot in the group read buffer
+         *  (creation order), -1 when the event failed to open. */
+        std::array<int, kCounterCount> position{{-1, -1, -1, -1}};
+        int members = 0; ///< events successfully opened
+    };
+
+    void closeGroup(WorkerGroup &group);
+
+    bool available_ = false;
+    std::string reason_;
+    std::vector<WorkerGroup> groups_;
+};
+
+/**
+ * The host-backend factory: a PerfEventProvider when the probe
+ * succeeds, otherwise warn once and hand back NullCounterProvider so
+ * the run proceeds unchanged (`runtime.perf_unavailable` = 1).
+ */
+std::unique_ptr<CounterProvider> makeHostCounterProvider();
+
+} // namespace tt::obs::perf
+
+#endif // TT_OBS_PERF_PERF_EVENT_PROVIDER_HH

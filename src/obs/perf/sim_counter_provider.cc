@@ -1,0 +1,58 @@
+#include "obs/perf/sim_counter_provider.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace tt::obs::perf {
+
+namespace {
+
+/** Issue cost of one streamed line in the synthetic model, cycles. */
+constexpr std::uint64_t kCyclesPerLineIssue = 4;
+
+} // namespace
+
+CounterSet
+synthesizeCounters(const SimAttemptObservation &obs)
+{
+    CounterSet c;
+    c.cycles = static_cast<std::uint64_t>(
+        std::llround(obs.elapsed_seconds * obs.clock_hz));
+    c.llc_misses = obs.miss_lines;
+    c.instructions =
+        obs.miss_lines * kCyclesPerLineIssue + obs.compute_cycles;
+    const std::uint64_t busy =
+        obs.miss_lines * kCyclesPerLineIssue + obs.compute_cycles;
+    c.stalled_cycles = c.cycles > busy ? c.cycles - busy : 0;
+    return c;
+}
+
+void
+SimCounterProvider::prepare(int workers)
+{
+    totals_.assign(static_cast<std::size_t>(workers), CounterSet{});
+}
+
+CounterSet
+SimCounterProvider::read(int worker)
+{
+    tt_assert(worker >= 0 &&
+                  worker < static_cast<int>(totals_.size()),
+              "worker ", worker, " not prepared");
+    return totals_[static_cast<std::size_t>(worker)];
+}
+
+CounterSet
+SimCounterProvider::creditAttempt(int worker,
+                                  const SimAttemptObservation &obs)
+{
+    tt_assert(worker >= 0 &&
+                  worker < static_cast<int>(totals_.size()),
+              "worker ", worker, " not prepared");
+    const CounterSet delta = synthesizeCounters(obs);
+    totals_[static_cast<std::size_t>(worker)] += delta;
+    return delta;
+}
+
+} // namespace tt::obs::perf

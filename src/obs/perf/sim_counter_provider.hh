@@ -1,0 +1,85 @@
+/**
+ * @file
+ * SimCounterProvider: the shared counter schema synthesized from the
+ * discrete-event machine model.
+ *
+ * The sim backend observes, per attempt, what a PMU cannot be asked
+ * for on simulated time: lines streamed through the LLC, demand
+ * misses, compute cycles burned and elapsed time. This provider
+ * turns each observation into the identical CounterSet schema the
+ * host's PerfEventProvider reads from hardware -- so reports,
+ * metrics and traces carry the same counter names on both backends,
+ * and the interference analysis (stalls-per-miss, stall share) works
+ * unchanged.
+ *
+ * Layering: obs depends only on core/util, so the observation is a
+ * plain-number struct; simrt::SimBackend (which sees the machine,
+ * the LLC and the task graph) fills it in and calls creditAttempt().
+ */
+
+#ifndef TT_OBS_PERF_SIM_COUNTER_PROVIDER_HH
+#define TT_OBS_PERF_SIM_COUNTER_PROVIDER_HH
+
+#include <string>
+#include <vector>
+
+#include "obs/perf/counters.hh"
+
+namespace tt::obs::perf {
+
+/** What the sim backend measured for one finished attempt body. */
+struct SimAttemptObservation
+{
+    bool is_memory = false;
+
+    /** Cache lines moved through the LLC: the full stream for a
+     *  memory task, the demand-fetched spill for a compute task. */
+    std::uint64_t miss_lines = 0;
+
+    /** Compute cycles the body burned (0 for memory tasks). */
+    std::uint64_t compute_cycles = 0;
+
+    double elapsed_seconds = 0.0; ///< body wall time, simulated
+    double clock_hz = 0.0;        ///< core clock (config.core_ghz)
+};
+
+/**
+ * Map one observation onto the schema. The model is deliberately
+ * simple and deterministic:
+ *  - cycles       = elapsed * clock;
+ *  - llc_misses   = miss_lines (every modelled line is a DRAM trip);
+ *  - instructions = ~4 per line (address generation, load, bump,
+ *    branch of a streaming loop) + 1 per compute cycle (the model's
+ *    unit-IPC burn);
+ *  - stalled_cycles = cycles - busy, clamped at 0, where busy is the
+ *    issue work (4 cycles per line + the compute burn). Queueing
+ *    delay behind other streams lands here, which is exactly the
+ *    interference signal the per-MTL analysis wants.
+ */
+CounterSet synthesizeCounters(const SimAttemptObservation &obs);
+
+/**
+ * CounterProvider over synthesized observations. The sim backend
+ * calls creditAttempt() as each attempt body completes; read()
+ * exposes the running totals with the standard provider contract
+ * (single sim thread, so no locking).
+ */
+class SimCounterProvider final : public CounterProvider
+{
+  public:
+    std::string name() const override { return "sim"; }
+    bool available() const override { return true; }
+    void prepare(int workers) override;
+    CounterSet read(int worker) override;
+
+    /** Synthesize, accumulate into `worker`, return the delta. */
+    CounterSet creditAttempt(int worker,
+                             const SimAttemptObservation &obs);
+
+  private:
+    std::vector<CounterSet> totals_;
+};
+
+} // namespace tt::obs::perf
+
+#endif // TT_OBS_PERF_SIM_COUNTER_PROVIDER_HH

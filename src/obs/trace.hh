@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/audit.hh"
+#include "obs/perf/counters.hh"
 
 namespace tt::obs {
 
@@ -37,6 +38,12 @@ struct TaskEvent
     double start = 0.0;      ///< dispatch time, seconds from run start
     double end = 0.0;        ///< completion time, seconds
     int mtl = 0;             ///< MTL the policy had published at dispatch
+    int attempt = 0;         ///< attempt that succeeded (0 = first)
+
+    /** True when `counters` holds this attempt's hardware-counter
+     *  delta (the final attempt only -- retries are separate). */
+    bool has_counters = false;
+    perf::CounterSet counters;
 };
 
 /**

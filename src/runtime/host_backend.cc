@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "fault/fault_plan.hh"
+#include "obs/perf/counters.hh"
 #include "util/logging.hh"
 
 #if defined(__linux__)
@@ -71,6 +72,8 @@ void
 HostThreadBackend::beginRun(exec::Engine &engine)
 {
     ExecutionBackend::beginRun(engine);
+    if (options_.counters != nullptr)
+        options_.counters->prepare(options_.threads);
     run_start_ = nowSeconds();
 }
 
@@ -164,6 +167,22 @@ HostThreadBackend::workerLoop(int index)
         });
     }
 
+    // Counter fds are per-thread state: open them here (on the
+    // monitored thread itself) and close them on every exit path.
+    obs::perf::CounterProvider *counters = options_.counters;
+    if (counters != nullptr)
+        counters->attachWorker(index);
+    struct Detach
+    {
+        obs::perf::CounterProvider *counters;
+        int index;
+        ~Detach()
+        {
+            if (counters != nullptr)
+                counters->detachWorker(index);
+        }
+    } detach{counters, index};
+
     Slot &slot = *slots_[static_cast<std::size_t>(index)];
     while (true) {
         exec::AttemptSpec spec;
@@ -178,16 +197,20 @@ HostThreadBackend::workerLoop(int index)
             spec = slot.spec;
             slot.pending = false;
         }
-        const exec::AttemptOutcome outcome = runAttempt(spec);
+        const exec::AttemptOutcome outcome = runAttempt(index, spec);
         engine_->onAttemptDone(index, outcome);
     }
 }
 
 exec::AttemptOutcome
-HostThreadBackend::runAttempt(const exec::AttemptSpec &spec)
+HostThreadBackend::runAttempt(int index, const exec::AttemptSpec &spec)
 {
     exec::AttemptOutcome out;
     const Task &task = graph_.task(spec.task);
+    // Bracket exactly what the timestamps bracket: the attempt body
+    // (including injected stalls), not the pair-retry re-gather.
+    obs::perf::CounterProvider *counters = options_.counters;
+    const bool counting = counters != nullptr && counters->available();
     try {
         if (spec.rerun_memory_first) {
             // Pair-granularity retry: the compute body consumes data
@@ -199,6 +222,9 @@ HostThreadBackend::runAttempt(const exec::AttemptSpec &spec)
             if (mem.host_work)
                 mem.host_work();
         }
+        obs::perf::CounterSet before;
+        if (counting)
+            before = counters->read(index);
         out.start = now();
         if (spec.faults.stall)
             sleepSeconds(spec.stall_seconds);
@@ -211,6 +237,10 @@ HostThreadBackend::runAttempt(const exec::AttemptSpec &spec)
             sleepSeconds(elapsed * (spec.faults.latency_factor - 1.0));
         }
         out.end = now();
+        if (counting) {
+            out.counters = counters->read(index) - before;
+            out.has_counters = true;
+        }
     } catch (const std::exception &error) {
         out.failed = true;
         out.error = error.what();

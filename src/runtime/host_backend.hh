@@ -67,8 +67,10 @@ class HostThreadBackend final : public exec::ExecutionBackend
 
     void workerLoop(int index);
     void timerLoop();
-    /** Execute one attempt body with its injected faults (no locks). */
-    exec::AttemptOutcome runAttempt(const exec::AttemptSpec &spec);
+    /** Execute one attempt body with its injected faults (no locks);
+     *  `index` identifies the worker for counter attribution. */
+    exec::AttemptOutcome runAttempt(int index,
+                                    const exec::AttemptSpec &spec);
     /** Interruptible sleep used by stalls, stragglers and backoff. */
     void sleepSeconds(double seconds);
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "fault/fault_plan.hh"
+#include "mem/dram_config.hh"
 #include "util/stats.hh"
 
 namespace tt::simrt {
@@ -23,8 +24,10 @@ ticksFromSeconds(double seconds)
 
 SimBackend::SimBackend(cpu::SimMachine &machine,
                        const stream::TaskGraph &graph,
-                       MetricsRegistry *metrics)
-    : machine_(machine), graph_(graph), metrics_(metrics)
+                       MetricsRegistry *metrics,
+                       obs::perf::SimCounterProvider *counters)
+    : machine_(machine), graph_(graph), metrics_(metrics),
+      counters_(counters)
 {
 }
 
@@ -38,6 +41,8 @@ void
 SimBackend::beginRun(exec::Engine &engine)
 {
     ExecutionBackend::beginRun(engine);
+    if (counters_ != nullptr)
+        counters_->prepare(machine_.contexts());
     // Engine times are seconds from run start even when the machine's
     // clock is not at zero (e.g. a reused machine).
     start_seconds_ = machine_.nowSeconds();
@@ -73,15 +78,27 @@ SimBackend::runMainBody(int context, const exec::AttemptSpec &spec)
         task.kind == TaskKind::Compute
             ? machine_.mem().llc().missFraction()
             : 0.0;
+    // Lines the body will move through the LLC -- the full stream
+    // for a memory task, the demand-fetched spill for compute (the
+    // same rounding SimCore applies); this becomes the synthesized
+    // llc_misses count.
+    const std::uint64_t miss_lines =
+        task.kind == TaskKind::Memory
+            ? (task.sim_work.bytes + mem::kLineBytes - 1) /
+                  mem::kLineBytes
+            : static_cast<std::uint64_t>(
+                  miss_fraction *
+                  static_cast<double>(task.sim_work.footprint_bytes /
+                                      mem::kLineBytes));
     machine_.run(context, task, miss_fraction,
-                 [this, context, spec, start_tick] {
-                     onBodyDone(context, spec, start_tick);
+                 [this, context, spec, start_tick, miss_lines] {
+                     onBodyDone(context, spec, start_tick, miss_lines);
                  });
 }
 
 void
 SimBackend::onBodyDone(int context, const exec::AttemptSpec &spec,
-                       sim::Tick start_tick)
+                       sim::Tick start_tick, std::uint64_t miss_lines)
 {
     exec::AttemptOutcome out;
     out.start = sim::toSeconds(start_tick) - start_seconds_;
@@ -105,8 +122,26 @@ SimBackend::onBodyDone(int context, const exec::AttemptSpec &spec,
             static_cast<double>(elapsed) *
             (spec.faults.latency_factor - 1.0));
     }
-    auto deliver = [this, context, out]() mutable {
+    const Task &task = graph_.task(spec.task);
+    const bool is_memory = task.kind == TaskKind::Memory;
+    const std::uint64_t compute_cycles =
+        is_memory ? 0 : task.sim_work.compute_cycles;
+    auto deliver = [this, context, out, is_memory, miss_lines,
+                    compute_cycles]() mutable {
         out.end = now();
+        if (counters_ != nullptr) {
+            // Fault penalties (stall, straggler) extend out.end and
+            // therefore land in the synthesized stall cycles, just
+            // as a stalled host thread would keep accruing them.
+            obs::perf::SimAttemptObservation obs;
+            obs.is_memory = is_memory;
+            obs.miss_lines = miss_lines;
+            obs.compute_cycles = compute_cycles;
+            obs.elapsed_seconds = out.end - out.start;
+            obs.clock_hz = machine_.config().core_ghz * 1e9;
+            out.counters = counters_->creditAttempt(context, obs);
+            out.has_counters = true;
+        }
         engine_->onAttemptDone(context, out);
     };
     if (extra > 0)

@@ -16,6 +16,7 @@
 
 #include "cpu/sim_machine.hh"
 #include "exec/engine.hh"
+#include "obs/perf/sim_counter_provider.hh"
 #include "stream/task_graph.hh"
 
 namespace tt {
@@ -28,9 +29,16 @@ namespace tt::simrt {
 class SimBackend final : public exec::ExecutionBackend
 {
   public:
-    /** References are borrowed and must outlive the backend. */
+    /**
+     * References are borrowed and must outlive the backend. When
+     * `counters` is non-null, every attempt body is credited with a
+     * synthesized CounterSet (see obs/perf/sim_counter_provider.hh)
+     * delivered through AttemptOutcome -- the sim analogue of the
+     * host backend's per-thread perf reads.
+     */
     SimBackend(cpu::SimMachine &machine, const stream::TaskGraph &graph,
-               MetricsRegistry *metrics);
+               MetricsRegistry *metrics,
+               obs::perf::SimCounterProvider *counters = nullptr);
 
     int contexts() const override { return machine_.contexts(); }
     double now() const override;
@@ -47,13 +55,15 @@ class SimBackend final : public exec::ExecutionBackend
   private:
     /** Run the attempt's own task body (after any memory re-run). */
     void runMainBody(int context, const exec::AttemptSpec &spec);
-    /** Body finished: realize fail/stall/straggler faults, deliver. */
+    /** Body finished: realize fail/stall/straggler faults, deliver.
+     *  `miss_lines` is the LLC-miss line count the body modelled. */
     void onBodyDone(int context, const exec::AttemptSpec &spec,
-                    sim::Tick start_tick);
+                    sim::Tick start_tick, std::uint64_t miss_lines);
 
     cpu::SimMachine &machine_;
     const stream::TaskGraph &graph_;
     MetricsRegistry *metrics_ = nullptr;
+    obs::perf::SimCounterProvider *counters_ = nullptr;
     double start_seconds_ = 0.0; ///< sim clock at beginRun()
 };
 

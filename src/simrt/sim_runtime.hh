@@ -55,13 +55,17 @@ class SimRuntime
      * *simulated-time* deadline that fails the run in-band, and
      * `timeseries_out` samples on simulated time. `threads` and
      * `pin_affinity` are ignored -- the machine's hardware contexts
-     * define the worker pool.
+     * define the worker pool. `counters` must be an
+     * obs::perf::SimCounterProvider to take effect (hardware
+     * providers cannot observe simulated time and are ignored).
      */
     SimRuntime(cpu::SimMachine &machine, const stream::TaskGraph &graph,
                core::SchedulingPolicy &policy,
                exec::EngineOptions options = {})
         : options_(options),
-          backend_(machine, graph, options_.metrics),
+          backend_(machine, graph, options_.metrics,
+                   dynamic_cast<obs::perf::SimCounterProvider *>(
+                       options_.counters)),
           engine_(graph, policy, options_)
     {
     }

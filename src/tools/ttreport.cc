@@ -46,6 +46,7 @@
 #include "core/policy.hh"
 #include "cpu/machine_config.hh"
 #include "obs/analyzer.hh"
+#include "obs/perf/sim_counter_provider.hh"
 #include "simrt/sim_runtime.hh"
 #include "util/flags.hh"
 #include "util/json.hh"
@@ -275,7 +276,15 @@ main(int argc, char **argv)
     }
 
     tt::cpu::SimMachine sim_machine(machine);
-    tt::simrt::SimRuntime sim_runtime(sim_machine, graph, *policy);
+    // Always attach the synthesized counter provider: the run is
+    // deterministic either way, and the interference table turns the
+    // report from "where did the time go" into "which MTL let misses
+    // queue up".
+    tt::obs::perf::SimCounterProvider sim_counters;
+    tt::exec::EngineOptions engine_options;
+    engine_options.counters = &sim_counters;
+    tt::simrt::SimRuntime sim_runtime(sim_machine, graph, *policy,
+                                      engine_options);
     const tt::simrt::RunResult result = sim_runtime.run();
     if (result.failed) {
         std::fprintf(stderr, "run failed: %s\n",

@@ -38,6 +38,13 @@
  *                       --chrome-trace is an alias
  *   --metrics-out FILE  write the run's metrics registry as JSON
  *   --metrics-summary   print the metrics registry as a table
+ *   --perf-counters     attach hardware counters to every task
+ *                       attempt (perf_event_open with --host,
+ *                       synthesized from the memory model otherwise)
+ *                       and print the run aggregates; if the host
+ *                       denies perf access the run degrades to the
+ *                       null provider, sets runtime.perf_unavailable
+ *                       and still exits 0
  *   --timeseries-out FILE     write periodic run snapshots as JSONL
  *                             (one row per sampling interval; sim
  *                             time in the simulator, wall time with
@@ -67,6 +74,7 @@
 #include <string>
 
 #include <fstream>
+#include <memory>
 #include <optional>
 
 #include "core/dynamic_policy.hh"
@@ -75,6 +83,9 @@
 #include "core/policy.hh"
 #include "cpu/machine_config.hh"
 #include "obs/chrome_trace.hh"
+#include "obs/perf/counters.hh"
+#include "obs/perf/perf_event_provider.hh"
+#include "obs/perf/sim_counter_provider.hh"
 #include "runtime/runtime.hh"
 #include "simrt/sim_runtime.hh"
 #include "util/flags.hh"
@@ -103,7 +114,8 @@ usage(const char *argv0)
         "          [--ratio R] [--footprint-kb KB] [--pairs N]\n"
         "          [--dim D] [--host] [--threads T] [--count C]\n"
         "          [--no-pin] [--trace] [--trace-out FILE]\n"
-        "          [--metrics-out FILE] [--metrics-summary] [--quiet]\n"
+        "          [--metrics-out FILE] [--metrics-summary]\n"
+        "          [--perf-counters] [--quiet]\n"
         "          [--timeseries-out FILE] "
         "[--timeseries-interval-us US]\n"
         "          [--inject-seed S] [--inject-fail-p P]\n"
@@ -162,6 +174,36 @@ writeMetricsFile(const std::string &path,
     return true;
 }
 
+/** Print the run's aggregate hardware-counter line(s). */
+void
+printCounterSummary(const tt::exec::RunResult &result)
+{
+    if (!result.has_counters) {
+        std::printf("hw counters     unavailable (ran with the null "
+                    "provider; see runtime.perf_unavailable)\n");
+        return;
+    }
+    const auto &c = result.counters;
+    std::printf("llc misses      %10llu  (%.2f MPKI)\n",
+                static_cast<unsigned long long>(c.llc_misses),
+                c.instructions > 0
+                    ? 1e3 * static_cast<double>(c.llc_misses) /
+                          static_cast<double>(c.instructions)
+                    : 0.0);
+    std::printf("stalled cycles  %10llu  (%.1f%% of %llu cycles, "
+                "%.1f stalls/miss)\n",
+                static_cast<unsigned long long>(c.stalled_cycles),
+                c.cycles > 0 ? 100.0 *
+                                   static_cast<double>(c.stalled_cycles) /
+                                   static_cast<double>(c.cycles)
+                             : 0.0,
+                static_cast<unsigned long long>(c.cycles),
+                c.llc_misses > 0
+                    ? static_cast<double>(c.stalled_cycles) /
+                          static_cast<double>(c.llc_misses)
+                    : 0.0);
+}
+
 /** True when `p` is a probability; complains otherwise. */
 bool
 checkProbability(const char *flag, double p)
@@ -185,7 +227,8 @@ main(int argc, char **argv)
         "pairs",          "dim",            "host",
         "threads",        "count",          "no-pin",
         "trace",          "trace-out",      "chrome-trace",
-        "metrics-out",    "metrics-summary", "quiet",
+        "metrics-out",    "metrics-summary", "perf-counters",
+        "quiet",
         "timeseries-out", "timeseries-interval-us",
         "inject-seed",    "inject-fail-p",  "inject-straggler",
         "inject-straggler-x", "inject-corrupt-p", "inject-stall-p",
@@ -437,11 +480,20 @@ main(int argc, char **argv)
         });
     (void)metrics_hook;
 
+    const bool perf_counters = flags.getBool("perf-counters");
+
     if (host_mode) {
         tt::runtime::RuntimeOptions options;
         options.threads = n;
         options.pin_affinity = !flags.getBool("no-pin");
         options.metrics = &metrics;
+        // Falls back to the null provider (with one warning) when the
+        // kernel denies perf access; the run itself is unaffected.
+        std::unique_ptr<tt::obs::perf::CounterProvider> host_counters;
+        if (perf_counters) {
+            host_counters = tt::obs::perf::makeHostCounterProvider();
+            options.counters = host_counters.get();
+        }
         options.fault_plan = fault_plan ? &*fault_plan : nullptr;
         options.max_task_retries = max_retries;
         options.watchdog_seconds = watchdog_seconds;
@@ -469,6 +521,8 @@ main(int argc, char **argv)
                     result.avg_tm * 1e6, result.avg_tc * 1e6);
         std::printf("peak mem tasks  %10d\n",
                     result.peak_mem_in_flight);
+        if (perf_counters)
+            printCounterSummary(result);
         if (result.pin_failures > 0)
             std::printf("pin failures    %10ld  (workers ran "
                         "unpinned)\n",
@@ -513,6 +567,11 @@ main(int argc, char **argv)
     tt::cpu::SimMachine sim_machine(machine);
     tt::exec::EngineOptions sim_options;
     sim_options.metrics = &metrics;
+    // Simulated runs synthesize the same counter schema from the LLC
+    // and DRAM models -- always "available", no kernel involved.
+    tt::obs::perf::SimCounterProvider sim_counters;
+    if (perf_counters)
+        sim_options.counters = &sim_counters;
     sim_options.fault_plan = fault_plan ? &*fault_plan : nullptr;
     sim_options.max_task_retries = max_retries;
     sim_options.watchdog_seconds = watchdog_seconds;
@@ -543,6 +602,8 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(result.dram_accesses),
                 result.bus_utilisation * 100.0);
     std::printf("peak mem tasks  %10d\n", result.peak_mem_in_flight);
+    if (perf_counters)
+        printCounterSummary(result);
     const int final_mtl =
         result.mtl_trace.empty() ? n : result.mtl_trace.back().second;
     std::printf("final MTL       %10d  (%ld selections, probe "

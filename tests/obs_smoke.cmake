@@ -40,6 +40,46 @@ if(host_rows STREQUAL "")
     message(FATAL_ERROR "host time-series file is empty")
 endif()
 
+# 1c. Graceful perf degradation: --host --perf-counters must exit 0
+# whether or not the kernel grants perf_event_open (CI containers
+# usually refuse it -- that is exactly the NullCounterProvider path).
+execute_process(
+    COMMAND "${TTSIM}" --host --workload synthetic --policy dynamic
+            --pairs 32 --quiet --perf-counters
+            --metrics-out "${WORK_DIR}/perf_host.json"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "ttsim --host --perf-counters exited ${rc}, want 0 "
+            "(degradation must not fail the run)")
+endif()
+file(READ "${WORK_DIR}/perf_host.json" perf_host)
+if(NOT perf_host MATCHES "runtime\\.perf_unavailable")
+    message(FATAL_ERROR
+            "host metrics lack the runtime.perf_unavailable gauge")
+endif()
+
+# 1d. On the simulator the same flag must produce the full schema
+# with nonzero aggregates (counters are synthesized, never absent).
+execute_process(
+    COMMAND "${TTSIM}" --workload synthetic --policy dynamic
+            --pairs 64 --quiet --perf-counters
+            --metrics-out "${WORK_DIR}/perf_sim.json"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ttsim --perf-counters (sim) failed (rc=${rc})")
+endif()
+file(READ "${WORK_DIR}/perf_sim.json" perf_sim)
+foreach(name llc_misses cycles stalled_cycles instructions)
+    if(NOT perf_sim MATCHES "runtime\\.perf\\.${name}")
+        message(FATAL_ERROR
+                "sim metrics lack runtime.perf.${name}")
+    endif()
+endforeach()
+if(perf_sim MATCHES "\"runtime\\.perf\\.llc_misses\": 0[,}]")
+    message(FATAL_ERROR "sim run synthesized zero LLC misses")
+endif()
+
 # 2. Two identical seeded runs produce identical reports: diff passes.
 foreach(name a b)
     execute_process(
