@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Open-loop overload bench: response time and shedding vs offered
+ * load (robustness extension; see docs/robustness.md).
+ *
+ * Sweeps a seeded Poisson arrival stream over a range of offered
+ * rates on the 1-DIMM machine -- from well under capacity to ~2x
+ * past it -- injecting the synthetic workload's job pairs through
+ * bounded admission into the simulated runtime, under the
+ * conventional (unthrottled) scheduler and the SLO-aware dynamic
+ * throttler. Reports per rate: admitted/shed/deadline-missed counts,
+ * p50/p95/p99 response time, SLO attainment and drain makespan. The
+ * knee -- the lowest rate where attainment degrades -- is the
+ * capacity estimate bench consumers should provision below.
+ *
+ * Env knobs: TT_OPENLOOP_PAIRS (jobs per run, default 128),
+ * TT_OPENLOOP_SLO_US (relative deadline, default 2000),
+ * TT_OPENLOOP_QUEUE_CAP (default 16). The admission predictor uses
+ * the 1-DIMM synthetic queue fit (T_ml 140 us, T_ql 40 us; see the
+ * worked example in docs/robustness.md).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hh"
+#include "load/arrival.hh"
+#include "obs/analyzer.hh"
+#include "util/table.hh"
+#include "workloads/synthetic.hh"
+
+namespace {
+
+long
+envLong(const char *name, long fallback)
+{
+    const char *value = std::getenv(name);
+    return value != nullptr ? std::atol(value) : fallback;
+}
+
+struct PointResult
+{
+    tt::exec::RunResult run;
+    tt::obs::DistSummary response;
+};
+
+PointResult
+runPoint(const tt::cpu::MachineConfig &machine,
+         const tt::stream::TaskGraph &graph, const char *policy_name,
+         double rate, double slo_seconds, int queue_cap)
+{
+    tt::load::ArrivalConfig arrivals;
+    arrivals.rate = rate;
+    arrivals.slo_seconds = slo_seconds;
+    const tt::load::ArrivalPlan plan =
+        tt::load::buildArrivalPlan(arrivals, graph.pairCount());
+
+    tt::exec::EngineOptions options;
+    options.arrival_plan = &plan;
+    options.admission.queue_cap = queue_cap;
+    options.admission.service_tml = 140e-6;
+    options.admission.service_tql = 40e-6;
+
+    const int n = machine.contexts();
+    tt::core::ConventionalPolicy conventional(n);
+    tt::core::DynamicThrottlePolicy dynamic(n, 16);
+    dynamic.setSloAware();
+    tt::core::SchedulingPolicy &policy =
+        std::string(policy_name) == "dynamic"
+            ? static_cast<tt::core::SchedulingPolicy &>(dynamic)
+            : conventional;
+
+    tt::cpu::SimMachine sim_machine(machine);
+    tt::simrt::SimRuntime runtime(sim_machine, graph, policy, options);
+    PointResult out;
+    out.run = runtime.run();
+    out.response = tt::obs::summarize(out.run.response_seconds);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    tt::bench::BenchJson bench_json("openloop");
+    if (!bench_json.parseArgs(argc, argv))
+        return 2;
+
+    const int pairs =
+        static_cast<int>(envLong("TT_OPENLOOP_PAIRS", 128));
+    const double slo_seconds =
+        static_cast<double>(envLong("TT_OPENLOOP_SLO_US", 2000)) * 1e-6;
+    const int queue_cap =
+        static_cast<int>(envLong("TT_OPENLOOP_QUEUE_CAP", 16));
+    const tt::cpu::MachineConfig machine =
+        tt::cpu::MachineConfig::i7_860_1dimm();
+
+    tt::workloads::SyntheticParams params;
+    params.tm1_over_tc = 0.5;
+    params.pairs = pairs;
+    const tt::stream::TaskGraph graph =
+        tt::workloads::buildSyntheticSim(machine, params);
+
+    bench_json.config("pairs", pairs);
+    bench_json.config("slo_us", slo_seconds * 1e6);
+    bench_json.config("queue_cap", queue_cap);
+    bench_json.config("machine", "1dimm");
+
+    // Capacity of one synthetic pair is ~2.7k jobs/s on this machine
+    // (4 contexts, ~365 us/pair); the sweep brackets it generously.
+    static const double kRates[] = {2000,  5000,  8000,
+                                    12000, 16000, 24000};
+    static const char *kPolicies[] = {"conventional", "dynamic"};
+
+    std::printf("=== open-loop overload: response and shedding vs "
+                "offered load ===\n(%d jobs, SLO %.0f us, queue cap "
+                "%d)\n\n",
+                pairs, slo_seconds * 1e6, queue_cap);
+    tt::TablePrinter table({"policy", "rate(/s)", "admitted", "shed",
+                            "missed", "p50(us)", "p95(us)", "p99(us)",
+                            "attain", "drain(ms)"});
+    std::vector<std::string> knee_lines;
+    for (const char *policy : kPolicies) {
+        double knee = 0.0;
+        for (const double rate : kRates) {
+            const PointResult point = runPoint(
+                machine, graph, policy, rate, slo_seconds, queue_cap);
+            const auto &r = point.run;
+            if (r.failed) {
+                std::fprintf(stderr, "run failed: %s\n",
+                             r.failure_reason.c_str());
+                return 1;
+            }
+            if (knee == 0.0 && r.slo_attainment < 0.95)
+                knee = rate;
+            table.addRow(
+                {policy, tt::TablePrinter::num(rate, 0),
+                 std::to_string(r.jobs_admitted),
+                 std::to_string(r.jobs_shed),
+                 std::to_string(r.jobs_deadline_missed),
+                 tt::TablePrinter::num(point.response.p50 * 1e6, 1),
+                 tt::TablePrinter::num(point.response.p95 * 1e6, 1),
+                 tt::TablePrinter::num(point.response.p99 * 1e6, 1),
+                 tt::TablePrinter::pct(r.slo_attainment),
+                 tt::TablePrinter::num(r.seconds * 1e3, 3)});
+            bench_json.beginRow();
+            bench_json.value("policy", policy);
+            bench_json.value("rate", rate);
+            bench_json.value("offered", r.jobs_offered);
+            bench_json.value("admitted", r.jobs_admitted);
+            bench_json.value("delayed", r.jobs_delayed);
+            bench_json.value("shed", r.jobs_shed);
+            bench_json.value("missed", r.jobs_deadline_missed);
+            bench_json.value("p50_s", point.response.p50);
+            bench_json.value("p95_s", point.response.p95);
+            bench_json.value("p99_s", point.response.p99);
+            bench_json.value("attainment", r.slo_attainment);
+            bench_json.value("drain_s", r.seconds);
+        }
+        knee_lines.push_back(
+            std::string(policy) + " knee: " +
+            (knee > 0.0 ? tt::TablePrinter::num(knee, 0) + " jobs/s"
+                        : std::string("not reached")));
+    }
+    table.print(std::cout);
+    for (const std::string &line : knee_lines)
+        std::printf("%s\n", line.c_str());
+    return bench_json.write() ? 0 : 1;
+}

@@ -27,11 +27,27 @@ enum class DecisionReason
     Search,  ///< online-exhaustive brute-force sweep started
     Select,  ///< a completed selection applied its winner
     Degrade, ///< fault-tolerance fallback to the safe static MTL
-    Reenter, ///< left degraded mode, measurements healthy again
+    Reenter, ///< left degraded/overload mode, back to normal operation
+    Overload, ///< admission control started shedding; MTL pinned for drain
 };
 
 /** Stable lower-case name for reports and trace events. */
 const char *decisionReasonName(DecisionReason reason);
+
+/**
+ * Admission backpressure state the engine publishes to its policy and
+ * to the timeseries. Declared here (not in tt_load) so policies can
+ * react to overload without a dependency on the load generator.
+ */
+enum class BackpressureState
+{
+    Accept, ///< admitting everything; backlog below the delay watermark
+    Delay,  ///< admitting, but arrivals queue behind a visible backlog
+    Shed,   ///< overloaded: dropping work (lowest priority first)
+};
+
+/** Stable lower-case name ("accept"/"delay"/"shed"). */
+const char *backpressureStateName(BackpressureState state);
 
 /**
  * One audited MTL transition with the inputs that drove it. Fields

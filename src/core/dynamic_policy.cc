@@ -87,6 +87,13 @@ DynamicThrottlePolicy::onPairMeasured(const PairSample &sample)
         return;
     }
 
+    if (overload_hold_) {
+        // An overload episode pins the MTL: measurements keep being
+        // observed (stats, metrics) but neither trigger nor probe --
+        // re-selection waits for backpressure to recover.
+        return;
+    }
+
     if (state_ == State::Monitor) {
         auto summary = detector_.addSample(sample, mtl_);
         if (!summary)
@@ -205,6 +212,7 @@ DynamicThrottlePolicy::finishSelection()
 
     const int prev = mtl_;
     mtl_ = res.d_mtl;
+    last_selected_mtl_ = res.d_mtl;
     traceMtl(last_sample_time_, mtl_);
 
     // Audit the selection: candidates, ranks and the model's
@@ -266,6 +274,80 @@ DynamicThrottlePolicy::finishSelection()
     state_ = State::Monitor;
     selector_.reset();
     probe_mtl_.reset();
+}
+
+void
+DynamicThrottlePolicy::onBackpressure(double time,
+                                      BackpressureState state,
+                                      long backlog)
+{
+    (void)backlog;
+    if (!slo_aware_)
+        return;
+
+    if (state == BackpressureState::Shed && !overload_hold_) {
+        overload_hold_ = true;
+        countMetric("policy.overload_entries");
+        if (metrics_)
+            metrics_->set("policy.overload", 1.0);
+
+        // Pin the throughput-optimal MTL for the drain: the last
+        // selected D-MTL if one exists, the unthrottled n when
+        // overload hit mid-probe before any selection, the current
+        // MTL otherwise. Degraded mode already holds the safe n.
+        int target = mtl_;
+        if (state_ != State::Degraded) {
+            if (last_selected_mtl_ > 0)
+                target = last_selected_mtl_;
+            else if (state_ == State::Select)
+                target = cores_;
+        }
+
+        MtlDecision d;
+        d.reason = DecisionReason::Overload;
+        d.time = time;
+        d.from_mtl = mtl_;
+        d.to_mtl = target;
+        d.degraded = state_ == State::Degraded;
+
+        if (state_ == State::Select) {
+            // Abandon the in-flight selection: its remaining probes
+            // would throttle the drain we are trying to maximize.
+            selector_.reset();
+            probe_mtl_.reset();
+            trigger_window_.reset();
+            state_ = State::Monitor;
+        }
+        if (state_ != State::Degraded) {
+            mtl_ = target;
+            traceMtl(time, mtl_);
+        }
+        recordDecision(std::move(d));
+        return;
+    }
+
+    if (state == BackpressureState::Accept && overload_hold_) {
+        overload_hold_ = false;
+        if (metrics_)
+            metrics_->set("policy.overload", 0.0);
+
+        MtlDecision d;
+        d.reason = DecisionReason::Reenter;
+        d.time = time;
+        d.from_mtl = mtl_;
+        d.to_mtl = mtl_;
+        d.degraded = state_ == State::Degraded;
+        recordDecision(std::move(d));
+
+        // The post-burst load regime may differ from the one the
+        // pinned MTL was selected for: restart phase detection so
+        // the next completed window re-selects.
+        if (state_ != State::Degraded) {
+            detector_.reset();
+            accepted_idle_bound_.reset();
+            last_ratio_ = -1.0;
+        }
+    }
 }
 
 void

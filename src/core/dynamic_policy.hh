@@ -94,6 +94,27 @@ class DynamicThrottlePolicy : public SchedulingPolicy
     /** True while degraded to the safe static MTL. */
     bool degraded() const override { return state_ == State::Degraded; }
 
+    /**
+     * SLO-aware mode (robustness extension): react to admission
+     * backpressure. On entering SHED the policy abandons any
+     * in-flight probing and pins the throughput-optimal MTL -- the
+     * last selected D-MTL, or the unthrottled n before a first
+     * selection -- because probing during overload both sheds more
+     * jobs and inflates tail latency; this maximizes admitted
+     * goodput while the controller enforces deadline attainment by
+     * shedding. The transition is audited with the `overload`
+     * reason. When backpressure recovers to ACCEPT, a `reenter`
+     * record is written and normal phase-adaptive selection resumes
+     * from scratch (the post-burst load regime may differ).
+     */
+    void setSloAware(bool on = true) { slo_aware_ = on; }
+
+    /** True while MTL selection is pinned by an overload episode. */
+    bool overloadHold() const { return overload_hold_; }
+
+    void onBackpressure(double time, BackpressureState state,
+                        long backlog) override;
+
     std::string name() const override { return "dynamic-throttle"; }
     int currentMtl() const override { return mtl_; }
     void onPairMeasured(const PairSample &sample) override;
@@ -130,6 +151,11 @@ class DynamicThrottlePolicy : public SchedulingPolicy
 
     /** Window whose measurements triggered the in-flight selection. */
     std::optional<WindowSummary> trigger_window_;
+
+    // SLO-aware overload reaction (onBackpressure).
+    bool slo_aware_ = false;
+    bool overload_hold_ = false;
+    int last_selected_mtl_ = 0; ///< 0 until a selection completed
 
     // Fault tolerance: sample screening and graceful degradation.
     SampleGuard guard_;

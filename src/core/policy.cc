@@ -54,6 +54,22 @@ decisionReasonName(DecisionReason reason)
         return "degrade";
       case DecisionReason::Reenter:
         return "reenter";
+      case DecisionReason::Overload:
+        return "overload";
+    }
+    return "?";
+}
+
+const char *
+backpressureStateName(BackpressureState state)
+{
+    switch (state) {
+      case BackpressureState::Accept:
+        return "accept";
+      case BackpressureState::Delay:
+        return "delay";
+      case BackpressureState::Shed:
+        return "shed";
     }
     return "?";
 }

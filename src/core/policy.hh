@@ -48,6 +48,20 @@ class SchedulingPolicy
     virtual bool degraded() const { return false; }
 
     /**
+     * Admission backpressure changed state (open-loop runs only). The
+     * hosting engine calls this on transitions, not per arrival;
+     * `backlog` is the admission controller's virtual backlog at the
+     * transition. Default: ignore -- only SLO-aware policies react.
+     */
+    virtual void
+    onBackpressure(double time, BackpressureState state, long backlog)
+    {
+        (void)time;
+        (void)state;
+        (void)backlog;
+    }
+
+    /**
      * Attach a metrics registry (not owned; nullptr detaches). A
      * bound policy publishes its decision counters -- MTL switches,
      * phase changes, selections, accepted vs stale probe samples --

@@ -63,6 +63,33 @@ Engine::Engine(const stream::TaskGraph &graph,
         for (TaskId dep : task.deps)
             succs_[static_cast<std::size_t>(dep)].push_back(task.id);
     }
+
+    if (options_.arrival_plan != nullptr &&
+        !options_.arrival_plan->empty()) {
+        open_loop_ = true;
+        tt_assert(graph_.phaseCount() == 1,
+                  "open-loop runs require a single-phase graph "
+                  "(arrivals replace phase barriers)");
+        tt_assert(static_cast<int>(options_.arrival_plan->size()) ==
+                      graph_.pairCount(),
+                  "arrival plan offers ",
+                  options_.arrival_plan->size(), " jobs for ",
+                  graph_.pairCount(), " pairs");
+        const auto n_pairs =
+            static_cast<std::size_t>(graph_.pairCount());
+        job_arrival_stamp_.assign(n_pairs, 0.0);
+        job_slo_.assign(n_pairs, 0.0);
+        for (const load::JobSpec &job : options_.arrival_plan->jobs) {
+            tt_assert(job.pair >= 0 && job.pair < graph_.pairCount(),
+                      "arrival plan names pair ", job.pair,
+                      " outside the graph");
+            tt_assert(
+                deps_left_[static_cast<std::size_t>(
+                    graph_.memoryTaskOf(job.pair))] == 0,
+                "open-loop pairs must have dependency-free memory "
+                "tasks");
+        }
+    }
 }
 
 void
@@ -82,6 +109,104 @@ Engine::activatePhaseLocked(int phase)
     }
     tt_assert(phase_remaining_ > 0 || graph_.empty(),
               "phase ", phase, " has no tasks");
+}
+
+void
+Engine::processArrivalsLocked(double upto)
+{
+    const auto &jobs = options_.arrival_plan->jobs;
+    while (next_job_ < jobs.size() &&
+           jobs[next_job_].arrival_seconds <= upto + 1e-12) {
+        admitJobLocked(jobs[next_job_]);
+        ++next_job_;
+    }
+}
+
+void
+Engine::scheduleNextArrivalLocked(double from)
+{
+    const auto &jobs = options_.arrival_plan->jobs;
+    if (next_job_ >= jobs.size())
+        return;
+    scheduled_arrival_ = jobs[next_job_].arrival_seconds;
+    arrival_token_ =
+        backend_->after(std::max(scheduled_arrival_ - from, 0.0),
+                        [this] { onArrivalTimer(); });
+}
+
+void
+Engine::onArrivalTimer()
+{
+    std::lock_guard lock(mutex_);
+    arrival_token_ = 0;
+    if (finished_)
+        return;
+    if (run_failed_.load(std::memory_order_relaxed)) {
+        // Stop offering work into a failed run; the jobs never
+        // reached admission, so they are abandoned, not shed.
+        next_job_ = options_.arrival_plan->size();
+        maybeFinishLocked();
+        return;
+    }
+    // Decisions key off the *plan* offset the timer targeted, not
+    // the (jittery on host) clock reading, so both backends feed the
+    // admission model identical inputs.
+    processArrivalsLocked(scheduled_arrival_);
+    scheduleNextArrivalLocked(scheduled_arrival_);
+    tryScheduleLocked();
+    maybeFinishLocked();
+}
+
+void
+Engine::admitJobLocked(const load::JobSpec &job)
+{
+    const load::AdmissionOutcome out = admission_->onArrival(job);
+
+    JobRecord record;
+    record.pair = job.pair;
+    record.arrival_seconds = job.arrival_seconds;
+    record.priority = job.priority;
+    record.decision = out.decision;
+    record.shed_reason = out.shed_reason;
+    record.state = out.state;
+    record.backlog = out.backlog;
+    record.predicted_response = out.predicted_response;
+    job_log_.push_back(record);
+
+    MetricsRegistry *metrics = options_.metrics;
+    if (out.decision == load::AdmissionDecision::Shed) {
+        // Shed before dispatch: the pair's two tasks never run and
+        // the drain condition accounts for them explicitly.
+        ++jobs_shed_;
+        shed_tasks_ += 2;
+        if (metrics != nullptr)
+            metrics->add("runtime.jobs_shed", 1);
+    } else {
+        ++jobs_admitted_;
+        if (metrics != nullptr)
+            metrics->add("runtime.jobs_admitted", 1);
+        if (out.decision == load::AdmissionDecision::Delay) {
+            ++jobs_delayed_;
+            if (metrics != nullptr)
+                metrics->add("runtime.jobs_delayed", 1);
+        }
+        const auto pair = static_cast<std::size_t>(job.pair);
+        // Deadlines are judged on the engine clock: exact plan time
+        // on the sim backend, the arrival timer's wall-clock firing
+        // on the host (see docs/robustness.md).
+        job_arrival_stamp_[pair] = backend_->now();
+        job_slo_[pair] = job.slo_seconds;
+        ready_memory_.push_back(graph_.memoryTaskOf(job.pair));
+    }
+
+    if (out.state != backpressure_) {
+        backpressure_ = out.state;
+        if (metrics != nullptr)
+            metrics->set("runtime.backpressure_state",
+                         static_cast<double>(out.state));
+        policy_.onBackpressure(backend_->now(), out.state,
+                               out.backlog);
+    }
 }
 
 void
@@ -283,6 +408,34 @@ Engine::completeLocked(int context, TaskId id,
             metrics->observe("runtime.tc_seconds" + suffix, sample.tc);
         }
         policy_.onPairMeasured(sample);
+
+        if (open_loop_) {
+            // Deadline accounting against the *actual* completion:
+            // the admission model predicted, this is ground truth.
+            const double arrival =
+                job_arrival_stamp_[static_cast<std::size_t>(pair)];
+            const double response = end - arrival;
+            const double queue_wait =
+                task_start_[static_cast<std::size_t>(mem_id)] -
+                arrival;
+            response_log_.push_back(response);
+            if (MetricsRegistry *metrics = options_.metrics) {
+                const Histogram::Options opts{.min_value = 1e-6,
+                                              .growth = 2.0,
+                                              .buckets = 32};
+                metrics->observe("runtime.response_seconds",
+                                 std::max(response, 0.0), opts);
+                metrics->observe("runtime.queue_wait_seconds",
+                                 std::max(queue_wait, 0.0), opts);
+            }
+            const double slo =
+                job_slo_[static_cast<std::size_t>(pair)];
+            if (slo > 0.0 && response > slo) {
+                ++jobs_deadline_missed_;
+                if (MetricsRegistry *metrics = options_.metrics)
+                    metrics->add("runtime.jobs_deadline_missed", 1);
+            }
+        }
     }
 
     if (MetricsRegistry *metrics = options_.metrics) {
@@ -369,7 +522,13 @@ Engine::maybeFinishLocked()
 {
     if (finished_)
         return;
-    const bool drained = tasks_done_ == graph_.taskCount();
+    // Open-loop: drained once every plan job was delivered and every
+    // task either completed or belongs to a shed pair.
+    const bool drained =
+        open_loop_
+            ? next_job_ >= options_.arrival_plan->size() &&
+                  tasks_done_ + shed_tasks_ == graph_.taskCount()
+            : tasks_done_ == graph_.taskCount();
     if (!drained) {
         if (!run_failed_.load(std::memory_order_relaxed))
             return;
@@ -387,6 +546,10 @@ Engine::maybeFinishLocked()
     if (timeseries_token_ != 0) {
         backend_->cancel(timeseries_token_);
         timeseries_token_ = 0;
+    }
+    if (arrival_token_ != 0) {
+        backend_->cancel(arrival_token_);
+        arrival_token_ = 0;
     }
     if (options_.timeseries_out != nullptr) {
         // Final row so even a sub-interval run leaves a snapshot
@@ -470,6 +633,13 @@ Engine::emitTimeseriesRowLocked()
     row.ready_compute = ready_compute_.size();
     row.selections = policy_.stats().selections;
     row.degraded = policy_.degraded();
+    if (open_loop_) {
+        // Jobs in system (admitted, not yet completed): the N of
+        // Little's law, which is what "queue depth" means here.
+        row.queue_depth = static_cast<long>(
+            jobs_admitted_ - static_cast<long>(samples_.size()));
+        row.backpressure = static_cast<int>(backpressure_);
+    }
     obs::writeTimeseriesRow(row, *options_.timeseries_out);
 }
 
@@ -538,7 +708,18 @@ Engine::run(ExecutionBackend &backend)
 
     {
         std::lock_guard lock(mutex_);
-        activatePhaseLocked(0);
+        if (open_loop_) {
+            admission_.emplace(options_.admission, contexts);
+            backpressure_ = admission_->state();
+            // Arrivals replace phase activation: tasks become ready
+            // as their jobs are admitted, never all at once.
+            current_phase_ = 0;
+            phase_remaining_ = graph_.taskCount();
+            processArrivalsLocked(0.0);
+            scheduleNextArrivalLocked(0.0);
+        } else {
+            activatePhaseLocked(0);
+        }
         if (options_.timeseries_out != nullptr) {
             emitTimeseriesRowLocked();
             timeseries_token_ = backend.after(
@@ -550,6 +731,8 @@ Engine::run(ExecutionBackend &backend)
                 backend.after(options_.watchdog_seconds,
                               [this] { onWatchdogDeadline(); });
         tryScheduleLocked();
+        if (open_loop_)
+            maybeFinishLocked(); // plan may shed everything at t=0
     }
 
     backend.drive(*this);
@@ -569,10 +752,11 @@ Engine::finishResult()
         task_retries_.load(std::memory_order_relaxed);
     result.task_failures = task_failures_;
     result.retries = retry_log_;
-    tt_assert(result.failed || tasks_done_ == graph_.taskCount(),
+    tt_assert(result.failed ||
+                  tasks_done_ + shed_tasks_ == graph_.taskCount(),
               "run drained with ", tasks_done_, " of ",
-              graph_.taskCount(),
-              " tasks done (deadlock in graph or scheduler)");
+              graph_.taskCount(), " tasks done and ", shed_tasks_,
+              " shed (deadlock in graph or scheduler)");
 
     result.seconds =
         drain_seconds_ >= 0.0 ? drain_seconds_ : backend_->now();
@@ -646,6 +830,25 @@ Engine::finishResult()
     result.has_counters = saw_counters_;
     result.counters = counter_totals_;
 
+    if (open_loop_) {
+        result.jobs_offered =
+            static_cast<long>(options_.arrival_plan->size());
+        result.jobs_admitted = jobs_admitted_;
+        result.jobs_delayed = jobs_delayed_;
+        result.jobs_shed = jobs_shed_;
+        result.jobs_deadline_missed = jobs_deadline_missed_;
+        result.jobs = job_log_;
+        result.response_seconds = response_log_;
+        if (result.jobs_offered > 0) {
+            // Shed jobs count as missed: attainment is over offered
+            // load, not over what the system deigned to admit.
+            result.slo_attainment =
+                static_cast<double>(jobs_admitted_ -
+                                    jobs_deadline_missed_) /
+                static_cast<double>(result.jobs_offered);
+        }
+    }
+
     if (MetricsRegistry *metrics = options_.metrics) {
         metrics->add("runtime.tasks_done", tasks_done_);
         metrics->add("runtime.pin_failed", result.pin_failures);
@@ -656,6 +859,19 @@ Engine::finishResult()
         metrics->set("runtime.makespan_seconds", result.seconds);
         metrics->set("runtime.monitor_overhead",
                      result.monitor_overhead);
+        if (open_loop_) {
+            // Zero-delta adds materialize the full jobs_* schema even
+            // for runs that never delayed or shed, so host and sim
+            // open-loop runs expose identical metric names.
+            metrics->add("runtime.jobs_admitted", 0);
+            metrics->add("runtime.jobs_delayed", 0);
+            metrics->add("runtime.jobs_shed", 0);
+            metrics->add("runtime.jobs_deadline_missed", 0);
+            metrics->set("runtime.slo_attainment",
+                         result.slo_attainment);
+            metrics->set("runtime.backpressure_state",
+                         static_cast<double>(backpressure_));
+        }
         if (options_.counters != nullptr) {
             // Published whenever a provider is configured -- zeros
             // under the null fallback -- so host and sim runs expose

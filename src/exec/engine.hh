@@ -37,6 +37,8 @@
 
 #include "core/policy.hh"
 #include "fault/fault_plan.hh"
+#include "load/admission.hh"
+#include "load/arrival.hh"
 #include "obs/trace.hh"
 #include "stream/task_graph.hh"
 
@@ -142,6 +144,39 @@ struct EngineOptions
      * which case the run proceeds unchanged with zero reads).
      */
     obs::perf::CounterProvider *counters = nullptr;
+
+    /**
+     * Optional open-loop arrival plan (not owned). When set, the run
+     * becomes open-loop: pairs are *offered* at the plan's arrival
+     * offsets (one job per pair, single-phase graphs only) instead of
+     * being all ready at t=0. Each arrival passes through a
+     * deterministic admission controller (see load/admission.hh)
+     * that may ACCEPT, DELAY or SHED it; shed pairs never execute.
+     * Arrivals are driven by backend timers -- simulated time on the
+     * sim backend, wall clock on the host -- but admission decisions
+     * depend only on the plan and `admission`, so both backends shed
+     * the identical jobs.
+     */
+    const load::ArrivalPlan *arrival_plan = nullptr;
+
+    /** Admission-control knobs for open-loop runs (see
+     *  load/admission.hh; defaults resolve against the backend's
+     *  context count). Ignored when arrival_plan is null. */
+    load::AdmissionConfig admission;
+};
+
+/** Audit record of one offered job's admission verdict (open-loop
+ *  runs; one record per plan job, in arrival order). */
+struct JobRecord
+{
+    int pair = 0;
+    double arrival_seconds = 0.0; ///< plan arrival offset
+    int priority = 0;
+    load::AdmissionDecision decision = load::AdmissionDecision::Accept;
+    load::ShedReason shed_reason = load::ShedReason::None;
+    core::BackpressureState state = core::BackpressureState::Accept;
+    int backlog = 0; ///< admission model's backlog at arrival
+    double predicted_response = 0.0;
 };
 
 /** One retry the engine granted, in grant order. */
@@ -216,6 +251,28 @@ struct RunResult
 
     /** Whole-run counter totals (sum of per-event deltas). */
     obs::perf::CounterSet counters;
+
+    // --- open-loop job accounting (zero for closed-loop runs) ---
+
+    long jobs_offered = 0;  ///< jobs in the arrival plan
+    long jobs_admitted = 0; ///< admitted (includes delayed)
+    long jobs_delayed = 0;  ///< admitted past the delay watermark
+    long jobs_shed = 0;     ///< rejected at admission
+    long jobs_deadline_missed = 0; ///< admitted but finished late
+
+    /**
+     * Fraction of *offered* jobs that completed within their SLO;
+     * shed jobs count as missed. 1.0 when no SLO was configured
+     * (attainment then degenerates to admitted goodput fraction).
+     */
+    double slo_attainment = 1.0;
+
+    /** Per-job admission audit records, in arrival order. */
+    std::vector<JobRecord> jobs;
+
+    /** Response time (completion - arrival) of every admitted pair
+     *  that completed, in completion order. */
+    std::vector<double> response_seconds;
 
     /** True when the run aborted instead of draining the graph. */
     bool failed = false;
@@ -392,6 +449,14 @@ class Engine
     };
 
     void activatePhaseLocked(int phase);
+    /** Admit every plan job due at or before plan offset `upto`. */
+    void processArrivalsLocked(double upto);
+    /** Arm the arrival timer for the next undelivered plan job. */
+    void scheduleNextArrivalLocked(double from);
+    /** Arrival timer fired: deliver due jobs, re-arm, dispatch. */
+    void onArrivalTimer();
+    /** Run one job through admission; queue or shed its pair. */
+    void admitJobLocked(const load::JobSpec &job);
     void tryScheduleLocked();
     /** Dispatch a fresh (attempt-0) task onto an idle context. */
     void dispatchLocked(int context, stream::TaskId id);
@@ -434,6 +499,24 @@ class Engine
     std::vector<stream::TaskId> running_;
     std::vector<PendingRetry> pending_retry_;
     std::vector<int> attempts_; ///< failed attempts per task
+
+    // Open-loop state (see EngineOptions::arrival_plan).
+    bool open_loop_ = false;
+    std::size_t next_job_ = 0;      ///< next undelivered plan job
+    double scheduled_arrival_ = 0.0; ///< plan offset the timer targets
+    ExecutionBackend::TimerToken arrival_token_ = 0;
+    std::optional<load::AdmissionController> admission_;
+    core::BackpressureState backpressure_ =
+        core::BackpressureState::Accept;
+    int shed_tasks_ = 0; ///< tasks of shed pairs (never dispatched)
+    long jobs_admitted_ = 0;
+    long jobs_delayed_ = 0;
+    long jobs_shed_ = 0;
+    long jobs_deadline_missed_ = 0;
+    std::vector<JobRecord> job_log_;
+    std::vector<double> response_log_;
+    std::vector<double> job_arrival_stamp_; ///< per pair, engine clock
+    std::vector<double> job_slo_;           ///< per pair, seconds
 
     int mem_in_flight_ = 0;
     int peak_mem_in_flight_ = 0;

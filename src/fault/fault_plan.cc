@@ -43,6 +43,8 @@ constexpr std::uint64_t kSaltStraggler = 2;
 constexpr std::uint64_t kSaltCorrupt = 3;
 constexpr std::uint64_t kSaltStall = 4;
 constexpr std::uint64_t kSaltCorruptShape = 5;
+constexpr std::uint64_t kSaltArrivalBurst = 6;
+constexpr std::uint64_t kSaltDeadlineStorm = 7;
 
 } // namespace
 
@@ -61,6 +63,16 @@ FaultPlan::FaultPlan(const FaultConfig &config)
               "straggler factor must be >= 1");
     tt_assert(config_.stall_seconds >= 0.0,
               "stall duration must be non-negative");
+    tt_assert(config_.arrival_burst_p >= 0.0 &&
+                  config_.arrival_burst_p <= 1.0,
+              "arrival-burst probability out of [0, 1]");
+    tt_assert(config_.deadline_storm_p >= 0.0 &&
+                  config_.deadline_storm_p <= 1.0,
+              "deadline-storm probability out of [0, 1]");
+    tt_assert(config_.burst_compression >= 1.0,
+              "burst compression must be >= 1");
+    tt_assert(config_.storm_slash > 0.0 && config_.storm_slash <= 1.0,
+              "storm slash factor out of (0, 1]");
 }
 
 double
@@ -86,6 +98,24 @@ FaultPlan::forTask(stream::TaskId task, int attempt) const
     // the same way and host/sim retry histories cannot diverge it.
     faults.corrupt_sample =
         roll(task, 0, kSaltCorrupt) < config_.corrupt_p;
+    return faults;
+}
+
+JobFaults
+FaultPlan::forJob(int job) const
+{
+    JobFaults faults;
+    if (!config_.jobFaultsEnabled())
+        return faults;
+    const auto id = static_cast<stream::TaskId>(job);
+    if (roll(id, 0, kSaltArrivalBurst) < config_.arrival_burst_p) {
+        faults.burst = true;
+        faults.burst_compression = config_.burst_compression;
+    }
+    if (roll(id, 0, kSaltDeadlineStorm) < config_.deadline_storm_p) {
+        faults.deadline_storm = true;
+        faults.storm_slash = config_.storm_slash;
+    }
     return faults;
 }
 

@@ -59,13 +59,42 @@ struct FaultConfig
      */
     double stall_seconds = 0.05;
 
-    /** True when any injection probability is nonzero. */
+    /** Probability a job's arrival rides an injected traffic burst
+     *  (its inter-arrival gap is divided by burst_compression). */
+    double arrival_burst_p = 0.0;
+
+    /** Inter-arrival compression of burst-faulted jobs (>= 1). */
+    double burst_compression = 8.0;
+
+    /** Probability a job's deadline is slashed (a deadline storm). */
+    double deadline_storm_p = 0.0;
+
+    /** SLO multiplier for storm-faulted jobs (in (0, 1]). */
+    double storm_slash = 0.25;
+
+    /** True when any task-level injection probability is nonzero. */
     bool
     enabled() const
     {
         return fail_p > 0.0 || straggler_p > 0.0 || corrupt_p > 0.0 ||
                stall_p > 0.0;
     }
+
+    /** True when any job-level (arrival-plan) fault is configured. */
+    bool
+    jobFaultsEnabled() const
+    {
+        return arrival_burst_p > 0.0 || deadline_storm_p > 0.0;
+    }
+};
+
+/** Decisions for one offered job of an open-loop arrival plan. */
+struct JobFaults
+{
+    bool burst = false;          ///< compress this job's arrival gap
+    bool deadline_storm = false; ///< slash this job's SLO
+    double burst_compression = 1.0;
+    double storm_slash = 1.0;
 };
 
 /** Decisions for one (task, attempt). */
@@ -112,6 +141,14 @@ class FaultPlan
      * keyed by the task alone so retries corrupt identically.
      */
     TaskFaults forTask(stream::TaskId task, int attempt) const;
+
+    /**
+     * Job-level decisions for job index `job` of an arrival plan.
+     * Deterministic in (seed, job) -- the plan generator consults
+     * this once, at plan-build time, so a perturbed plan replays
+     * identically on both backends.
+     */
+    JobFaults forJob(int job) const;
 
     /**
      * The poisoned value a corrupted sample field takes: cycles

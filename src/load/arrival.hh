@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Seeded open-loop arrival generation.
+ *
+ * Closed-loop runs execute a fixed task graph to completion; an
+ * open-loop run instead offers work at a rate the system does not
+ * control, which is where overload behavior lives. buildArrivalPlan()
+ * expands an ArrivalConfig into an explicit, fully materialized list
+ * of jobs -- arrival offset, relative deadline (SLO) and priority per
+ * job -- so the exact same offered load can be replayed against the
+ * host backend (wall-clock timers) and the sim backend (event-queue
+ * timers). Determinism lives in the plan, not in the clock that
+ * replays it.
+ *
+ * The fault plan can perturb a materialized plan deterministically:
+ * an arrival-burst fault compresses inter-arrival gaps (a traffic
+ * spike), a deadline-storm fault slashes SLOs (a latency-sensitive
+ * tenant showing up mid-run). Both key off job index and seed, like
+ * every other injected fault.
+ */
+
+#ifndef TT_LOAD_ARRIVAL_HH
+#define TT_LOAD_ARRIVAL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tt::fault {
+class FaultPlan;
+}
+
+namespace tt::load {
+
+/** Shape of the offered-load process. */
+enum class ArrivalProcess
+{
+    Poisson, ///< memoryless exponential inter-arrivals at `rate`
+    Bursty,  ///< on/off modulated Poisson (spikes + quiet valleys)
+    Diurnal, ///< rate replayed from a repeating relative profile
+};
+
+/** Stable lower-case name ("poisson"/"bursty"/"diurnal"). */
+const char *arrivalProcessName(ArrivalProcess process);
+
+/** Parse a process name; returns false on an unknown spelling. */
+bool parseArrivalProcess(const char *name, ArrivalProcess &out);
+
+/** Knobs for buildArrivalPlan(). */
+struct ArrivalConfig
+{
+    std::uint64_t seed = 1;
+    ArrivalProcess process = ArrivalProcess::Poisson;
+    double rate = 1000.0; ///< mean offered load, jobs/second
+
+    /// Bursty: the on fraction of each period runs at rate *
+    /// burst_rate_factor, the rest at the complementary rate keeping
+    /// the long-run mean at `rate`.
+    double burst_period_seconds = 20e-3;
+    double burst_fraction = 0.25;
+    double burst_rate_factor = 3.0;
+
+    /// Diurnal: relative rate multipliers replayed cyclically over
+    /// diurnal_period_seconds (empty -> a default day-like profile).
+    std::vector<double> diurnal_profile;
+    double diurnal_period_seconds = 60e-3;
+
+    double slo_seconds = 0.0; ///< relative deadline per job (0 = none)
+    int priority_levels = 1;  ///< priorities drawn from [0, levels)
+};
+
+/** One offered job: pair `pair` of the program, arriving at a fixed
+ *  offset from run start with a relative deadline. Higher priority
+ *  values are more important (shed last). */
+struct JobSpec
+{
+    int pair = 0;
+    double arrival_seconds = 0.0;
+    double slo_seconds = 0.0;
+    int priority = 0;
+};
+
+/** Materialized offered load: one job per pair, ascending arrivals. */
+struct ArrivalPlan
+{
+    ArrivalConfig config;
+    std::vector<JobSpec> jobs;
+
+    bool empty() const { return jobs.empty(); }
+    std::size_t size() const { return jobs.size(); }
+};
+
+/**
+ * Expand `config` into `pair_count` jobs (job k drives pair k).
+ * Applying `faults` (optional) perturbs the plan deterministically:
+ * burst-faulted jobs arrive with their inter-arrival gap divided by
+ * the configured compression, storm-faulted jobs get their SLO
+ * multiplied by the configured slash factor.
+ */
+ArrivalPlan buildArrivalPlan(const ArrivalConfig &config,
+                             int pair_count,
+                             const fault::FaultPlan *faults = nullptr);
+
+} // namespace tt::load
+
+#endif // TT_LOAD_ARRIVAL_HH

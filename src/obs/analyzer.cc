@@ -481,6 +481,32 @@ writeReportJson(const Report &report, std::ostream &os)
         writeCounters(report.counters, os);
     }
 
+    // The SLO section exists only for open-loop sweeps, with the same
+    // both-sides-or-skip diff contract as the counters section.
+    if (report.slo.valid) {
+        const SloReport &s = report.slo;
+        os << ",\n  \"slo\": {\"slo_seconds\": "
+           << jsonNum(s.slo_seconds)
+           << ", \"knee_rate\": " << jsonNum(s.knee_rate)
+           << ", \"points\": [";
+        for (std::size_t i = 0; i < s.points.size(); ++i) {
+            const SloPoint &p = s.points[i];
+            os << (i > 0 ? ",\n    " : "\n    ");
+            os << "{\"offered_rate\": " << jsonNum(p.offered_rate)
+               << ", \"offered\": " << p.offered
+               << ", \"admitted\": " << p.admitted
+               << ", \"shed\": " << p.shed
+               << ", \"missed\": " << p.missed
+               << ", \"shed_rate\": " << jsonNum(p.shed_rate)
+               << ", \"p50\": " << jsonNum(p.p50)
+               << ", \"p95\": " << jsonNum(p.p95)
+               << ", \"p99\": " << jsonNum(p.p99)
+               << ", \"attainment\": " << jsonNum(p.attainment)
+               << "}";
+        }
+        os << (s.points.empty() ? "]" : "\n  ]") << "}";
+    }
+
     os << ",\n  \"phases\": [";
     for (std::size_t i = 0; i < report.phases.size(); ++i) {
         const PhaseReport &p = report.phases[i];
@@ -698,6 +724,31 @@ reportTable(const Report &report)
        << o.decisions << " decisions, " << o.fallbacks
        << " fallbacks\n";
 
+    if (report.slo.valid) {
+        const SloReport &s = report.slo;
+        os << "\nSLO attainment vs offered load (SLO "
+           << us(s.slo_seconds) << " us)\n";
+        TablePrinter slo({"rate(/s)", "offered", "admitted", "shed",
+                          "missed", "shed%", "p50(us)", "p95(us)",
+                          "p99(us)", "attainment"});
+        for (const SloPoint &p : s.points)
+            slo.addRow({TablePrinter::num(p.offered_rate, 1),
+                        std::to_string(p.offered),
+                        std::to_string(p.admitted),
+                        std::to_string(p.shed),
+                        std::to_string(p.missed),
+                        TablePrinter::pct(p.shed_rate), us(p.p50),
+                        us(p.p95), us(p.p99),
+                        TablePrinter::pct(p.attainment)});
+        slo.print(os);
+        if (s.knee_rate > 0.0)
+            os << "knee: attainment first degrades at ~"
+               << TablePrinter::num(s.knee_rate, 1)
+               << " jobs/s offered\n";
+        else
+            os << "knee: not reached within the swept rates\n";
+    }
+
     os << "\npolicy decision audit\n";
     TablePrinter audit({"t(ms)", "reason", "mtl", "tm(us)", "tc(us)",
                         "IdleBound", "no-idle", "idle", "pred speedup",
@@ -778,6 +829,57 @@ diffReports(const json::Value &baseline, const json::Value &candidate,
                       base_counters->numberAt("stall_share"),
                       cand_counters->numberAt("stall_share"),
                       threshold, out);
+    }
+
+    // Same contract for the SLO section: only open-loop reports have
+    // one, and a baseline predating the schema (or a closed-loop run
+    // on either side) must diff cleanly in both directions.
+    const json::Value *base_slo = baseline.find("slo");
+    const json::Value *cand_slo = candidate.find("slo");
+    if (base_slo != nullptr && cand_slo != nullptr) {
+        // knee_rate 0 means "attainment never degraded in the sweep"
+        // (the best outcome), so compare inverted capacities only
+        // when both sides found a knee, and flag a knee newly
+        // appearing where the baseline had none.
+        const double base_knee = base_slo->numberAt("knee_rate");
+        const double cand_knee = cand_slo->numberAt("knee_rate");
+        if (base_knee > 0.0 && cand_knee > 0.0)
+            compareMetric("slo.knee_rate (inverse capacity)",
+                          1.0 / base_knee, 1.0 / cand_knee, threshold,
+                          out);
+        else if (base_knee <= 0.0 && cand_knee > 0.0)
+            out.regressions.push_back(
+                {"slo.knee_rate (knee newly present)", base_knee,
+                 cand_knee, 1.0});
+        const json::Value *base_pts = base_slo->find("points");
+        const json::Value *cand_pts = cand_slo->find("points");
+        if (base_pts != nullptr && base_pts->isArray() &&
+            cand_pts != nullptr && cand_pts->isArray()) {
+            for (const json::Value &bp : base_pts->array) {
+                const double rate = bp.numberAt("offered_rate");
+                const json::Value *match = nullptr;
+                for (const json::Value &cp : cand_pts->array)
+                    if (std::fabs(cp.numberAt("offered_rate") - rate) <=
+                        1e-9 * std::max(1.0, std::fabs(rate))) {
+                        match = &cp;
+                        break;
+                    }
+                if (match == nullptr) {
+                    out.notes.push_back(
+                        "slo point missing from candidate: rate " +
+                        std::to_string(rate));
+                    continue;
+                }
+                const std::string tag =
+                    "slo rate " + std::to_string(rate);
+                compareMetric(tag + " p99", bp.numberAt("p99"),
+                              match->numberAt("p99"), threshold, out);
+                compareMetric(tag + " shed_rate",
+                              bp.numberAt("shed_rate"),
+                              match->numberAt("shed_rate"), threshold,
+                              out);
+            }
+        }
     }
 
     const json::Value *base_overhead = baseline.find("overhead");

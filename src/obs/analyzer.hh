@@ -159,6 +159,39 @@ struct OverheadReport
     long fallbacks = 0;
 };
 
+/**
+ * One offered-load level of an open-loop SLO sweep: response-time
+ * quantiles and admission outcomes at `offered_rate` jobs/second.
+ */
+struct SloPoint
+{
+    double offered_rate = 0.0; ///< arrival rate (jobs/second)
+    long offered = 0;          ///< jobs the generator produced
+    long admitted = 0;
+    long shed = 0;
+    long missed = 0;        ///< deadline misses among admitted jobs
+    double shed_rate = 0.0; ///< shed / offered
+    double p50 = 0.0;       ///< response-time quantiles (seconds)
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double attainment = 0.0; ///< (admitted - missed) / offered
+};
+
+/**
+ * SLO attainment vs offered load (open-loop runs only). The knee is
+ * the lowest swept rate at which attainment first drops below the
+ * sweep's knee threshold -- the capacity estimate operators should
+ * provision below. Reports from closed-loop runs simply lack this
+ * section; diffReports() tolerates the absence on either side.
+ */
+struct SloReport
+{
+    bool valid = false;
+    double slo_seconds = 0.0; ///< relative deadline the sweep used
+    double knee_rate = 0.0;   ///< 0 when no swept rate degraded
+    std::vector<SloPoint> points;
+};
+
 /** Everything analyze() derives from one run. */
 struct Report
 {
@@ -176,6 +209,9 @@ struct Report
      *  counters sections below (and in JSON) exist only then. */
     bool has_counters = false;
     CounterStats counters; ///< whole-run interference totals
+
+    /** Open-loop SLO sweep; `slo.valid` gates its JSON section. */
+    SloReport slo;
 };
 
 /** Run facts the trace stream alone cannot know. */
@@ -230,11 +266,14 @@ struct DiffResult
  * than `threshold` (relative, e.g. 0.05 = 5%): run makespan, each
  * phase's duration and mean/p95 T_m, the probe-overhead fraction,
  * and -- when both reports carry them -- the hardware-counter
- * interference ratios (stalls-per-miss, stall share). Reports
- * written before the counters section existed diff cleanly against
- * newer ones: a counters section missing from either side is simply
- * skipped, never an error. Phase-set mismatches are reported as
- * notes (also a failure).
+ * interference ratios (stalls-per-miss, stall share). When both
+ * reports carry an SLO section, matching offered-rate points are
+ * compared on p99 response and shed rate, and the knee shifting to a
+ * lower rate (capacity loss) is a regression. Reports written before
+ * the counters or SLO sections existed diff cleanly against newer
+ * ones: a section missing from either side is simply skipped, never
+ * an error. Phase-set mismatches are reported as notes (also a
+ * failure).
  */
 DiffResult diffReports(const json::Value &baseline,
                        const json::Value &candidate, double threshold);

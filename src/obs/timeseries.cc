@@ -17,6 +17,8 @@ writeTimeseriesRow(const TimeseriesSample &sample, std::ostream &os)
        << ",\"ready_compute\":" << sample.ready_compute
        << ",\"selections\":" << sample.selections
        << ",\"degraded\":" << (sample.degraded ? "true" : "false")
+       << ",\"queue_depth\":" << sample.queue_depth
+       << ",\"backpressure\":" << sample.backpressure
        << "}\n";
     os.flags(flags);
 }

@@ -30,6 +30,8 @@ struct TimeseriesSample
     std::size_t ready_compute = 0;
     long selections = 0;  ///< MTL selections completed so far
     bool degraded = false; ///< policy in fault-tolerance fallback
+    long queue_depth = 0; ///< admitted jobs in system (open-loop; 0 else)
+    int backpressure = 0; ///< 0=accept 1=delay 2=shed (open-loop; 0 else)
 };
 
 /** Append `sample` to `os` as one JSONL row (with trailing newline). */

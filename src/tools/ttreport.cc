@@ -18,6 +18,20 @@
  *
  *   ttreport --diff baseline.json candidate.json --threshold 5
  *
+ * SLO sweep mode (robustness extension): with --arrival-rate the run
+ * becomes open-loop and ttreport additionally sweeps offered load at
+ * 0.25x/0.5x/1x/1.5x/2x the given rate -- each sweep point a fresh
+ * simulated run with seeded arrivals through bounded admission (see
+ * load/arrival.hh) -- and appends an SLO section: p50/p95/p99
+ * response time and shed rate per rate, plus the knee estimate (the
+ * lowest swept rate where attainment first drops below 95%). The
+ * attribution tables still describe the 1x run. Requires a
+ * single-phase workload. diffReports() compares the SLO sections
+ * when both reports carry one.
+ *
+ *   ttreport --workload synthetic --arrival-rate 2000 --slo-us 4000 \
+ *            --service-us 60 --service-tql-us 20 --json
+ *
  * Flags (run mode mirrors ttsim's simulator subset):
  *   --workload   synthetic | dft | streamcluster | sift | stencil |
  *                histogram | phased                      [phased]
@@ -25,6 +39,13 @@
  *   --policy     conventional | static | dynamic | online [dynamic]
  *   --mtl K --window W --hysteresis H --ratio R
  *   --footprint-kb KB --pairs N --dim D
+ *   --arrival-rate R     enable the open-loop SLO sweep      [off]
+ *   --arrival-process    poisson | bursty | diurnal     [poisson]
+ *   --arrival-seed S     arrival generator seed              [1]
+ *   --slo-us US          per-job relative deadline           [0]
+ *   --queue-cap N        admission backlog bound            [64]
+ *   --service-us US      admission predictor T_ml            [0]
+ *   --service-tql-us US  admission predictor T_ql            [0]
  *   --json       print the report as JSON instead of tables
  *   --out FILE   also write the JSON report to FILE
  *   --diff BASELINE.json CANDIDATE.json   compare two reports
@@ -37,6 +58,7 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -45,6 +67,7 @@
 #include "core/online_exhaustive_policy.hh"
 #include "core/policy.hh"
 #include "cpu/machine_config.hh"
+#include "load/arrival.hh"
 #include "obs/analyzer.hh"
 #include "obs/perf/sim_counter_provider.hh"
 #include "simrt/sim_runtime.hh"
@@ -72,6 +95,10 @@ usage(const char *argv0)
         "          [--mtl K] [--window W] [--hysteresis H]\n"
         "          [--ratio R] [--footprint-kb KB] [--pairs N]\n"
         "          [--dim D] [--json] [--out FILE]\n"
+        "          [--arrival-rate R] "
+        "[--arrival-process poisson|bursty|diurnal]\n"
+        "          [--arrival-seed S] [--slo-us US] [--queue-cap N]\n"
+        "          [--service-us US] [--service-tql-us US]\n"
         "       %s --diff BASELINE.json CANDIDATE.json "
         "[--threshold PCT]\n"
         "exit codes: 0 ok / no regression, 1 regression or I/O "
@@ -145,6 +172,8 @@ main(int argc, char **argv)
         "mtl",     "window",       "hysteresis", "ratio",
         "footprint-kb", "pairs",   "dim",     "json",
         "out",     "diff",         "threshold",
+        "arrival-rate", "arrival-process", "arrival-seed",
+        "slo-us",  "queue-cap",    "service-us", "service-tql-us",
     };
     if (!flags.parse(argc, argv) || !flags.allowOnly(known_flags) ||
         flags.has("help")) {
@@ -249,23 +278,32 @@ main(int argc, char **argv)
     const std::string policy_name =
         flags.getString("policy", "dynamic");
     const int window = static_cast<int>(flags.getInt("window", 16));
-    std::unique_ptr<tt::core::SchedulingPolicy> policy;
-    if (policy_name == "conventional") {
-        policy = std::make_unique<tt::core::ConventionalPolicy>(n);
-    } else if (policy_name == "static") {
-        policy = std::make_unique<tt::core::StaticMtlPolicy>(
-            static_cast<int>(flags.getInt("mtl", 1)), n);
-    } else if (policy_name == "dynamic") {
-        auto dynamic =
-            std::make_unique<tt::core::DynamicThrottlePolicy>(n,
-                                                              window);
-        dynamic->setIdleBoundHysteresis(
-            static_cast<int>(flags.getInt("hysteresis", 0)));
-        policy = std::move(dynamic);
-    } else if (policy_name == "online") {
-        policy = std::make_unique<tt::core::OnlineExhaustivePolicy>(
-            n, window);
-    } else {
+    // Sweep mode runs the graph several times, and adaptive policies
+    // carry state -- every run gets a freshly built policy.
+    const auto makePolicy =
+        [&](bool slo_aware)
+        -> std::unique_ptr<tt::core::SchedulingPolicy> {
+        if (policy_name == "conventional")
+            return std::make_unique<tt::core::ConventionalPolicy>(n);
+        if (policy_name == "static")
+            return std::make_unique<tt::core::StaticMtlPolicy>(
+                static_cast<int>(flags.getInt("mtl", 1)), n);
+        if (policy_name == "dynamic") {
+            auto dynamic =
+                std::make_unique<tt::core::DynamicThrottlePolicy>(
+                    n, window);
+            dynamic->setIdleBoundHysteresis(
+                static_cast<int>(flags.getInt("hysteresis", 0)));
+            if (slo_aware)
+                dynamic->setSloAware();
+            return dynamic;
+        }
+        if (policy_name == "online")
+            return std::make_unique<
+                tt::core::OnlineExhaustivePolicy>(n, window);
+        return nullptr;
+    };
+    if (makePolicy(false) == nullptr) {
         std::fprintf(stderr, "unknown policy '%s'\n",
                      policy_name.c_str());
         return usage(argv[0]);
@@ -275,31 +313,145 @@ main(int argc, char **argv)
         return usage(argv[0]);
     }
 
-    tt::cpu::SimMachine sim_machine(machine);
-    // Always attach the synthesized counter provider: the run is
-    // deterministic either way, and the interference table turns the
-    // report from "where did the time go" into "which MTL let misses
-    // queue up".
-    tt::obs::perf::SimCounterProvider sim_counters;
-    tt::exec::EngineOptions engine_options;
-    engine_options.counters = &sim_counters;
-    tt::simrt::SimRuntime sim_runtime(sim_machine, graph, *policy,
-                                      engine_options);
-    const tt::simrt::RunResult result = sim_runtime.run();
-    if (result.failed) {
-        std::fprintf(stderr, "run failed: %s\n",
-                     result.failure_reason.c_str());
-        return 1;
+    // Open-loop SLO sweep configuration.
+    const double arrival_rate = flags.getDouble("arrival-rate", 0.0);
+    tt::load::ArrivalConfig arrivals;
+    tt::load::AdmissionConfig admission;
+    if (arrival_rate < 0.0) {
+        std::fprintf(stderr, "--arrival-rate must be > 0\n");
+        return 2;
+    }
+    if (arrival_rate > 0.0) {
+        if (graph.phaseCount() != 1) {
+            std::fprintf(stderr,
+                         "the SLO sweep requires a single-phase "
+                         "workload (got %d phases)\n",
+                         graph.phaseCount());
+            return 2;
+        }
+        arrivals.seed = static_cast<std::uint64_t>(
+            flags.getInt("arrival-seed", 1));
+        const std::string process_name =
+            flags.getString("arrival-process", "poisson");
+        if (!tt::load::parseArrivalProcess(process_name.c_str(),
+                                           arrivals.process)) {
+            std::fprintf(stderr, "unknown arrival process '%s'\n",
+                         process_name.c_str());
+            return usage(argv[0]);
+        }
+        arrivals.slo_seconds = flags.getDouble("slo-us", 0.0) * 1e-6;
+        admission.queue_cap =
+            static_cast<int>(flags.getInt("queue-cap", 64));
+        admission.service_tml =
+            flags.getDouble("service-us", 0.0) * 1e-6;
+        admission.service_tql =
+            flags.getDouble("service-tql-us", 0.0) * 1e-6;
+        if (!flags.error().empty()) {
+            std::fprintf(stderr, "error: %s\n",
+                         flags.error().c_str());
+            return usage(argv[0]);
+        }
+        if (arrivals.slo_seconds < 0.0 || admission.queue_cap < 1 ||
+            admission.service_tml < 0.0 ||
+            admission.service_tql < 0.0) {
+            std::fprintf(stderr, "SLO sweep parameters out of "
+                                 "range\n");
+            return 2;
+        }
     }
 
+    // One simulated run, optionally open-loop; fresh machine, policy
+    // and counter provider each time so runs are independent.
+    std::string policy_display;
+    const auto runSim =
+        [&](const tt::load::ArrivalPlan *plan)
+        -> tt::simrt::RunResult {
+        auto policy = makePolicy(plan != nullptr);
+        policy_display = policy->name();
+        tt::cpu::SimMachine sim_machine(machine);
+        // Always attach the synthesized counter provider: the run is
+        // deterministic either way, and the interference table turns
+        // the report from "where did the time go" into "which MTL
+        // let misses queue up".
+        tt::obs::perf::SimCounterProvider sim_counters;
+        tt::exec::EngineOptions engine_options;
+        engine_options.counters = &sim_counters;
+        engine_options.arrival_plan = plan;
+        engine_options.admission = admission;
+        tt::simrt::SimRuntime sim_runtime(sim_machine, graph, *policy,
+                                          engine_options);
+        return sim_runtime.run();
+    };
+
+    // The swept offered loads, as multiples of --arrival-rate; the
+    // 1x run doubles as the attribution run the tables describe.
+    static const double kSweepFactors[] = {0.25, 0.5, 1.0, 1.5, 2.0};
+    // A rate "degrades" (and can be the knee) below this attainment.
+    constexpr double kKneeAttainment = 0.95;
+
+    tt::obs::SloReport slo;
+    std::optional<tt::simrt::RunResult> main_result;
+    if (arrival_rate > 0.0) {
+        slo.valid = true;
+        slo.slo_seconds = arrivals.slo_seconds;
+        for (const double factor : kSweepFactors) {
+            tt::load::ArrivalConfig point_config = arrivals;
+            point_config.rate = arrival_rate * factor;
+            const tt::load::ArrivalPlan plan =
+                tt::load::buildArrivalPlan(point_config,
+                                           graph.pairCount());
+            tt::simrt::RunResult result = runSim(&plan);
+            if (result.failed) {
+                std::fprintf(stderr,
+                             "sweep run at %.0f jobs/s failed: %s\n",
+                             point_config.rate,
+                             result.failure_reason.c_str());
+                return 1;
+            }
+            tt::obs::SloPoint point;
+            point.offered_rate = point_config.rate;
+            point.offered = result.jobs_offered;
+            point.admitted = result.jobs_admitted;
+            point.shed = result.jobs_shed;
+            point.missed = result.jobs_deadline_missed;
+            point.shed_rate =
+                result.jobs_offered > 0
+                    ? static_cast<double>(result.jobs_shed) /
+                          static_cast<double>(result.jobs_offered)
+                    : 0.0;
+            const tt::obs::DistSummary response =
+                tt::obs::summarize(result.response_seconds);
+            point.p50 = response.p50;
+            point.p95 = response.p95;
+            point.p99 = response.p99;
+            point.attainment = result.slo_attainment;
+            if (point.attainment < kKneeAttainment &&
+                slo.knee_rate == 0.0)
+                slo.knee_rate = point.offered_rate;
+            slo.points.push_back(point);
+            if (factor == 1.0)
+                main_result = std::move(result);
+        }
+    } else {
+        tt::simrt::RunResult result = runSim(nullptr);
+        if (result.failed) {
+            std::fprintf(stderr, "run failed: %s\n",
+                         result.failure_reason.c_str());
+            return 1;
+        }
+        main_result = std::move(result);
+    }
+    const tt::simrt::RunResult &result = *main_result;
+
     tt::obs::AnalyzeOptions options;
-    options.policy = policy->name();
+    options.policy = policy_display;
     options.cores = n;
     options.makespan = result.seconds;
     options.policy_stats = result.policy_stats;
-    const tt::obs::Report report =
+    tt::obs::Report report =
         tt::obs::analyze(tt::simrt::toTraceData(graph, result),
                          options);
+    report.slo = std::move(slo);
 
     const std::string out_path = flags.getString("out", "");
     if (!out_path.empty()) {

@@ -52,6 +52,27 @@
  *   --timeseries-interval-us US  sampling interval           [100]
  *   --quiet      suppress the header
  *
+ * Open-loop arrivals (robustness extension; see load/arrival.hh and
+ * docs/robustness.md). With --arrival-rate the run becomes open-loop:
+ * a seeded generator injects the workload's job pairs at its own pace
+ * -- deterministic simulated offsets in the simulator, wall-clock
+ * timers with --host -- through bounded admission with
+ * ACCEPT/DELAY/SHED backpressure. Requires a single-phase workload.
+ *   --arrival-rate R      mean offered load, jobs/second       [off]
+ *   --arrival-process     poisson | bursty | diurnal       [poisson]
+ *   --arrival-seed S      arrival generator seed                 [1]
+ *   --slo-us US           per-job relative deadline, 0 = none    [0]
+ *   --queue-cap N         admission backlog bound               [64]
+ *   --priority-levels L   job priority classes (SHED keeps the
+ *                         highest class only)                    [1]
+ *   --service-us US       fitted T_ml for the admission
+ *                         predictor T = T_ml + b*T_ql (take both
+ *                         from a ttreport queue fit); 0 disables
+ *                         predicted-late shedding                [0]
+ *   --service-tql-us US   fitted T_ql                            [0]
+ *   --slo-fail-threshold F  exit 5 when the run completes but
+ *                         SLO attainment lands below F         [off]
+ *
  * Fault injection (see fault/fault_plan.hh; applies to --host and
  * the simulator alike, with identical seeded decisions):
  *   --inject-seed S       fault plan seed                    [0]
@@ -61,13 +82,18 @@
  *   --inject-corrupt-p P  sample-corruption probability      [0]
  *   --inject-stall-p P    worker-stall probability           [0]
  *   --inject-stall-ms MS  stall duration                     [50]
+ *   --inject-arrival-burst P   probability a job's arrival gap is
+ *                              compressed 8x (open-loop only) [0]
+ *   --inject-deadline-storm P  probability a job's SLO is
+ *                              slashed to 25% (open-loop)     [0]
  *   --max-retries N       attempts beyond the first          [3]
  *   --watchdog-ms MS      run deadline, 0 = off (wall time with
  *                         --host; simulated time otherwise)  [0]
  *
  * Exit codes: 0 success; 1 output file could not be written;
  * 2 usage error; 3 watchdog deadline exceeded (run wedged);
- * 4 a task failed after exhausting its retries.
+ * 4 a task failed after exhausting its retries; 5 the run completed
+ * but SLO attainment fell below --slo-fail-threshold.
  */
 
 #include <cstdio>
@@ -79,9 +105,11 @@
 
 #include "core/dynamic_policy.hh"
 #include "fault/fault_plan.hh"
+#include "load/arrival.hh"
 #include "core/online_exhaustive_policy.hh"
 #include "core/policy.hh"
 #include "cpu/machine_config.hh"
+#include "obs/analyzer.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/perf/counters.hh"
 #include "obs/perf/perf_event_provider.hh"
@@ -118,13 +146,20 @@ usage(const char *argv0)
         "          [--perf-counters] [--quiet]\n"
         "          [--timeseries-out FILE] "
         "[--timeseries-interval-us US]\n"
+        "          [--arrival-rate R] "
+        "[--arrival-process poisson|bursty|diurnal]\n"
+        "          [--arrival-seed S] [--slo-us US] [--queue-cap N]\n"
+        "          [--priority-levels L] [--service-us US]\n"
+        "          [--service-tql-us US] [--slo-fail-threshold F]\n"
         "          [--inject-seed S] [--inject-fail-p P]\n"
         "          [--inject-straggler P] [--inject-straggler-x F]\n"
         "          [--inject-corrupt-p P] [--inject-stall-p P]\n"
-        "          [--inject-stall-ms MS] [--max-retries N]\n"
+        "          [--inject-stall-ms MS] [--inject-arrival-burst P]\n"
+        "          [--inject-deadline-storm P] [--max-retries N]\n"
         "          [--watchdog-ms MS]\n"
         "exit codes: 0 ok, 1 output write failed, 2 usage,\n"
-        "            3 watchdog fired, 4 task failed after retries\n",
+        "            3 watchdog fired, 4 task failed after retries,\n"
+        "            5 SLO attainment below --slo-fail-threshold\n",
         argv0);
     return 2;
 }
@@ -233,6 +268,10 @@ main(int argc, char **argv)
         "inject-seed",    "inject-fail-p",  "inject-straggler",
         "inject-straggler-x", "inject-corrupt-p", "inject-stall-p",
         "inject-stall-ms", "max-retries",   "watchdog-ms",
+        "arrival-rate",   "arrival-process", "arrival-seed",
+        "slo-us",         "queue-cap",      "priority-levels",
+        "service-us",     "service-tql-us", "slo-fail-threshold",
+        "inject-arrival-burst", "inject-deadline-storm",
     };
     if (!flags.parse(argc, argv) || !flags.allowOnly(known_flags) ||
         flags.has("help")) {
@@ -354,6 +393,7 @@ main(int argc, char **argv)
     }
 
     std::unique_ptr<tt::core::SchedulingPolicy> policy;
+    tt::core::DynamicThrottlePolicy *dynamic_policy = nullptr;
     if (policy_name == "conventional") {
         policy = std::make_unique<tt::core::ConventionalPolicy>(n);
     } else if (policy_name == "static") {
@@ -364,6 +404,7 @@ main(int argc, char **argv)
             std::make_unique<tt::core::DynamicThrottlePolicy>(n, window);
         dynamic->setIdleBoundHysteresis(
             static_cast<int>(flags.getInt("hysteresis", 0)));
+        dynamic_policy = dynamic.get();
         policy = std::move(dynamic);
     } else if (policy_name == "online") {
         policy = std::make_unique<tt::core::OnlineExhaustivePolicy>(
@@ -390,6 +431,10 @@ main(int argc, char **argv)
     fault_config.stall_p = flags.getDouble("inject-stall-p", 0.0);
     fault_config.stall_seconds =
         flags.getDouble("inject-stall-ms", 50.0) * 1e-3;
+    fault_config.arrival_burst_p =
+        flags.getDouble("inject-arrival-burst", 0.0);
+    fault_config.deadline_storm_p =
+        flags.getDouble("inject-deadline-storm", 0.0);
     const int max_retries =
         static_cast<int>(flags.getInt("max-retries", 3));
     const double watchdog_seconds =
@@ -398,7 +443,11 @@ main(int argc, char **argv)
         !checkProbability("inject-straggler",
                           fault_config.straggler_p) ||
         !checkProbability("inject-corrupt-p", fault_config.corrupt_p) ||
-        !checkProbability("inject-stall-p", fault_config.stall_p))
+        !checkProbability("inject-stall-p", fault_config.stall_p) ||
+        !checkProbability("inject-arrival-burst",
+                          fault_config.arrival_burst_p) ||
+        !checkProbability("inject-deadline-storm",
+                          fault_config.deadline_storm_p))
         return 2;
     if (fault_config.straggler_factor < 1.0 ||
         fault_config.stall_seconds < 0.0 || max_retries < 0 ||
@@ -411,7 +460,7 @@ main(int argc, char **argv)
         return usage(argv[0]);
     }
     std::optional<tt::fault::FaultPlan> fault_plan;
-    if (fault_config.enabled()) {
+    if (fault_config.enabled() || fault_config.jobFaultsEnabled()) {
         fault_plan.emplace(fault_config);
         if (!flags.getBool("quiet"))
             std::printf("injecting: seed %llu, fail %.3f, straggler "
@@ -423,6 +472,78 @@ main(int argc, char **argv)
                         fault_config.straggler_factor,
                         fault_config.corrupt_p, fault_config.stall_p,
                         fault_config.stall_seconds * 1e3);
+    }
+
+    // Open-loop arrivals + bounded admission.
+    const double arrival_rate = flags.getDouble("arrival-rate", 0.0);
+    const double slo_fail_threshold =
+        flags.getDouble("slo-fail-threshold", -1.0);
+    std::optional<tt::load::ArrivalPlan> arrival_plan;
+    tt::load::AdmissionConfig admission;
+    if (arrival_rate < 0.0) {
+        std::fprintf(stderr, "--arrival-rate must be > 0\n");
+        return 2;
+    }
+    if (slo_fail_threshold > 1.0) {
+        std::fprintf(stderr,
+                     "--slo-fail-threshold must be in [0, 1]\n");
+        return 2;
+    }
+    if (arrival_rate > 0.0) {
+        if (graph.phaseCount() != 1) {
+            std::fprintf(stderr,
+                         "open-loop arrivals require a single-phase "
+                         "workload (got %d phases)\n",
+                         graph.phaseCount());
+            return 2;
+        }
+        tt::load::ArrivalConfig arrivals;
+        arrivals.seed = static_cast<std::uint64_t>(
+            flags.getInt("arrival-seed", 1));
+        arrivals.rate = arrival_rate;
+        const std::string process_name =
+            flags.getString("arrival-process", "poisson");
+        if (!tt::load::parseArrivalProcess(process_name.c_str(),
+                                           arrivals.process)) {
+            std::fprintf(stderr, "unknown arrival process '%s'\n",
+                         process_name.c_str());
+            return usage(argv[0]);
+        }
+        arrivals.slo_seconds = flags.getDouble("slo-us", 0.0) * 1e-6;
+        arrivals.priority_levels =
+            static_cast<int>(flags.getInt("priority-levels", 1));
+        admission.queue_cap =
+            static_cast<int>(flags.getInt("queue-cap", 64));
+        admission.service_tml =
+            flags.getDouble("service-us", 0.0) * 1e-6;
+        admission.service_tql =
+            flags.getDouble("service-tql-us", 0.0) * 1e-6;
+        if (!flags.error().empty()) {
+            std::fprintf(stderr, "error: %s\n",
+                         flags.error().c_str());
+            return usage(argv[0]);
+        }
+        if (arrivals.slo_seconds < 0.0 ||
+            arrivals.priority_levels < 1 || admission.queue_cap < 1 ||
+            admission.service_tml < 0.0 ||
+            admission.service_tql < 0.0) {
+            std::fprintf(stderr,
+                         "open-loop parameters out of range\n");
+            return 2;
+        }
+        arrival_plan.emplace(tt::load::buildArrivalPlan(
+            arrivals, graph.pairCount(),
+            fault_plan ? &*fault_plan : nullptr));
+        // Under backpressure the dynamic policy pins the last
+        // selected MTL instead of probing through the overload.
+        if (dynamic_policy != nullptr)
+            dynamic_policy->setSloAware();
+        if (!flags.getBool("quiet"))
+            std::printf("open loop: %s arrivals at %.0f jobs/s, "
+                        "SLO %.0f us, queue cap %d\n",
+                        tt::load::arrivalProcessName(arrivals.process),
+                        arrivals.rate, arrivals.slo_seconds * 1e6,
+                        admission.queue_cap);
     }
 
     tt::MetricsRegistry metrics;
@@ -467,6 +588,36 @@ main(int argc, char **argv)
         return true;
     };
 
+    // Open-loop admission/SLO summary, shared by both backends.
+    const auto printOpenLoopSummary =
+        [&](const tt::exec::RunResult &result) {
+            if (!arrival_plan)
+                return;
+            std::printf("jobs offered    %10ld  (admitted %ld, "
+                        "delayed %ld, shed %ld, missed %ld)\n",
+                        result.jobs_offered, result.jobs_admitted,
+                        result.jobs_delayed, result.jobs_shed,
+                        result.jobs_deadline_missed);
+            const tt::obs::DistSummary response =
+                tt::obs::summarize(result.response_seconds);
+            std::printf("response time   %10.1f us p50  (p95 %.1f, "
+                        "p99 %.1f)\n",
+                        response.p50 * 1e6, response.p95 * 1e6,
+                        response.p99 * 1e6);
+            std::printf("slo attainment  %9.1f%%\n",
+                        result.slo_attainment * 100.0);
+        };
+    // Exit-5 gate: completed, but attainment under the threshold.
+    const auto sloFailed = [&](const tt::exec::RunResult &result) {
+        if (!arrival_plan || slo_fail_threshold < 0.0 ||
+            result.slo_attainment >= slo_fail_threshold)
+            return false;
+        std::fprintf(stderr,
+                     "SLO attainment %.3f below threshold %.3f\n",
+                     result.slo_attainment, slo_fail_threshold);
+        return true;
+    };
+
     // On abnormal termination (watchdog, tt_assert) still leave the
     // metrics JSON behind for post-mortems; the hooks run before the
     // process exits.
@@ -495,6 +646,8 @@ main(int argc, char **argv)
             options.counters = host_counters.get();
         }
         options.fault_plan = fault_plan ? &*fault_plan : nullptr;
+        options.arrival_plan = arrival_plan ? &*arrival_plan : nullptr;
+        options.admission = admission;
         options.max_task_retries = max_retries;
         options.watchdog_seconds = watchdog_seconds;
         if (!timeseries_path.empty()) {
@@ -547,6 +700,8 @@ main(int argc, char **argv)
                          static_cast<unsigned long long>(
                              result.trace_dropped));
 
+        printOpenLoopSummary(result);
+
         if (!trace_path.empty() &&
             !writeTraceFile(trace_path,
                             tt::runtime::toTraceData(graph, result)))
@@ -558,7 +713,7 @@ main(int argc, char **argv)
             return 1;
         if (flags.getBool("metrics-summary"))
             std::printf("\n%s", metrics.summaryTable().c_str());
-        return 0;
+        return sloFailed(result) ? 5 : 0;
     }
 
     // Simulated runs share the host options; the watchdog deadline
@@ -573,6 +728,8 @@ main(int argc, char **argv)
     if (perf_counters)
         sim_options.counters = &sim_counters;
     sim_options.fault_plan = fault_plan ? &*fault_plan : nullptr;
+    sim_options.arrival_plan = arrival_plan ? &*arrival_plan : nullptr;
+    sim_options.admission = admission;
     sim_options.max_task_retries = max_retries;
     sim_options.watchdog_seconds = watchdog_seconds;
     if (!timeseries_path.empty()) {
@@ -611,6 +768,7 @@ main(int argc, char **argv)
                 final_mtl, result.policy_stats.selections,
                 result.monitor_overhead * 100.0,
                 result.policy_stats.stale_pairs);
+    printOpenLoopSummary(result);
 
     if (!trace_path.empty() &&
         !writeTraceFile(trace_path,
@@ -635,5 +793,5 @@ main(int argc, char **argv)
                         entry.mtl);
         }
     }
-    return 0;
+    return sloFailed(result) ? 5 : 0;
 }

@@ -80,6 +80,65 @@ if(perf_sim MATCHES "\"runtime\\.perf\\.llc_misses\": 0[,}]")
     message(FATAL_ERROR "sim run synthesized zero LLC misses")
 endif()
 
+# 1e. Open-loop overload on the simulator: a seeded 2x-overload run
+# must complete (exit 0 -- no watchdog, shedding instead of collapse)
+# and export the robustness counters in its metrics JSON.
+execute_process(
+    COMMAND "${TTSIM}" --workload synthetic --policy dynamic
+            --pairs 64 --quiet
+            --arrival-rate 20000 --arrival-process bursty
+            --slo-us 2000 --queue-cap 8
+            --service-us 140 --service-tql-us 40
+            --metrics-out "${WORK_DIR}/openloop_sim.json"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ttsim open-loop (sim) exited ${rc}, want 0")
+endif()
+file(READ "${WORK_DIR}/openloop_sim.json" openloop_sim)
+foreach(name admitted shed deadline_missed)
+    if(NOT openloop_sim MATCHES "runtime\\.jobs_${name}")
+        message(FATAL_ERROR "sim metrics lack runtime.jobs_${name}")
+    endif()
+endforeach()
+if(openloop_sim MATCHES "\"runtime\\.jobs_shed\": 0[,}]")
+    message(FATAL_ERROR "2x overload run shed no jobs")
+endif()
+
+# 1f. The host backend replays the same plan through real threads and
+# wall-clock timers; a generous SLO keeps the run green everywhere.
+execute_process(
+    COMMAND "${TTSIM}" --host --workload synthetic --policy dynamic
+            --pairs 32 --quiet
+            --arrival-rate 4000 --slo-us 30000000 --queue-cap 64
+            --metrics-out "${WORK_DIR}/openloop_host.json"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ttsim open-loop (host) exited ${rc}, want 0")
+endif()
+file(READ "${WORK_DIR}/openloop_host.json" openloop_host)
+if(NOT openloop_host MATCHES "runtime\\.jobs_admitted")
+    message(FATAL_ERROR "host metrics lack runtime.jobs_admitted")
+endif()
+
+# 1g. The ttreport SLO sweep emits the report's "slo" section with
+# per-rate points and a knee.
+execute_process(
+    COMMAND "${TTREPORT}" --workload synthetic --policy dynamic
+            --arrival-rate 5000 --slo-us 2000
+            --service-us 140 --service-tql-us 40
+            --out "${WORK_DIR}/slo.json"
+    OUTPUT_QUIET
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ttreport SLO sweep failed (rc=${rc})")
+endif()
+file(READ "${WORK_DIR}/slo.json" slo_report)
+foreach(key "\"slo\"" "\"knee_rate\"" "\"attainment\"")
+    if(NOT slo_report MATCHES "${key}")
+        message(FATAL_ERROR "SLO report lacks ${key}")
+    endif()
+endforeach()
+
 # 2. Two identical seeded runs produce identical reports: diff passes.
 foreach(name a b)
     execute_process(

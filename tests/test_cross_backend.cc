@@ -21,6 +21,8 @@
 #include "cpu/sim_machine.hh"
 #include "exec/engine.hh"
 #include "fault/fault_plan.hh"
+#include "load/admission.hh"
+#include "load/arrival.hh"
 #include "obs/analyzer.hh"
 #include "runtime/runtime.hh"
 #include "simrt/sim_runtime.hh"
@@ -321,6 +323,151 @@ TEST(CrossBackend, TimesAreRunRelativeOnBothBackendsAndOnReuse)
     const double sim_share = mtlShare(second_result);
     EXPECT_NEAR(host_share, 1.0, 1e-9);
     EXPECT_NEAR(sim_share, 1.0, 1e-9);
+}
+
+/**
+ * Overload robustness: a seeded ~2x-overload arrival plan through
+ * bounded admission sheds the *identical* jobs on both backends --
+ * admission decides against the plan's virtual clock, never against
+ * live completions, so wall-clock jitter cannot change which jobs
+ * run. Deadlines are generous, so neither backend misses any; the
+ * difference between the backends stays confined to the clocks.
+ */
+TEST(CrossBackend, SeededOverloadShedsIdenticalJobsOnBothBackends)
+{
+    const TaskGraph graph = dualGraph(48);
+
+    tt::load::ArrivalConfig arrivals;
+    arrivals.seed = 9;
+    arrivals.rate = 1e6; // far past capacity; queue fills immediately
+    arrivals.slo_seconds = 30.0;
+    const tt::load::ArrivalPlan plan =
+        tt::load::buildArrivalPlan(arrivals, graph.pairCount());
+
+    EngineOptions options;
+    options.threads = 2;
+    options.pin_affinity = false;
+    options.arrival_plan = &plan;
+    options.admission.queue_cap = 4;
+    options.admission.service_tml = 200e-6;
+    options.admission.service_tql = 50e-6;
+
+    tt::MetricsRegistry host_metrics;
+    options.metrics = &host_metrics;
+    StaticMtlPolicy host_policy(1, 2);
+    tt::runtime::Runtime host(graph, host_policy, options);
+    const auto host_result = host.run();
+
+    tt::MetricsRegistry sim_metrics;
+    options.metrics = &sim_metrics;
+    tt::cpu::SimMachine machine(simConfig(2));
+    StaticMtlPolicy sim_policy(1, 2);
+    tt::simrt::SimRuntime sim(machine, graph, sim_policy, options);
+    const auto sim_result = sim.run();
+
+    EXPECT_FALSE(host_result.failed);
+    EXPECT_FALSE(sim_result.failed);
+
+    // The overload actually shed work, and the counts agree.
+    EXPECT_GT(host_result.jobs_shed, 0);
+    EXPECT_EQ(host_result.jobs_offered, sim_result.jobs_offered);
+    EXPECT_EQ(host_result.jobs_admitted, sim_result.jobs_admitted);
+    EXPECT_EQ(host_result.jobs_delayed, sim_result.jobs_delayed);
+    EXPECT_EQ(host_result.jobs_shed, sim_result.jobs_shed);
+    EXPECT_EQ(host_result.jobs_deadline_missed, 0);
+    EXPECT_EQ(sim_result.jobs_deadline_missed, 0);
+
+    // Identical per-job verdicts: decision, reason, state, backlog.
+    ASSERT_EQ(host_result.jobs.size(), sim_result.jobs.size());
+    ASSERT_EQ(host_result.jobs.size(), plan.size());
+    for (std::size_t i = 0; i < host_result.jobs.size(); ++i) {
+        const auto &h = host_result.jobs[i];
+        const auto &s = sim_result.jobs[i];
+        EXPECT_EQ(h.pair, s.pair) << "job " << i;
+        EXPECT_EQ(static_cast<int>(h.decision),
+                  static_cast<int>(s.decision))
+            << "job " << i;
+        EXPECT_EQ(static_cast<int>(h.shed_reason),
+                  static_cast<int>(s.shed_reason))
+            << "job " << i;
+        EXPECT_EQ(static_cast<int>(h.state),
+                  static_cast<int>(s.state))
+            << "job " << i;
+        EXPECT_EQ(h.backlog, s.backlog) << "job " << i;
+    }
+
+    // Both backends published the same admission counters.
+    EXPECT_EQ(host_metrics.counter("runtime.jobs_shed"),
+              sim_metrics.counter("runtime.jobs_shed"));
+    EXPECT_GT(host_metrics.counter("runtime.jobs_shed"), 0);
+}
+
+/**
+ * SLO-aware dynamic policy under a bursty overload: the backpressure
+ * transitions the engine feeds the policy are plan-driven, so the
+ * audited decision sequence -- including the overload pin and the
+ * post-recovery reenter -- must be value-identical host vs sim (the
+ * timestamps are backend clocks and are not compared).
+ */
+TEST(CrossBackend, OverloadAuditDecisionsMatchAcrossBackends)
+{
+    const TaskGraph graph = dualGraph(64);
+
+    tt::load::ArrivalConfig arrivals;
+    arrivals.seed = 13;
+    arrivals.process = tt::load::ArrivalProcess::Bursty;
+    arrivals.rate = 20000.0;
+    arrivals.burst_period_seconds = 1e-3;
+    arrivals.burst_fraction = 0.25;
+    arrivals.burst_rate_factor = 3.0;
+    arrivals.slo_seconds = 30.0;
+    const tt::load::ArrivalPlan plan =
+        tt::load::buildArrivalPlan(arrivals, graph.pairCount());
+
+    EngineOptions options;
+    options.threads = 2;
+    options.pin_affinity = false;
+    options.arrival_plan = &plan;
+    options.admission.queue_cap = 4;
+    options.admission.hysteresis = 2;
+    options.admission.service_tml = 200e-6;
+    options.admission.service_tql = 50e-6;
+
+    // Window past the pair count: no phase-change selection can
+    // complete, so every decision in the log is overload-driven.
+    tt::core::DynamicThrottlePolicy host_policy(2, 128);
+    host_policy.setSloAware();
+    tt::runtime::Runtime host(graph, host_policy, options);
+    const auto host_result = host.run();
+
+    tt::cpu::SimMachine machine(simConfig(2));
+    tt::core::DynamicThrottlePolicy sim_policy(2, 128);
+    sim_policy.setSloAware();
+    tt::simrt::SimRuntime sim(machine, graph, sim_policy, options);
+    const auto sim_result = sim.run();
+
+    EXPECT_FALSE(host_result.failed);
+    EXPECT_FALSE(sim_result.failed);
+    EXPECT_GT(host_result.jobs_shed, 0);
+    EXPECT_EQ(host_result.jobs_shed, sim_result.jobs_shed);
+
+    long host_overloads = 0;
+    for (const auto &d : host_result.decisions)
+        if (d.reason == tt::core::DecisionReason::Overload)
+            ++host_overloads;
+    EXPECT_GE(host_overloads, 1) << "burst never tripped SHED";
+
+    ASSERT_EQ(host_result.decisions.size(),
+              sim_result.decisions.size());
+    for (std::size_t i = 0; i < host_result.decisions.size(); ++i) {
+        const auto &h = host_result.decisions[i];
+        const auto &s = sim_result.decisions[i];
+        EXPECT_EQ(static_cast<int>(h.reason),
+                  static_cast<int>(s.reason))
+            << "decision " << i;
+        EXPECT_EQ(h.from_mtl, s.from_mtl) << "decision " << i;
+        EXPECT_EQ(h.to_mtl, s.to_mtl) << "decision " << i;
+    }
 }
 
 } // namespace

@@ -1,0 +1,435 @@
+/**
+ * @file
+ * Unit tests of the open-loop load subsystem: seeded arrival-plan
+ * generation (process shapes, determinism, fault perturbation) and
+ * the deterministic admission controller (queue-cap boundary,
+ * predicted-late shedding, hysteresis, priority shed ordering), plus
+ * the SLO section's diff tolerance contract in the analyzer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hh"
+#include "load/admission.hh"
+#include "load/arrival.hh"
+#include "obs/analyzer.hh"
+#include "util/json.hh"
+
+namespace {
+
+using tt::load::AdmissionConfig;
+using tt::load::AdmissionController;
+using tt::load::AdmissionDecision;
+using tt::load::AdmissionOutcome;
+using tt::load::ArrivalConfig;
+using tt::load::ArrivalPlan;
+using tt::load::ArrivalProcess;
+using tt::load::BackpressureState;
+using tt::load::buildArrivalPlan;
+using tt::load::JobSpec;
+using tt::load::ShedReason;
+
+// ---- arrival generation --------------------------------------------
+
+TEST(Arrival, ProcessNamesRoundTrip)
+{
+    for (ArrivalProcess process :
+         {ArrivalProcess::Poisson, ArrivalProcess::Bursty,
+          ArrivalProcess::Diurnal}) {
+        ArrivalProcess parsed = ArrivalProcess::Poisson;
+        ASSERT_TRUE(tt::load::parseArrivalProcess(
+            tt::load::arrivalProcessName(process), parsed));
+        EXPECT_EQ(static_cast<int>(parsed),
+                  static_cast<int>(process));
+    }
+    ArrivalProcess parsed = ArrivalProcess::Poisson;
+    EXPECT_FALSE(tt::load::parseArrivalProcess("weibull", parsed));
+}
+
+TEST(Arrival, PoissonPlanIsSeededAndMatchesTheRate)
+{
+    ArrivalConfig config;
+    config.seed = 42;
+    config.rate = 10000.0;
+    config.slo_seconds = 2e-3;
+    const int jobs = 4000;
+    const ArrivalPlan plan = buildArrivalPlan(config, jobs);
+    ASSERT_EQ(plan.size(), static_cast<std::size_t>(jobs));
+
+    // Job k drives pair k, arrivals ascend, SLO and priority ride
+    // along unchanged.
+    double prev = -1.0;
+    for (int k = 0; k < jobs; ++k) {
+        EXPECT_EQ(plan.jobs[k].pair, k);
+        EXPECT_GT(plan.jobs[k].arrival_seconds, prev);
+        prev = plan.jobs[k].arrival_seconds;
+        EXPECT_DOUBLE_EQ(plan.jobs[k].slo_seconds, 2e-3);
+        EXPECT_EQ(plan.jobs[k].priority, 0);
+    }
+
+    // Long-run mean inter-arrival ~ 1/rate (law of large numbers;
+    // 4000 exponential draws keep the sample mean within ~5%).
+    const double mean_gap =
+        plan.jobs.back().arrival_seconds / (jobs - 1);
+    EXPECT_NEAR(mean_gap, 1.0 / config.rate, 0.05 / config.rate);
+
+    // Same seed, same plan; different seed, different plan.
+    const ArrivalPlan again = buildArrivalPlan(config, jobs);
+    EXPECT_DOUBLE_EQ(again.jobs.back().arrival_seconds,
+                     plan.jobs.back().arrival_seconds);
+    config.seed = 43;
+    const ArrivalPlan other = buildArrivalPlan(config, jobs);
+    EXPECT_NE(other.jobs.back().arrival_seconds,
+              plan.jobs.back().arrival_seconds);
+}
+
+TEST(Arrival, BurstyPlanConcentratesArrivalsInTheOnWindow)
+{
+    ArrivalConfig config;
+    config.seed = 7;
+    config.process = ArrivalProcess::Bursty;
+    config.rate = 20000.0;
+    config.burst_period_seconds = 10e-3;
+    config.burst_fraction = 0.25;
+    config.burst_rate_factor = 3.0;
+    const int jobs = 4000;
+    const ArrivalPlan plan = buildArrivalPlan(config, jobs);
+
+    long in_burst = 0;
+    for (const JobSpec &job : plan.jobs) {
+        const double phase = std::fmod(job.arrival_seconds,
+                                       config.burst_period_seconds) /
+                             config.burst_period_seconds;
+        if (phase < config.burst_fraction)
+            ++in_burst;
+    }
+    // The on window carries fraction*factor = 75% of the offered
+    // load; allow generous sampling slack.
+    const double share =
+        static_cast<double>(in_burst) / static_cast<double>(jobs);
+    EXPECT_GT(share, 0.65);
+    EXPECT_LT(share, 0.85);
+}
+
+TEST(Arrival, DiurnalPlanFollowsTheProfile)
+{
+    ArrivalConfig config;
+    config.seed = 3;
+    config.process = ArrivalProcess::Diurnal;
+    config.rate = 10000.0;
+    config.diurnal_profile = {4.0, 0.5};
+    config.diurnal_period_seconds = 10e-3;
+    const int jobs = 3000;
+    const ArrivalPlan plan = buildArrivalPlan(config, jobs);
+
+    long first_half = 0;
+    long second_half = 0;
+    for (const JobSpec &job : plan.jobs) {
+        const double phase = std::fmod(job.arrival_seconds,
+                                       config.diurnal_period_seconds) /
+                             config.diurnal_period_seconds;
+        (phase < 0.5 ? first_half : second_half) += 1;
+    }
+    // 8:1 relative rate; require a clear majority, not exactness.
+    EXPECT_GT(first_half, 4 * second_half);
+}
+
+TEST(Arrival, FaultPlanPerturbsArrivalsAndDeadlines)
+{
+    ArrivalConfig config;
+    config.seed = 5;
+    config.rate = 10000.0;
+    config.slo_seconds = 4e-3;
+    const int jobs = 512;
+    const ArrivalPlan clean = buildArrivalPlan(config, jobs);
+
+    tt::fault::FaultConfig fault_config;
+    fault_config.seed = 11;
+    fault_config.arrival_burst_p = 1.0;
+    fault_config.burst_compression = 8.0;
+    fault_config.deadline_storm_p = 1.0;
+    fault_config.storm_slash = 0.25;
+    const tt::fault::FaultPlan faults(fault_config);
+    ASSERT_TRUE(fault_config.jobFaultsEnabled());
+
+    const ArrivalPlan stormy =
+        buildArrivalPlan(config, jobs, &faults);
+    ASSERT_EQ(stormy.size(), clean.size());
+    // Every gap compressed 8x => the whole plan lands 8x earlier.
+    EXPECT_NEAR(stormy.jobs.back().arrival_seconds,
+                clean.jobs.back().arrival_seconds / 8.0,
+                clean.jobs.back().arrival_seconds * 1e-9);
+    for (const JobSpec &job : stormy.jobs)
+        EXPECT_DOUBLE_EQ(job.slo_seconds, 1e-3); // 4 ms slashed to 25%
+
+    // Probability zero leaves the plan untouched.
+    fault_config.arrival_burst_p = 0.0;
+    fault_config.deadline_storm_p = 0.0;
+    EXPECT_FALSE(fault_config.jobFaultsEnabled());
+}
+
+// ---- admission control ---------------------------------------------
+
+/** One saturating second of service; nothing drains within the test
+ *  arrivals unless the test spaces them out. */
+AdmissionConfig
+slowService()
+{
+    AdmissionConfig config;
+    config.queue_cap = 2;
+    config.delay_watermark = 2;
+    config.accept_watermark = 1;
+    config.hysteresis = 2;
+    config.servers = 1;
+    config.service_tml = 1.0;
+    return config;
+}
+
+JobSpec
+jobAt(double t, int priority = 0, double slo = 0.0)
+{
+    JobSpec job;
+    job.arrival_seconds = t;
+    job.priority = priority;
+    job.slo_seconds = slo;
+    return job;
+}
+
+TEST(Admission, QueueCapBoundaryShedsAndEntersShedState)
+{
+    AdmissionController controller(slowService(), 1);
+
+    // Two fit (cap 2): first starts, second queues.
+    AdmissionOutcome first = controller.onArrival(jobAt(0.0));
+    EXPECT_EQ(first.decision, AdmissionDecision::Accept);
+    EXPECT_EQ(first.backlog, 0);
+    AdmissionOutcome second = controller.onArrival(jobAt(0.01));
+    EXPECT_EQ(second.decision, AdmissionDecision::Accept);
+    EXPECT_EQ(second.backlog, 1);
+    EXPECT_EQ(controller.state(), BackpressureState::Accept);
+
+    // The third finds the virtual backlog at cap: shed, SHED state.
+    AdmissionOutcome third = controller.onArrival(jobAt(0.02));
+    EXPECT_EQ(third.decision, AdmissionDecision::Shed);
+    EXPECT_EQ(third.shed_reason, ShedReason::QueueFull);
+    EXPECT_EQ(third.state, BackpressureState::Shed);
+    EXPECT_EQ(controller.state(), BackpressureState::Shed);
+}
+
+TEST(Admission, HysteresisPreventsFlappingOutOfShed)
+{
+    AdmissionController controller(slowService(), 1);
+    controller.onArrival(jobAt(0.0));  // finishes (virtually) at 1.0
+    controller.onArrival(jobAt(0.01)); // finishes at 2.0
+    controller.onArrival(jobAt(0.02)); // queue-full -> SHED
+    ASSERT_EQ(controller.state(), BackpressureState::Shed);
+
+    // First calm arrival (backlog 1 <= accept watermark): still SHED
+    // -- one quiet gap must not end the episode -- and the job itself
+    // is priority-shed while the state holds.
+    AdmissionOutcome calm1 = controller.onArrival(jobAt(1.5));
+    EXPECT_EQ(calm1.backlog, 1);
+    EXPECT_EQ(calm1.decision, AdmissionDecision::Shed);
+    EXPECT_EQ(calm1.shed_reason, ShedReason::LowPriority);
+    EXPECT_EQ(controller.state(), BackpressureState::Shed);
+
+    // Second consecutive calm arrival completes the hysteresis: the
+    // controller recovers to ACCEPT and admits it.
+    AdmissionOutcome calm2 = controller.onArrival(jobAt(2.5));
+    EXPECT_EQ(calm2.backlog, 0);
+    EXPECT_EQ(calm2.decision, AdmissionDecision::Accept);
+    EXPECT_EQ(calm2.state, BackpressureState::Accept);
+    EXPECT_EQ(controller.state(), BackpressureState::Accept);
+}
+
+TEST(Admission, CongestedArrivalResetsTheCalmStreak)
+{
+    AdmissionConfig config;
+    config.queue_cap = 3;
+    config.delay_watermark = 3;
+    // accept_watermark defaults to cap/4 = 0: calm means empty.
+    config.hysteresis = 3;
+    config.servers = 1;
+    config.service_tml = 1.0;
+    AdmissionController controller(config, 1);
+    controller.onArrival(jobAt(0.0));  // virtual finish 1.0
+    controller.onArrival(jobAt(0.01)); // 2.0
+    controller.onArrival(jobAt(0.02)); // 3.0
+    controller.onArrival(jobAt(0.03)); // queue-full -> SHED
+    ASSERT_EQ(controller.state(), BackpressureState::Shed);
+
+    // Two calm arrivals (system drained by t=3.5) bring the streak to
+    // 2 of 3; the second is high-priority and admitted, so the third
+    // arrival sees a congested backlog and must reset the streak.
+    controller.onArrival(jobAt(3.5));
+    ASSERT_EQ(controller.state(), BackpressureState::Shed);
+    EXPECT_EQ(controller.onArrival(jobAt(3.51, 1)).decision,
+              AdmissionDecision::Accept); // at the floor: slips in
+    ASSERT_EQ(controller.state(), BackpressureState::Shed);
+    const AdmissionOutcome congested = controller.onArrival(jobAt(3.52));
+    EXPECT_EQ(congested.backlog, 1); // the admitted job, in service
+    ASSERT_EQ(controller.state(), BackpressureState::Shed);
+
+    // Had the streak survived the congested arrival, the first calm
+    // arrival below would already be the third; instead recovery
+    // takes three fresh calm arrivals from here.
+    controller.onArrival(jobAt(6.0));
+    ASSERT_EQ(controller.state(), BackpressureState::Shed);
+    controller.onArrival(jobAt(6.1));
+    ASSERT_EQ(controller.state(), BackpressureState::Shed);
+    const AdmissionOutcome recovered = controller.onArrival(jobAt(6.2));
+    EXPECT_EQ(recovered.decision, AdmissionDecision::Accept);
+    EXPECT_EQ(controller.state(), BackpressureState::Accept);
+}
+
+TEST(Admission, IsolatedPredictedLateShedsWithoutStateChange)
+{
+    AdmissionConfig config;
+    config.queue_cap = 8;
+    config.delay_watermark = 4;
+    config.accept_watermark = 2;
+    config.servers = 1;
+    config.service_tml = 1.0;
+    AdmissionController controller(config, 1);
+
+    // Empty system, tight deadline: the job is shed early (predicted
+    // 1 s response vs 0.5 s SLO) but the system state stays ACCEPT --
+    // one hopeless job is not an overload.
+    AdmissionOutcome out = controller.onArrival(jobAt(0.0, 0, 0.5));
+    EXPECT_EQ(out.decision, AdmissionDecision::Shed);
+    EXPECT_EQ(out.shed_reason, ShedReason::PredictedLate);
+    EXPECT_GT(out.predicted_response, 0.5);
+    EXPECT_EQ(out.state, BackpressureState::Accept);
+    EXPECT_EQ(controller.state(), BackpressureState::Accept);
+
+    // A feasible deadline on the same empty system is admitted.
+    AdmissionOutcome ok = controller.onArrival(jobAt(0.01, 0, 2.0));
+    EXPECT_EQ(ok.decision, AdmissionDecision::Accept);
+}
+
+TEST(Admission, ShedStateKeepsHighPriorityDropsLow)
+{
+    AdmissionConfig config = slowService();
+    config.hysteresis = 99; // pin SHED for the whole test
+    AdmissionController controller(config, 1);
+    controller.onArrival(jobAt(0.0));
+    controller.onArrival(jobAt(0.01));
+    controller.onArrival(jobAt(0.02)); // -> SHED
+    ASSERT_EQ(controller.state(), BackpressureState::Shed);
+
+    // Backlog drained to 1 by t=1.5: low priority is still shed,
+    // priority at the floor is admitted -- shed lowest first.
+    AdmissionOutcome low = controller.onArrival(jobAt(1.5, 0));
+    EXPECT_EQ(low.decision, AdmissionDecision::Shed);
+    EXPECT_EQ(low.shed_reason, ShedReason::LowPriority);
+    AdmissionOutcome high = controller.onArrival(jobAt(1.51, 1));
+    EXPECT_EQ(high.decision, AdmissionDecision::Accept);
+    EXPECT_EQ(controller.state(), BackpressureState::Shed);
+}
+
+TEST(Admission, DelayWatermarkMarksAdmitsWithoutShedding)
+{
+    AdmissionConfig config;
+    config.queue_cap = 4;
+    config.delay_watermark = 2;
+    config.accept_watermark = 1;
+    config.servers = 1;
+    config.service_tml = 1.0;
+    AdmissionController controller(config, 1);
+
+    EXPECT_EQ(controller.onArrival(jobAt(0.0)).decision,
+              AdmissionDecision::Accept);
+    EXPECT_EQ(controller.onArrival(jobAt(0.01)).decision,
+              AdmissionDecision::Accept);
+    const AdmissionOutcome delayed = controller.onArrival(jobAt(0.02));
+    EXPECT_EQ(delayed.decision, AdmissionDecision::Delay);
+    EXPECT_EQ(delayed.state, BackpressureState::Delay);
+    EXPECT_EQ(controller.state(), BackpressureState::Delay);
+}
+
+// ---- SLO section diff tolerance ------------------------------------
+
+tt::obs::Report
+reportWithSlo(double p99_at_2x, double knee)
+{
+    tt::obs::Report report;
+    report.policy = "dynamic-throttle";
+    report.cores = 4;
+    report.makespan = 0.01;
+    report.slo.valid = true;
+    report.slo.slo_seconds = 2e-3;
+    report.slo.knee_rate = knee;
+    for (const double rate : {1000.0, 2000.0}) {
+        tt::obs::SloPoint point;
+        point.offered_rate = rate;
+        point.offered = 128;
+        point.admitted = 128;
+        point.p50 = 4e-4;
+        point.p95 = 8e-4;
+        point.p99 = rate > 1500.0 ? p99_at_2x : 9e-4;
+        point.attainment = 1.0;
+        report.slo.points.push_back(point);
+    }
+    return report;
+}
+
+tt::json::Value
+parseReport(const tt::obs::Report &report)
+{
+    std::ostringstream os;
+    tt::obs::writeReportJson(report, os);
+    std::string error;
+    auto parsed = tt::json::parse(os.str(), &error);
+    EXPECT_TRUE(parsed.has_value()) << error;
+    return *parsed;
+}
+
+TEST(SloDiff, MissingSectionOnEitherSideIsTolerated)
+{
+    const auto with_slo = parseReport(reportWithSlo(1e-3, 0.0));
+    tt::obs::Report closed_loop;
+    closed_loop.makespan = 0.01;
+    const auto without_slo = parseReport(closed_loop);
+
+    // Old baseline vs new candidate, and the reverse: neither may
+    // regress or even note a mismatch.
+    EXPECT_FALSE(
+        tt::obs::diffReports(without_slo, with_slo, 0.05).regressed());
+    EXPECT_FALSE(
+        tt::obs::diffReports(with_slo, without_slo, 0.05).regressed());
+}
+
+TEST(SloDiff, WorsePointAndShrunkKneeRegress)
+{
+    const auto baseline = parseReport(reportWithSlo(1e-3, 2000.0));
+    const auto same = parseReport(reportWithSlo(1e-3, 2000.0));
+    EXPECT_FALSE(tt::obs::diffReports(baseline, same, 0.05).regressed());
+
+    // p99 at the 2000/s point doubles: flagged.
+    const auto slower = parseReport(reportWithSlo(2e-3, 2000.0));
+    const auto p99_diff = tt::obs::diffReports(baseline, slower, 0.05);
+    ASSERT_TRUE(p99_diff.regressed());
+    bool found_p99 = false;
+    for (const auto &finding : p99_diff.regressions)
+        found_p99 |= finding.metric.find("p99") != std::string::npos;
+    EXPECT_TRUE(found_p99);
+
+    // The knee moves to a lower rate (capacity loss): flagged.
+    const auto smaller_knee = parseReport(reportWithSlo(1e-3, 1000.0));
+    EXPECT_TRUE(
+        tt::obs::diffReports(baseline, smaller_knee, 0.05).regressed());
+    // A knee appearing where the baseline had none: flagged.
+    const auto no_knee = parseReport(reportWithSlo(1e-3, 0.0));
+    EXPECT_TRUE(
+        tt::obs::diffReports(no_knee, baseline, 0.05).regressed());
+    // A knee *disappearing* is an improvement, not a regression.
+    EXPECT_FALSE(
+        tt::obs::diffReports(baseline, no_knee, 0.05).regressed());
+}
+
+} // namespace
