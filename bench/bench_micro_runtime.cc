@@ -2,10 +2,11 @@
  * @file
  * google-benchmark microbenchmarks of the runtime primitives: the
  * analytical model evaluation, phase detector and selector state
- * machines, the event queue, the DRAM channel, and host-runtime
- * pair dispatch. These bound the per-decision overhead the dynamic
- * mechanism adds to an application (the paper argues that overhead
- * is negligible; here it is nanoseconds per event).
+ * machines, the event queue, the DRAM channel, host-runtime pair
+ * dispatch, and the live-telemetry hot paths (span recording, one
+ * OpenMetrics scrape). These bound the per-decision overhead the
+ * dynamic mechanism adds to an application (the paper argues that
+ * overhead is negligible; here it is nanoseconds per event).
  */
 
 #include <benchmark/benchmark.h>
@@ -20,10 +21,13 @@
 #include "core/policy.hh"
 #include "cpu/machine_config.hh"
 #include "mem/dram_channel.hh"
+#include "obs/live.hh"
+#include "obs/span.hh"
 #include "runtime/runtime.hh"
 #include "sim/event_queue.hh"
 #include "simrt/sim_runtime.hh"
 #include "stream/builder.hh"
+#include "util/stats.hh"
 
 namespace {
 
@@ -177,6 +181,52 @@ BM_HostRuntimePairDispatch(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 256);
 }
 BENCHMARK(BM_HostRuntimePairDispatch);
+
+void
+BM_SpanBufferRecord(benchmark::State &state)
+{
+    // Per-job cost of assembling the causal span: one record with a
+    // typical two-attempt (memory + compute) history into a bounded
+    // buffer that is already wrapping.
+    tt::obs::SpanBuffer buffer(4096);
+    tt::obs::JobSpan span;
+    span.pair = 0;
+    span.arrival = 0.0;
+    span.end = 2e-4;
+    span.attempts.resize(2);
+    span.attempts[0].is_memory = true;
+    span.attempts[0].end = 1e-4;
+    span.attempts[1].start = 1e-4;
+    span.attempts[1].end = 2e-4;
+    for (auto _ : state) {
+        ++span.pair;
+        buffer.record(span);
+        benchmark::DoNotOptimize(buffer.recorded());
+    }
+}
+BENCHMARK(BM_SpanBufferRecord);
+
+void
+BM_OpenMetricsRender(benchmark::State &state)
+{
+    // Per-scrape cost of the live endpoint: render a registry the
+    // size of a real run's (the serving thread pays exactly this,
+    // charged to obs.overhead.live_export_ns).
+    tt::MetricsRegistry metrics;
+    for (int i = 0; i < 32; ++i)
+        metrics.add("runtime.counter_" + std::to_string(i), i);
+    for (int i = 0; i < 8; ++i)
+        metrics.set("runtime.gauge_" + std::to_string(i), 0.5 * i);
+    for (int i = 0; i < 8; ++i)
+        for (int s = 0; s < 512; ++s)
+            metrics.observe("runtime.hist_" + std::to_string(i),
+                            1e-6 * s);
+    for (auto _ : state) {
+        auto text = tt::obs::openMetricsText(metrics, 1.0);
+        benchmark::DoNotOptimize(text.data());
+    }
+}
+BENCHMARK(BM_OpenMetricsRender);
 
 } // namespace
 

@@ -1,12 +1,14 @@
 #include "exec/engine.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
 
 #include "core/sample_guard.hh"
+#include "obs/live.hh"
 #include "obs/timeseries.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
@@ -25,6 +27,20 @@ ringCapacity(const EngineOptions &options, int task_count)
     const auto wanted = std::min(
         options.trace_capacity, static_cast<std::size_t>(task_count));
     return std::max<std::size_t>(1, wanted);
+}
+
+/**
+ * Wall-clock nanoseconds for the obs.overhead.* self-observability
+ * counters: the real cost of observability code, measured with the
+ * steady clock on every backend (simulated time would hide it).
+ */
+std::uint64_t
+wallNanos()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
 }
 
 } // namespace
@@ -48,6 +64,9 @@ Engine::Engine(const stream::TaskGraph &graph,
     tt_assert(options_.timeseries_out == nullptr ||
                   options_.timeseries_interval_seconds > 0.0,
               "sampling interval must be positive");
+    tt_assert(options_.live_sink == nullptr ||
+                  options_.live_interval_seconds > 0.0,
+              "live snapshot interval must be positive");
 
     const auto n_tasks = static_cast<std::size_t>(graph_.taskCount());
     deps_left_.assign(n_tasks, 0);
@@ -93,7 +112,7 @@ Engine::Engine(const stream::TaskGraph &graph,
 }
 
 void
-Engine::activatePhaseLocked(int phase)
+Engine::activatePhaseLocked(int phase, double now)
 {
     current_phase_ = phase;
     phase_remaining_ = 0;
@@ -105,6 +124,9 @@ Engine::activatePhaseLocked(int phase)
             tt_assert(task.kind == TaskKind::Memory,
                       "only memory tasks can be initially ready");
             ready_memory_.push_back(task.id);
+            // Closed-loop spans: the pair's "arrival" is the barrier
+            // instant its memory task became runnable.
+            openSpanLocked(task.pair, 0, now);
         }
     }
     tt_assert(phase_remaining_ > 0 || graph_.empty(),
@@ -158,6 +180,60 @@ Engine::onArrivalTimer()
 }
 
 void
+Engine::openSpanLocked(int pair, int priority, double arrival)
+{
+    auto &span = open_span_[static_cast<std::size_t>(pair)];
+    span = obs::JobSpan{};
+    span.pair = pair;
+    span.priority = priority;
+    span.open_loop = open_loop_;
+    span.arrival = arrival;
+    span_open_[static_cast<std::size_t>(pair)] = true;
+}
+
+void
+Engine::spanAttemptLocked(stream::TaskId id, int worker,
+                         const AttemptOutcome &outcome, bool failed,
+                         double backoff_seconds)
+{
+    const Task &task = graph_.task(id);
+    const auto pair = static_cast<std::size_t>(task.pair);
+    if (!span_open_[pair])
+        return;
+    obs::SpanAttempt attempt;
+    attempt.task = id;
+    attempt.is_memory = task.kind == TaskKind::Memory;
+    attempt.attempt = attempts_[static_cast<std::size_t>(id)];
+    attempt.worker = worker;
+    attempt.start = outcome.start;
+    attempt.end = outcome.end;
+    attempt.failed = failed;
+    attempt.backoff_seconds = backoff_seconds;
+    if (outcome.has_counters) {
+        attempt.has_counters = true;
+        attempt.counters = outcome.counters;
+    }
+    open_span_[pair].attempts.push_back(attempt);
+}
+
+void
+Engine::closeSpanLocked(int pair, double end, obs::SpanOutcome outcome)
+{
+    const auto index = static_cast<std::size_t>(pair);
+    if (!span_open_[index])
+        return;
+    obs::JobSpan &span = open_span_[index];
+    span.end = end;
+    span.outcome = outcome;
+    span.critical_path = obs::computeCriticalPath(span);
+    const std::uint64_t t0 = wallNanos();
+    span_buffer_->record(std::move(span));
+    obs_trace_record_ns_ += wallNanos() - t0;
+    span = obs::JobSpan{};
+    span_open_[index] = false;
+}
+
+void
 Engine::admitJobLocked(const load::JobSpec &job)
 {
     const load::AdmissionOutcome out = admission_->onArrival(job);
@@ -181,6 +257,14 @@ Engine::admitJobLocked(const load::JobSpec &job)
         shed_tasks_ += 2;
         if (metrics != nullptr)
             metrics->add("runtime.jobs_shed", 1);
+        // The span is terminal at the verdict: no attempts, zero
+        // response, the shed reason preserved for attribution.
+        const double stamp = backend_->now();
+        openSpanLocked(job.pair, job.priority, stamp);
+        auto &span = open_span_[static_cast<std::size_t>(job.pair)];
+        span.decision = out.decision;
+        span.shed_reason = out.shed_reason;
+        closeSpanLocked(job.pair, stamp, obs::SpanOutcome::Shed);
     } else {
         ++jobs_admitted_;
         if (metrics != nullptr)
@@ -197,6 +281,9 @@ Engine::admitJobLocked(const load::JobSpec &job)
         job_arrival_stamp_[pair] = backend_->now();
         job_slo_[pair] = job.slo_seconds;
         ready_memory_.push_back(graph_.memoryTaskOf(job.pair));
+        openSpanLocked(job.pair, job.priority,
+                       job_arrival_stamp_[pair]);
+        open_span_[pair].decision = out.decision;
     }
 
     if (out.state != backpressure_) {
@@ -299,15 +386,18 @@ Engine::onAttemptDone(int context, const AttemptOutcome &outcome)
     const int attempt = attempts_[static_cast<std::size_t>(id)];
     if (!run_failed_.load(std::memory_order_relaxed) &&
         attempt < options_.max_task_retries) {
+        const double backoff =
+            std::min(options_.retry_backoff_seconds *
+                         std::ldexp(1.0, attempt),
+                     50e-3);
+        // Record the failed attempt -- and the backoff it was
+        // granted -- on the pair's span before bumping the counter.
+        spanAttemptLocked(id, context, outcome, true, backoff);
         ++attempts_[static_cast<std::size_t>(id)];
         task_retries_.fetch_add(1, std::memory_order_relaxed);
         if (MetricsRegistry *metrics = options_.metrics)
             metrics->add("runtime.task_retries", 1);
         retry_log_.push_back(RetryRecord{id, attempt});
-        const double backoff =
-            std::min(options_.retry_backoff_seconds *
-                         std::ldexp(1.0, attempt),
-                     50e-3);
         // The context stays reserved through the backoff so the retry
         // cannot be starved out by fresh dispatches.
         auto &pending = pending_retry_[static_cast<std::size_t>(context)];
@@ -317,7 +407,10 @@ Engine::onAttemptDone(int context, const AttemptOutcome &outcome)
         return;
     }
 
+    spanAttemptLocked(id, context, outcome, true, 0.0);
     failTaskLocked(context, id, outcome.error);
+    closeSpanLocked(graph_.task(id).pair, outcome.end,
+                    obs::SpanOutcome::Failed);
     maybeFinishLocked();
 }
 
@@ -371,7 +464,12 @@ Engine::completeLocked(int context, TaskId id,
         saw_counters_ = true;
         counter_totals_ += outcome.counters;
     }
-    tracer_->ring(context).record(event);
+    {
+        const std::uint64_t t0 = wallNanos();
+        tracer_->ring(context).record(event);
+        obs_trace_record_ns_ += wallNanos() - t0;
+    }
+    spanAttemptLocked(id, context, outcome, false, 0.0);
 
     if (task.kind == TaskKind::Memory) {
         --mem_in_flight_;
@@ -409,6 +507,7 @@ Engine::completeLocked(int context, TaskId id,
         }
         policy_.onPairMeasured(sample);
 
+        bool deadline_missed = false;
         if (open_loop_) {
             // Deadline accounting against the *actual* completion:
             // the admission model predicted, this is ground truth.
@@ -431,11 +530,16 @@ Engine::completeLocked(int context, TaskId id,
             const double slo =
                 job_slo_[static_cast<std::size_t>(pair)];
             if (slo > 0.0 && response > slo) {
+                deadline_missed = true;
                 ++jobs_deadline_missed_;
                 if (MetricsRegistry *metrics = options_.metrics)
                     metrics->add("runtime.jobs_deadline_missed", 1);
             }
         }
+        closeSpanLocked(pair, end,
+                        deadline_missed
+                            ? obs::SpanOutcome::DeadlineMiss
+                            : obs::SpanOutcome::Completed);
     }
 
     if (MetricsRegistry *metrics = options_.metrics) {
@@ -454,10 +558,14 @@ Engine::completeLocked(int context, TaskId id,
     // Unlock successors within the phase.
     for (TaskId succ : succs_[static_cast<std::size_t>(id)]) {
         if (--deps_left_[static_cast<std::size_t>(succ)] == 0) {
-            if (graph_.task(succ).kind == TaskKind::Memory)
+            if (graph_.task(succ).kind == TaskKind::Memory) {
                 ready_memory_.push_back(succ);
-            else
+                // A dependency-unlocked memory task starts its
+                // pair's span: runnable from this completion on.
+                openSpanLocked(graph_.task(succ).pair, 0, end);
+            } else {
                 ready_compute_.push_back(succ);
+            }
         }
     }
 
@@ -466,7 +574,7 @@ Engine::completeLocked(int context, TaskId id,
         current_phase_ + 1 < graph_.phaseCount()) {
         tt_assert(ready_memory_.empty() && ready_compute_.empty(),
                   "ready tasks left at a phase barrier");
-        activatePhaseLocked(current_phase_ + 1);
+        activatePhaseLocked(current_phase_ + 1, end);
     }
 }
 
@@ -551,12 +659,21 @@ Engine::maybeFinishLocked()
         backend_->cancel(arrival_token_);
         arrival_token_ = 0;
     }
+    if (live_token_ != 0) {
+        backend_->cancel(live_token_);
+        live_token_ = 0;
+    }
     if (options_.timeseries_out != nullptr) {
         // Final row so even a sub-interval run leaves a snapshot
         // behind; stamped at drain time so it cannot extend the
         // reported makespan.
         emitTimeseriesRowLocked();
         options_.timeseries_out->flush();
+    }
+    if (options_.live_sink != nullptr) {
+        // Drain-time snapshot so even a sub-interval run leaves a
+        // readable OpenMetrics file behind.
+        liveSnapshotLocked();
     }
     backend_->runDrained();
 }
@@ -621,8 +738,30 @@ Engine::onTimeseriesTick()
 }
 
 void
+Engine::onLiveTick()
+{
+    std::lock_guard lock(mutex_);
+    if (finished_)
+        return;
+    liveSnapshotLocked();
+    live_token_ =
+        backend_->after(std::max(options_.live_interval_seconds, 1e-6),
+                        [this] { onLiveTick(); });
+}
+
+void
+Engine::liveSnapshotLocked()
+{
+    // The sink measures its own rendering cost and charges it to
+    // obs.overhead.live_export_ns.
+    options_.live_sink->snapshot(finished_ ? drain_seconds_
+                                           : backend_->now());
+}
+
+void
 Engine::emitTimeseriesRowLocked()
 {
+    const std::uint64_t t0 = wallNanos();
     obs::TimeseriesSample row;
     row.time = finished_ ? drain_seconds_ : backend_->now();
     row.mtl = policy_.currentMtl();
@@ -641,6 +780,7 @@ Engine::emitTimeseriesRowLocked()
         row.backpressure = static_cast<int>(backpressure_);
     }
     obs::writeTimeseriesRow(row, *options_.timeseries_out);
+    obs_sampler_ns_ += wallNanos() - t0;
 }
 
 void
@@ -692,6 +832,11 @@ Engine::run(ExecutionBackend &backend)
     pending_retry_.assign(static_cast<std::size_t>(contexts),
                           PendingRetry{});
     tracer_.emplace(contexts, ringCapacity(options_, graph_.taskCount()));
+    const auto n_pairs = static_cast<std::size_t>(graph_.pairCount());
+    span_buffer_.emplace(std::max<std::size_t>(
+        1, std::min(options_.span_capacity, n_pairs)));
+    open_span_.assign(n_pairs, obs::JobSpan{});
+    span_open_.assign(n_pairs, false);
 
     backend.beginRun(*this);
 
@@ -718,13 +863,19 @@ Engine::run(ExecutionBackend &backend)
             processArrivalsLocked(0.0);
             scheduleNextArrivalLocked(0.0);
         } else {
-            activatePhaseLocked(0);
+            activatePhaseLocked(0, 0.0);
         }
         if (options_.timeseries_out != nullptr) {
             emitTimeseriesRowLocked();
             timeseries_token_ = backend.after(
                 std::max(options_.timeseries_interval_seconds, 1e-6),
                 [this] { onTimeseriesTick(); });
+        }
+        if (options_.live_sink != nullptr) {
+            liveSnapshotLocked();
+            live_token_ = backend.after(
+                std::max(options_.live_interval_seconds, 1e-6),
+                [this] { onLiveTick(); });
         }
         if (options_.watchdog_seconds > 0.0)
             watchdog_token_ =
@@ -767,6 +918,10 @@ Engine::finishResult()
     result.peak_mem_in_flight = peak_mem_in_flight_;
     result.trace = tracer_->merged();
     result.trace_dropped = tracer_->dropped();
+    if (span_buffer_.has_value()) {
+        result.spans = span_buffer_->spans();
+        result.spans_dropped = span_buffer_->dropped();
+    }
     result.pin_failures = backend_->pinFailures();
 
     // Corrupted samples (injected or from a glitched clock) stay in
@@ -854,6 +1009,19 @@ Engine::finishResult()
         metrics->add("runtime.pin_failed", result.pin_failures);
         metrics->add("trace.events_dropped",
                      static_cast<std::int64_t>(result.trace_dropped));
+        metrics->add("obs.spans_dropped",
+                     static_cast<std::int64_t>(result.spans_dropped));
+        // Self-observability: what tracing/sampling cost in *wall*
+        // nanoseconds. The zero-delta adds materialize the full
+        // obs.overhead.* schema on every backend; the backends then
+        // add their counter-read share in finalize(), and the live
+        // sinks charge live_export_ns as they serve.
+        metrics->add("obs.overhead.trace_record_ns",
+                     static_cast<std::int64_t>(obs_trace_record_ns_));
+        metrics->add("obs.overhead.sampler_ns",
+                     static_cast<std::int64_t>(obs_sampler_ns_));
+        metrics->add("obs.overhead.counter_read_ns", 0);
+        metrics->add("obs.overhead.live_export_ns", 0);
         metrics->setMax("runtime.peak_mem_in_flight",
                         peak_mem_in_flight_);
         metrics->set("runtime.makespan_seconds", result.seconds);
@@ -902,6 +1070,7 @@ toTraceData(const stream::TaskGraph &graph, const RunResult &result)
     data.events = result.trace;
     data.mtl_trace = result.mtl_trace;
     data.decisions = result.decisions;
+    data.spans = result.spans;
     data.phase_names.reserve(
         static_cast<std::size_t>(graph.phaseCount()));
     for (const stream::Phase &phase : graph.phases())

@@ -46,6 +46,10 @@ namespace tt {
 class MetricsRegistry;
 }
 
+namespace tt::obs {
+class LiveFileSink;
+}
+
 namespace tt::exec {
 
 class Engine;
@@ -163,6 +167,28 @@ struct EngineOptions
      *  load/admission.hh; defaults resolve against the backend's
      *  context count). Ignored when arrival_plan is null. */
     load::AdmissionConfig admission;
+
+    /**
+     * Per-run span-buffer capacity (see obs/span.hh). Sized to
+     * min(span_capacity, pair count); when a run outgrows it the
+     * oldest spans are overwritten and counted in the
+     * `obs.spans_dropped` counter and RunResult::spans_dropped.
+     */
+    std::size_t span_capacity = 1 << 16;
+
+    /**
+     * Optional live OpenMetrics snapshot sink (not owned; see
+     * obs/live.hh). When set, the engine rewrites the snapshot file
+     * every `live_interval_seconds` of engine-clock time plus once
+     * at drain -- on the sim backend that yields periodic
+     * *simulated-time* snapshots. The host backend typically serves
+     * live metrics through obs::LiveMetricsServer instead (real
+     * time, on demand), which needs no engine involvement.
+     */
+    obs::LiveFileSink *live_sink = nullptr;
+
+    /** Snapshot period of the live sink, engine-clock seconds. */
+    double live_interval_seconds = 0.1;
 };
 
 /** Audit record of one offered job's admission verdict (open-loop
@@ -229,6 +255,14 @@ struct RunResult
 
     /** Events lost to trace-ring overwrites (0 unless capped). */
     std::uint64_t trace_dropped = 0;
+
+    /** Per-job causal spans in terminal order (see obs/span.hh);
+     *  closed-loop runs get spans too, with arrival = the instant
+     *  the pair's memory task became ready. */
+    std::vector<obs::JobSpan> spans;
+
+    /** Spans lost to span-buffer overwrites (0 unless capped). */
+    std::uint64_t spans_dropped = 0;
 
     /** Per-phase aggregates (phase order). */
     std::vector<PhaseResult> phases;
@@ -448,7 +482,7 @@ class Engine
         ExecutionBackend::TimerToken token = 0;
     };
 
-    void activatePhaseLocked(int phase);
+    void activatePhaseLocked(int phase, double now);
     /** Admit every plan job due at or before plan offset `upto`. */
     void processArrivalsLocked(double upto);
     /** Arm the arrival timer for the next undelivered plan job. */
@@ -479,6 +513,18 @@ class Engine
     /** Self-rescheduling time-series sampler tick. */
     void onTimeseriesTick();
     void emitTimeseriesRowLocked();
+    /** Self-rescheduling live OpenMetrics snapshot tick. */
+    void onLiveTick();
+    void liveSnapshotLocked();
+    /** Start assembling the span of `pair` (memory task ready). */
+    void openSpanLocked(int pair, int priority, double arrival);
+    /** Append one finished attempt to the pair's open span. */
+    void spanAttemptLocked(stream::TaskId id, int worker,
+                           const AttemptOutcome &outcome, bool failed,
+                           double backoff_seconds);
+    /** Finalize the pair's span: critical path, buffer, metrics. */
+    void closeSpanLocked(int pair, double end,
+                         obs::SpanOutcome outcome);
     /** Best-effort diagnostics dump (crash hook / watchdog path). */
     void crashDump();
     /** Assemble the RunResult after drive() returned. */
@@ -536,6 +582,19 @@ class Engine
 
     std::optional<obs::Tracer> tracer_; ///< one ring per context
 
+    // Per-job causal spans (see obs/span.hh), assembled under the
+    // scheduler lock at the same hooks that feed the trace rings.
+    std::optional<obs::SpanBuffer> span_buffer_;
+    std::vector<obs::JobSpan> open_span_; ///< per pair, in assembly
+    std::vector<bool> span_open_;
+
+    // Self-observability: wall-clock nanoseconds spent inside
+    // observability code (steady clock on every backend -- this is
+    // the *real* cost of tracing, not simulated time), published as
+    // obs.overhead.* counters.
+    std::uint64_t obs_trace_record_ns_ = 0;
+    std::uint64_t obs_sampler_ns_ = 0;
+
     // Hardware-counter aggregation (options_.counters only).
     bool saw_counters_ = false;
     obs::perf::CounterSet counter_totals_;
@@ -552,6 +611,7 @@ class Engine
     std::atomic<bool> run_complete_{false};
     ExecutionBackend::TimerToken watchdog_token_ = 0;
     ExecutionBackend::TimerToken timeseries_token_ = 0;
+    ExecutionBackend::TimerToken live_token_ = 0;
     double drain_seconds_ = -1.0; ///< engine clock at finish
 };
 

@@ -364,6 +364,44 @@ analyze(const TraceData &data, const AnalyzeOptions &options)
     report.overhead.decisions =
         static_cast<long>(data.decisions.size());
     report.decisions = data.decisions;
+
+    // ---- critical-path attribution from job spans ------------------
+    if (!data.spans.empty()) {
+        report.critical_path.valid = true;
+        std::map<int, std::vector<const JobSpan *>> by_priority;
+        for (const JobSpan &span : data.spans) {
+            if (span.attempts.empty()) {
+                ++report.critical_path.shed;
+                continue;
+            }
+            ++report.critical_path.jobs;
+            by_priority[span.priority].push_back(&span);
+        }
+        for (const auto &[priority, spans] : by_priority) {
+            CriticalPathClass cls;
+            cls.priority = priority;
+            cls.jobs = static_cast<long>(spans.size());
+            std::vector<double> responses;
+            responses.reserve(spans.size());
+            for (const JobSpan *span : spans) {
+                const CriticalPath &cp = span->critical_path;
+                responses.push_back(cp.response);
+                cls.admission += cp.admission;
+                cls.queue_wait += cp.queue_wait;
+                cls.compute += cp.compute;
+                cls.mem_stall += cp.mem_stall;
+                cls.retry_backoff += cp.retry_backoff;
+            }
+            const double n = static_cast<double>(spans.size());
+            cls.admission /= n;
+            cls.queue_wait /= n;
+            cls.compute /= n;
+            cls.mem_stall /= n;
+            cls.retry_backoff /= n;
+            cls.response = summarize(std::move(responses));
+            report.critical_path.classes.push_back(std::move(cls));
+        }
+    }
     return report;
 }
 
@@ -505,6 +543,28 @@ writeReportJson(const Report &report, std::ostream &os)
                << "}";
         }
         os << (s.points.empty() ? "]" : "\n  ]") << "}";
+    }
+
+    // Critical-path attribution exists only on traces that carried
+    // job spans, with the same both-sides-or-skip diff contract.
+    if (report.critical_path.valid) {
+        const CriticalPathReport &cp = report.critical_path;
+        os << ",\n  \"critical_path\": {\"jobs\": " << cp.jobs
+           << ", \"shed\": " << cp.shed << ", \"classes\": [";
+        for (std::size_t i = 0; i < cp.classes.size(); ++i) {
+            const CriticalPathClass &c = cp.classes[i];
+            os << (i > 0 ? ",\n    " : "\n    ");
+            os << "{\"priority\": " << c.priority
+               << ", \"jobs\": " << c.jobs << ", \"response\": ";
+            writeDist(c.response, os);
+            os << ", \"admission\": " << jsonNum(c.admission)
+               << ", \"queue_wait\": " << jsonNum(c.queue_wait)
+               << ", \"compute\": " << jsonNum(c.compute)
+               << ", \"mem_stall\": " << jsonNum(c.mem_stall)
+               << ", \"retry_backoff\": " << jsonNum(c.retry_backoff)
+               << "}";
+        }
+        os << (cp.classes.empty() ? "]" : "\n  ]") << "}";
     }
 
     os << ",\n  \"phases\": [";
@@ -749,6 +809,24 @@ reportTable(const Report &report)
             os << "knee: not reached within the swept rates\n";
     }
 
+    if (report.critical_path.valid) {
+        const CriticalPathReport &cp = report.critical_path;
+        os << "\ncritical path by priority class (" << cp.jobs
+           << " jobs, " << cp.shed << " shed; mean us per "
+           << "component)\n";
+        TablePrinter critical({"priority", "jobs", "resp.p50",
+                               "resp.p95", "resp.p99", "queue_wait",
+                               "compute", "mem_stall", "retry"});
+        for (const CriticalPathClass &c : cp.classes)
+            critical.addRow({std::to_string(c.priority),
+                             std::to_string(c.jobs),
+                             us(c.response.p50), us(c.response.p95),
+                             us(c.response.p99), us(c.queue_wait),
+                             us(c.compute), us(c.mem_stall),
+                             us(c.retry_backoff)});
+        critical.print(os);
+    }
+
     os << "\npolicy decision audit\n";
     TablePrinter audit({"t(ms)", "reason", "mtl", "tm(us)", "tc(us)",
                         "IdleBound", "no-idle", "idle", "pred speedup",
@@ -877,6 +955,54 @@ diffReports(const json::Value &baseline, const json::Value &candidate,
                 compareMetric(tag + " shed_rate",
                               bp.numberAt("shed_rate"),
                               match->numberAt("shed_rate"), threshold,
+                              out);
+            }
+        }
+    }
+
+    // Critical-path sections exist only on span-carrying reports;
+    // match classes by priority and compare tail response plus the
+    // two components throttling is meant to move (queueing and
+    // memory stall). Absence on either side skips the comparison.
+    const json::Value *base_cp = baseline.find("critical_path");
+    const json::Value *cand_cp = candidate.find("critical_path");
+    if (base_cp != nullptr && cand_cp != nullptr) {
+        const json::Value *base_cls = base_cp->find("classes");
+        const json::Value *cand_cls = cand_cp->find("classes");
+        if (base_cls != nullptr && base_cls->isArray() &&
+            cand_cls != nullptr && cand_cls->isArray()) {
+            for (const json::Value &bc : base_cls->array) {
+                const double priority = bc.numberAt("priority");
+                const json::Value *match = nullptr;
+                for (const json::Value &cc : cand_cls->array)
+                    if (cc.numberAt("priority") == priority) {
+                        match = &cc;
+                        break;
+                    }
+                if (match == nullptr) {
+                    out.notes.push_back(
+                        "critical-path class missing from candidate: "
+                        "priority " +
+                        std::to_string(static_cast<long>(priority)));
+                    continue;
+                }
+                const std::string tag =
+                    "critical_path priority " +
+                    std::to_string(static_cast<long>(priority));
+                const json::Value *base_resp = bc.find("response");
+                const json::Value *cand_resp = match->find("response");
+                if (base_resp != nullptr && cand_resp != nullptr)
+                    compareMetric(tag + " response.p99",
+                                  base_resp->numberAt("p99"),
+                                  cand_resp->numberAt("p99"),
+                                  threshold, out);
+                compareMetric(tag + " queue_wait",
+                              bc.numberAt("queue_wait"),
+                              match->numberAt("queue_wait"), threshold,
+                              out);
+                compareMetric(tag + " mem_stall",
+                              bc.numberAt("mem_stall"),
+                              match->numberAt("mem_stall"), threshold,
                               out);
             }
         }

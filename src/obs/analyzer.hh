@@ -192,6 +192,39 @@ struct SloReport
     std::vector<SloPoint> points;
 };
 
+/**
+ * Critical-path decomposition aggregated over one priority class:
+ * response-time quantiles plus the mean seconds each span component
+ * (see obs/span.hh) contributed. The components are an accounting
+ * identity -- per job they sum to the measured response -- so the
+ * means sum to the mean response too.
+ */
+struct CriticalPathClass
+{
+    int priority = 0;
+    long jobs = 0;
+    DistSummary response;
+    double admission = 0.0; ///< mean seconds per component
+    double queue_wait = 0.0;
+    double compute = 0.0;
+    double mem_stall = 0.0;
+    double retry_backoff = 0.0;
+};
+
+/**
+ * Per-job critical-path attribution from the run's causal spans.
+ * Only present (`valid`) when the trace carried spans; diffReports()
+ * skips the section when either side lacks it, so old reports diff
+ * cleanly against new ones.
+ */
+struct CriticalPathReport
+{
+    bool valid = false;
+    long jobs = 0; ///< spans that reached a worker
+    long shed = 0; ///< spans rejected at admission
+    std::vector<CriticalPathClass> classes;
+};
+
 /** Everything analyze() derives from one run. */
 struct Report
 {
@@ -212,6 +245,9 @@ struct Report
 
     /** Open-loop SLO sweep; `slo.valid` gates its JSON section. */
     SloReport slo;
+
+    /** Span-derived attribution; `valid` gates its JSON section. */
+    CriticalPathReport critical_path;
 };
 
 /** Run facts the trace stream alone cannot know. */

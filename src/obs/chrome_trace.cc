@@ -141,11 +141,66 @@ writeChromeTrace(const TraceData &data, std::ostream &os)
     int max_worker = -1;
     for (const TaskEvent &event : data.events)
         max_worker = std::max(max_worker, event.worker);
+    for (const JobSpan &span : data.spans)
+        for (const SpanAttempt &attempt : span.attempts)
+            max_worker = std::max(max_worker, attempt.worker);
     for (int worker = 0; worker <= max_worker; ++worker) {
         sep();
         os << "  {\"ph\":\"M\",\"pid\":0,\"tid\":" << worker
            << ",\"name\":\"thread_name\",\"args\":{\"name\":\"context "
            << worker << "\"}}";
+    }
+
+    // Job spans as flow events: a flow start on the synthetic
+    // "arrivals" track at the job's arrival stamp, bound (bp:"e") to
+    // the worker row where its final attempt ended, so the viewer
+    // draws an arrow from arrival to completion crossing any retry
+    // hops. Shed jobs never reach a worker and render as instant
+    // events on the arrivals track instead.
+    {
+        const int arrivals_tid = max_worker + 1;
+        bool any_span = false;
+        std::size_t flow_id = 0;
+        for (const JobSpan &span : data.spans) {
+            ++flow_id;
+            any_span = true;
+            if (span.attempts.empty()) {
+                sep();
+                os << "  {\"ph\":\"i\",\"pid\":0,\"tid\":"
+                   << arrivals_tid << ",\"s\":\"t\",\"cat\":\"job\","
+                   << "\"name\":\"shed pair" << span.pair
+                   << "\",\"ts\":" << span.arrival * 1e6
+                   << ",\"args\":{\"reason\":\""
+                   << load::shedReasonName(span.shed_reason)
+                   << "\",\"priority\":" << span.priority << "}}";
+                continue;
+            }
+            const SpanAttempt &last = span.attempts.back();
+            sep();
+            os << "  {\"ph\":\"s\",\"pid\":0,\"tid\":" << arrivals_tid
+               << ",\"id\":" << flow_id << ",\"cat\":\"job\","
+               << "\"name\":\"pair" << span.pair
+               << "\",\"ts\":" << span.arrival * 1e6
+               << ",\"args\":{\"outcome\":\""
+               << spanOutcomeName(span.outcome)
+               << "\",\"priority\":" << span.priority
+               << ",\"attempts\":" << span.attempts.size()
+               << ",\"queue_wait_us\":"
+               << span.critical_path.queue_wait * 1e6
+               << ",\"mem_stall_us\":"
+               << span.critical_path.mem_stall * 1e6 << "}}";
+            sep();
+            os << "  {\"ph\":\"f\",\"bp\":\"e\",\"pid\":0,\"tid\":"
+               << last.worker << ",\"id\":" << flow_id
+               << ",\"cat\":\"job\",\"name\":\"pair" << span.pair
+               << "\",\"ts\":" << last.end * 1e6 << "}";
+        }
+        if (any_span) {
+            sep();
+            os << "  {\"ph\":\"M\",\"pid\":0,\"tid\":" << arrivals_tid
+               << ",\"name\":\"thread_name\",\"args\":{\"name\":"
+               << "\"arrivals\"}}";
+        }
     }
 
     os << "\n]\n";

@@ -24,6 +24,7 @@
 
 #include "core/audit.hh"
 #include "obs/perf/counters.hh"
+#include "obs/span.hh"
 
 namespace tt::obs {
 
@@ -119,6 +120,9 @@ struct TraceData
     std::vector<std::pair<double, int>> mtl_trace;
     std::vector<std::string> phase_names;
     std::vector<core::MtlDecision> decisions;
+
+    /** Per-job causal spans (see span.hh); empty on old traces. */
+    std::vector<JobSpan> spans;
 };
 
 } // namespace tt::obs

@@ -9,6 +9,7 @@
 #include "fault/fault_plan.hh"
 #include "obs/perf/counters.hh"
 #include "util/logging.hh"
+#include "util/stats.hh"
 
 #if defined(__linux__)
 #include <pthread.h>
@@ -157,6 +158,20 @@ HostThreadBackend::pinFailures() const
 }
 
 void
+HostThreadBackend::finalize(exec::RunResult &result)
+{
+    (void)result;
+    // Charge the per-attempt counter-read bracketing to the shared
+    // obs.overhead schema (the engine already materialized the name
+    // with a zero-delta add).
+    if (options_.metrics != nullptr)
+        options_.metrics->add(
+            "obs.overhead.counter_read_ns",
+            static_cast<std::int64_t>(
+                counter_read_ns_.load(std::memory_order_relaxed)));
+}
+
+void
 HostThreadBackend::workerLoop(int index)
 {
     if (options_.pin_affinity && !pinToCpu(index)) {
@@ -223,8 +238,17 @@ HostThreadBackend::runAttempt(int index, const exec::AttemptSpec &spec)
                 mem.host_work();
         }
         obs::perf::CounterSet before;
-        if (counting)
+        if (counting) {
+            const auto t0 = std::chrono::steady_clock::now();
             before = counters->read(index);
+            counter_read_ns_.fetch_add(
+                static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count()),
+                std::memory_order_relaxed);
+        }
         out.start = now();
         if (spec.faults.stall)
             sleepSeconds(spec.stall_seconds);
@@ -238,8 +262,16 @@ HostThreadBackend::runAttempt(int index, const exec::AttemptSpec &spec)
         }
         out.end = now();
         if (counting) {
+            const auto t0 = std::chrono::steady_clock::now();
             out.counters = counters->read(index) - before;
             out.has_counters = true;
+            counter_read_ns_.fetch_add(
+                static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count()),
+                std::memory_order_relaxed);
         }
     } catch (const std::exception &error) {
         out.failed = true;

@@ -44,6 +44,7 @@ class HostThreadBackend final : public exec::ExecutionBackend
     void drive(exec::Engine &engine) override;
     void runDrained() override;
     long pinFailures() const override;
+    void finalize(exec::RunResult &result) override;
 
     /** Wedged worker threads cannot be unwound: the watchdog must
      *  exit the process after dumping diagnostics. */
@@ -80,6 +81,8 @@ class HostThreadBackend final : public exec::ExecutionBackend
     std::vector<std::unique_ptr<Slot>> slots_;
     std::atomic<bool> stop_{false};
     std::atomic<long> pin_failures_{0};
+    /** Wall ns spent inside counter reads (obs.overhead.*). */
+    std::atomic<std::uint64_t> counter_read_ns_{0};
     std::once_flag pin_warn_once_;
 
     std::mutex timer_mutex_;

@@ -1,5 +1,6 @@
 #include "simrt/sim_backend.hh"
 
+#include <chrono>
 #include <utility>
 
 #include "fault/fault_plan.hh"
@@ -139,8 +140,16 @@ SimBackend::onBodyDone(int context, const exec::AttemptSpec &spec,
             obs.compute_cycles = compute_cycles;
             obs.elapsed_seconds = out.end - out.start;
             obs.clock_hz = machine_.config().core_ghz * 1e9;
+            // Synthesis is the sim's analogue of a perf fd read:
+            // charge its *wall* cost to the shared obs.overhead
+            // schema so both backends report counter-read cost.
+            const auto t0 = std::chrono::steady_clock::now();
             out.counters = counters_->creditAttempt(context, obs);
             out.has_counters = true;
+            counter_read_ns_ += static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
         }
         engine_->onAttemptDone(context, out);
     };
@@ -198,6 +207,8 @@ SimBackend::finalize(exec::RunResult &result)
         metrics_->set(
             "sim.peak_llc_occupancy_bytes",
             static_cast<double>(result.peak_llc_occupancy));
+        metrics_->add("obs.overhead.counter_read_ns",
+                      static_cast<std::int64_t>(counter_read_ns_));
     }
 }
 

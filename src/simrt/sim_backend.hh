@@ -65,6 +65,8 @@ class SimBackend final : public exec::ExecutionBackend
     MetricsRegistry *metrics_ = nullptr;
     obs::perf::SimCounterProvider *counters_ = nullptr;
     double start_seconds_ = 0.0; ///< sim clock at beginRun()
+    /** Wall ns spent synthesizing counters (obs.overhead.*). */
+    std::uint64_t counter_read_ns_ = 0;
 };
 
 } // namespace tt::simrt

@@ -50,6 +50,14 @@
  *                             time in the simulator, wall time with
  *                             --host -- see obs/timeseries.hh)
  *   --timeseries-interval-us US  sampling interval           [100]
+ *   --live-metrics PATH  expose the metrics registry live, in
+ *                        OpenMetrics text format, while the run is
+ *                        in flight: with --host a Unix-domain socket
+ *                        at PATH served by a background thread (each
+ *                        connection gets one snapshot); on the
+ *                        simulator a file at PATH rewritten at each
+ *                        simulated interval. Poll either with ttstat.
+ *   --live-interval-us US  sim snapshot interval          [100000]
  *   --quiet      suppress the header
  *
  * Open-loop arrivals (robustness extension; see load/arrival.hh and
@@ -111,6 +119,7 @@
 #include "cpu/machine_config.hh"
 #include "obs/analyzer.hh"
 #include "obs/chrome_trace.hh"
+#include "obs/live.hh"
 #include "obs/perf/counters.hh"
 #include "obs/perf/perf_event_provider.hh"
 #include "obs/perf/sim_counter_provider.hh"
@@ -146,6 +155,7 @@ usage(const char *argv0)
         "          [--perf-counters] [--quiet]\n"
         "          [--timeseries-out FILE] "
         "[--timeseries-interval-us US]\n"
+        "          [--live-metrics PATH] [--live-interval-us US]\n"
         "          [--arrival-rate R] "
         "[--arrival-process poisson|bursty|diurnal]\n"
         "          [--arrival-seed S] [--slo-us US] [--queue-cap N]\n"
@@ -265,6 +275,7 @@ main(int argc, char **argv)
         "metrics-out",    "metrics-summary", "perf-counters",
         "quiet",
         "timeseries-out", "timeseries-interval-us",
+        "live-metrics",   "live-interval-us",
         "inject-seed",    "inject-fail-p",  "inject-straggler",
         "inject-straggler-x", "inject-corrupt-p", "inject-stall-p",
         "inject-stall-ms", "max-retries",   "watchdog-ms",
@@ -565,6 +576,17 @@ main(int argc, char **argv)
                      "--timeseries-interval-us must be > 0\n");
         return 2;
     }
+    const std::string live_path = flags.getString("live-metrics", "");
+    const double live_interval =
+        flags.getDouble("live-interval-us", 100000.0) * 1e-6;
+    if (!flags.error().empty()) {
+        std::fprintf(stderr, "error: %s\n", flags.error().c_str());
+        return usage(argv[0]);
+    }
+    if (!live_path.empty() && live_interval <= 0.0) {
+        std::fprintf(stderr, "--live-interval-us must be > 0\n");
+        return 2;
+    }
     std::ofstream timeseries_out;
     if (!timeseries_path.empty()) {
         timeseries_out.open(timeseries_path);
@@ -654,8 +676,30 @@ main(int argc, char **argv)
             options.timeseries_out = &timeseries_out;
             options.timeseries_interval_seconds = timeseries_interval;
         }
+        // Live OpenMetrics endpoint: a background thread serving one
+        // snapshot per connection while the workers run. Losing the
+        // endpoint is an observability degradation, not a run
+        // failure.
+        std::optional<tt::obs::LiveMetricsServer> live_server;
+        if (!live_path.empty()) {
+            live_server.emplace(live_path, metrics);
+            if (!live_server->start()) {
+                std::fprintf(stderr,
+                             "warning: live metrics endpoint '%s' "
+                             "unavailable: %s\n",
+                             live_path.c_str(),
+                             live_server->error().c_str());
+                live_server.reset();
+            } else if (!flags.getBool("quiet")) {
+                std::printf("live metrics: unix socket %s (poll with "
+                            "ttstat)\n",
+                            live_path.c_str());
+            }
+        }
         tt::runtime::Runtime runtime(graph, *policy, options);
         const auto result = runtime.run();
+        if (live_server)
+            live_server->stop();
 
         if (result.task_retries > 0 || result.task_failures > 0)
             std::printf("task retries    %10ld  (%ld gave up)\n",
@@ -699,6 +743,13 @@ main(int argc, char **argv)
                          "incomplete; see trace.events_dropped\n",
                          static_cast<unsigned long long>(
                              result.trace_dropped));
+        if (result.spans_dropped > 0)
+            std::fprintf(stderr,
+                         "warning: %llu job spans dropped (span "
+                         "buffer full) -- critical-path attribution "
+                         "will be incomplete; see obs.spans_dropped\n",
+                         static_cast<unsigned long long>(
+                             result.spans_dropped));
 
         printOpenLoopSummary(result);
 
@@ -736,9 +787,29 @@ main(int argc, char **argv)
         sim_options.timeseries_out = &timeseries_out;
         sim_options.timeseries_interval_seconds = timeseries_interval;
     }
+    // Live metrics on the simulator: the engine rewrites a snapshot
+    // file at each simulated interval (there is no wall-clock to
+    // serve a socket against).
+    std::optional<tt::obs::LiveFileSink> live_sink;
+    if (!live_path.empty()) {
+        live_sink.emplace(live_path, metrics);
+        sim_options.live_sink = &*live_sink;
+        sim_options.live_interval_seconds = live_interval;
+        if (!flags.getBool("quiet"))
+            std::printf("live metrics: snapshot file %s every %.0f us "
+                        "simulated (poll with ttstat)\n",
+                        live_path.c_str(), live_interval * 1e6);
+    }
     tt::simrt::SimRuntime sim_runtime(sim_machine, graph, *policy,
                                       sim_options);
     const auto result = sim_runtime.run();
+    // One more snapshot so the file carries the backend-finalized
+    // end-of-run registry (sim.* gauges land after the drain).
+    if (live_sink) {
+        live_sink->snapshot(result.seconds);
+        if (!live_sink->ok())
+            return 1;
+    }
 
     if (result.task_retries > 0 || result.task_failures > 0)
         std::printf("task retries    %10ld  (%ld gave up)\n",
@@ -768,6 +839,13 @@ main(int argc, char **argv)
                 final_mtl, result.policy_stats.selections,
                 result.monitor_overhead * 100.0,
                 result.policy_stats.stale_pairs);
+    if (result.spans_dropped > 0)
+        std::fprintf(stderr,
+                     "warning: %llu job spans dropped (span buffer "
+                     "full) -- critical-path attribution will be "
+                     "incomplete; see obs.spans_dropped\n",
+                     static_cast<unsigned long long>(
+                         result.spans_dropped));
     printOpenLoopSummary(result);
 
     if (!trace_path.empty() &&

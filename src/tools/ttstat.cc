@@ -1,0 +1,180 @@
+/**
+ * @file
+ * ttstat: poll a live ttsim metrics endpoint and print the
+ * OpenMetrics exposition.
+ *
+ * The endpoint is whatever `ttsim --live-metrics PATH` created: a
+ * Unix-domain socket on the host backend (each connection receives
+ * one snapshot and is closed) or a plain file of periodic snapshots
+ * on the simulator backend. ttstat stats the path and picks the
+ * right transport automatically, so the same command line works
+ * against either backend:
+ *
+ *   ttstat /tmp/tt.metrics                  # one snapshot
+ *   ttstat --watch --interval-ms 500 PATH   # poll until killed
+ *   ttstat --watch --count 10 PATH          # poll 10 times, exit
+ *
+ * Flags:
+ *   --watch          poll repeatedly instead of once
+ *   --interval-ms M  delay between polls                  [1000]
+ *   --count N        stop --watch after N snapshots (0 = forever)
+ *
+ * Exit codes: 0 success, 1 endpoint unreachable or read failed,
+ * 2 usage error.
+ */
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/flags.hh"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--watch] [--interval-ms M] [--count N] "
+                 "PATH\n"
+                 "PATH is the --live-metrics endpoint of a ttsim run: "
+                 "a unix socket\n(host backend) or a snapshot file "
+                 "(sim backend).\n"
+                 "exit codes: 0 ok, 1 endpoint unreachable, 2 usage\n",
+                 argv0);
+    return 2;
+}
+
+/** One snapshot over the socket: connect, read to EOF. */
+bool
+readSocket(const std::string &path, std::string &out)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        std::fprintf(stderr, "socket: %s\n", std::strerror(errno));
+        return false;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        std::fprintf(stderr, "socket path too long: '%s'\n",
+                     path.c_str());
+        ::close(fd);
+        return false;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        std::fprintf(stderr, "connect '%s': %s\n", path.c_str(),
+                     std::strerror(errno));
+        ::close(fd);
+        return false;
+    }
+    char buffer[4096];
+    for (;;) {
+        const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            std::fprintf(stderr, "read '%s': %s\n", path.c_str(),
+                         std::strerror(errno));
+            ::close(fd);
+            return false;
+        }
+        if (n == 0)
+            break;
+        out.append(buffer, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return true;
+}
+
+/** One snapshot from a sim-side file sink. */
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot read '%s'\n", path.c_str());
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    out = buffer.str();
+    return true;
+}
+
+/** Fetch one snapshot, picking the transport from the path's type. */
+bool
+fetch(const std::string &path, std::string &out)
+{
+    struct stat st{};
+    if (::stat(path.c_str(), &st) != 0) {
+        std::fprintf(stderr, "stat '%s': %s\n", path.c_str(),
+                     std::strerror(errno));
+        return false;
+    }
+    return S_ISSOCK(st.st_mode) ? readSocket(path, out)
+                                : readFile(path, out);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    tt::Flags flags;
+    static const std::vector<std::string> known_flags = {
+        "help",
+        "watch",
+        "interval-ms",
+        "count",
+    };
+    if (!flags.parse(argc, argv) || !flags.allowOnly(known_flags) ||
+        flags.has("help")) {
+        if (!flags.error().empty())
+            std::fprintf(stderr, "error: %s\n", flags.error().c_str());
+        return usage(argv[0]);
+    }
+    if (flags.positional().size() != 1)
+        return usage(argv[0]);
+    const std::string path = flags.positional().front();
+    const bool watch = flags.getBool("watch");
+    const long interval_ms = flags.getInt("interval-ms", 1000);
+    const long count = flags.getInt("count", 0);
+    if (!flags.error().empty()) {
+        std::fprintf(stderr, "error: %s\n", flags.error().c_str());
+        return usage(argv[0]);
+    }
+    if (interval_ms < 1 || count < 0) {
+        std::fprintf(stderr,
+                     "--interval-ms must be >= 1, --count >= 0\n");
+        return 2;
+    }
+
+    long taken = 0;
+    for (;;) {
+        std::string text;
+        if (!fetch(path, text))
+            return 1;
+        std::fputs(text.c_str(), stdout);
+        std::fflush(stdout);
+        ++taken;
+        if (!watch || (count > 0 && taken >= count))
+            break;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(interval_ms));
+    }
+    return 0;
+}

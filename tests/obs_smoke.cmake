@@ -1,10 +1,12 @@
 # End-to-end smoke of the observability tooling, run as a ctest via
 # `cmake -P` (see tests/CMakeLists.txt): ttsim writes a time-series
-# file, ttreport writes report JSON from two seeded runs, and the
-# --diff gate exits 0 on identical runs and non-zero on an injected
-# regression. Expects -DTTSIM=, -DTTREPORT=, -DWORK_DIR=.
+# file, ttreport writes report JSON from two seeded runs, the --diff
+# gate exits 0 on identical runs and non-zero on an injected
+# regression, and the live-telemetry path (--live-metrics + ttstat)
+# serves valid OpenMetrics on both backends. Expects -DTTSIM=,
+# -DTTREPORT=, -DTTSTAT=, -DWORK_DIR=.
 
-foreach(var TTSIM TTREPORT WORK_DIR)
+foreach(var TTSIM TTREPORT TTSTAT WORK_DIR)
     if(NOT DEFINED ${var})
         message(FATAL_ERROR "obs_smoke: missing -D${var}=")
     endif()
@@ -139,6 +141,70 @@ foreach(key "\"slo\"" "\"knee_rate\"" "\"attainment\"")
     endif()
 endforeach()
 
+# 1h. Live telemetry on the simulator: --live-metrics writes periodic
+# OpenMetrics snapshots keyed to simulated time, and ttstat reads the
+# file back verbatim.
+execute_process(
+    COMMAND "${TTSIM}" --workload synthetic --policy dynamic
+            --pairs 64 --quiet
+            --live-metrics "${WORK_DIR}/live_sim.om"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ttsim --live-metrics (sim) failed (rc=${rc})")
+endif()
+if(NOT EXISTS "${WORK_DIR}/live_sim.om")
+    message(FATAL_ERROR "sim run left no live-metrics snapshot file")
+endif()
+execute_process(
+    COMMAND "${TTSTAT}" "${WORK_DIR}/live_sim.om"
+    OUTPUT_VARIABLE live_sim
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ttstat on the sim snapshot failed (rc=${rc})")
+endif()
+foreach(key "# EOF" "obs_spans_dropped_total"
+        "obs_overhead_trace_record_ns_total" "runtime_makespan_seconds"
+        "obs_snapshot_time_seconds")
+    if(NOT live_sim MATCHES "${key}")
+        message(FATAL_ERROR "sim OpenMetrics snapshot lacks '${key}'")
+    endif()
+endforeach()
+
+# 1i. Live telemetry on the host: a background arrival-paced run
+# serves OpenMetrics over a unix socket, and ttstat polls it while the
+# run is still in flight (retrying until the listener is up).
+find_program(SH_PROGRAM sh)
+if(SH_PROGRAM)
+    execute_process(
+        COMMAND "${SH_PROGRAM}" -c
+            "'${TTSIM}' --host --workload synthetic --policy dynamic \
+                 --threads 2 --pairs 200 --count 32 --quiet \
+                 --arrival-rate 2000 --slo-us 30000000 --queue-cap 64 \
+                 --live-metrics '${WORK_DIR}/live.sock' & \
+             pid=$!; ok=1; \
+             for i in $(seq 1 100); do \
+                 if '${TTSTAT}' '${WORK_DIR}/live.sock' \
+                         > '${WORK_DIR}/live_host.om' 2>/dev/null; then \
+                     ok=0; break; \
+                 fi; \
+                 sleep 0.01; \
+             done; \
+             wait $pid || ok=1; exit $ok"
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "mid-run ttstat poll of the host unix socket failed "
+                "(rc=${rc})")
+    endif()
+    file(READ "${WORK_DIR}/live_host.om" live_host)
+    if(NOT live_host MATCHES "# EOF")
+        message(FATAL_ERROR
+                "mid-run host snapshot is not terminated OpenMetrics")
+    endif()
+else()
+    message(STATUS "obs_smoke: no sh on PATH, skipping host socket poll")
+endif()
+
 # 2. Two identical seeded runs produce identical reports: diff passes.
 foreach(name a b)
     execute_process(
@@ -157,6 +223,16 @@ execute_process(
 if(NOT rc EQUAL 0)
     message(FATAL_ERROR "diff of identical runs exited ${rc}, want 0")
 endif()
+
+# 2b. Report JSON carries the per-job critical-path decomposition
+# (spans are always assembled), with every component present.
+file(READ "${WORK_DIR}/a.json" report_a)
+foreach(key "\"critical_path\"" "\"queue_wait\"" "\"mem_stall\""
+        "\"retry_backoff\"")
+    if(NOT report_a MATCHES "${key}")
+        message(FATAL_ERROR "report JSON lacks ${key}")
+    endif()
+endforeach()
 
 # 3. A shorter run of the same workload spends a larger share of its
 # pairs probing and settles later, so its per-phase latencies regress

@@ -143,6 +143,83 @@ TEST(CrossBackend, SeededFaultsProduceIdenticalSchedulingSequences)
 }
 
 /**
+ * Live-telemetry parity: the per-job causal spans a run assembles are
+ * part of the shared engine's deterministic surface. Under the seeded
+ * fault plan of the test above, both backends must produce the same
+ * span sequence -- same pairs in the same completion order, same
+ * attempt/retry structure, same outcomes -- and every span's
+ * critical-path components must sum to its measured response (the
+ * decomposition is an accounting identity on both clocks).
+ */
+TEST(CrossBackend, SeededFaultsProduceIdenticalJobSpans)
+{
+    const TaskGraph graph = dualGraph(48);
+    FaultConfig config;
+    config.seed = 7;
+    config.fail_p = 0.08;
+    const FaultPlan plan(config);
+
+    EngineOptions options;
+    options.threads = 1;
+    options.pin_affinity = false;
+    options.fault_plan = &plan;
+    options.max_task_retries = 3;
+    options.retry_backoff_seconds = 20e-6;
+
+    StaticMtlPolicy host_policy(1, 1);
+    tt::runtime::Runtime host(graph, host_policy, options);
+    const auto host_result = host.run();
+
+    tt::cpu::SimMachine machine(simConfig(1));
+    StaticMtlPolicy sim_policy(1, 1);
+    tt::simrt::SimRuntime sim(machine, graph, sim_policy, options);
+    const auto sim_result = sim.run();
+
+    ASSERT_FALSE(host_result.failed);
+    ASSERT_FALSE(sim_result.failed);
+    EXPECT_EQ(host_result.spans_dropped, 0u);
+    EXPECT_EQ(sim_result.spans_dropped, 0u);
+    ASSERT_EQ(host_result.spans.size(), sim_result.spans.size());
+    ASSERT_EQ(host_result.spans.size(), 48u); // one span per pair
+
+    bool any_failed_attempt = false;
+    for (std::size_t i = 0; i < host_result.spans.size(); ++i) {
+        const tt::obs::JobSpan &h = host_result.spans[i];
+        const tt::obs::JobSpan &s = sim_result.spans[i];
+        EXPECT_EQ(h.pair, s.pair) << "span " << i;
+        EXPECT_EQ(static_cast<int>(h.outcome),
+                  static_cast<int>(s.outcome))
+            << "span " << i;
+        ASSERT_EQ(h.attempts.size(), s.attempts.size())
+            << "span " << i;
+        for (std::size_t a = 0; a < h.attempts.size(); ++a) {
+            EXPECT_EQ(h.attempts[a].task, s.attempts[a].task)
+                << "span " << i << " attempt " << a;
+            EXPECT_EQ(h.attempts[a].is_memory,
+                      s.attempts[a].is_memory)
+                << "span " << i << " attempt " << a;
+            EXPECT_EQ(h.attempts[a].attempt, s.attempts[a].attempt)
+                << "span " << i << " attempt " << a;
+            EXPECT_EQ(h.attempts[a].failed, s.attempts[a].failed)
+                << "span " << i << " attempt " << a;
+            any_failed_attempt |= h.attempts[a].failed;
+        }
+        // The decomposition sums to the measured response on both
+        // backends (within 1% -- in practice exact by construction).
+        for (const tt::obs::JobSpan *span : {&h, &s}) {
+            const tt::obs::CriticalPath &cp = span->critical_path;
+            EXPECT_NEAR(cp.sum(), cp.response,
+                        std::max(1e-12, cp.response * 0.01))
+                << "span " << i;
+            EXPECT_DOUBLE_EQ(cp.response, span->end - span->arrival)
+                << "span " << i;
+        }
+    }
+    EXPECT_TRUE(any_failed_attempt)
+        << "fault plan injected no failures; retry path untested";
+}
+
+/**
  * With every sample corrupted, the policy's inputs are fully
  * deterministic (corruption values hash the pair, not the clock), so
  * an adaptive policy must make the identical decision sequence --

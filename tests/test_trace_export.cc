@@ -128,6 +128,8 @@ TEST(TraceExport, GoldenStructureParsesAndMatchesSchema)
     std::size_t counters = 0;
     std::size_t instants = 0;
     std::size_t metadata = 0;
+    std::size_t flow_starts = 0;
+    std::size_t flow_finishes = 0;
     for (const auto &event : doc->array) {
         ASSERT_TRUE(event.isObject());
         const std::string ph = event.stringAt("ph");
@@ -150,6 +152,17 @@ TEST(TraceExport, GoldenStructureParsesAndMatchesSchema)
             EXPECT_GE(args->numberAt("to_mtl"), 1.0);
             EXPECT_NE(args->find("predicted_speedup"), nullptr);
             EXPECT_NE(args->find("idle_bound"), nullptr);
+        } else if (ph == "s") {
+            // One span flow start per job, on the arrivals track.
+            ++flow_starts;
+            EXPECT_EQ(event.stringAt("cat"), "job");
+            ASSERT_NE(args, nullptr);
+            EXPECT_EQ(args->stringAt("outcome"), "completed");
+            EXPECT_GE(args->numberAt("attempts"), 1.0);
+        } else if (ph == "f") {
+            ++flow_finishes;
+            EXPECT_EQ(event.stringAt("cat"), "job");
+            EXPECT_EQ(event.stringAt("bp"), "e");
         } else {
             EXPECT_EQ(ph, "M");
             ++metadata;
@@ -161,6 +174,9 @@ TEST(TraceExport, GoldenStructureParsesAndMatchesSchema)
     // The adaptive run made decisions; each one became an instant.
     EXPECT_EQ(instants, result.decisions.size());
     EXPECT_GE(instants, 1u);
+    // Every job's span became one arrival->completion flow arrow.
+    EXPECT_EQ(flow_starts, 48u);
+    EXPECT_EQ(flow_finishes, 48u);
 }
 
 /** A run with no events still round-trips as valid, empty JSON. */
