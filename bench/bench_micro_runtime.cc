@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "core/analytical_model.hh"
+#include "util/concurrency/mpmc_queue.hh"
+#include "util/concurrency/sharded_gate.hh"
 #include "core/dynamic_policy.hh"
 #include "core/mtl_selector.hh"
 #include "core/phase_detector.hh"
@@ -181,6 +183,99 @@ BM_HostRuntimePairDispatch(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 256);
 }
 BENCHMARK(BM_HostRuntimePairDispatch);
+
+void
+BM_MpmcQueuePushPop(benchmark::State &state)
+{
+    // The dispatch-op primitive of the lock-free fast path: one ring
+    // enqueue plus one dequeue (what a completion + the next worker
+    // pay instead of a scheduler-mutex round trip).
+    tt::util::MpmcQueue<int> queue(1024);
+    int out = 0;
+    for (auto _ : state) {
+        queue.tryPush(1);
+        queue.tryPop(out);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MpmcQueuePushPop);
+
+void
+BM_ShardedGateAdmit(benchmark::State &state)
+{
+    // One MTL admission + release through the sharded gate (the
+    // lock-free form of the mem_in_flight < MTL check); the fold
+    // walks `shards` cache lines.
+    const auto shards = static_cast<std::size_t>(state.range(0));
+    tt::util::ShardedGate gate(shards);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gate.tryAcquire(0, 4));
+        gate.release(0);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShardedGateAdmit)->Arg(1)->Arg(8)->Arg(64);
+
+void
+BM_HostDispatchThroughput(benchmark::State &state)
+{
+    // End-to-end dispatch-op throughput of the pull-mode hot path:
+    // trivial bodies, so the measured rate is queue-pop + admission
+    // + completion bookkeeping across real worker threads. One item
+    // = one task attempt (memory + compute per pair).
+    const int threads = static_cast<int>(state.range(0));
+    constexpr int kPairs = 1024;
+    for (auto _ : state) {
+        state.PauseTiming();
+        tt::stream::StreamProgramBuilder builder;
+        builder.beginPhase("p");
+        builder.addPairs(kPairs, [](int) {
+            tt::stream::PairSpec spec;
+            spec.bytes = 64;
+            spec.compute_cycles = 1;
+            return spec;
+        });
+        const auto graph = std::move(builder).build();
+        tt::core::ConventionalPolicy policy(threads);
+        tt::runtime::RuntimeOptions opts;
+        opts.threads = threads;
+        opts.pin_affinity = false;
+        tt::runtime::Runtime runtime(graph, policy, opts);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(runtime.run().samples.size());
+    }
+    state.SetItemsProcessed(state.iterations() * kPairs * 2);
+}
+BENCHMARK(BM_HostDispatchThroughput)->Arg(1)->Arg(2)->Arg(4);
+
+void
+BM_SimDispatch64Contexts(benchmark::State &state)
+{
+    // Scheduler-side dispatch cost at scale: a 64-context machine
+    // (16 cores x 4-way SMT) pushing a wide phase through the
+    // deterministic engine. One item = one task dispatch decision.
+    auto machine = tt::cpu::MachineConfig::power7();
+    machine.cores = 16;
+    machine.smt_ways = 4;
+    constexpr int kPairs = 512;
+    tt::stream::StreamProgramBuilder builder;
+    builder.beginPhase("p");
+    builder.addPairs(kPairs, [](int) {
+        tt::stream::PairSpec spec;
+        spec.bytes = 4 * 1024;
+        spec.compute_cycles = 10000;
+        return spec;
+    });
+    const auto graph = std::move(builder).build();
+    for (auto _ : state) {
+        tt::core::ConventionalPolicy policy(machine.contexts());
+        benchmark::DoNotOptimize(
+            tt::simrt::runOnce(machine, graph, policy).seconds);
+    }
+    state.SetItemsProcessed(state.iterations() * kPairs * 2);
+}
+BENCHMARK(BM_SimDispatch64Contexts);
 
 void
 BM_SpanBufferRecord(benchmark::State &state)

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Dispatch-throughput regression gate over google-benchmark JSON.
+
+Compares a fresh BENCH_micro_runtime.json against the committed
+baseline in bench/baselines/ and fails (exit 1) when any
+dispatch-path benchmark lost more than --threshold (default 10%) of
+its items_per_second. Only benchmarks present in BOTH files are
+compared, so adding a benchmark never breaks the gate (it starts
+gating once the baseline is refreshed).
+
+Benchmark timings only compare within one machine: when the context
+fingerprint (cpu count, nominal MHz, build type) differs from the
+baseline's, the gate reports SKIP and exits 0 rather than comparing
+apples to oranges. Refresh the baseline on the machine of record
+with:
+
+    bench/bench_micro_runtime --json-out bench/baselines/BENCH_micro_runtime.json
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+# The lock-free fast path under the gate: ring ops, MTL admission,
+# and end-to-end host dispatch. BM_SimDispatch64Contexts is
+# deliberately absent: at ~20 ms per iteration it gets too few
+# iterations inside the smoke's time budget to gate on reliably (it
+# remains a reported scalability number).
+DISPATCH_PATTERN = re.compile(
+    r"HostDispatch|HostRuntimePairDispatch|MpmcQueue|ShardedGate",
+    re.ASCII)
+
+
+def fingerprint(context):
+    """Stable machine identity for apples-to-apples comparison."""
+    return (
+        context.get("num_cpus"),
+        context.get("mhz_per_cpu"),
+        context.get("library_build_type"),
+    )
+
+
+def throughputs(doc):
+    """name -> items_per_second for every dispatch-path benchmark."""
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name", "")
+        rate = bench.get("items_per_second")
+        if rate and DISPATCH_PATTERN.search(name):
+            out[name] = float(rate)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True,
+                        help="freshly generated benchmark JSON")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline benchmark JSON")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="max allowed fractional loss (default 0.10)")
+    args = parser.parse_args()
+
+    with open(args.current, encoding="utf-8") as handle:
+        current = json.load(handle)
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+
+    base_fp = fingerprint(baseline.get("context", {}))
+    cur_fp = fingerprint(current.get("context", {}))
+    if base_fp != cur_fp:
+        print(f"SKIP: machine fingerprint changed "
+              f"(baseline {base_fp}, current {cur_fp}); "
+              f"refresh the baseline to re-arm the gate")
+        return 0
+
+    base_rates = throughputs(baseline)
+    cur_rates = throughputs(current)
+    shared = sorted(set(base_rates) & set(cur_rates))
+    if not shared:
+        print("SKIP: no dispatch benchmarks shared with the baseline")
+        return 0
+
+    failures = []
+    for name in shared:
+        base = base_rates[name]
+        cur = cur_rates[name]
+        loss = (base - cur) / base
+        status = "FAIL" if loss > args.threshold else "ok"
+        print(f"{status:4s} {name:40s} "
+              f"{base / 1e6:10.3f}M/s -> {cur / 1e6:10.3f}M/s "
+              f"({-loss:+.1%})")
+        if loss > args.threshold:
+            failures.append(name)
+
+    if failures:
+        print(f"FAIL: {len(failures)} dispatch benchmark(s) regressed "
+              f"more than {args.threshold:.0%}: {', '.join(failures)}")
+        return 1
+    print(f"ok: {len(shared)} dispatch benchmark(s) within "
+          f"{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

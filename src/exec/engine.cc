@@ -69,7 +69,7 @@ Engine::Engine(const stream::TaskGraph &graph,
               "live snapshot interval must be positive");
 
     const auto n_tasks = static_cast<std::size_t>(graph_.taskCount());
-    deps_left_.assign(n_tasks, 0);
+    deps_left_ = std::vector<std::atomic<int>>(n_tasks);
     succs_.assign(n_tasks, {});
     attempts_.assign(n_tasks, 0);
     task_start_.assign(n_tasks, 0.0);
@@ -77,8 +77,9 @@ Engine::Engine(const stream::TaskGraph &graph,
     task_mtl_.assign(n_tasks, 0);
     pair_mem_mtl_.assign(static_cast<std::size_t>(graph_.pairCount()), 0);
     for (const Task &task : graph_.tasks()) {
-        deps_left_[static_cast<std::size_t>(task.id)] =
-            static_cast<int>(task.deps.size());
+        deps_left_[static_cast<std::size_t>(task.id)].store(
+            static_cast<int>(task.deps.size()),
+            std::memory_order_relaxed);
         for (TaskId dep : task.deps)
             succs_[static_cast<std::size_t>(dep)].push_back(task.id);
     }
@@ -104,7 +105,8 @@ Engine::Engine(const stream::TaskGraph &graph,
                       " outside the graph");
             tt_assert(
                 deps_left_[static_cast<std::size_t>(
-                    graph_.memoryTaskOf(job.pair))] == 0,
+                               graph_.memoryTaskOf(job.pair))]
+                        .load(std::memory_order_relaxed) == 0,
                 "open-loop pairs must have dependency-free memory "
                 "tasks");
         }
@@ -115,22 +117,55 @@ void
 Engine::activatePhaseLocked(int phase, double now)
 {
     current_phase_ = phase;
-    phase_remaining_ = 0;
+    // Count first, publish the barrier count, then enqueue: in pull
+    // mode a ring push is instantly poppable by a worker whose
+    // completion decrements phase_remaining_, so the count must be
+    // final before the first task escapes.
+    int count = 0;
+    for (const Task &task : graph_.tasks())
+        if (task.phase == phase)
+            ++count;
+    phase_remaining_.store(count, std::memory_order_seq_cst);
     for (const Task &task : graph_.tasks()) {
         if (task.phase != phase)
             continue;
-        ++phase_remaining_;
-        if (deps_left_[static_cast<std::size_t>(task.id)] == 0) {
+        if (deps_left_[static_cast<std::size_t>(task.id)].load(
+                std::memory_order_relaxed) == 0) {
             tt_assert(task.kind == TaskKind::Memory,
                       "only memory tasks can be initially ready");
-            ready_memory_.push_back(task.id);
             // Closed-loop spans: the pair's "arrival" is the barrier
-            // instant its memory task became runnable.
-            openSpanLocked(task.pair, 0, now);
+            // instant its memory task became runnable. Open before
+            // the enqueue -- the completing worker appends to it.
+            openSpan(task.pair, 0, now);
+            enqueueMemoryReady(task.id);
         }
     }
-    tt_assert(phase_remaining_ > 0 || graph_.empty(),
-              "phase ", phase, " has no tasks");
+    tt_assert(count > 0 || graph_.empty(), "phase ", phase,
+              " has no tasks");
+}
+
+void
+Engine::enqueueMemoryReady(TaskId id)
+{
+    if (!pull_mode_) {
+        ready_memory_.push_back(id);
+        return;
+    }
+    const bool ok = ready_memory_ring_->tryPush(id);
+    tt_assert(ok, "memory ready ring overflow (sized to task count)");
+    wakeWorkers();
+}
+
+void
+Engine::enqueueComputeReady(TaskId id)
+{
+    if (!pull_mode_) {
+        ready_compute_.push_back(id);
+        return;
+    }
+    const bool ok = ready_compute_ring_->tryPush(id);
+    tt_assert(ok, "compute ready ring overflow (sized to task count)");
+    wakeWorkers();
 }
 
 void
@@ -180,7 +215,7 @@ Engine::onArrivalTimer()
 }
 
 void
-Engine::openSpanLocked(int pair, int priority, double arrival)
+Engine::openSpan(int pair, int priority, double arrival)
 {
     auto &span = open_span_[static_cast<std::size_t>(pair)];
     span = obs::JobSpan{};
@@ -188,17 +223,20 @@ Engine::openSpanLocked(int pair, int priority, double arrival)
     span.priority = priority;
     span.open_loop = open_loop_;
     span.arrival = arrival;
-    span_open_[static_cast<std::size_t>(pair)] = true;
+    // Release pairs with the fast path's acquire load: a worker that
+    // sees the flag also sees the initialized span fields.
+    span_open_[static_cast<std::size_t>(pair)].store(
+        true, std::memory_order_release);
 }
 
 void
-Engine::spanAttemptLocked(stream::TaskId id, int worker,
+Engine::spanAttempt(stream::TaskId id, int worker,
                          const AttemptOutcome &outcome, bool failed,
                          double backoff_seconds)
 {
     const Task &task = graph_.task(id);
     const auto pair = static_cast<std::size_t>(task.pair);
-    if (!span_open_[pair])
+    if (!span_open_[pair].load(std::memory_order_acquire))
         return;
     obs::SpanAttempt attempt;
     attempt.task = id;
@@ -217,10 +255,10 @@ Engine::spanAttemptLocked(stream::TaskId id, int worker,
 }
 
 void
-Engine::closeSpanLocked(int pair, double end, obs::SpanOutcome outcome)
+Engine::closeSpan(int pair, double end, obs::SpanOutcome outcome)
 {
     const auto index = static_cast<std::size_t>(pair);
-    if (!span_open_[index])
+    if (!span_open_[index].load(std::memory_order_acquire))
         return;
     obs::JobSpan &span = open_span_[index];
     span.end = end;
@@ -230,7 +268,7 @@ Engine::closeSpanLocked(int pair, double end, obs::SpanOutcome outcome)
     span_buffer_->record(std::move(span));
     obs_trace_record_ns_ += wallNanos() - t0;
     span = obs::JobSpan{};
-    span_open_[index] = false;
+    span_open_[index].store(false, std::memory_order_release);
 }
 
 void
@@ -260,11 +298,11 @@ Engine::admitJobLocked(const load::JobSpec &job)
         // The span is terminal at the verdict: no attempts, zero
         // response, the shed reason preserved for attribution.
         const double stamp = backend_->now();
-        openSpanLocked(job.pair, job.priority, stamp);
+        openSpan(job.pair, job.priority, stamp);
         auto &span = open_span_[static_cast<std::size_t>(job.pair)];
         span.decision = out.decision;
         span.shed_reason = out.shed_reason;
-        closeSpanLocked(job.pair, stamp, obs::SpanOutcome::Shed);
+        closeSpan(job.pair, stamp, obs::SpanOutcome::Shed);
     } else {
         ++jobs_admitted_;
         if (metrics != nullptr)
@@ -280,10 +318,12 @@ Engine::admitJobLocked(const load::JobSpec &job)
         // on the host (see docs/robustness.md).
         job_arrival_stamp_[pair] = backend_->now();
         job_slo_[pair] = job.slo_seconds;
-        ready_memory_.push_back(graph_.memoryTaskOf(job.pair));
-        openSpanLocked(job.pair, job.priority,
-                       job_arrival_stamp_[pair]);
+        // Span first, enqueue second: a pull-mode worker can pop the
+        // task the instant it is in the ring and append attempts to
+        // the (pair-serialized) open span.
+        openSpan(job.pair, job.priority, job_arrival_stamp_[pair]);
         open_span_[pair].decision = out.decision;
+        enqueueMemoryReady(graph_.memoryTaskOf(job.pair));
     }
 
     if (out.state != backpressure_) {
@@ -299,6 +339,8 @@ Engine::admitJobLocked(const load::JobSpec &job)
 void
 Engine::tryScheduleLocked()
 {
+    if (pull_mode_)
+        return; // workers pull their own work off the rings
     if (run_failed_.load(std::memory_order_relaxed) || finished_)
         return; // aborting: let in-flight tasks drain, dispatch nothing
     while (true) {
@@ -338,7 +380,8 @@ Engine::dispatchLocked(int context, TaskId id)
 {
     const Task &task = graph_.task(id);
     context_busy_[static_cast<std::size_t>(context)] = true;
-    running_[static_cast<std::size_t>(context)] = id;
+    running_[static_cast<std::size_t>(context)].store(
+        id, std::memory_order_relaxed);
 
     const int mtl = policy_.currentMtl();
     task_mtl_[static_cast<std::size_t>(id)] = mtl;
@@ -373,8 +416,31 @@ Engine::startAttemptLocked(int context, TaskId id)
 void
 Engine::onAttemptDone(int context, const AttemptOutcome &outcome)
 {
+    if (pull_mode_) {
+        const TaskId id = running_[static_cast<std::size_t>(context)]
+                              .load(std::memory_order_relaxed);
+        // Fast path: a successful memory attempt in a healthy run
+        // completes without the scheduler mutex. Everything it
+        // touches is worker-owned, pair-serialized or atomic.
+        if (!outcome.failed &&
+            graph_.task(id).kind == TaskKind::Memory &&
+            !run_failed_.load(std::memory_order_acquire)) {
+            completeMemoryFast(context, id, outcome);
+            return;
+        }
+        std::lock_guard lock(mutex_);
+        if (!outcome.failed) {
+            completePullSlowLocked(context, id, outcome);
+            maybeFinishLocked();
+        } else {
+            handlePullFailureLocked(context, id, outcome);
+        }
+        return;
+    }
+
     std::lock_guard lock(mutex_);
-    const TaskId id = running_[static_cast<std::size_t>(context)];
+    const TaskId id = running_[static_cast<std::size_t>(context)].load(
+        std::memory_order_relaxed);
 
     if (!outcome.failed) {
         completeLocked(context, id, outcome);
@@ -392,7 +458,7 @@ Engine::onAttemptDone(int context, const AttemptOutcome &outcome)
                      50e-3);
         // Record the failed attempt -- and the backoff it was
         // granted -- on the pair's span before bumping the counter.
-        spanAttemptLocked(id, context, outcome, true, backoff);
+        spanAttempt(id, context, outcome, true, backoff);
         ++attempts_[static_cast<std::size_t>(id)];
         task_retries_.fetch_add(1, std::memory_order_relaxed);
         if (MetricsRegistry *metrics = options_.metrics)
@@ -401,15 +467,15 @@ Engine::onAttemptDone(int context, const AttemptOutcome &outcome)
         // The context stays reserved through the backoff so the retry
         // cannot be starved out by fresh dispatches.
         auto &pending = pending_retry_[static_cast<std::size_t>(context)];
-        pending.active = true;
+        pending.active.store(true, std::memory_order_relaxed);
         pending.token = backend_->after(
             backoff, [this, context] { onRetryTimer(context); });
         return;
     }
 
-    spanAttemptLocked(id, context, outcome, true, 0.0);
+    spanAttempt(id, context, outcome, true, 0.0);
     failTaskLocked(context, id, outcome.error);
-    closeSpanLocked(graph_.task(id).pair, outcome.end,
+    closeSpan(graph_.task(id).pair, outcome.end,
                     obs::SpanOutcome::Failed);
     maybeFinishLocked();
 }
@@ -419,11 +485,12 @@ Engine::onRetryTimer(int context)
 {
     std::lock_guard lock(mutex_);
     auto &pending = pending_retry_[static_cast<std::size_t>(context)];
-    if (!pending.active || finished_)
+    if (!pending.active.load(std::memory_order_relaxed) || finished_)
         return; // already cancelled / abandoned by a failed run
-    pending.active = false;
+    pending.active.store(false, std::memory_order_relaxed);
     pending.token = 0;
-    const TaskId id = running_[static_cast<std::size_t>(context)];
+    const TaskId id = running_[static_cast<std::size_t>(context)].load(
+        std::memory_order_relaxed);
     if (run_failed_.load(std::memory_order_relaxed)) {
         abandonContextLocked(context, id);
         maybeFinishLocked();
@@ -433,26 +500,39 @@ Engine::onRetryTimer(int context)
 }
 
 void
-Engine::completeLocked(int context, TaskId id,
-                       const AttemptOutcome &outcome)
+Engine::onRetryTimerPull(int worker)
+{
+    std::lock_guard lock(mutex_);
+    auto &pending = pending_retry_[static_cast<std::size_t>(worker)];
+    if (!pending.active.load(std::memory_order_relaxed) || finished_)
+        return; // cancelled (failed run abandoned the reservation)
+    pending.active.store(false, std::memory_order_relaxed);
+    pending.token = 0;
+    // Hand the stashed retry to its owning worker. The worker checks
+    // run_failed_ itself and abandons instead of re-running if the
+    // run aborted between grant and fire.
+    retry_ready_[static_cast<std::size_t>(worker)].store(
+        true, std::memory_order_seq_cst);
+    wakeWorkers();
+}
+
+void
+Engine::recordAttemptEvent(int worker, TaskId id,
+                           const AttemptOutcome &outcome)
 {
     const Task &task = graph_.task(id);
-    const double start = outcome.start;
-    const double end = outcome.end;
-    context_busy_[static_cast<std::size_t>(context)] = false;
-    running_[static_cast<std::size_t>(context)] = stream::kInvalidTask;
-    task_start_[static_cast<std::size_t>(id)] = start;
-    task_end_[static_cast<std::size_t>(id)] = end;
-    ++tasks_done_;
+    task_start_[static_cast<std::size_t>(id)] = outcome.start;
+    task_end_[static_cast<std::size_t>(id)] = outcome.end;
+    tasks_done_.fetch_add(1, std::memory_order_seq_cst);
 
     obs::TaskEvent event;
     event.task = id;
     event.pair = task.pair;
     event.phase = task.phase;
     event.is_memory = task.kind == TaskKind::Memory;
-    event.worker = context;
-    event.start = start;
-    event.end = end;
+    event.worker = worker;
+    event.start = outcome.start;
+    event.end = outcome.end;
     event.mtl = task_mtl_[static_cast<std::size_t>(id)];
     event.attempt = attempts_[static_cast<std::size_t>(id)];
     if (outcome.has_counters) {
@@ -461,121 +541,330 @@ Engine::completeLocked(int context, TaskId id,
         // merged into one event.
         event.has_counters = true;
         event.counters = outcome.counters;
-        saw_counters_ = true;
-        counter_totals_ += outcome.counters;
+        if (pull_mode_) {
+            // Worker-local aggregation, folded after the workers
+            // joined (finishResult) -- no synchronisation needed.
+            auto &wc =
+                worker_counters_[static_cast<std::size_t>(worker)];
+            wc.saw = true;
+            wc.totals += outcome.counters;
+        } else {
+            saw_counters_ = true;
+            counter_totals_ += outcome.counters;
+        }
     }
     {
         const std::uint64_t t0 = wallNanos();
-        tracer_->ring(context).record(event);
-        obs_trace_record_ns_ += wallNanos() - t0;
+        tracer_->ring(worker).record(event);
+        obs_trace_record_ns_.fetch_add(wallNanos() - t0,
+                                       std::memory_order_relaxed);
     }
-    spanAttemptLocked(id, context, outcome, false, 0.0);
+    spanAttempt(id, worker, outcome, false, 0.0);
+}
 
-    if (task.kind == TaskKind::Memory) {
-        --mem_in_flight_;
+void
+Engine::completePairLocked(int worker, TaskId id, double start,
+                           double end)
+{
+    const Task &task = graph_.task(id);
+    // Pair complete: time it, maybe corrupt it, report it.
+    const stream::PairId pair = task.pair;
+    const TaskId mem_id = graph_.memoryTaskOf(pair);
+    core::PairSample sample;
+    sample.tm = task_end_[static_cast<std::size_t>(mem_id)] -
+                task_start_[static_cast<std::size_t>(mem_id)];
+    sample.tc = end - start;
+    sample.end_time = end;
+    sample.mtl = pair_mem_mtl_[static_cast<std::size_t>(pair)];
+    if (options_.fault_plan && options_.fault_plan->enabled()) {
+        // Corruption models a broken clock read at measurement
+        // time. Keyed by the compute task with attempt 0 so the
+        // same pairs corrupt regardless of retry history -- and
+        // identically on every backend.
+        const fault::TaskFaults faults =
+            options_.fault_plan->forTask(id, 0);
+        if (faults.corrupt_sample) {
+            sample.tm = options_.fault_plan->corruptValue(id, 0);
+            sample.tc = options_.fault_plan->corruptValue(id, 1);
+        }
+    }
+    backend_->pairCompleted(graph_.task(mem_id));
+    samples_.push_back(sample);
+    if (options_.metrics != nullptr && std::isfinite(sample.tm) &&
+        std::isfinite(sample.tc)) {
+        const std::string suffix =
+            ".mtl=" + std::to_string(sample.mtl);
+        if (metric_shards_.has_value()) {
+            metric_shards_->observe(
+                static_cast<std::size_t>(worker),
+                "runtime.tm_seconds" + suffix, sample.tm);
+            metric_shards_->observe(
+                static_cast<std::size_t>(worker),
+                "runtime.tc_seconds" + suffix, sample.tc);
+        } else {
+            options_.metrics->observe("runtime.tm_seconds" + suffix,
+                                      sample.tm);
+            options_.metrics->observe("runtime.tc_seconds" + suffix,
+                                      sample.tc);
+        }
+    }
+    policy_.onPairMeasured(sample);
+    refreshMtlCacheLocked();
+
+    bool deadline_missed = false;
+    if (open_loop_) {
+        // Deadline accounting against the *actual* completion:
+        // the admission model predicted, this is ground truth.
+        const double arrival =
+            job_arrival_stamp_[static_cast<std::size_t>(pair)];
+        const double response = end - arrival;
+        const double queue_wait =
+            task_start_[static_cast<std::size_t>(mem_id)] - arrival;
+        response_log_.push_back(response);
+        if (options_.metrics != nullptr) {
+            const Histogram::Options opts{
+                .min_value = 1e-6, .growth = 2.0, .buckets = 32};
+            if (metric_shards_.has_value()) {
+                metric_shards_->observe(
+                    static_cast<std::size_t>(worker),
+                    "runtime.response_seconds",
+                    std::max(response, 0.0), opts);
+                metric_shards_->observe(
+                    static_cast<std::size_t>(worker),
+                    "runtime.queue_wait_seconds",
+                    std::max(queue_wait, 0.0), opts);
+            } else {
+                options_.metrics->observe("runtime.response_seconds",
+                                          std::max(response, 0.0),
+                                          opts);
+                options_.metrics->observe(
+                    "runtime.queue_wait_seconds",
+                    std::max(queue_wait, 0.0), opts);
+            }
+        }
+        const double slo = job_slo_[static_cast<std::size_t>(pair)];
+        if (slo > 0.0 && response > slo) {
+            deadline_missed = true;
+            ++jobs_deadline_missed_;
+            if (MetricsRegistry *metrics = options_.metrics)
+                metrics->add("runtime.jobs_deadline_missed", 1);
+        }
+    }
+    closeSpan(pair, end,
+              deadline_missed ? obs::SpanOutcome::DeadlineMiss
+                              : obs::SpanOutcome::Completed);
+}
+
+void
+Engine::readyDepthObserve(int worker)
+{
+    if (options_.metrics == nullptr)
+        return;
+    const Histogram::Options opts{
+        .min_value = 1.0, .growth = 2.0, .buckets = 24};
+    const double mem =
+        pull_mode_
+            ? static_cast<double>(ready_memory_ring_->sizeApprox())
+            : static_cast<double>(ready_memory_.size());
+    const double cmp =
+        pull_mode_
+            ? static_cast<double>(ready_compute_ring_->sizeApprox())
+            : static_cast<double>(ready_compute_.size());
+    if (metric_shards_.has_value()) {
+        metric_shards_->observe(static_cast<std::size_t>(worker),
+                                "runtime.ready_memory_depth", mem,
+                                opts);
+        metric_shards_->observe(static_cast<std::size_t>(worker),
+                                "runtime.ready_compute_depth", cmp,
+                                opts);
     } else {
-        // Pair complete: time it, maybe corrupt it, report it.
-        const stream::PairId pair = task.pair;
-        const TaskId mem_id = graph_.memoryTaskOf(pair);
-        core::PairSample sample;
-        sample.tm = task_end_[static_cast<std::size_t>(mem_id)] -
-                    task_start_[static_cast<std::size_t>(mem_id)];
-        sample.tc = end - start;
-        sample.end_time = end;
-        sample.mtl = pair_mem_mtl_[static_cast<std::size_t>(pair)];
-        if (options_.fault_plan && options_.fault_plan->enabled()) {
-            // Corruption models a broken clock read at measurement
-            // time. Keyed by the compute task with attempt 0 so the
-            // same pairs corrupt regardless of retry history -- and
-            // identically on every backend.
-            const fault::TaskFaults faults =
-                options_.fault_plan->forTask(id, 0);
-            if (faults.corrupt_sample) {
-                sample.tm = options_.fault_plan->corruptValue(id, 0);
-                sample.tc = options_.fault_plan->corruptValue(id, 1);
-            }
-        }
-        backend_->pairCompleted(graph_.task(mem_id));
-        samples_.push_back(sample);
-        if (MetricsRegistry *metrics = options_.metrics;
-            metrics != nullptr && std::isfinite(sample.tm) &&
-            std::isfinite(sample.tc)) {
-            const std::string suffix =
-                ".mtl=" + std::to_string(sample.mtl);
-            metrics->observe("runtime.tm_seconds" + suffix, sample.tm);
-            metrics->observe("runtime.tc_seconds" + suffix, sample.tc);
-        }
-        policy_.onPairMeasured(sample);
-
-        bool deadline_missed = false;
-        if (open_loop_) {
-            // Deadline accounting against the *actual* completion:
-            // the admission model predicted, this is ground truth.
-            const double arrival =
-                job_arrival_stamp_[static_cast<std::size_t>(pair)];
-            const double response = end - arrival;
-            const double queue_wait =
-                task_start_[static_cast<std::size_t>(mem_id)] -
-                arrival;
-            response_log_.push_back(response);
-            if (MetricsRegistry *metrics = options_.metrics) {
-                const Histogram::Options opts{.min_value = 1e-6,
-                                              .growth = 2.0,
-                                              .buckets = 32};
-                metrics->observe("runtime.response_seconds",
-                                 std::max(response, 0.0), opts);
-                metrics->observe("runtime.queue_wait_seconds",
-                                 std::max(queue_wait, 0.0), opts);
-            }
-            const double slo =
-                job_slo_[static_cast<std::size_t>(pair)];
-            if (slo > 0.0 && response > slo) {
-                deadline_missed = true;
-                ++jobs_deadline_missed_;
-                if (MetricsRegistry *metrics = options_.metrics)
-                    metrics->add("runtime.jobs_deadline_missed", 1);
-            }
-        }
-        closeSpanLocked(pair, end,
-                        deadline_missed
-                            ? obs::SpanOutcome::DeadlineMiss
-                            : obs::SpanOutcome::Completed);
+        options_.metrics->observe("runtime.ready_memory_depth", mem,
+                                  opts);
+        options_.metrics->observe("runtime.ready_compute_depth", cmp,
+                                  opts);
     }
+}
 
-    if (MetricsRegistry *metrics = options_.metrics) {
-        metrics->observe(
-            "runtime.ready_memory_depth",
-            static_cast<double>(ready_memory_.size()),
-            Histogram::Options{.min_value = 1.0, .growth = 2.0,
-                               .buckets = 24});
-        metrics->observe(
-            "runtime.ready_compute_depth",
-            static_cast<double>(ready_compute_.size()),
-            Histogram::Options{.min_value = 1.0, .growth = 2.0,
-                               .buckets = 24});
-    }
-
-    // Unlock successors within the phase.
+void
+Engine::unlockSuccessors(TaskId id, double now)
+{
+    // The final decrement (acq_rel) publishes this task's completion
+    // state -- task_start_/task_end_ above all -- to whichever worker
+    // later pops the successor off a ring.
     for (TaskId succ : succs_[static_cast<std::size_t>(id)]) {
-        if (--deps_left_[static_cast<std::size_t>(succ)] == 0) {
+        if (deps_left_[static_cast<std::size_t>(succ)].fetch_sub(
+                1, std::memory_order_acq_rel) == 1) {
             if (graph_.task(succ).kind == TaskKind::Memory) {
-                ready_memory_.push_back(succ);
                 // A dependency-unlocked memory task starts its
                 // pair's span: runnable from this completion on.
-                openSpanLocked(graph_.task(succ).pair, 0, end);
+                openSpan(graph_.task(succ).pair, 0, now);
+                enqueueMemoryReady(succ);
             } else {
-                ready_compute_.push_back(succ);
+                enqueueComputeReady(succ);
             }
         }
     }
+}
+
+void
+Engine::completeLocked(int context, TaskId id,
+                       const AttemptOutcome &outcome)
+{
+    const Task &task = graph_.task(id);
+    const double end = outcome.end;
+    context_busy_[static_cast<std::size_t>(context)] = false;
+    running_[static_cast<std::size_t>(context)].store(
+        stream::kInvalidTask, std::memory_order_relaxed);
+    recordAttemptEvent(context, id, outcome);
+
+    if (task.kind == TaskKind::Memory)
+        --mem_in_flight_;
+    else
+        completePairLocked(context, id, outcome.start, end);
+
+    readyDepthObserve(context);
+    unlockSuccessors(id, end);
 
     // Phase barrier.
-    if (--phase_remaining_ == 0 &&
+    if (phase_remaining_.fetch_sub(1, std::memory_order_seq_cst) ==
+            1 &&
         current_phase_ + 1 < graph_.phaseCount()) {
         tt_assert(ready_memory_.empty() && ready_compute_.empty(),
                   "ready tasks left at a phase barrier");
         activatePhaseLocked(current_phase_ + 1, end);
     }
+}
+
+void
+Engine::completeMemoryFast(int worker, TaskId id,
+                           const AttemptOutcome &outcome)
+{
+    // Lock-free memory-task completion (pull mode, healthy run).
+    // Safe without the scheduler mutex because every touched datum is
+    // either worker-owned (running_, trace ring, counter shard),
+    // pair-serialized (the open span -- the pair's compute task
+    // cannot run until the fetch_sub below), or atomic.
+    recordAttemptEvent(worker, id, outcome);
+    gate_->release(static_cast<std::size_t>(worker));
+    running_[static_cast<std::size_t>(worker)].store(
+        stream::kInvalidTask, std::memory_order_relaxed);
+    readyDepthObserve(worker);
+    unlockSuccessors(id, outcome.end);
+    // A memory task is never the last of its phase (its compute
+    // successor completes later), so the barrier cannot trip here.
+    phase_remaining_.fetch_sub(1, std::memory_order_seq_cst);
+    inflight_attempts_.fetch_sub(1, std::memory_order_seq_cst);
+    // The freed admission slot may unblock a parked worker.
+    wakeWorkers();
+    if (run_failed_.load(std::memory_order_seq_cst)) {
+        // The run aborted while we completed lock-free; the failing
+        // path may have seen our attempt still in flight, so re-run
+        // the finish check it skipped.
+        std::lock_guard lock(mutex_);
+        maybeFinishLocked();
+    }
+}
+
+void
+Engine::completePullSlowLocked(int worker, TaskId id,
+                               const AttemptOutcome &outcome)
+{
+    // Successful attempt that needs the slow path: a compute (pair)
+    // completion, or any completion draining into a failed run.
+    const Task &task = graph_.task(id);
+    const double end = outcome.end;
+    running_[static_cast<std::size_t>(worker)].store(
+        stream::kInvalidTask, std::memory_order_relaxed);
+    recordAttemptEvent(worker, id, outcome);
+
+    if (task.kind == TaskKind::Memory)
+        gate_->release(static_cast<std::size_t>(worker));
+    else
+        completePairLocked(worker, id, outcome.start, end);
+
+    readyDepthObserve(worker);
+    unlockSuccessors(id, end);
+
+    if (phase_remaining_.fetch_sub(1, std::memory_order_seq_cst) ==
+            1 &&
+        current_phase_ + 1 < graph_.phaseCount()) {
+        tt_assert(ready_memory_ring_->emptyApprox() &&
+                      ready_compute_ring_->emptyApprox(),
+                  "ready tasks left at a phase barrier");
+        activatePhaseLocked(current_phase_ + 1, end);
+    }
+    inflight_attempts_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+void
+Engine::handlePullFailureLocked(int worker, TaskId id,
+                                const AttemptOutcome &outcome)
+{
+    const auto w = static_cast<std::size_t>(worker);
+    const int attempt = attempts_[static_cast<std::size_t>(id)];
+    if (!run_failed_.load(std::memory_order_relaxed) &&
+        attempt < options_.max_task_retries) {
+        const double backoff =
+            std::min(options_.retry_backoff_seconds *
+                         std::ldexp(1.0, attempt),
+                     50e-3);
+        spanAttempt(id, worker, outcome, true, backoff);
+        ++attempts_[static_cast<std::size_t>(id)];
+        task_retries_.fetch_add(1, std::memory_order_relaxed);
+        if (MetricsRegistry *metrics = options_.metrics)
+            metrics->add("runtime.task_retries", 1);
+        retry_log_.push_back(RetryRecord{id, attempt});
+        // The worker stays reserved through the backoff (its gate
+        // slot included, for memory tasks): the retry cannot be
+        // starved out, and single-thread runs keep the push-mode
+        // schedule exactly.
+        AttemptSpec spec;
+        spec.task = id;
+        spec.attempt = attempts_[static_cast<std::size_t>(id)];
+        spec.rerun_memory_first =
+            graph_.task(id).kind == TaskKind::Compute;
+        const fault::FaultPlan *plan = options_.fault_plan;
+        if (plan != nullptr && plan->enabled()) {
+            spec.faults = plan->forTask(id, spec.attempt);
+            spec.stall_seconds = plan->config().stall_seconds;
+        }
+        retry_spec_[w] = spec;
+        auto &pending = pending_retry_[w];
+        pending.active.store(true, std::memory_order_relaxed);
+        pending.token = backend_->after(
+            backoff, [this, worker] { onRetryTimerPull(worker); });
+        return;
+    }
+
+    spanAttempt(id, worker, outcome, true, 0.0);
+    ++task_failures_;
+    if (MetricsRegistry *metrics = options_.metrics)
+        metrics->add("runtime.task_failures", 1);
+    running_[w].store(stream::kInvalidTask,
+                      std::memory_order_relaxed);
+    if (graph_.task(id).kind == TaskKind::Memory)
+        gate_->release(w);
+    inflight_attempts_.fetch_sub(1, std::memory_order_seq_cst);
+    markRunFailedLocked("task " + std::to_string(id) +
+                        " failed after " +
+                        std::to_string(options_.max_task_retries) +
+                        " retries: " + outcome.error);
+    closeSpan(graph_.task(id).pair, outcome.end,
+              obs::SpanOutcome::Failed);
+    maybeFinishLocked();
+}
+
+void
+Engine::markRunFailedLocked(const std::string &reason)
+{
+    if (run_failed_.load(std::memory_order_relaxed))
+        return;
+    failure_reason_ = reason;
+    run_failed_.store(true, std::memory_order_seq_cst);
+    tt_warn("aborting run: ", failure_reason_);
+    abandonPendingRetriesLocked();
+    if (pull_mode_)
+        wakeWorkers(); // parked workers re-evaluate into drain mode
 }
 
 void
@@ -585,18 +874,14 @@ Engine::failTaskLocked(int context, TaskId id, const std::string &why)
     if (MetricsRegistry *metrics = options_.metrics)
         metrics->add("runtime.task_failures", 1);
     context_busy_[static_cast<std::size_t>(context)] = false;
-    running_[static_cast<std::size_t>(context)] = stream::kInvalidTask;
+    running_[static_cast<std::size_t>(context)].store(
+        stream::kInvalidTask, std::memory_order_relaxed);
     if (graph_.task(id).kind == TaskKind::Memory)
         --mem_in_flight_;
-    if (!run_failed_.load(std::memory_order_relaxed)) {
-        failure_reason_ = "task " + std::to_string(id) +
-                          " failed after " +
-                          std::to_string(options_.max_task_retries) +
-                          " retries: " + why;
-        run_failed_.store(true, std::memory_order_relaxed);
-        tt_warn("aborting run: ", failure_reason_);
-        abandonPendingRetriesLocked();
-    }
+    markRunFailedLocked("task " + std::to_string(id) +
+                        " failed after " +
+                        std::to_string(options_.max_task_retries) +
+                        " retries: " + why);
 }
 
 void
@@ -605,9 +890,24 @@ Engine::abandonContextLocked(int context, TaskId id)
     // The task never re-ran, so it is abandoned rather than failed:
     // only the task that exhausted its retries counts as a failure.
     context_busy_[static_cast<std::size_t>(context)] = false;
-    running_[static_cast<std::size_t>(context)] = stream::kInvalidTask;
+    running_[static_cast<std::size_t>(context)].store(
+        stream::kInvalidTask, std::memory_order_relaxed);
     if (graph_.task(id).kind == TaskKind::Memory)
         --mem_in_flight_;
+}
+
+void
+Engine::abandonWorkerAttemptLocked(int worker)
+{
+    const auto w = static_cast<std::size_t>(worker);
+    const TaskId id = running_[w].load(std::memory_order_relaxed);
+    if (id == stream::kInvalidTask)
+        return;
+    running_[w].store(stream::kInvalidTask,
+                      std::memory_order_relaxed);
+    if (graph_.task(id).kind == TaskKind::Memory)
+        gate_->release(w);
+    inflight_attempts_.fetch_sub(1, std::memory_order_seq_cst);
 }
 
 void
@@ -616,12 +916,17 @@ Engine::abandonPendingRetriesLocked()
     const int n = static_cast<int>(pending_retry_.size());
     for (int c = 0; c < n; ++c) {
         auto &pending = pending_retry_[static_cast<std::size_t>(c)];
-        if (!pending.active)
+        if (!pending.active.load(std::memory_order_relaxed))
             continue;
-        pending.active = false;
+        pending.active.store(false, std::memory_order_relaxed);
         backend_->cancel(pending.token);
         pending.token = 0;
-        abandonContextLocked(c, running_[static_cast<std::size_t>(c)]);
+        if (pull_mode_)
+            abandonWorkerAttemptLocked(c);
+        else
+            abandonContextLocked(
+                c, running_[static_cast<std::size_t>(c)].load(
+                       std::memory_order_relaxed));
     }
 }
 
@@ -630,39 +935,55 @@ Engine::maybeFinishLocked()
 {
     if (finished_)
         return;
+    const int done = tasks_done_.load(std::memory_order_seq_cst);
     // Open-loop: drained once every plan job was delivered and every
     // task either completed or belongs to a shed pair.
     const bool drained =
-        open_loop_
-            ? next_job_ >= options_.arrival_plan->size() &&
-                  tasks_done_ + shed_tasks_ == graph_.taskCount()
-            : tasks_done_ == graph_.taskCount();
+        open_loop_ ? next_job_ >= options_.arrival_plan->size() &&
+                         done + shed_tasks_ == graph_.taskCount()
+                   : done == graph_.taskCount();
     if (!drained) {
         if (!run_failed_.load(std::memory_order_relaxed))
             return;
-        for (const bool busy : context_busy_)
-            if (busy)
-                return; // let in-flight attempts deliver first
+        if (pull_mode_) {
+            // inflight_attempts_ covers running bodies *and* retry
+            // reservations, so zero means truly idle.
+            if (inflight_attempts_.load(std::memory_order_seq_cst) !=
+                0)
+                return;
+        } else {
+            for (const bool busy : context_busy_)
+                if (busy)
+                    return; // let in-flight attempts deliver first
+        }
     }
     finished_ = true;
     drain_seconds_ = backend_->now();
-    run_complete_.store(true, std::memory_order_relaxed);
+    run_complete_.store(true, std::memory_order_seq_cst);
+    if (pull_mode_)
+        wakeWorkers(); // parked workers observe run_complete_, exit
     if (watchdog_token_ != 0) {
         backend_->cancel(watchdog_token_);
         watchdog_token_ = 0;
     }
-    if (timeseries_token_ != 0) {
-        backend_->cancel(timeseries_token_);
-        timeseries_token_ = 0;
+    if (const auto token = timeseries_token_.exchange(
+            0, std::memory_order_acq_rel);
+        token != 0) {
+        backend_->cancel(token);
     }
     if (arrival_token_ != 0) {
         backend_->cancel(arrival_token_);
         arrival_token_ = 0;
     }
-    if (live_token_ != 0) {
-        backend_->cancel(live_token_);
-        live_token_ = 0;
+    if (const auto token =
+            live_token_.exchange(0, std::memory_order_acq_rel);
+        token != 0) {
+        backend_->cancel(token);
     }
+    // Final shard fold so the drain-time row/snapshot (and any late
+    // scrape) see fully caught-up registry values.
+    if (metric_shards_.has_value())
+        metric_shards_->fold();
     if (options_.timeseries_out != nullptr) {
         // Final row so even a sub-interval run leaves a snapshot
         // behind; stamped at drain time so it cannot extend the
@@ -712,41 +1033,61 @@ Engine::onWatchdogDeadline()
         return;
     watchdog_fired_ = true;
     watchdog_token_ = 0;
-    if (!run_failed_.load(std::memory_order_relaxed)) {
-        char reason[96];
-        std::snprintf(reason, sizeof reason,
-                      "watchdog: run exceeded %.3f s deadline",
-                      options_.watchdog_seconds);
-        failure_reason_ = reason;
-        run_failed_.store(true, std::memory_order_relaxed);
-        tt_warn("aborting run: ", failure_reason_);
-        abandonPendingRetriesLocked();
-    }
+    char reason[96];
+    std::snprintf(reason, sizeof reason,
+                  "watchdog: run exceeded %.3f s deadline",
+                  options_.watchdog_seconds);
+    markRunFailedLocked(reason);
     maybeFinishLocked();
 }
 
 void
 Engine::onTimeseriesTick()
 {
-    std::lock_guard lock(mutex_);
-    if (finished_)
-        return;
-    emitTimeseriesRowLocked();
-    timeseries_token_ = backend_->after(
-        std::max(options_.timeseries_interval_seconds, 1e-6),
-        [this] { onTimeseriesTick(); });
+    if (run_complete_.load(std::memory_order_acquire))
+        return; // drained while this callback was in flight
+    {
+        // Never stall the schedulers' slow path for a sample: a busy
+        // mutex skips the row (counted, and warned about by ttsim)
+        // instead of convoying workers behind the sampler.
+        std::unique_lock lock(mutex_, std::try_to_lock);
+        if (lock.owns_lock()) {
+            if (finished_)
+                return;
+            if (metric_shards_.has_value())
+                metric_shards_->fold(); // window-boundary fold
+            emitTimeseriesRowLocked();
+        } else {
+            timeseries_skipped_.fetch_add(1,
+                                          std::memory_order_relaxed);
+        }
+    }
+    // Re-armed outside the mutex; the race against the cancel at
+    // finish is benign (a stray tick bails on run_complete_).
+    timeseries_token_.store(
+        backend_->after(
+            std::max(options_.timeseries_interval_seconds, 1e-6),
+            [this] { onTimeseriesTick(); }),
+        std::memory_order_release);
 }
 
 void
 Engine::onLiveTick()
 {
-    std::lock_guard lock(mutex_);
-    if (finished_)
+    if (run_complete_.load(std::memory_order_acquire))
         return;
-    liveSnapshotLocked();
-    live_token_ =
+    {
+        std::lock_guard lock(mutex_);
+        if (finished_)
+            return;
+        if (metric_shards_.has_value())
+            metric_shards_->fold(); // snapshot sees current values
+        liveSnapshotLocked();
+    }
+    live_token_.store(
         backend_->after(std::max(options_.live_interval_seconds, 1e-6),
-                        [this] { onLiveTick(); });
+                        [this] { onLiveTick(); }),
+        std::memory_order_release);
 }
 
 void
@@ -765,11 +1106,13 @@ Engine::emitTimeseriesRowLocked()
     obs::TimeseriesSample row;
     row.time = finished_ ? drain_seconds_ : backend_->now();
     row.mtl = policy_.currentMtl();
-    row.mem_in_flight = mem_in_flight_;
-    row.tasks_done = tasks_done_;
+    row.mem_in_flight = memInFlightNow();
+    row.tasks_done = tasks_done_.load(std::memory_order_relaxed);
     row.pairs_done = static_cast<long>(samples_.size());
-    row.ready_memory = ready_memory_.size();
-    row.ready_compute = ready_compute_.size();
+    row.ready_memory = pull_mode_ ? ready_memory_ring_->sizeApprox()
+                                  : ready_memory_.size();
+    row.ready_compute = pull_mode_ ? ready_compute_ring_->sizeApprox()
+                                   : ready_compute_.size();
     row.selections = policy_.stats().selections;
     row.degraded = policy_.degraded();
     if (open_loop_) {
@@ -781,6 +1124,167 @@ Engine::emitTimeseriesRowLocked()
     }
     obs::writeTimeseriesRow(row, *options_.timeseries_out);
     obs_sampler_ns_ += wallNanos() - t0;
+}
+
+int
+Engine::memInFlightNow() const
+{
+    return pull_mode_ ? static_cast<int>(gate_->current())
+                      : mem_in_flight_;
+}
+
+void
+Engine::refreshMtlCacheLocked()
+{
+    if (!pull_mode_)
+        return;
+    // Policies are not thread-safe, so currentMtl() is only read
+    // under mutex_ and mirrored here for the lock-free admission
+    // bound. The mirror is exact: the policy only changes state
+    // under this same mutex.
+    const int mtl = policy_.currentMtl();
+    const int prev = mtl_cache_.exchange(mtl, std::memory_order_seq_cst);
+    if (mtl > prev)
+        wakeWorkers(); // new headroom may unblock admission waiters
+}
+
+void
+Engine::wakeWorkers()
+{
+    // parked_ is a fast-path hint: while every worker is busy this
+    // is one relaxed-ish load and no lock at all.
+    if (parked_.load(std::memory_order_seq_cst) == 0)
+        return;
+    {
+        // Bump the generation under the lot mutex so a worker that
+        // registered but has not yet slept cannot miss the wake.
+        std::lock_guard lock(park_mutex_);
+        ++park_gen_;
+    }
+    park_cv_.notify_all();
+}
+
+bool
+Engine::workerShouldSleep(int worker) const
+{
+    const auto w = static_cast<std::size_t>(worker);
+    if (run_complete_.load(std::memory_order_acquire))
+        return false; // exit instead
+    if (retry_ready_[w].load(std::memory_order_acquire))
+        return false; // our retry is due
+    if (pending_retry_[w].active.load(std::memory_order_acquire))
+        return true; // reserved: only our retry timer can free us
+    if (run_failed_.load(std::memory_order_acquire))
+        return true; // drain mode: nothing to dispatch, wait for end
+    if (!ready_compute_ring_->emptyApprox())
+        return false;
+    if (!ready_memory_ring_->emptyApprox() &&
+        gate_->current() < mtl_cache_.load(std::memory_order_seq_cst))
+        return false;
+    return true;
+}
+
+void
+Engine::parkWorker(int worker)
+{
+    parked_.fetch_add(1, std::memory_order_seq_cst);
+    if (!workerShouldSleep(worker)) {
+        // Work appeared between our last probe and registering.
+        parked_.fetch_sub(1, std::memory_order_seq_cst);
+        return;
+    }
+    {
+        std::unique_lock lock(park_mutex_);
+        const std::uint64_t gen = park_gen_;
+        // The bounded wait is insurance, not the wake mechanism: the
+        // parked_ hint can race a producer that published work before
+        // seeing our registration; 2 ms bounds that tail.
+        park_cv_.wait_for(lock, std::chrono::milliseconds(2), [&] {
+            return park_gen_ != gen || !workerShouldSleep(worker);
+        });
+    }
+    parked_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+void
+Engine::prepareDispatch(int worker, TaskId id, int mtl,
+                        AttemptSpec &spec)
+{
+    const Task &task = graph_.task(id);
+    const auto w = static_cast<std::size_t>(worker);
+    running_[w].store(id, std::memory_order_relaxed);
+    inflight_attempts_.fetch_add(1, std::memory_order_seq_cst);
+    // Fresh dispatches are always attempt 0: failed tasks never
+    // requeue (the retry stays reserved on its worker), so these
+    // slots are quiescent for everyone else.
+    task_mtl_[static_cast<std::size_t>(id)] = mtl;
+    if (task.kind == TaskKind::Memory)
+        pair_mem_mtl_[static_cast<std::size_t>(task.pair)] = mtl;
+    spec = AttemptSpec{};
+    spec.task = id;
+    spec.attempt = 0;
+    const fault::FaultPlan *plan = options_.fault_plan;
+    if (plan != nullptr && plan->enabled()) {
+        spec.faults = plan->forTask(id, 0);
+        spec.stall_seconds = plan->config().stall_seconds;
+    }
+}
+
+bool
+Engine::nextAttempt(int worker, AttemptSpec &spec)
+{
+    const auto w = static_cast<std::size_t>(worker);
+    for (;;) {
+        if (run_complete_.load(std::memory_order_acquire))
+            return false;
+        if (retry_ready_[w].exchange(false,
+                                     std::memory_order_acq_rel)) {
+            // Our granted retry's backoff elapsed: re-run the same
+            // task on this worker (the context stayed reserved, so
+            // retries are never starved and single-thread schedules
+            // match push mode exactly).
+            if (run_failed_.load(std::memory_order_acquire)) {
+                std::lock_guard lock(mutex_);
+                abandonWorkerAttemptLocked(worker);
+                maybeFinishLocked();
+                continue;
+            }
+            spec = retry_spec_[w];
+            return true;
+        }
+        if (pending_retry_[w].active.load(
+                std::memory_order_acquire)) {
+            // Reserved through a backoff: park, never steal other
+            // work (that would hand the retried task to the wrong
+            // context and break the reservation invariant).
+            parkWorker(worker);
+            continue;
+        }
+        if (!run_failed_.load(std::memory_order_acquire)) {
+            TaskId id = stream::kInvalidTask;
+            // Compute first, exactly like push-mode tryScheduleLocked.
+            if (ready_compute_ring_->tryPop(id)) {
+                prepareDispatch(worker, id,
+                                mtl_cache_.load(
+                                    std::memory_order_seq_cst),
+                                spec);
+                return true;
+            }
+            const int bound =
+                mtl_cache_.load(std::memory_order_seq_cst);
+            if (!ready_memory_ring_->emptyApprox() &&
+                gate_->tryAcquire(w, bound)) {
+                if (ready_memory_ring_->tryPop(id)) {
+                    prepareDispatch(worker, id, bound, spec);
+                    return true;
+                }
+                // Another worker drained the ring between the probe
+                // and the pop; give the slot back.
+                gate_->release(w);
+            }
+        }
+        parkWorker(worker);
+    }
 }
 
 void
@@ -795,7 +1299,8 @@ Engine::crashDump()
         std::fprintf(stderr,
                      "tt: runtime progress: %d/%d tasks done, "
                      "%d memory tasks in flight\n",
-                     tasks_done_, graph_.taskCount(), mem_in_flight_);
+                     tasks_done_.load(std::memory_order_relaxed),
+                     graph_.taskCount(), memInFlightNow());
     else
         std::fprintf(stderr,
                      "tt: runtime progress: scheduler lock held "
@@ -827,16 +1332,39 @@ Engine::run(ExecutionBackend &backend)
     const int contexts = backend.contexts();
     tt_assert(contexts >= 1, "need at least one execution context");
     context_busy_.assign(static_cast<std::size_t>(contexts), false);
-    running_.assign(static_cast<std::size_t>(contexts),
-                    stream::kInvalidTask);
-    pending_retry_.assign(static_cast<std::size_t>(contexts),
-                          PendingRetry{});
+    running_ =
+        std::vector<std::atomic<TaskId>>(static_cast<std::size_t>(contexts));
+    for (auto &slot : running_)
+        slot.store(stream::kInvalidTask, std::memory_order_relaxed);
+    pending_retry_ =
+        std::vector<PendingRetry>(static_cast<std::size_t>(contexts));
+    pull_mode_ = backend.pullDispatch();
+    if (pull_mode_) {
+        // Rings sized to the whole task count: pushes cannot fail.
+        const auto ring_cap = static_cast<std::size_t>(
+            std::max(graph_.taskCount(), 2));
+        ready_memory_ring_.emplace(ring_cap);
+        ready_compute_ring_.emplace(ring_cap);
+        gate_.emplace(static_cast<std::size_t>(contexts));
+        retry_ready_ = std::vector<std::atomic<bool>>(
+            static_cast<std::size_t>(contexts));
+        retry_spec_.assign(static_cast<std::size_t>(contexts),
+                           AttemptSpec{});
+        worker_counters_.assign(static_cast<std::size_t>(contexts),
+                                WorkerCounters{});
+        if (options_.metrics != nullptr)
+            metric_shards_.emplace(
+                *options_.metrics,
+                static_cast<std::size_t>(contexts));
+    }
     tracer_.emplace(contexts, ringCapacity(options_, graph_.taskCount()));
     const auto n_pairs = static_cast<std::size_t>(graph_.pairCount());
     span_buffer_.emplace(std::max<std::size_t>(
         1, std::min(options_.span_capacity, n_pairs)));
     open_span_.assign(n_pairs, obs::JobSpan{});
-    span_open_.assign(n_pairs, false);
+    span_open_ = std::vector<std::atomic<bool>>(n_pairs);
+    for (auto &flag : span_open_)
+        flag.store(false, std::memory_order_relaxed);
 
     backend.beginRun(*this);
 
@@ -853,6 +1381,7 @@ Engine::run(ExecutionBackend &backend)
 
     {
         std::lock_guard lock(mutex_);
+        refreshMtlCacheLocked(); // admission bound before workers run
         if (open_loop_) {
             admission_.emplace(options_.admission, contexts);
             backpressure_ = admission_->state();
@@ -895,6 +1424,17 @@ RunResult
 Engine::finishResult()
 {
     std::lock_guard lock(mutex_);
+    // The workers joined before drive() returned, so every shard --
+    // metric, hw-counter -- is quiescent; fold the stragglers.
+    if (metric_shards_.has_value())
+        metric_shards_->fold();
+    for (const WorkerCounters &wc : worker_counters_) {
+        if (!wc.saw)
+            continue;
+        saw_counters_ = true;
+        counter_totals_ += wc.totals;
+    }
+    const int done = tasks_done_.load(std::memory_order_seq_cst);
     RunResult result;
     result.failed = run_failed_.load(std::memory_order_relaxed);
     result.watchdog_fired = watchdog_fired_;
@@ -904,8 +1444,8 @@ Engine::finishResult()
     result.task_failures = task_failures_;
     result.retries = retry_log_;
     tt_assert(result.failed ||
-                  tasks_done_ + shed_tasks_ == graph_.taskCount(),
-              "run drained with ", tasks_done_, " of ",
+                  done + shed_tasks_ == graph_.taskCount(),
+              "run drained with ", done, " of ",
               graph_.taskCount(), " tasks done and ", shed_tasks_,
               " shed (deadlock in graph or scheduler)");
 
@@ -915,13 +1455,19 @@ Engine::finishResult()
     result.policy_stats = policy_.stats();
     result.mtl_trace = policy_.mtlTrace();
     result.decisions = policy_.decisions();
-    result.peak_mem_in_flight = peak_mem_in_flight_;
+    // Pull mode tracks the peak exactly in the gate (monotonic
+    // CAS-max over the folded shard sum at every successful admit).
+    result.peak_mem_in_flight =
+        pull_mode_ ? static_cast<int>(gate_->peak())
+                   : peak_mem_in_flight_;
     result.trace = tracer_->merged();
     result.trace_dropped = tracer_->dropped();
     if (span_buffer_.has_value()) {
         result.spans = span_buffer_->spans();
         result.spans_dropped = span_buffer_->dropped();
     }
+    result.timeseries_skipped =
+        timeseries_skipped_.load(std::memory_order_relaxed);
     result.pin_failures = backend_->pinFailures();
 
     // Corrupted samples (injected or from a glitched clock) stay in
@@ -1005,25 +1551,33 @@ Engine::finishResult()
     }
 
     if (MetricsRegistry *metrics = options_.metrics) {
-        metrics->add("runtime.tasks_done", tasks_done_);
+        metrics->add("runtime.tasks_done", done);
         metrics->add("runtime.pin_failed", result.pin_failures);
         metrics->add("trace.events_dropped",
                      static_cast<std::int64_t>(result.trace_dropped));
         metrics->add("obs.spans_dropped",
                      static_cast<std::int64_t>(result.spans_dropped));
+        // Rows the sampler skipped because the scheduler mutex was
+        // busy; the zero-delta add materializes the name on every
+        // backend so schema diffs stay clean.
+        metrics->add("obs.timeseries_skipped",
+                     timeseries_skipped_.load(
+                         std::memory_order_relaxed));
         // Self-observability: what tracing/sampling cost in *wall*
         // nanoseconds. The zero-delta adds materialize the full
         // obs.overhead.* schema on every backend; the backends then
         // add their counter-read share in finalize(), and the live
         // sinks charge live_export_ns as they serve.
         metrics->add("obs.overhead.trace_record_ns",
-                     static_cast<std::int64_t>(obs_trace_record_ns_));
+                     static_cast<std::int64_t>(
+                         obs_trace_record_ns_.load(
+                             std::memory_order_relaxed)));
         metrics->add("obs.overhead.sampler_ns",
                      static_cast<std::int64_t>(obs_sampler_ns_));
         metrics->add("obs.overhead.counter_read_ns", 0);
         metrics->add("obs.overhead.live_export_ns", 0);
         metrics->setMax("runtime.peak_mem_in_flight",
-                        peak_mem_in_flight_);
+                        result.peak_mem_in_flight);
         metrics->set("runtime.makespan_seconds", result.seconds);
         metrics->set("runtime.monitor_overhead",
                      result.monitor_overhead);

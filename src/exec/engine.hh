@@ -25,6 +25,7 @@
 #define TT_EXEC_ENGINE_HH
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -39,8 +40,11 @@
 #include "fault/fault_plan.hh"
 #include "load/admission.hh"
 #include "load/arrival.hh"
+#include "obs/metric_shards.hh"
 #include "obs/trace.hh"
 #include "stream/task_graph.hh"
+#include "util/concurrency/mpmc_queue.hh"
+#include "util/concurrency/sharded_gate.hh"
 
 namespace tt {
 class MetricsRegistry;
@@ -264,6 +268,11 @@ struct RunResult
     /** Spans lost to span-buffer overwrites (0 unless capped). */
     std::uint64_t spans_dropped = 0;
 
+    /** Time-series sampler ticks skipped because the scheduler lock
+     *  was busy (try-lock miss); those rows are simply absent from
+     *  the output. Also published as `obs.timeseries_skipped`. */
+    std::int64_t timeseries_skipped = 0;
+
     /** Per-phase aggregates (phase order). */
     std::vector<PhaseResult> phases;
 
@@ -408,6 +417,17 @@ class ExecutionBackend
     /** The run finished: release workers, stop timers. */
     virtual void runDrained() {}
 
+    /**
+     * True when this backend's workers *pull* attempts from the
+     * engine (Engine::nextAttempt) instead of having the engine push
+     * them through startAttempt(). Pull-mode runs take the engine's
+     * lock-free fast path: MPMC ready rings, sharded admission gate,
+     * per-worker metric shards. Push mode (sim, mocks) keeps every
+     * transition under the scheduler mutex and stays bit-identical
+     * to the historical behaviour.
+     */
+    virtual bool pullDispatch() const { return false; }
+
     /** A pair completed; the sim backend releases its LLC footprint. */
     virtual void
     pairCompleted(const stream::Task &memory_task)
@@ -444,9 +464,21 @@ class ExecutionBackend
  * with exponential backoff, clean run failure, watchdog and
  * time-series timers, trace rings and metrics.
  *
- * Thread-safe: all scheduler state is guarded by one mutex (the
- * paper's "lock and a counter"); single-threaded backends simply
- * never contend on it.
+ * Thread-safe. Two locking disciplines coexist:
+ *
+ *  - Push mode (sim, mocks): all scheduler state under one mutex,
+ *    the paper's "lock and a counter", bit-identical to the
+ *    historical engine. Single-threaded backends never contend.
+ *
+ *  - Pull mode (host threads): the per-task fast path -- ready-task
+ *    dispatch, MTL admission, memory-task completion, successor
+ *    unlock, trace/metric publication -- is lock-free (MPMC rings,
+ *    a sharded admission gate, atomic dependency/progress counters,
+ *    per-worker metric shards). Only the slow path -- pair sample
+ *    delivery to the policy, retries, failures, arrivals, phase
+ *    barriers, watchdog, finish -- takes the (now rarely touched)
+ *    mutex. See docs/substrate.md for the full memory-ordering
+ *    argument.
  */
 class Engine
 {
@@ -468,6 +500,16 @@ class Engine
      */
     void onAttemptDone(int context, const AttemptOutcome &outcome);
 
+    /**
+     * Pull-mode backend upcall: block until an attempt is available
+     * for `worker` and fill `spec`, or return false when the run is
+     * over and the worker should exit. Ready tasks come off the MPMC
+     * rings; memory admission goes through the sharded gate; a
+     * worker whose task is in retry backoff parks until its own
+     * retry fires (the context stays reserved, as in push mode).
+     */
+    bool nextAttempt(int worker, AttemptSpec &spec);
+
     /** Lock-free: true once the run aborted (workers should bail). */
     bool
     runFailed() const
@@ -478,7 +520,9 @@ class Engine
   private:
     struct PendingRetry
     {
-        bool active = false;
+        /** Written under mutex_; read lock-free by the parked
+         *  worker's sleep predicate. */
+        std::atomic<bool> active{false};
         ExecutionBackend::TimerToken token = 0;
     };
 
@@ -517,18 +561,61 @@ class Engine
     void onLiveTick();
     void liveSnapshotLocked();
     /** Start assembling the span of `pair` (memory task ready). */
-    void openSpanLocked(int pair, int priority, double arrival);
+    void openSpan(int pair, int priority, double arrival);
     /** Append one finished attempt to the pair's open span. */
-    void spanAttemptLocked(stream::TaskId id, int worker,
+    void spanAttempt(stream::TaskId id, int worker,
                            const AttemptOutcome &outcome, bool failed,
                            double backoff_seconds);
     /** Finalize the pair's span: critical path, buffer, metrics. */
-    void closeSpanLocked(int pair, double end,
+    void closeSpan(int pair, double end,
                          obs::SpanOutcome outcome);
     /** Best-effort diagnostics dump (crash hook / watchdog path). */
     void crashDump();
     /** Assemble the RunResult after drive() returned. */
     RunResult finishResult();
+
+    // --- pull-mode (lock-free fast path) helpers ---
+
+    /** Route a newly ready task to the deque (push) or ring (pull). */
+    void enqueueMemoryReady(stream::TaskId id);
+    void enqueueComputeReady(stream::TaskId id);
+    /** Stamp dispatch state and build the attempt-0 spec (pull). */
+    void prepareDispatch(int worker, stream::TaskId id, int mtl,
+                         AttemptSpec &spec);
+    /** Lock-free completion of a successful memory attempt (pull). */
+    void completeMemoryFast(int worker, stream::TaskId id,
+                            const AttemptOutcome &outcome);
+    /** Slow-path completion (pair / failed-run drain) in pull mode. */
+    void completePullSlowLocked(int worker, stream::TaskId id,
+                                const AttemptOutcome &outcome);
+    /** Pull-mode failure: retry with backoff or fail the run. */
+    void handlePullFailureLocked(int worker, stream::TaskId id,
+                                 const AttemptOutcome &outcome);
+    /** Retry backoff elapsed for `worker` (pull mode). */
+    void onRetryTimerPull(int worker);
+    /** Drop the reserved attempt of `worker` (failed run, pull). */
+    void abandonWorkerAttemptLocked(int worker);
+    /** Record attempt / unlock successors, mode-agnostic pieces. */
+    void recordAttemptEvent(int worker, stream::TaskId id,
+                            const AttemptOutcome &outcome);
+    void unlockSuccessors(stream::TaskId id, double now);
+    /** Compute-task completion tail: sample, policy, span close. */
+    void completePairLocked(int worker, stream::TaskId id,
+                            double start, double end);
+    /** Observe ready-queue depths (shards in pull mode). */
+    void readyDepthObserve(int worker);
+    /** Abort the run once: reason, warn, abandon reservations. */
+    void markRunFailedLocked(const std::string &reason);
+    /** Publish policy_.currentMtl() to mtl_cache_; wake on raise. */
+    void refreshMtlCacheLocked();
+    /** Park `worker` until work might exist (bounded backstop). */
+    void parkWorker(int worker);
+    /** True when `worker` has nothing it could possibly do now. */
+    bool workerShouldSleep(int worker) const;
+    /** Nudge parked workers (ring push, retry fire, MTL raise...). */
+    void wakeWorkers();
+    /** Memory tasks currently admitted, either mode. */
+    int memInFlightNow() const;
 
     const stream::TaskGraph &graph_;
     core::SchedulingPolicy &policy_;
@@ -537,14 +624,52 @@ class Engine
 
     std::mutex mutex_;
 
-    std::vector<int> deps_left_;
+    /** Per-task unfinished-dependency counts. Push mode decrements
+     *  under mutex_; pull mode uses fetch_sub(acq_rel), whose final
+     *  decrement carries the happens-before edge from predecessor
+     *  completion state (task_start_/task_end_) to the dispatcher. */
+    std::vector<std::atomic<int>> deps_left_;
     std::vector<std::vector<stream::TaskId>> succs_;
     std::deque<stream::TaskId> ready_memory_;
     std::deque<stream::TaskId> ready_compute_;
     std::vector<bool> context_busy_;
-    std::vector<stream::TaskId> running_;
+    std::vector<std::atomic<stream::TaskId>> running_;
     std::vector<PendingRetry> pending_retry_;
     std::vector<int> attempts_; ///< failed attempts per task
+
+    // --- pull-mode state (engaged iff backend->pullDispatch()) ---
+    bool pull_mode_ = false;
+    std::optional<util::MpmcQueue<stream::TaskId>> ready_memory_ring_;
+    std::optional<util::MpmcQueue<stream::TaskId>> ready_compute_ring_;
+    std::optional<util::ShardedGate> gate_; ///< mem_in_flight, sharded
+    std::optional<obs::ShardedMetrics> metric_shards_;
+    /** policy_.currentMtl() mirrored after every policy interaction
+     *  (all under mutex_); workers read it lock-free as the
+     *  admission bound. */
+    std::atomic<int> mtl_cache_{0};
+    /** Dispatched attempts not yet completed/abandoned, including
+     *  attempts reserved through a retry backoff. */
+    std::atomic<int> inflight_attempts_{0};
+    /** Per-worker "your granted retry is due" flags (set by the
+     *  retry timer, consumed by the owning worker). */
+    std::vector<std::atomic<bool>> retry_ready_;
+    std::vector<AttemptSpec> retry_spec_; ///< stashed under mutex_
+    /** Per-worker hw-counter aggregation; folded after the workers
+     *  joined, so the slots need no synchronisation beyond join. */
+    struct WorkerCounters
+    {
+        bool saw = false;
+        obs::perf::CounterSet totals;
+    };
+    std::vector<WorkerCounters> worker_counters_;
+    // Parking lot for idle workers. parked_ is a fast-path hint so
+    // producers skip the lot entirely while everyone is busy; the
+    // generation counter (under park_mutex_) makes wake-ups sticky
+    // across the register-then-recheck race.
+    std::mutex park_mutex_;
+    std::condition_variable park_cv_;
+    std::atomic<int> parked_{0};
+    std::uint64_t park_gen_ = 0;
 
     // Open-loop state (see EngineOptions::arrival_plan).
     bool open_loop_ = false;
@@ -564,11 +689,11 @@ class Engine
     std::vector<double> job_arrival_stamp_; ///< per pair, engine clock
     std::vector<double> job_slo_;           ///< per pair, seconds
 
-    int mem_in_flight_ = 0;
-    int peak_mem_in_flight_ = 0;
+    int mem_in_flight_ = 0;      ///< push mode (gate_ in pull mode)
+    int peak_mem_in_flight_ = 0; ///< push mode (gate_ peak in pull)
     int current_phase_ = -1;
-    int phase_remaining_ = 0;
-    int tasks_done_ = 0;
+    std::atomic<int> phase_remaining_{0};
+    std::atomic<int> tasks_done_{0};
     bool started_ = false;
     bool finished_ = false;
 
@@ -582,18 +707,27 @@ class Engine
 
     std::optional<obs::Tracer> tracer_; ///< one ring per context
 
-    // Per-job causal spans (see obs/span.hh), assembled under the
-    // scheduler lock at the same hooks that feed the trace rings.
+    // Per-job causal spans (see obs/span.hh). Appends for one pair
+    // are serialized by the pair's own dependency chain (memory
+    // completes-before compute dispatches), but *different* pairs'
+    // spans open/close concurrently in pull mode, so the open flags
+    // must be independent atomics -- a packed vector<bool> would
+    // race on the shared words.
     std::optional<obs::SpanBuffer> span_buffer_;
     std::vector<obs::JobSpan> open_span_; ///< per pair, in assembly
-    std::vector<bool> span_open_;
+    std::vector<std::atomic<bool>> span_open_;
 
     // Self-observability: wall-clock nanoseconds spent inside
     // observability code (steady clock on every backend -- this is
     // the *real* cost of tracing, not simulated time), published as
-    // obs.overhead.* counters.
-    std::uint64_t obs_trace_record_ns_ = 0;
+    // obs.overhead.* counters. trace_record accumulates from the
+    // lock-free completion path, hence atomic.
+    std::atomic<std::uint64_t> obs_trace_record_ns_{0};
     std::uint64_t obs_sampler_ns_ = 0;
+
+    /** Sampler rows skipped because the scheduler mutex was busy
+     *  (try_to_lock miss); published as obs.timeseries_skipped. */
+    std::atomic<std::int64_t> timeseries_skipped_{0};
 
     // Hardware-counter aggregation (options_.counters only).
     bool saw_counters_ = false;
@@ -610,8 +744,12 @@ class Engine
     // run_complete_ gates late timer callbacks (watchdog, sampler).
     std::atomic<bool> run_complete_{false};
     ExecutionBackend::TimerToken watchdog_token_ = 0;
-    ExecutionBackend::TimerToken timeseries_token_ = 0;
-    ExecutionBackend::TimerToken live_token_ = 0;
+    // The sampler/live ticks re-arm their own token *outside* the
+    // scheduler mutex (the sampler only try-locks it), racing with
+    // the cancel at finish; atomic tokens keep that race benign (a
+    // stray timer is gated by run_complete_).
+    std::atomic<ExecutionBackend::TimerToken> timeseries_token_{0};
+    std::atomic<ExecutionBackend::TimerToken> live_token_{0};
     double drain_seconds_ = -1.0; ///< engine clock at finish
 };
 

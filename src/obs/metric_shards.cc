@@ -1,0 +1,62 @@
+#include "obs/metric_shards.hh"
+
+#include <utility>
+
+namespace tt::obs {
+
+ShardedMetrics::ShardedMetrics(MetricsRegistry &sink,
+                               std::size_t shards)
+    : sink_(sink), shards_(shards == 0 ? 1 : shards)
+{
+}
+
+void
+ShardedMetrics::add(std::size_t shard, const std::string &name,
+                    std::int64_t delta)
+{
+    auto &s = shards_[shard % shards_.size()];
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.counters[name] += delta;
+}
+
+void
+ShardedMetrics::observe(std::size_t shard, const std::string &name,
+                        double value)
+{
+    observe(shard, name, value, Histogram::Options{});
+}
+
+void
+ShardedMetrics::observe(std::size_t shard, const std::string &name,
+                        double value,
+                        const Histogram::Options &options)
+{
+    auto &s = shards_[shard % shards_.size()];
+    std::lock_guard<std::mutex> lock(s.mutex);
+    auto it = s.histograms.find(name);
+    if (it == s.histograms.end())
+        it = s.histograms.emplace(name, Histogram(options)).first;
+    it->second.add(value);
+}
+
+void
+ShardedMetrics::fold()
+{
+    for (auto &s : shards_) {
+        std::map<std::string, std::int64_t> counters;
+        std::map<std::string, Histogram> histograms;
+        {
+            std::lock_guard<std::mutex> lock(s.mutex);
+            counters.swap(s.counters);
+            histograms.swap(s.histograms);
+        }
+        // Publish outside the shard mutex: the worker can keep
+        // publishing into its (now empty) shard meanwhile.
+        for (const auto &[name, delta] : counters)
+            sink_.add(name, delta);
+        for (const auto &[name, hist] : histograms)
+            sink_.merge(name, hist);
+    }
+}
+
+} // namespace tt::obs

@@ -27,12 +27,16 @@
 #ifndef TT_OBS_SPAN_HH
 #define TT_OBS_SPAN_HH
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "load/admission.hh"
 #include "obs/perf/counters.hh"
+#include "util/concurrency/epoch.hh"
 
 namespace tt::obs {
 
@@ -134,14 +138,33 @@ struct JobSpan
 CriticalPath computeCriticalPath(const JobSpan &span);
 
 /**
- * Bounded span store mirroring TraceRing: record() overwrites the
- * oldest span when full and counts the loss in dropped(). Owned and
- * written by the engine under its scheduler lock; read after drain.
+ * Bounded span store, concurrent-writer safe. record() claims a
+ * global sequence number with one fetch_add and publishes the span
+ * into a slot of a segmented log; the logical window is the last
+ * `capacity` sequences, so the observable contract matches the old
+ * locked ring exactly — the oldest span falls out when full and the
+ * loss shows up in dropped().
+ *
+ * Storage is a linked list of fixed-size segments rather than one
+ * ring: slots are written once, never recycled, so writers never
+ * race a reader over a wrapping slot. A segment wholly below the
+ * window is unlinked (rare, under a small mutex) and handed to an
+ * EpochReclaimer; readers traverse under an epoch guard, so the
+ * segment is freed only after every reader that could still hold a
+ * pointer into it has left. Slot publication is a release store of
+ * the slot's ready flag, matched by acquire loads in spans().
+ *
+ * Engine push mode still writes from one thread at a time; the host
+ * pull path records spans from whichever worker completes the pair.
  */
 class SpanBuffer
 {
   public:
     explicit SpanBuffer(std::size_t capacity);
+    ~SpanBuffer();
+
+    SpanBuffer(const SpanBuffer &) = delete;
+    SpanBuffer &operator=(const SpanBuffer &) = delete;
 
     /** Append one finalized span, overwriting the oldest when full. */
     void record(JobSpan span);
@@ -152,18 +175,51 @@ class SpanBuffer
     std::size_t size() const;
 
     /** Total spans recorded, including overwritten ones. */
-    std::uint64_t recorded() const { return recorded_; }
+    std::uint64_t recorded() const;
 
-    /** Spans lost to overwriting. */
+    /** Spans lost to the window sliding past them. */
     std::uint64_t dropped() const;
 
-    /** Held spans, oldest first. */
+    /**
+     * Spans in the window, oldest first. Safe concurrently with
+     * writers: slots still being filled at the call instant are
+     * skipped (quiesced callers — drain, tests — see every slot).
+     */
     std::vector<JobSpan> spans() const;
 
   private:
+    /** Spans per segment; segment turnover (and hence every locked
+     *  or epoch-managed operation) happens once per this many
+     *  records. */
+    static constexpr std::size_t kSegmentSpans = 256;
+
+    struct Slot
+    {
+        std::atomic<std::uint32_t> ready{0};
+        JobSpan span;
+    };
+
+    struct Segment
+    {
+        explicit Segment(std::uint64_t base_seq) : base(base_seq) {}
+        const std::uint64_t base; ///< sequence of slots[0]
+        std::vector<Slot> slots{kSegmentSpans};
+        std::atomic<Segment *> next{nullptr};
+    };
+
+    /** Segment covering `seq`, installing it if needed. Must be
+     *  called under an epoch guard. */
+    Segment *segmentFor(std::uint64_t seq);
+
+    /** Unlink and retire segments wholly below the window. */
+    void reclaim(std::uint64_t window_start);
+
     std::size_t capacity_;
-    std::uint64_t recorded_ = 0;
-    std::vector<JobSpan> data_; ///< ring storage, slot = recorded % capacity
+    alignas(64) std::atomic<std::uint64_t> next_seq_{0};
+    std::atomic<Segment *> head_; ///< oldest live segment
+    std::atomic<Segment *> tail_; ///< newest segment (install hint)
+    std::mutex install_mutex_;    ///< guards head_/tail_ updates
+    mutable util::EpochReclaimer epoch_{16};
 };
 
 } // namespace tt::obs

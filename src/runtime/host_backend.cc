@@ -58,9 +58,6 @@ HostThreadBackend::HostThreadBackend(const stream::TaskGraph &graph,
     : graph_(graph), options_(options)
 {
     tt_assert(options_.threads >= 1, "need at least one worker thread");
-    slots_.reserve(static_cast<std::size_t>(options_.threads));
-    for (int i = 0; i < options_.threads; ++i)
-        slots_.push_back(std::make_unique<Slot>());
 }
 
 double
@@ -82,13 +79,11 @@ void
 HostThreadBackend::startAttempt(int context,
                                 const exec::AttemptSpec &spec)
 {
-    Slot &slot = *slots_[static_cast<std::size_t>(context)];
-    {
-        std::lock_guard lock(slot.mutex);
-        slot.spec = spec;
-        slot.pending = true;
-    }
-    slot.cv.notify_one();
+    // Pull mode: workers fetch their own work via Engine::nextAttempt,
+    // so the engine must never push an attempt at this backend.
+    (void)context;
+    (void)spec;
+    tt_assert(false, "startAttempt called on a pull-mode backend");
 }
 
 HostThreadBackend::TimerToken
@@ -121,8 +116,8 @@ HostThreadBackend::drive(exec::Engine &engine)
     (void)engine;
     std::thread timer([this] { timerLoop(); });
     std::vector<std::thread> workers;
-    workers.reserve(slots_.size());
-    for (int w = 0; w < static_cast<int>(slots_.size()); ++w)
+    workers.reserve(static_cast<std::size_t>(options_.threads));
+    for (int w = 0; w < options_.threads; ++w)
         workers.emplace_back([this, w] { workerLoop(w); });
     for (auto &worker : workers)
         worker.join();
@@ -138,13 +133,9 @@ HostThreadBackend::drive(exec::Engine &engine)
 void
 HostThreadBackend::runDrained()
 {
+    // Workers park inside Engine::nextAttempt; the engine wakes them
+    // itself when run_complete_ flips. Only the timer thread is ours.
     stop_.store(true, std::memory_order_relaxed);
-    for (auto &slot : slots_) {
-        {
-            std::lock_guard lock(slot->mutex);
-        }
-        slot->cv.notify_all();
-    }
     {
         std::lock_guard lock(timer_mutex_);
     }
@@ -198,20 +189,12 @@ HostThreadBackend::workerLoop(int index)
         }
     } detach{counters, index};
 
-    Slot &slot = *slots_[static_cast<std::size_t>(index)];
-    while (true) {
-        exec::AttemptSpec spec;
-        {
-            std::unique_lock lock(slot.mutex);
-            slot.cv.wait(lock, [&] {
-                return slot.pending ||
-                       stop_.load(std::memory_order_relaxed);
-            });
-            if (!slot.pending)
-                return; // stopped with nothing parked here
-            spec = slot.spec;
-            slot.pending = false;
-        }
+    // Lock-free fast path: nextAttempt pops the ready rings and takes
+    // the sharded MTL gate; onAttemptDone completes memory attempts
+    // without the scheduler mutex. The worker blocks (parked inside
+    // the engine) only when there is genuinely nothing runnable.
+    exec::AttemptSpec spec;
+    while (engine_->nextAttempt(index, spec)) {
         const exec::AttemptOutcome outcome = runAttempt(index, spec);
         engine_->onAttemptDone(index, outcome);
     }

@@ -4,11 +4,13 @@
  * real worker threads and the steady clock.
  *
  * One software thread per configured context, pinned with CPU
- * affinity where the platform supports it. The engine pushes task
- * attempts at idle threads through per-thread mailboxes (so a worker
- * never touches the scheduler lock while executing a body); a
- * dedicated timer thread services the engine's one-shot timers
- * (retry backoff, watchdog deadline, time-series sampling).
+ * affinity where the platform supports it. This backend runs in the
+ * engine's *pull* mode: each worker loops on Engine::nextAttempt()
+ * -- lock-free ready rings and sharded MTL admission, no scheduler
+ * mutex on the per-task path -- executes the body, and reports
+ * through Engine::onAttemptDone(). A dedicated timer thread services
+ * the engine's one-shot timers (retry backoff, watchdog deadline,
+ * time-series sampling).
  */
 
 #ifndef TT_RUNTIME_HOST_BACKEND_HH
@@ -17,7 +19,6 @@
 #include <atomic>
 #include <condition_variable>
 #include <map>
-#include <memory>
 #include <mutex>
 
 #include "exec/engine.hh"
@@ -50,16 +51,10 @@ class HostThreadBackend final : public exec::ExecutionBackend
      *  exit the process after dumping diagnostics. */
     bool watchdogTerminatesProcess() const override { return true; }
 
-  private:
-    /** Per-worker mailbox: the engine parks one attempt here. */
-    struct Slot
-    {
-        std::mutex mutex;
-        std::condition_variable cv;
-        bool pending = false;
-        exec::AttemptSpec spec;
-    };
+    /** Workers pull from the engine's lock-free rings. */
+    bool pullDispatch() const override { return true; }
 
+  private:
     struct Timer
     {
         std::chrono::steady_clock::time_point deadline;
@@ -78,7 +73,6 @@ class HostThreadBackend final : public exec::ExecutionBackend
     const stream::TaskGraph &graph_;
     const exec::EngineOptions &options_;
 
-    std::vector<std::unique_ptr<Slot>> slots_;
     std::atomic<bool> stop_{false};
     std::atomic<long> pin_failures_{0};
     /** Wall ns spent inside counter reads (obs.overhead.*). */

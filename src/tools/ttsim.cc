@@ -750,6 +750,14 @@ main(int argc, char **argv)
                          "will be incomplete; see obs.spans_dropped\n",
                          static_cast<unsigned long long>(
                              result.spans_dropped));
+        if (result.timeseries_skipped > 0)
+            std::fprintf(stderr,
+                         "warning: %lld time-series rows skipped "
+                         "(sampler found the scheduler busy) -- the "
+                         "series has gaps; see "
+                         "obs.timeseries_skipped\n",
+                         static_cast<long long>(
+                             result.timeseries_skipped));
 
         printOpenLoopSummary(result);
 
@@ -846,6 +854,12 @@ main(int argc, char **argv)
                      "incomplete; see obs.spans_dropped\n",
                      static_cast<unsigned long long>(
                          result.spans_dropped));
+    if (result.timeseries_skipped > 0)
+        std::fprintf(stderr,
+                     "warning: %lld time-series rows skipped (sampler "
+                     "found the scheduler busy) -- the series has "
+                     "gaps; see obs.timeseries_skipped\n",
+                     static_cast<long long>(result.timeseries_skipped));
     printOpenLoopSummary(result);
 
     if (!trace_path.empty() &&

@@ -1,0 +1,110 @@
+#include "util/concurrency/epoch.hh"
+
+#include <utility>
+
+namespace tt::util {
+
+EpochReclaimer::EpochReclaimer(std::size_t stripes)
+    : slots_(stripes == 0 ? 1 : stripes)
+{
+}
+
+EpochReclaimer::~EpochReclaimer()
+{
+    std::lock_guard<std::mutex> lock(limbo_mutex_);
+    for (auto &bucket : limbo_) {
+        for (auto &deleter : bucket)
+            deleter();
+        bucket.clear();
+    }
+}
+
+std::size_t
+EpochReclaimer::threadStripe()
+{
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+void
+EpochReclaimer::enter(std::size_t stripe)
+{
+    auto &state = slots_[stripe].state;
+    for (;;) {
+        std::uint64_t cur = state.load(std::memory_order_seq_cst);
+        if ((cur & kCountMask) != 0) {
+            // Shared stripe: inherit the advertised epoch. It can
+            // only lag ours (the first holder entered no later),
+            // which at worst delays an advance.
+            if (state.compare_exchange_weak(
+                    cur, cur + 1, std::memory_order_seq_cst))
+                return;
+            continue;
+        }
+        const std::uint64_t epoch =
+            global_epoch_.load(std::memory_order_seq_cst);
+        if (!state.compare_exchange_weak(
+                cur, (epoch << kCountBits) | 1,
+                std::memory_order_seq_cst))
+            continue;
+        // If the epoch advanced between the load and the store we
+        // may advertise a stale value — safe (blocks the *next*
+        // advance) but re-publish the current epoch when we can.
+        const std::uint64_t now =
+            global_epoch_.load(std::memory_order_seq_cst);
+        if (now == epoch)
+            return;
+        std::uint64_t mine = (epoch << kCountBits) | 1;
+        state.compare_exchange_strong(mine,
+                                      (now << kCountBits) | 1,
+                                      std::memory_order_seq_cst);
+        return; // CAS failure means another holder joined: leave it
+    }
+}
+
+void
+EpochReclaimer::exit(std::size_t stripe)
+{
+    slots_[stripe].state.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+void
+EpochReclaimer::retire(std::function<void()> deleter)
+{
+    std::lock_guard<std::mutex> lock(limbo_mutex_);
+    const std::uint64_t epoch =
+        global_epoch_.load(std::memory_order_seq_cst);
+    limbo_[epoch % 3].push_back(std::move(deleter));
+}
+
+bool
+EpochReclaimer::tryAdvance()
+{
+    std::vector<std::function<void()>> to_free;
+    {
+        std::lock_guard<std::mutex> lock(limbo_mutex_);
+        const std::uint64_t epoch =
+            global_epoch_.load(std::memory_order_seq_cst);
+        for (const auto &slot : slots_) {
+            const std::uint64_t state =
+                slot.state.load(std::memory_order_seq_cst);
+            if ((state & kCountMask) != 0 &&
+                (state >> kCountBits) != epoch)
+                return false; // a guard lags behind
+        }
+        global_epoch_.store(epoch + 1, std::memory_order_seq_cst);
+        // The bucket retired at epoch-1 is two epochs behind the new
+        // epoch: every guard that could reach its objects advertised
+        // at most epoch-1 and has exited (it would have blocked the
+        // previous advance otherwise).
+        to_free.swap(limbo_[(epoch + 2) % 3]);
+    }
+    // Run deleters outside the mutex: a deleter may retire() again.
+    for (auto &deleter : to_free)
+        deleter();
+    return true;
+}
+
+} // namespace tt::util

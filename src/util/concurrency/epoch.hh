@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Lightweight epoch-based reclamation (EBR) for buffer segments that
+ * lock-free readers may still be traversing when a writer retires
+ * them.
+ *
+ * The span buffer's segmented ring installs fresh segments and
+ * unlinks exhausted ones while readers (the live-telemetry scraper,
+ * the drain path) may hold raw pointers into them; freeing
+ * immediately would be use-after-free. Classic three-bucket EBR
+ * solves this:
+ *
+ *  - Threads wrap pointer-holding sections in a Guard. A guard
+ *    hashes onto one of a fixed set of slot stripes; each stripe
+ *    packs (advertised_epoch << 16 | active_count) into one atomic
+ *    word. The first enterer of an idle stripe advertises the
+ *    current global epoch; later enterers just bump the count and
+ *    inherit the advertised epoch. An inherited epoch can only be
+ *    older than the enterer's true epoch, which merely delays
+ *    advancement — never permits a premature free — so stripes are
+ *    safe to share between threads.
+ *  - retire(deleter) files the deleter in the limbo bucket of the
+ *    current epoch. The object must already be unlinked from the
+ *    live structure: a guard entered after the retire can no longer
+ *    reach it.
+ *  - tryAdvance() bumps the global epoch only when every active
+ *    stripe advertises the current one, then frees the bucket
+ *    retired two epochs ago: any guard that could have observed
+ *    those objects advertised an epoch at least two behind the new
+ *    one and has therefore exited.
+ *
+ * Retire and advance are rare (segment granularity, not per-record)
+ * and serialize on a small mutex; guard enter/exit on the hot path
+ * is one CAS each, no locks.
+ *
+ * Memory ordering: stripe stores and global-epoch loads are seq_cst.
+ * The advance scan must not miss a guard that entered before the
+ * scan (store-buffer argument, as in the sharded gate); the enter
+ * loop's re-check of the global epoch after publishing closes the
+ * race where the epoch advances between the read and the store.
+ */
+
+#ifndef TT_UTIL_CONCURRENCY_EPOCH_HH
+#define TT_UTIL_CONCURRENCY_EPOCH_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace tt::util {
+
+class EpochReclaimer
+{
+  public:
+    /** `stripes` guard slots (clamped to >= 1); threads hash on. */
+    explicit EpochReclaimer(std::size_t stripes = 16);
+
+    /** Frees everything still in limbo; no guards may be live. */
+    ~EpochReclaimer();
+
+    EpochReclaimer(const EpochReclaimer &) = delete;
+    EpochReclaimer &operator=(const EpochReclaimer &) = delete;
+
+    /** RAII critical section pinned to stripe `stripe`. */
+    class Guard
+    {
+      public:
+        Guard(EpochReclaimer &owner, std::size_t stripe)
+            : owner_(owner), stripe_(stripe % owner.stripes())
+        {
+            owner_.enter(stripe_);
+        }
+        /** Stripe chosen by hashing the calling thread's id. */
+        explicit Guard(EpochReclaimer &owner)
+            : Guard(owner, threadStripe())
+        {
+        }
+        ~Guard() { owner_.exit(stripe_); }
+        Guard(const Guard &) = delete;
+        Guard &operator=(const Guard &) = delete;
+
+      private:
+        EpochReclaimer &owner_;
+        std::size_t stripe_;
+    };
+
+    /**
+     * Schedule `deleter` to run once no guard entered before this
+     * call can still be live. Callable from any thread; the deleter
+     * itself runs outside the limbo mutex and may retire() again.
+     */
+    void retire(std::function<void()> deleter);
+
+    /**
+     * Advance the epoch if all active stripes have caught up,
+     * freeing any limbo bucket that became unreachable. Returns
+     * true when the epoch moved.
+     */
+    bool tryAdvance();
+
+    std::uint64_t epoch() const
+    {
+        return global_epoch_.load(std::memory_order_seq_cst);
+    }
+
+    std::size_t stripes() const { return slots_.size(); }
+
+  private:
+    void enter(std::size_t stripe);
+    void exit(std::size_t stripe);
+
+    /** Process-wide small integer for the calling thread. */
+    static std::size_t threadStripe();
+
+    static constexpr std::uint64_t kCountBits = 16;
+    static constexpr std::uint64_t kCountMask =
+        (std::uint64_t{1} << kCountBits) - 1;
+
+    struct alignas(64) Slot
+    {
+        /** (advertised_epoch << kCountBits) | active_count. */
+        std::atomic<std::uint64_t> state{0};
+    };
+
+    std::vector<Slot> slots_;
+    alignas(64) std::atomic<std::uint64_t> global_epoch_{0};
+
+    std::mutex limbo_mutex_; ///< guards limbo_ and epoch advance
+    std::vector<std::function<void()>> limbo_[3];
+};
+
+} // namespace tt::util
+
+#endif // TT_UTIL_CONCURRENCY_EPOCH_HH

@@ -1,0 +1,58 @@
+#include "util/concurrency/sharded_gate.hh"
+
+namespace tt::util {
+
+ShardedGate::ShardedGate(std::size_t shards)
+    : shards_(shards == 0 ? 1 : shards)
+{
+}
+
+bool
+ShardedGate::tryAcquire(std::size_t shard_hint, long bound)
+{
+    if (bound <= 0)
+        return false;
+    auto &shard = shards_[shard_hint % shards_.size()];
+    shard.count.fetch_add(1, std::memory_order_seq_cst);
+    const long sum = current();
+    if (sum > bound) {
+        shard.count.fetch_sub(1, std::memory_order_seq_cst);
+        return false;
+    }
+    notePeak(sum);
+    return true;
+}
+
+void
+ShardedGate::release(std::size_t shard_hint)
+{
+    shards_[shard_hint % shards_.size()].count.fetch_sub(
+        1, std::memory_order_seq_cst);
+}
+
+long
+ShardedGate::current() const
+{
+    long sum = 0;
+    for (const auto &shard : shards_)
+        sum += shard.count.load(std::memory_order_seq_cst);
+    return sum;
+}
+
+long
+ShardedGate::peak() const
+{
+    return peak_.load(std::memory_order_relaxed);
+}
+
+void
+ShardedGate::notePeak(long value)
+{
+    long seen = peak_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !peak_.compare_exchange_weak(seen, value,
+                                        std::memory_order_relaxed))
+        ;
+}
+
+} // namespace tt::util

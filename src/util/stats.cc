@@ -312,6 +312,20 @@ MetricsRegistry::observe(const std::string &name, double value,
     it->second.add(value);
 }
 
+void
+MetricsRegistry::merge(const std::string &name,
+                       const Histogram &shard)
+{
+    if (shard.empty())
+        return;
+    std::lock_guard lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_.emplace(name, Histogram(shard.options()))
+                 .first;
+    it->second.merge(shard);
+}
+
 std::int64_t
 MetricsRegistry::counter(const std::string &name) const
 {

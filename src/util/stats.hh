@@ -209,6 +209,14 @@ class MetricsRegistry
     void observe(const std::string &name, double value,
                  const Histogram::Options &options);
 
+    /**
+     * Merge a whole histogram into the named one (creating it with
+     * `shard`'s geometry if absent) — the fold point for per-worker
+     * metric shards. Exact for bucket hits, counts, sums and
+     * min/max; equivalent to having observed every sample here.
+     */
+    void merge(const std::string &name, const Histogram &shard);
+
     std::int64_t counter(const std::string &name) const;
     double gauge(const std::string &name, double fallback = 0.0) const;
 
