@@ -3,10 +3,31 @@
 
 Compares a fresh BENCH_micro_runtime.json against the committed
 baseline in bench/baselines/ and fails (exit 1) when any
-dispatch-path benchmark lost more than --threshold (default 10%) of
-its items_per_second. Only benchmarks present in BOTH files are
-compared, so adding a benchmark never breaks the gate (it starts
-gating once the baseline is refreshed).
+dispatch-path benchmark lost more than --threshold (default 25%) of
+its items_per_second. The gate targets the failure mode that
+motivates it -- accidentally serializing a lock-free path, which
+costs integer factors, not percent -- so the threshold leaves room
+for the timing noise of shared hardware. Only benchmarks present in
+BOTH files are compared, so adding a benchmark never breaks the gate
+(it starts gating once the baseline is refreshed).
+
+Two defenses keep the gate usable on shared/virtualized hardware,
+where run-to-run swings of 10%+ are routine even for unchanged code:
+
+- **Medians, not samples.** When a file carries repeated runs
+  (``--benchmark_repetitions=N``), the per-benchmark median is
+  compared; `/repeats:N` name decorations are stripped so repeated
+  and single-run files compare against each other.
+- **Drift correction.** The median throughput ratio across all
+  shared benchmarks estimates machine-state drift (CPU steal,
+  thermal state) between the two recordings. When the whole suite is
+  uniformly slower, losses are measured against that drift rather
+  than against the absolute baseline. Only slowdowns are corrected
+  (the factor is clamped at 1.0), so a uniformly *faster* machine
+  never hides a real regression. The corollary is acknowledged: a
+  change that slows every dispatch path by the same factor is
+  indistinguishable from machine state here and will not trip the
+  gate -- per-path regressions, the common failure mode, still do.
 
 Benchmark timings only compare within one machine: when the context
 fingerprint (cpu count, nominal MHz, build type) differs from the
@@ -14,23 +35,28 @@ baseline's, the gate reports SKIP and exits 0 rather than comparing
 apples to oranges. Refresh the baseline on the machine of record
 with:
 
-    bench/bench_micro_runtime --json-out bench/baselines/BENCH_micro_runtime.json
+    bench/bench_micro_runtime --benchmark_repetitions=5 \
+        --json-out bench/baselines/BENCH_micro_runtime.json
 """
 
 import argparse
 import json
 import re
+import statistics
 import sys
 
 
 # The lock-free fast path under the gate: ring ops, MTL admission,
-# and end-to-end host dispatch. BM_SimDispatch64Contexts is
-# deliberately absent: at ~20 ms per iteration it gets too few
-# iterations inside the smoke's time budget to gate on reliably (it
-# remains a reported scalability number).
+# end-to-end host dispatch, and the wide-machine simulated dispatch
+# path. BM_SimDispatch64Contexts used to be excluded (too few
+# iterations inside the smoke's time budget); it now runs a pinned
+# iteration count, which makes its throughput stable enough to gate.
 DISPATCH_PATTERN = re.compile(
-    r"HostDispatch|HostRuntimePairDispatch|MpmcQueue|ShardedGate",
+    r"HostDispatch|HostRuntimePairDispatch|MpmcQueue|ShardedGate"
+    r"|SimDispatch",
     re.ASCII)
+
+REPEATS_DECORATION = re.compile(r"/repeats:\d+", re.ASCII)
 
 
 def fingerprint(context):
@@ -43,15 +69,28 @@ def fingerprint(context):
 
 
 def throughputs(doc):
-    """name -> items_per_second for every dispatch-path benchmark."""
-    out = {}
+    """name -> median items_per_second per dispatch-path benchmark.
+
+    Repetition aggregates are preferred when present; otherwise the
+    median over the individual runs sharing a (repeat-stripped) name
+    -- which is the run itself for unrepeated files.
+    """
+    samples = {}
+    medians = {}
     for bench in doc.get("benchmarks", []):
-        if bench.get("run_type") == "aggregate":
-            continue
-        name = bench.get("name", "")
         rate = bench.get("items_per_second")
-        if rate and DISPATCH_PATTERN.search(name):
-            out[name] = float(rate)
+        name = REPEATS_DECORATION.sub(
+            "", bench.get("run_name") or bench.get("name", ""))
+        if not rate or not DISPATCH_PATTERN.search(name):
+            continue
+        if bench.get("run_type") == "aggregate":
+            if bench.get("aggregate_name") == "median":
+                medians[name] = float(rate)
+        else:
+            samples.setdefault(name, []).append(float(rate))
+    out = {name: statistics.median(rates)
+           for name, rates in samples.items()}
+    out.update(medians)
     return out
 
 
@@ -61,8 +100,9 @@ def main():
                         help="freshly generated benchmark JSON")
     parser.add_argument("--baseline", required=True,
                         help="committed baseline benchmark JSON")
-    parser.add_argument("--threshold", type=float, default=0.10,
-                        help="max allowed fractional loss (default 0.10)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max allowed fractional loss beyond "
+                             "machine drift (default 0.25)")
     args = parser.parse_args()
 
     with open(args.current, encoding="utf-8") as handle:
@@ -85,9 +125,18 @@ def main():
         print("SKIP: no dispatch benchmarks shared with the baseline")
         return 0
 
+    # Uniform machine drift between the recordings; <= 1.0 so a
+    # faster machine today cannot mask a regression.
+    drift = min(1.0, statistics.median(
+        cur_rates[name] / base_rates[name] for name in shared))
+    if drift < 1.0:
+        print(f"note: machine drift {drift:.3f}x "
+              f"(median ratio over {len(shared)} benchmarks); "
+              f"losses measured against drifted baseline")
+
     failures = []
     for name in shared:
-        base = base_rates[name]
+        base = base_rates[name] * drift
         cur = cur_rates[name]
         loss = (base - cur) / base
         status = "FAIL" if loss > args.threshold else "ok"

@@ -126,6 +126,13 @@ Engine::activatePhaseLocked(int phase, double now)
         if (task.phase == phase)
             ++count;
     phase_remaining_.store(count, std::memory_order_seq_cst);
+    // Snapshot the initially-ready set BEFORE the first enqueue. In
+    // pull mode an enqueued task is instantly poppable: a worker can
+    // run and complete it lock-free while this loop is still
+    // scanning, releasing a same-phase compute successor whose
+    // deps_left_ then reads zero -- tripping the memory-only
+    // invariant, which holds for the pre-activation state only.
+    std::vector<const Task *> initially_ready;
     for (const Task &task : graph_.tasks()) {
         if (task.phase != phase)
             continue;
@@ -133,12 +140,15 @@ Engine::activatePhaseLocked(int phase, double now)
                 std::memory_order_relaxed) == 0) {
             tt_assert(task.kind == TaskKind::Memory,
                       "only memory tasks can be initially ready");
-            // Closed-loop spans: the pair's "arrival" is the barrier
-            // instant its memory task became runnable. Open before
-            // the enqueue -- the completing worker appends to it.
-            openSpan(task.pair, 0, now);
-            enqueueMemoryReady(task.id);
+            initially_ready.push_back(&task);
         }
+    }
+    for (const Task *task : initially_ready) {
+        // Closed-loop spans: the pair's "arrival" is the barrier
+        // instant its memory task became runnable. Open before
+        // the enqueue -- the completing worker appends to it.
+        openSpan(task->pair, 0, now);
+        enqueueMemoryReady(task->id);
     }
     tt_assert(count > 0 || graph_.empty(), "phase ", phase,
               " has no tasks");
@@ -334,6 +344,8 @@ Engine::admitJobLocked(const load::JobSpec &job)
         policy_.onBackpressure(backend_->now(), out.state,
                                out.backlog);
     }
+
+    healthJobVerdictLocked(job, record);
 }
 
 void
@@ -610,6 +622,22 @@ Engine::completePairLocked(int worker, TaskId id, double start,
     }
     policy_.onPairMeasured(sample);
     refreshMtlCacheLocked();
+
+    if (health_.has_value() && std::isfinite(sample.tm)) {
+        // Model-bound window sums: the Sec. IV-C queuing fit
+        // predicts T_mb = T_ml + b * T_ql with b memory tasks
+        // sharing the path; the MTL the pair ran under is the upper
+        // bound on b, so sum_bound is the most generous prediction
+        // the fit allows. Corrupted samples inflate sum_tm and trip
+        // the detector -- that is the point.
+        const obs::HealthConfig &hc = health_->config();
+        ++health_window_samples_;
+        health_window_sum_tm_ += std::max(sample.tm, 0.0);
+        health_window_sum_bound_ +=
+            hc.model_tml +
+            static_cast<double>(std::max(sample.mtl, 1)) *
+                hc.model_tql;
+    }
 
     bool deadline_missed = false;
     if (open_loop_) {
@@ -980,10 +1008,18 @@ Engine::maybeFinishLocked()
         token != 0) {
         backend_->cancel(token);
     }
+    if (const auto token =
+            health_token_.exchange(0, std::memory_order_acq_rel);
+        token != 0) {
+        backend_->cancel(token);
+    }
     // Final shard fold so the drain-time row/snapshot (and any late
     // scrape) see fully caught-up registry values.
     if (metric_shards_.has_value())
         metric_shards_->fold();
+    // Flush partial health windows before the drain-time row and
+    // snapshot so both carry the final alert state.
+    healthFinishLocked();
     if (options_.timeseries_out != nullptr) {
         // Final row so even a sub-interval run leaves a snapshot
         // behind; stamped at drain time so it cannot extend the
@@ -1126,6 +1162,165 @@ Engine::emitTimeseriesRowLocked()
     obs_sampler_ns_ += wallNanos() - t0;
 }
 
+void
+Engine::healthJobVerdictLocked(const load::JobSpec &job,
+                               const JobRecord &record)
+{
+    if (!health_.has_value())
+        return;
+    const std::uint64_t t0 = wallNanos();
+    ++health_window_offered_;
+    if (record.decision == load::AdmissionDecision::Shed) {
+        ++health_window_shed_;
+    } else if (job.slo_seconds > 0.0 &&
+               record.predicted_response > job.slo_seconds) {
+        // Admitted but the admission model already expects it late:
+        // a deterministic stand-in for the (wall-clock-dependent)
+        // actual deadline outcome, so burn windows agree across
+        // backends.
+        ++health_window_predicted_late_;
+    }
+    health_window_backlog_ = record.backlog;
+    if (health_window_offered_ >= health_->config().window_jobs)
+        healthCloseJobWindowLocked();
+    obs_health_ns_ += wallNanos() - t0;
+}
+
+void
+Engine::healthCloseJobWindowLocked()
+{
+    obs::JobWindowSample sample;
+    sample.window = health_job_window_++;
+    sample.time = finished_ ? drain_seconds_ : backend_->now();
+    sample.offered = health_window_offered_;
+    sample.shed = health_window_shed_;
+    sample.predicted_late = health_window_predicted_late_;
+    sample.backlog = health_window_backlog_;
+    health_window_offered_ = 0;
+    health_window_shed_ = 0;
+    health_window_predicted_late_ = 0;
+    health_->onJobWindow(sample);
+    publishHealthMetricsLocked();
+}
+
+void
+Engine::onHealthTick()
+{
+    if (run_complete_.load(std::memory_order_acquire))
+        return; // drained while this callback was in flight
+    {
+        std::lock_guard lock(mutex_);
+        if (finished_)
+            return;
+        healthTickWindowLocked();
+    }
+    // Re-armed outside the mutex, same benign race as the sampler.
+    health_token_.store(
+        backend_->after(
+            std::max(health_->config().tick_seconds, 1e-6),
+            [this] { onHealthTick(); }),
+        std::memory_order_release);
+}
+
+void
+Engine::healthTickWindowLocked()
+{
+    const std::uint64_t t0 = wallNanos();
+    obs::TickWindowSample sample;
+    sample.window = health_tick_window_++;
+    sample.time = finished_ ? drain_seconds_ : backend_->now();
+
+    // Hot-path counter deltas since the previous tick window. Push
+    // mode has no gate (the bound check lives under the mutex), so
+    // those detectors stay quiet on the sim backend by construction.
+    long gate_failures = 0;
+    long gate_folds = 0;
+    if (gate_.has_value()) {
+        gate_failures = gate_->admitFailures();
+        gate_folds = gate_->folds();
+    }
+    sample.gate_failures = gate_failures - health_prev_gate_failures_;
+    sample.gate_folds = gate_folds - health_prev_gate_folds_;
+    health_prev_gate_failures_ = gate_failures;
+    health_prev_gate_folds_ = gate_folds;
+
+    const std::uint64_t trace_dropped = tracer_->dropped();
+    const std::uint64_t span_dropped = span_buffer_->dropped();
+    const std::uint64_t records =
+        tracer_->recorded() + span_buffer_->recorded();
+    sample.trace_dropped = static_cast<long>(
+        trace_dropped - health_prev_trace_dropped_);
+    sample.span_dropped =
+        static_cast<long>(span_dropped - health_prev_span_dropped_);
+    sample.records =
+        static_cast<long>(records - health_prev_records_);
+    health_prev_trace_dropped_ = trace_dropped;
+    health_prev_span_dropped_ = span_dropped;
+    health_prev_records_ = records;
+
+    const std::uint64_t ebr_advances = span_buffer_->epochAdvances();
+    sample.ebr_pending = span_buffer_->epochPending();
+    sample.ebr_advances = ebr_advances - health_prev_ebr_advances_;
+    health_prev_ebr_advances_ = ebr_advances;
+
+    sample.pair_samples = health_window_samples_;
+    sample.sum_tm = health_window_sum_tm_;
+    sample.sum_bound = health_window_sum_bound_;
+    health_window_samples_ = 0;
+    health_window_sum_tm_ = 0.0;
+    health_window_sum_bound_ = 0.0;
+
+    health_->onTickWindow(sample);
+    publishHealthMetricsLocked();
+    obs_health_ns_ += wallNanos() - t0;
+}
+
+void
+Engine::healthFinishLocked()
+{
+    if (!health_.has_value())
+        return;
+    // Flush the partial job window (both backends see the same
+    // residue: the plan length is the plan length) and one last tick
+    // window, so alerts active at drain are visible in the final
+    // snapshot and the edge stream is complete.
+    if (health_window_offered_ > 0)
+        healthCloseJobWindowLocked();
+    healthTickWindowLocked();
+}
+
+void
+Engine::publishHealthMetricsLocked()
+{
+    MetricsRegistry *metrics = options_.metrics;
+    if (metrics == nullptr || !health_.has_value())
+        return;
+    const auto states = health_->ruleStates();
+    for (std::size_t i = 0; i < states.size(); ++i) {
+        const auto &state = states[i];
+        const std::string rule(state.rule);
+        // Gauge value doubles as the severity encoding (0 inactive,
+        // 1 warning, 2 critical) so ttstat can gate on "critical
+        // active" without parsing rule metadata.
+        metrics->set("obs.alerts_active." + rule,
+                     state.active
+                         ? static_cast<double>(state.severity)
+                         : 0.0);
+        metrics->add("obs.alerts_fired." + rule,
+                     static_cast<std::int64_t>(
+                         state.fired - health_pub_fired_[i]));
+        metrics->add("obs.alerts_cleared." + rule,
+                     static_cast<std::int64_t>(
+                         state.cleared - health_pub_cleared_[i]));
+        health_pub_fired_[i] = state.fired;
+        health_pub_cleared_[i] = state.cleared;
+    }
+    metrics->add("obs.alerts_dropped",
+                 static_cast<std::int64_t>(health_->alertsDropped() -
+                                           health_pub_dropped_));
+    health_pub_dropped_ = health_->alertsDropped();
+}
+
 int
 Engine::memInFlightNow() const
 {
@@ -1160,6 +1355,7 @@ Engine::wakeWorkers()
         // registered but has not yet slept cannot miss the wake.
         std::lock_guard lock(park_mutex_);
         ++park_gen_;
+        ++wake_notifies_; // telemetry; already on the slow path
     }
     park_cv_.notify_all();
 }
@@ -1193,6 +1389,12 @@ Engine::parkWorker(int worker)
         parked_.fetch_sub(1, std::memory_order_seq_cst);
         return;
     }
+    // Count the park on this worker's own metric shard: the worker
+    // is about to sleep anyway, so the map lookup is free contention-
+    // wise and the hot dispatch path stays untouched.
+    if (metric_shards_.has_value())
+        metric_shards_->add(static_cast<std::size_t>(worker),
+                            "runtime.worker_parks", 1);
     {
         std::unique_lock lock(park_mutex_);
         const std::uint64_t gen = park_gen_;
@@ -1382,6 +1584,25 @@ Engine::run(ExecutionBackend &backend)
     {
         std::lock_guard lock(mutex_);
         refreshMtlCacheLocked(); // admission bound before workers run
+        if (options_.health.enabled) {
+            // Constructed before the first arrivals so t=0 verdicts
+            // land in job window 0. The model-bound fit defaults to
+            // the admission service estimates when none was given.
+            obs::HealthConfig hc = options_.health;
+            if (hc.model_tml <= 0.0 && open_loop_) {
+                hc.model_tml = options_.admission.service_tml;
+                hc.model_tql = options_.admission.service_tql;
+            }
+            health_.emplace(hc);
+            health_pub_fired_.assign(health_->ruleStates().size(),
+                                     0);
+            health_pub_cleared_.assign(health_->ruleStates().size(),
+                                       0);
+            publishHealthMetricsLocked(); // materialize the schema
+            health_token_ = backend.after(
+                std::max(hc.tick_seconds, 1e-6),
+                [this] { onHealthTick(); });
+        }
         if (open_loop_) {
             admission_.emplace(options_.admission, contexts);
             backpressure_ = admission_->state();
@@ -1531,6 +1752,13 @@ Engine::finishResult()
     result.has_counters = saw_counters_;
     result.counters = counter_totals_;
 
+    if (health_.has_value()) {
+        result.health_enabled = true;
+        result.alerts = health_->alerts();
+        result.alerts_dropped = health_->alertsDropped();
+        result.critical_alert_active = health_->criticalActive();
+    }
+
     if (open_loop_) {
         result.jobs_offered =
             static_cast<long>(options_.arrival_plan->size());
@@ -1576,6 +1804,41 @@ Engine::finishResult()
                      static_cast<std::int64_t>(obs_sampler_ns_));
         metrics->add("obs.overhead.counter_read_ns", 0);
         metrics->add("obs.overhead.live_export_ns", 0);
+        metrics->add("obs.overhead.health_ns",
+                     static_cast<std::int64_t>(obs_health_ns_));
+        // Hot-path substrate telemetry. Push mode has no rings, gate
+        // or parking lot; the zero-delta adds / zero sets still
+        // materialize the names so host and sim expose the identical
+        // schema.
+        long gate_failures = 0;
+        long gate_folds = 0;
+        double ring_peak_memory = 0.0;
+        double ring_peak_compute = 0.0;
+        if (pull_mode_) {
+            gate_failures = gate_->admitFailures();
+            gate_folds = gate_->folds();
+            ring_peak_memory = static_cast<double>(
+                ready_memory_ring_->peakApprox());
+            ring_peak_compute = static_cast<double>(
+                ready_compute_ring_->peakApprox());
+        }
+        metrics->add("runtime.gate_admit_failures", gate_failures);
+        metrics->add("runtime.gate_folds", gate_folds);
+        metrics->set("runtime.ring_peak_memory", ring_peak_memory);
+        metrics->set("runtime.ring_peak_compute", ring_peak_compute);
+        metrics->add("runtime.worker_parks", 0); // shards added real
+        metrics->add("runtime.worker_wakes",
+                     static_cast<std::int64_t>(wake_notifies_));
+        metrics->add("obs.ebr_epoch_advances",
+                     static_cast<std::int64_t>(
+                         span_buffer_->epochAdvances()));
+        metrics->add("obs.ebr_advance_stalls",
+                     static_cast<std::int64_t>(
+                         span_buffer_->epochStalls()));
+        metrics->set("obs.ebr_pending",
+                     static_cast<double>(
+                         span_buffer_->epochPending()));
+        publishHealthMetricsLocked(); // final alert state (if any)
         metrics->setMax("runtime.peak_mem_in_flight",
                         result.peak_mem_in_flight);
         metrics->set("runtime.makespan_seconds", result.seconds);
@@ -1625,6 +1888,9 @@ toTraceData(const stream::TaskGraph &graph, const RunResult &result)
     data.mtl_trace = result.mtl_trace;
     data.decisions = result.decisions;
     data.spans = result.spans;
+    data.alerts = result.alerts;
+    data.alerts_dropped = result.alerts_dropped;
+    data.health_enabled = result.health_enabled;
     data.phase_names.reserve(
         static_cast<std::size_t>(graph.phaseCount()));
     for (const stream::Phase &phase : graph.phases())

@@ -40,6 +40,7 @@
 #include "fault/fault_plan.hh"
 #include "load/admission.hh"
 #include "load/arrival.hh"
+#include "obs/health.hh"
 #include "obs/metric_shards.hh"
 #include "obs/trace.hh"
 #include "stream/task_graph.hh"
@@ -193,6 +194,19 @@ struct EngineOptions
 
     /** Snapshot period of the live sink, engine-clock seconds. */
     double live_interval_seconds = 0.1;
+
+    /**
+     * Streaming health engine (see obs/health.hh). When
+     * health.enabled the engine evaluates the online detectors over
+     * deterministic job windows (every health.window_jobs offered
+     * jobs, under the scheduler mutex) and hot-path tick windows
+     * (every health.tick_seconds of engine-clock time), publishes
+     * `obs.alerts_*` metrics, and returns the fired/cleared edge
+     * stream in RunResult::alerts. The job-window detectors consume
+     * only admission-model state, so their alert sequence is
+     * identical on host and sim for the same plan and config.
+     */
+    obs::HealthConfig health;
 };
 
 /** Audit record of one offered job's admission verdict (open-loop
@@ -316,6 +330,20 @@ struct RunResult
     /** Response time (completion - arrival) of every admitted pair
      *  that completed, in completion order. */
     std::vector<double> response_seconds;
+
+    // --- health-engine output (empty unless options.health.enabled) ---
+
+    /** True when the run evaluated the health detectors. */
+    bool health_enabled = false;
+
+    /** Alert fired/cleared edges, oldest first (bounded ring). */
+    std::vector<obs::AlertEvent> alerts;
+
+    /** Edges evicted from the alert ring. */
+    std::uint64_t alerts_dropped = 0;
+
+    /** True when any critical rule was still active at drain. */
+    bool critical_alert_active = false;
 
     /** True when the run aborted instead of draining the graph. */
     bool failed = false;
@@ -560,6 +588,22 @@ class Engine
     /** Self-rescheduling live OpenMetrics snapshot tick. */
     void onLiveTick();
     void liveSnapshotLocked();
+    /** Self-rescheduling health tick (hot-path tick windows). */
+    void onHealthTick();
+    /** Fold one job verdict into the current job window; close the
+     *  window (and run the detectors) every health.window_jobs. */
+    void healthJobVerdictLocked(const load::JobSpec &job,
+                                const JobRecord &record);
+    /** Close the current (possibly partial) job window. */
+    void healthCloseJobWindowLocked();
+    /** Close the current tick window: snapshot hot-path counters,
+     *  hand the deltas to the detectors. */
+    void healthTickWindowLocked();
+    /** Flush partial windows and publish final health state. */
+    void healthFinishLocked();
+    /** Mirror health state into the metrics registry (gauges set,
+     *  counters advanced by delta since last publication). */
+    void publishHealthMetricsLocked();
     /** Start assembling the span of `pair` (memory task ready). */
     void openSpan(int pair, int priority, double arrival);
     /** Append one finished attempt to the pair's open span. */
@@ -670,6 +714,10 @@ class Engine
     std::condition_variable park_cv_;
     std::atomic<int> parked_{0};
     std::uint64_t park_gen_ = 0;
+    /** Wake-ups that actually notified the lot (counted under
+     *  park_mutex_ on the already-slow notify path); parks are
+     *  counted per worker through the metric shards. */
+    std::uint64_t wake_notifies_ = 0;
 
     // Open-loop state (see EngineOptions::arrival_plan).
     bool open_loop_ = false;
@@ -724,6 +772,35 @@ class Engine
     // lock-free completion path, hence atomic.
     std::atomic<std::uint64_t> obs_trace_record_ns_{0};
     std::uint64_t obs_sampler_ns_ = 0;
+    std::uint64_t obs_health_ns_ = 0; ///< detector + publish cost
+
+    // Streaming health engine (options_.health.enabled). All state
+    // below is written under mutex_; the detectors themselves live
+    // in obs::HealthEngine.
+    std::optional<obs::HealthEngine> health_;
+    std::uint64_t health_job_window_ = 0;  ///< next job-window index
+    int health_window_offered_ = 0;        ///< jobs in open window
+    int health_window_shed_ = 0;
+    int health_window_predicted_late_ = 0;
+    long health_window_backlog_ = 0;       ///< model backlog, latest
+    std::uint64_t health_tick_window_ = 0; ///< next tick-window index
+    // Previous hot-path counter snapshots (tick-window deltas).
+    long health_prev_gate_failures_ = 0;
+    long health_prev_gate_folds_ = 0;
+    std::uint64_t health_prev_trace_dropped_ = 0;
+    std::uint64_t health_prev_span_dropped_ = 0;
+    std::uint64_t health_prev_records_ = 0;
+    std::uint64_t health_prev_ebr_advances_ = 0;
+    // Model-bound window sums (accumulated in completePairLocked).
+    int health_window_samples_ = 0;
+    double health_window_sum_tm_ = 0.0;
+    double health_window_sum_bound_ = 0.0;
+    // Counter values already pushed to the registry, per rule index
+    // (publishHealthMetricsLocked adds only the delta).
+    std::vector<std::uint64_t> health_pub_fired_;
+    std::vector<std::uint64_t> health_pub_cleared_;
+    std::uint64_t health_pub_dropped_ = 0;
+    std::atomic<ExecutionBackend::TimerToken> health_token_{0};
 
     /** Sampler rows skipped because the scheduler mutex was busy
      *  (try_to_lock miss); published as obs.timeseries_skipped. */

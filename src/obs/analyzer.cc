@@ -402,6 +402,45 @@ analyze(const TraceData &data, const AnalyzeOptions &options)
             report.critical_path.classes.push_back(std::move(cls));
         }
     }
+
+    // Health-alert summary: aggregate the edge stream per detector in
+    // first-appearance order, so the rule list is deterministic for a
+    // deterministic alert sequence. A rule with more fires than
+    // clears was still active when the run drained.
+    if (data.health_enabled) {
+        report.health.valid = true;
+        report.health.alerts =
+            static_cast<std::uint64_t>(data.alerts.size());
+        report.health.alerts_dropped = data.alerts_dropped;
+        for (const AlertEvent &alert : data.alerts) {
+            HealthRuleSummary *summary = nullptr;
+            for (HealthRuleSummary &r : report.health.rules)
+                if (r.rule == alert.rule) {
+                    summary = &r;
+                    break;
+                }
+            if (summary == nullptr) {
+                report.health.rules.push_back(
+                    {alert.rule, alertSeverityName(alert.severity), 0,
+                     0, false});
+                summary = &report.health.rules.back();
+            }
+            if (alert.edge == AlertEdge::Fired) {
+                ++summary->fired;
+                if (alert.severity == AlertSeverity::Critical)
+                    ++report.health.critical_fired;
+            } else {
+                ++summary->cleared;
+            }
+        }
+        for (HealthRuleSummary &r : report.health.rules) {
+            r.active = r.fired > r.cleared;
+            if (r.active && r.severity ==
+                                alertSeverityName(
+                                    AlertSeverity::Critical))
+                report.health.critical_active = true;
+        }
+    }
     return report;
 }
 
@@ -565,6 +604,28 @@ writeReportJson(const Report &report, std::ostream &os)
                << "}";
         }
         os << (cp.classes.empty() ? "]" : "\n  ]") << "}";
+    }
+
+    // The health section exists only on runs that evaluated the
+    // streaming detectors, with the same both-sides-or-skip contract.
+    if (report.health.valid) {
+        const HealthReport &h = report.health;
+        os << ",\n  \"health\": {\"alerts\": " << h.alerts
+           << ", \"alerts_dropped\": " << h.alerts_dropped
+           << ", \"critical_fired\": " << h.critical_fired
+           << ", \"critical_active\": "
+           << (h.critical_active ? "true" : "false")
+           << ", \"rules\": [";
+        for (std::size_t i = 0; i < h.rules.size(); ++i) {
+            const HealthRuleSummary &r = h.rules[i];
+            os << (i > 0 ? ",\n    " : "\n    ");
+            os << "{\"rule\": " << jsonStr(r.rule)
+               << ", \"severity\": " << jsonStr(r.severity)
+               << ", \"fired\": " << r.fired
+               << ", \"cleared\": " << r.cleared << ", \"active\": "
+               << (r.active ? "true" : "false") << "}";
+        }
+        os << (h.rules.empty() ? "]" : "\n  ]") << "}";
     }
 
     os << ",\n  \"phases\": [";
@@ -827,6 +888,29 @@ reportTable(const Report &report)
         critical.print(os);
     }
 
+    if (report.health.valid) {
+        const HealthReport &h = report.health;
+        if (h.rules.empty()) {
+            os << "\nhealth: all detectors quiet (0 alerts)\n";
+        } else {
+            os << "\nhealth alerts (" << h.alerts << " edges, "
+               << h.critical_fired << " critical fires";
+            if (h.alerts_dropped > 0)
+                os << ", " << h.alerts_dropped << " dropped";
+            os << ")\n";
+            TablePrinter health({"rule", "severity", "fired",
+                                 "cleared", "at end"});
+            for (const HealthRuleSummary &r : h.rules)
+                health.addRow({r.rule, r.severity,
+                               std::to_string(r.fired),
+                               std::to_string(r.cleared),
+                               r.active ? "ACTIVE" : "clear"});
+            health.print(os);
+            if (h.critical_active)
+                os << "critical alert still active at drain\n";
+        }
+    }
+
     os << "\npolicy decision audit\n";
     TablePrinter audit({"t(ms)", "reason", "mtl", "tm(us)", "tc(us)",
                         "IdleBound", "no-idle", "idle", "pred speedup",
@@ -1004,6 +1088,59 @@ diffReports(const json::Value &baseline, const json::Value &candidate,
                               bc.numberAt("mem_stall"),
                               match->numberAt("mem_stall"), threshold,
                               out);
+            }
+        }
+    }
+
+    // Health sections exist only on detector-enabled runs. Alert
+    // *counts* are load-dependent, so the diff gates on qualitative
+    // degradation only: a critical detector firing where the baseline
+    // had none, and a critical alert still active when the candidate
+    // drained.
+    const json::Value *base_health = baseline.find("health");
+    const json::Value *cand_health = candidate.find("health");
+    if (base_health != nullptr && cand_health != nullptr) {
+        const double base_crit =
+            base_health->numberAt("critical_fired");
+        const double cand_crit =
+            cand_health->numberAt("critical_fired");
+        if (base_crit <= 0.0 && cand_crit > 0.0)
+            out.regressions.push_back(
+                {"health.critical_fired (newly present)", base_crit,
+                 cand_crit, 1.0});
+        const json::Value *base_active =
+            base_health->find("critical_active");
+        const json::Value *cand_active =
+            cand_health->find("critical_active");
+        const bool base_crit_active =
+            base_active != nullptr && base_active->boolean;
+        const bool cand_crit_active =
+            cand_active != nullptr && cand_active->boolean;
+        if (!base_crit_active && cand_crit_active)
+            out.regressions.push_back(
+                {"health.critical_active (alert active at drain)",
+                 0.0, 1.0, 1.0});
+        const json::Value *base_rules = base_health->find("rules");
+        const json::Value *cand_rules = cand_health->find("rules");
+        if (base_rules != nullptr && base_rules->isArray() &&
+            cand_rules != nullptr && cand_rules->isArray()) {
+            for (const json::Value &cr : cand_rules->array) {
+                if (cr.stringAt("severity") != "critical" ||
+                    cr.numberAt("fired") <= 0.0)
+                    continue;
+                const std::string rule = cr.stringAt("rule");
+                bool fired_in_baseline = false;
+                for (const json::Value &br : base_rules->array)
+                    if (br.stringAt("rule") == rule &&
+                        br.numberAt("fired") > 0.0) {
+                        fired_in_baseline = true;
+                        break;
+                    }
+                if (!fired_in_baseline)
+                    out.regressions.push_back(
+                        {"health rule " + rule +
+                             " (critical, newly firing)",
+                         0.0, cr.numberAt("fired"), 1.0});
             }
         }
     }

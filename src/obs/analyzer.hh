@@ -225,6 +225,33 @@ struct CriticalPathReport
     std::vector<CriticalPathClass> classes;
 };
 
+/** Alert activity for one health detector over the run. */
+struct HealthRuleSummary
+{
+    std::string rule;     ///< detector id (health.hh rule name)
+    std::string severity; ///< "warning" | "critical"
+    std::uint64_t fired = 0;
+    std::uint64_t cleared = 0;
+    bool active = false; ///< still firing when the run drained
+};
+
+/**
+ * Run-level health summary from the streaming detector engine
+ * (obs/health.hh). Only present (`valid`) when the run evaluated the
+ * detectors; an empty `rules` then means "watched and quiet", not
+ * "not watched". diffReports() skips the section when either side
+ * lacks it, so pre-health reports diff cleanly.
+ */
+struct HealthReport
+{
+    bool valid = false;
+    std::uint64_t alerts = 0;         ///< fired+cleared edges recorded
+    std::uint64_t alerts_dropped = 0; ///< edges lost to the ring bound
+    std::uint64_t critical_fired = 0; ///< fired edges at Critical
+    bool critical_active = false;     ///< a critical rule ended active
+    std::vector<HealthRuleSummary> rules; ///< detectors that alerted
+};
+
 /** Everything analyze() derives from one run. */
 struct Report
 {
@@ -248,6 +275,9 @@ struct Report
 
     /** Span-derived attribution; `valid` gates its JSON section. */
     CriticalPathReport critical_path;
+
+    /** Detector alert summary; `valid` gates its JSON section. */
+    HealthReport health;
 };
 
 /** Run facts the trace stream alone cannot know. */
@@ -305,10 +335,13 @@ struct DiffResult
  * interference ratios (stalls-per-miss, stall share). When both
  * reports carry an SLO section, matching offered-rate points are
  * compared on p99 response and shed rate, and the knee shifting to a
- * lower rate (capacity loss) is a regression. Reports written before
- * the counters or SLO sections existed diff cleanly against newer
- * ones: a section missing from either side is simply skipped, never
- * an error. Phase-set mismatches are reported as notes (also a
+ * lower rate (capacity loss) is a regression. When both reports carry
+ * a health section, a critical detector firing in the candidate but
+ * not the baseline -- or a critical alert still active when the
+ * candidate drained -- is a regression. Reports written before the
+ * counters, SLO, or health sections existed diff cleanly against
+ * newer ones: a section missing from either side is simply skipped,
+ * never an error. Phase-set mismatches are reported as notes (also a
  * failure).
  */
 DiffResult diffReports(const json::Value &baseline,

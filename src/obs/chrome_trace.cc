@@ -203,6 +203,23 @@ writeChromeTrace(const TraceData &data, std::ostream &os)
         }
     }
 
+    // Health-alert edges as global instant events: the viewer draws
+    // a full-height marker at every fired/cleared edge, with the
+    // detector's observed-vs-threshold reading in the args.
+    for (const AlertEvent &alert : data.alerts) {
+        sep();
+        os << "  {\"ph\":\"i\",\"pid\":0,\"tid\":0,\"s\":\"g\","
+           << "\"cat\":\"health\",\"name\":\"alert "
+           << jsonEscape(alert.rule) << " "
+           << alertEdgeName(alert.edge) << "\",\"ts\":"
+           << alert.time * 1e6 << ",\"args\":{"
+           << "\"severity\":\"" << alertSeverityName(alert.severity)
+           << "\",\"edge\":\"" << alertEdgeName(alert.edge)
+           << "\",\"window\":" << alert.window
+           << ",\"observed\":" << alert.observed
+           << ",\"threshold\":" << alert.threshold << "}}";
+    }
+
     os << "\n]\n";
 }
 

@@ -187,6 +187,15 @@ class SpanBuffer
      */
     std::vector<JobSpan> spans() const;
 
+    /** Reclamation telemetry, forwarded from the embedded EBR
+     *  instance (obs.ebr.* metrics / the ebr_lag detector). */
+    std::uint64_t epochAdvances() const { return epoch_.advances(); }
+    std::uint64_t epochStalls() const
+    {
+        return epoch_.advanceStalls();
+    }
+    std::uint64_t epochPending() const { return epoch_.pending(); }
+
   private:
     /** Spans per segment; segment turnover (and hence every locked
      *  or epoch-managed operation) happens once per this many

@@ -16,11 +16,12 @@ TraceRing::TraceRing(std::size_t capacity)
 void
 TraceRing::record(const TaskEvent &event)
 {
+    const std::uint64_t n = recorded_.load(std::memory_order_relaxed);
     if (data_.size() < capacity_)
         data_.push_back(event);
     else
-        data_[static_cast<std::size_t>(recorded_ % capacity_)] = event;
-    ++recorded_;
+        data_[static_cast<std::size_t>(n % capacity_)] = event;
+    recorded_.store(n + 1, std::memory_order_relaxed);
 }
 
 std::size_t
@@ -32,7 +33,11 @@ TraceRing::size() const
 std::uint64_t
 TraceRing::dropped() const
 {
-    return recorded_ - static_cast<std::uint64_t>(data_.size());
+    // Derived from the atomic counter alone (size() would race the
+    // owner's push_back during the growth phase): nothing is dropped
+    // until the ring has filled, one per record afterwards.
+    const std::uint64_t n = recorded_.load(std::memory_order_relaxed);
+    return n <= capacity_ ? 0 : n - capacity_;
 }
 
 std::vector<TaskEvent>
@@ -45,7 +50,9 @@ TraceRing::events() const
     const std::size_t head =
         data_.size() < capacity_
             ? 0
-            : static_cast<std::size_t>(recorded_ % capacity_);
+            : static_cast<std::size_t>(
+                  recorded_.load(std::memory_order_relaxed) %
+                  capacity_);
     for (std::size_t i = 0; i < data_.size(); ++i)
         out.push_back(data_[(head + i) % data_.size()]);
     return out;

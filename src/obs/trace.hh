@@ -17,12 +17,14 @@
 #ifndef TT_OBS_TRACE_HH
 #define TT_OBS_TRACE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/audit.hh"
+#include "obs/health.hh"
 #include "obs/perf/counters.hh"
 #include "obs/span.hh"
 
@@ -49,13 +51,26 @@ struct TaskEvent
 
 /**
  * Fixed-capacity event ring owned by exactly one worker. The owner
- * records; anyone may read after the worker has stopped. When full,
- * the oldest events are overwritten and counted in dropped().
+ * records; the event payloads may only be read after the worker has
+ * stopped, but the recorded()/dropped() *counters* are safe to read
+ * live from any thread (relaxed atomics -- the health tick samples
+ * the drop rate mid-run). When full, the oldest events are
+ * overwritten and counted in dropped().
  */
 class TraceRing
 {
   public:
     explicit TraceRing(std::size_t capacity);
+
+    /** Vector-relocation support for Tracer construction only -- the
+     *  atomic counter makes the default move deleted. Never valid
+     *  once the owning worker records concurrently. */
+    TraceRing(TraceRing &&other) noexcept
+        : capacity_(other.capacity_),
+          recorded_(other.recorded_.load(std::memory_order_relaxed)),
+          data_(std::move(other.data_))
+    {
+    }
 
     /** Append one event, overwriting the oldest when full. */
     void record(const TaskEvent &event);
@@ -66,7 +81,10 @@ class TraceRing
     std::size_t size() const;
 
     /** Total events recorded, including overwritten ones. */
-    std::uint64_t recorded() const { return recorded_; }
+    std::uint64_t recorded() const
+    {
+        return recorded_.load(std::memory_order_relaxed);
+    }
 
     /** Events lost to overwriting. */
     std::uint64_t dropped() const;
@@ -76,7 +94,8 @@ class TraceRing
 
   private:
     std::size_t capacity_;
-    std::uint64_t recorded_ = 0;
+    /** Single writer; atomic so mid-run counter reads are clean. */
+    std::atomic<std::uint64_t> recorded_{0};
     std::vector<TaskEvent> data_; ///< ring storage, slot = recorded % capacity
 };
 
@@ -123,6 +142,17 @@ struct TraceData
 
     /** Per-job causal spans (see span.hh); empty on old traces. */
     std::vector<JobSpan> spans;
+
+    /** Health-alert edges (see health.hh); rendered as instant
+     *  events. Empty when the run had no health engine. */
+    std::vector<AlertEvent> alerts;
+
+    /** Alert edges the engine's bounded ring had to evict. */
+    std::uint64_t alerts_dropped = 0;
+
+    /** True when the run evaluated the health detectors (so an
+     *  empty `alerts` means "healthy", not "not watched"). */
+    bool health_enabled = false;
 };
 
 } // namespace tt::obs

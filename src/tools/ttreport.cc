@@ -46,6 +46,9 @@
  *   --queue-cap N        admission backlog bound            [64]
  *   --service-us US      admission predictor T_ml            [0]
  *   --service-tql-us US  admission predictor T_ql            [0]
+ *   --health     enable the streaming health detectors; the report
+ *                gains a "health" section (alert counts per rule),
+ *                compared by --diff when both sides carry one
  *   --json       print the report as JSON instead of tables
  *   --out FILE   also write the JSON report to FILE
  *   --diff BASELINE.json CANDIDATE.json   compare two reports
@@ -99,6 +102,7 @@ usage(const char *argv0)
         "[--arrival-process poisson|bursty|diurnal]\n"
         "          [--arrival-seed S] [--slo-us US] [--queue-cap N]\n"
         "          [--service-us US] [--service-tql-us US]\n"
+        "          [--health]\n"
         "       %s --diff BASELINE.json CANDIDATE.json "
         "[--threshold PCT]\n"
         "exit codes: 0 ok / no regression, 1 regression or I/O "
@@ -174,6 +178,7 @@ main(int argc, char **argv)
         "out",     "diff",         "threshold",
         "arrival-rate", "arrival-process", "arrival-seed",
         "slo-us",  "queue-cap",    "service-us", "service-tql-us",
+        "health",
     };
     if (!flags.parse(argc, argv) || !flags.allowOnly(known_flags) ||
         flags.has("help")) {
@@ -378,6 +383,7 @@ main(int argc, char **argv)
         engine_options.counters = &sim_counters;
         engine_options.arrival_plan = plan;
         engine_options.admission = admission;
+        engine_options.health.enabled = flags.getBool("health");
         tt::simrt::SimRuntime sim_runtime(sim_machine, graph, *policy,
                                           engine_options);
         return sim_runtime.run();

@@ -38,6 +38,10 @@
  *                       --chrome-trace is an alias
  *   --metrics-out FILE  write the run's metrics registry as JSON
  *   --metrics-summary   print the metrics registry as a table
+ *   --health            enable the streaming health detectors
+ *                       (obs/health.hh): alert edges land in the
+ *                       Chrome trace and obs.alerts_* metrics, and
+ *                       a one-line summary prints after the run
  *   --perf-counters     attach hardware counters to every task
  *                       attempt (perf_event_open with --host,
  *                       synthesized from the memory model otherwise)
@@ -152,6 +156,7 @@ usage(const char *argv0)
         "          [--dim D] [--host] [--threads T] [--count C]\n"
         "          [--no-pin] [--trace] [--trace-out FILE]\n"
         "          [--metrics-out FILE] [--metrics-summary]\n"
+        "          [--health]\n"
         "          [--perf-counters] [--quiet]\n"
         "          [--timeseries-out FILE] "
         "[--timeseries-interval-us US]\n"
@@ -273,7 +278,7 @@ main(int argc, char **argv)
         "threads",        "count",          "no-pin",
         "trace",          "trace-out",      "chrome-trace",
         "metrics-out",    "metrics-summary", "perf-counters",
-        "quiet",
+        "quiet",          "health",
         "timeseries-out", "timeseries-interval-us",
         "live-metrics",   "live-interval-us",
         "inject-seed",    "inject-fail-p",  "inject-straggler",
@@ -629,6 +634,33 @@ main(int argc, char **argv)
             std::printf("slo attainment  %9.1f%%\n",
                         result.slo_attainment * 100.0);
         };
+    // Health-alert summary, shared by both backends.
+    const auto printHealthSummary =
+        [&](const tt::exec::RunResult &result) {
+            if (!result.health_enabled)
+                return;
+            std::uint64_t fired = 0;
+            std::uint64_t critical = 0;
+            for (const tt::obs::AlertEvent &alert : result.alerts)
+                if (alert.edge == tt::obs::AlertEdge::Fired) {
+                    ++fired;
+                    if (alert.severity ==
+                        tt::obs::AlertSeverity::Critical)
+                        ++critical;
+                }
+            std::printf("health alerts   %10llu  (%llu critical, "
+                        "%llu dropped)\n",
+                        static_cast<unsigned long long>(fired),
+                        static_cast<unsigned long long>(critical),
+                        static_cast<unsigned long long>(
+                            result.alerts_dropped));
+            if (result.critical_alert_active)
+                std::fprintf(stderr,
+                             "warning: a critical health alert was "
+                             "still active when the run drained; see "
+                             "obs.alerts_active.* in the metrics\n");
+        };
+
     // Exit-5 gate: completed, but attainment under the threshold.
     const auto sloFailed = [&](const tt::exec::RunResult &result) {
         if (!arrival_plan || slo_fail_threshold < 0.0 ||
@@ -672,6 +704,7 @@ main(int argc, char **argv)
         options.admission = admission;
         options.max_task_retries = max_retries;
         options.watchdog_seconds = watchdog_seconds;
+        options.health.enabled = flags.getBool("health");
         if (!timeseries_path.empty()) {
             options.timeseries_out = &timeseries_out;
             options.timeseries_interval_seconds = timeseries_interval;
@@ -760,6 +793,7 @@ main(int argc, char **argv)
                              result.timeseries_skipped));
 
         printOpenLoopSummary(result);
+        printHealthSummary(result);
 
         if (!trace_path.empty() &&
             !writeTraceFile(trace_path,
@@ -791,6 +825,7 @@ main(int argc, char **argv)
     sim_options.admission = admission;
     sim_options.max_task_retries = max_retries;
     sim_options.watchdog_seconds = watchdog_seconds;
+    sim_options.health.enabled = flags.getBool("health");
     if (!timeseries_path.empty()) {
         sim_options.timeseries_out = &timeseries_out;
         sim_options.timeseries_interval_seconds = timeseries_interval;
@@ -861,6 +896,7 @@ main(int argc, char **argv)
                      "gaps; see obs.timeseries_skipped\n",
                      static_cast<long long>(result.timeseries_skipped));
     printOpenLoopSummary(result);
+    printHealthSummary(result);
 
     if (!trace_path.empty() &&
         !writeTraceFile(trace_path,

@@ -77,6 +77,7 @@ EpochReclaimer::retire(std::function<void()> deleter)
     const std::uint64_t epoch =
         global_epoch_.load(std::memory_order_seq_cst);
     limbo_[epoch % 3].push_back(std::move(deleter));
+    pending_.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool
@@ -91,15 +92,20 @@ EpochReclaimer::tryAdvance()
             const std::uint64_t state =
                 slot.state.load(std::memory_order_seq_cst);
             if ((state & kCountMask) != 0 &&
-                (state >> kCountBits) != epoch)
+                (state >> kCountBits) != epoch) {
+                stalls_.fetch_add(1, std::memory_order_relaxed);
                 return false; // a guard lags behind
+            }
         }
         global_epoch_.store(epoch + 1, std::memory_order_seq_cst);
+        advances_.fetch_add(1, std::memory_order_relaxed);
         // The bucket retired at epoch-1 is two epochs behind the new
         // epoch: every guard that could reach its objects advertised
         // at most epoch-1 and has exited (it would have blocked the
         // previous advance otherwise).
         to_free.swap(limbo_[(epoch + 2) % 3]);
+        pending_.fetch_sub(to_free.size(),
+                           std::memory_order_relaxed);
     }
     // Run deleters outside the mutex: a deleter may retire() again.
     for (auto &deleter : to_free)

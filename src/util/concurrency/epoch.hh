@@ -106,6 +106,25 @@ class EpochReclaimer
         return global_epoch_.load(std::memory_order_seq_cst);
     }
 
+    /** Successful epoch advances (tryAdvance returned true). */
+    std::uint64_t advances() const
+    {
+        return advances_.load(std::memory_order_relaxed);
+    }
+
+    /** tryAdvance calls blocked by a lagging guard — the
+     *  reclamation-lag signal the health engine watches. */
+    std::uint64_t advanceStalls() const
+    {
+        return stalls_.load(std::memory_order_relaxed);
+    }
+
+    /** Deleters currently filed in limbo, not yet freed. */
+    std::uint64_t pending() const
+    {
+        return pending_.load(std::memory_order_relaxed);
+    }
+
     std::size_t stripes() const { return slots_.size(); }
 
   private:
@@ -127,6 +146,11 @@ class EpochReclaimer
 
     std::vector<Slot> slots_;
     alignas(64) std::atomic<std::uint64_t> global_epoch_{0};
+
+    /** Reclamation telemetry; all on the already-mutexed slow path. */
+    std::atomic<std::uint64_t> advances_{0};
+    std::atomic<std::uint64_t> stalls_{0};
+    std::atomic<std::uint64_t> pending_{0};
 
     std::mutex limbo_mutex_; ///< guards limbo_ and epoch advance
     std::vector<std::function<void()>> limbo_[3];

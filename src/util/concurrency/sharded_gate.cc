@@ -3,20 +3,27 @@
 namespace tt::util {
 
 ShardedGate::ShardedGate(std::size_t shards)
-    : shards_(shards == 0 ? 1 : shards)
+    : shards_(shards == 0 ? 1 : shards),
+      stats_(shards == 0 ? 1 : shards)
 {
 }
 
 bool
 ShardedGate::tryAcquire(std::size_t shard_hint, long bound)
 {
-    if (bound <= 0)
+    const std::size_t index = shard_hint % shards_.size();
+    auto &shard = shards_[index];
+    auto &stats = stats_[index];
+    if (bound <= 0) {
+        stats.failures.fetch_add(1, std::memory_order_relaxed);
         return false;
-    auto &shard = shards_[shard_hint % shards_.size()];
+    }
     shard.count.fetch_add(1, std::memory_order_seq_cst);
+    stats.folds.fetch_add(1, std::memory_order_relaxed);
     const long sum = current();
     if (sum > bound) {
         shard.count.fetch_sub(1, std::memory_order_seq_cst);
+        stats.failures.fetch_add(1, std::memory_order_relaxed);
         return false;
     }
     notePeak(sum);
@@ -43,6 +50,24 @@ long
 ShardedGate::peak() const
 {
     return peak_.load(std::memory_order_relaxed);
+}
+
+long
+ShardedGate::admitFailures() const
+{
+    long sum = 0;
+    for (const auto &stats : stats_)
+        sum += stats.failures.load(std::memory_order_relaxed);
+    return sum;
+}
+
+long
+ShardedGate::folds() const
+{
+    long sum = 0;
+    for (const auto &stats : stats_)
+        sum += stats.folds.load(std::memory_order_relaxed);
+    return sum;
 }
 
 void

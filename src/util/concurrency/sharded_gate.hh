@@ -71,6 +71,16 @@ class ShardedGate
     /** Monotonically raise peak_ (push-mode bookkeeping reuse). */
     void notePeak(long value);
 
+    /**
+     * Total rejected tryAcquire calls (bound full, spurious
+     * conservative rejects, and bound <= 0). Relaxed fold across
+     * shards: exact once admitters quiesce.
+     */
+    long admitFailures() const;
+
+    /** Total shard folds performed by tryAcquire (one per call). */
+    long folds() const;
+
     std::size_t shards() const { return shards_.size(); }
 
   private:
@@ -79,7 +89,18 @@ class ShardedGate
         std::atomic<long> count{0};
     };
 
+    /** Contention telemetry lives on its own per-shard lines: every
+     *  fold reads all `count` lines, so a telemetry bump sharing one
+     *  would invalidate every other admitter's cached copy. Here only
+     *  the owning worker writes, and nothing hot ever reads. */
+    struct alignas(64) ShardStats
+    {
+        std::atomic<long> failures{0};
+        std::atomic<long> folds{0};
+    };
+
     std::vector<Shard> shards_;
+    std::vector<ShardStats> stats_;
     alignas(64) std::atomic<long> peak_{0};
 };
 

@@ -205,6 +205,72 @@ else()
     message(STATUS "obs_smoke: no sh on PATH, skipping host socket poll")
 endif()
 
+# 1j. Streaming health detectors under a deadline storm: a bursty
+# overload with most SLOs slashed must fire the slo_burn alert during
+# the bursts AND clear it in the recovery valleys (hysteresis edges,
+# not a stuck alert). Both edge counters land in the metrics JSON.
+# 800 jobs at 20k/s span two 20 ms burst periods, so the plan holds a
+# full 15 ms valley for the burn EWMAs to decay and clear in.
+execute_process(
+    COMMAND "${TTSIM}" --workload synthetic --policy dynamic
+            --pairs 800 --quiet --health
+            --arrival-rate 20000 --arrival-process bursty
+            --slo-us 2000 --queue-cap 8
+            --service-us 140 --service-tql-us 40
+            --inject-deadline-storm 0.9
+            --metrics-out "${WORK_DIR}/health_storm.json"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ttsim deadline-storm health run exited ${rc}")
+endif()
+file(READ "${WORK_DIR}/health_storm.json" health_storm)
+if(NOT health_storm MATCHES "obs\\.alerts_fired\\.slo_burn")
+    message(FATAL_ERROR "storm metrics lack obs.alerts_fired.slo_burn")
+endif()
+if(health_storm MATCHES "\"obs\\.alerts_fired\\.slo_burn\": 0[,}]")
+    message(FATAL_ERROR
+            "deadline storm fired no slo_burn alert")
+endif()
+if(health_storm MATCHES "\"obs\\.alerts_cleared\\.slo_burn\": 0[,}]")
+    message(FATAL_ERROR
+            "slo_burn alert never cleared after recovery")
+endif()
+
+# 1k. A healthy closed-loop run watched by the same detectors must
+# stay quiet: every fired counter is zero and ttstat --alerts exits 0
+# (exit 3 is reserved for an active critical alert).
+execute_process(
+    COMMAND "${TTSIM}" --workload synthetic --policy dynamic
+            --pairs 64 --quiet --health
+            --metrics-out "${WORK_DIR}/health_quiet.json"
+            --live-metrics "${WORK_DIR}/health_quiet.om"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ttsim healthy --health run exited ${rc}")
+endif()
+file(READ "${WORK_DIR}/health_quiet.json" health_quiet)
+if(NOT health_quiet MATCHES "obs\\.alerts_fired\\.")
+    message(FATAL_ERROR "healthy run exported no alert schema")
+endif()
+string(REGEX MATCH "\"obs\\.alerts_fired\\.[a-z_]+\": [1-9]"
+       fired_nonzero "${health_quiet}")
+if(fired_nonzero)
+    message(FATAL_ERROR
+            "healthy closed-loop run fired an alert: ${fired_nonzero}")
+endif()
+execute_process(
+    COMMAND "${TTSTAT}" --alerts "${WORK_DIR}/health_quiet.om"
+    OUTPUT_VARIABLE quiet_alerts
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "ttstat --alerts on a healthy run exited ${rc}, want 0")
+endif()
+if(NOT quiet_alerts MATCHES "slo_burn")
+    message(FATAL_ERROR
+            "ttstat --alerts did not render the detector table")
+endif()
+
 # 2. Two identical seeded runs produce identical reports: diff passes.
 foreach(name a b)
     execute_process(
@@ -254,9 +320,10 @@ if(rc EQUAL 0)
 endif()
 
 # 4. Dispatch-throughput regression gate: fresh micro-runtime numbers
-# against the committed baseline (>10% loss on any dispatch benchmark
-# fails). Skipped under sanitizers (instrumented timings do not
-# compare) and when no python3 was found; the script itself skips
+# against the committed baseline (excess per-benchmark loss fails).
+# Five repetitions per benchmark so the script compares medians, not
+# one noisy sample. Skipped under sanitizers (instrumented timings do
+# not compare) and when no python3 was found; the script itself skips
 # when the machine fingerprint differs from the baseline's.
 if(TT_SANITIZE)
     message(STATUS "obs_smoke: TT_SANITIZE=${TT_SANITIZE}, "
@@ -267,8 +334,9 @@ elseif(NOT PYTHON3 OR NOT BENCH_MICRO)
 else()
     execute_process(
         COMMAND "${BENCH_MICRO}"
-                --benchmark_filter=HostDispatch|HostRuntimePairDispatch|MpmcQueue|ShardedGate
+                --benchmark_filter=HostDispatch|HostRuntimePairDispatch|MpmcQueue|ShardedGate|SimDispatch
                 --benchmark_min_time=0.1
+                --benchmark_repetitions=5
                 --json-out "${WORK_DIR}/bench_micro.json"
         OUTPUT_QUIET ERROR_QUIET
         RESULT_VARIABLE rc)

@@ -1,0 +1,461 @@
+/**
+ * @file
+ * Streaming health engine: detector unit tests (hysteresis no-flap,
+ * quiet-run silence, ring bounding), the cross-backend alert-parity
+ * contract -- a seeded burst overload must produce the identical
+ * ordered (rule, edge, window) sequence on real threads and on
+ * simulated time -- and the detector overhead budget (obs.overhead.
+ * health_ns under 3% of makespan with every detector enabled).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/policy.hh"
+#include "cpu/machine_config.hh"
+#include "cpu/sim_machine.hh"
+#include "exec/engine.hh"
+#include "fault/fault_plan.hh"
+#include "load/arrival.hh"
+#include "obs/health.hh"
+#include "runtime/runtime.hh"
+#include "simrt/sim_runtime.hh"
+#include "stream/builder.hh"
+#include "util/stats.hh"
+
+namespace {
+
+using tt::core::StaticMtlPolicy;
+using tt::exec::EngineOptions;
+using tt::obs::AlertEdge;
+using tt::obs::AlertEvent;
+using tt::obs::AlertSeverity;
+using tt::obs::HealthConfig;
+using tt::obs::HealthEngine;
+using tt::obs::JobWindowSample;
+using tt::obs::TickWindowSample;
+using tt::stream::PairSpec;
+using tt::stream::StreamProgramBuilder;
+using tt::stream::TaskGraph;
+
+JobWindowSample
+jobWindow(std::uint64_t window, int offered, int shed, int late,
+          long backlog)
+{
+    JobWindowSample sample;
+    sample.window = window;
+    sample.time = 1e-3 * static_cast<double>(window);
+    sample.offered = offered;
+    sample.shed = shed;
+    sample.predicted_late = late;
+    sample.backlog = backlog;
+    return sample;
+}
+
+TEST(HealthEngine, QuietWindowsEmitNoAlerts)
+{
+    HealthConfig config;
+    config.enabled = true;
+    config.model_tml = 200e-6; // every detector armed
+    config.model_tql = 50e-6;
+    HealthEngine engine(config);
+
+    for (std::uint64_t w = 0; w < 32; ++w) {
+        engine.onJobWindow(jobWindow(w, 16, 0, 0, 0));
+        TickWindowSample tick;
+        tick.window = w;
+        tick.gate_folds = 1000;
+        tick.gate_failures = 0;
+        tick.records = 1000;
+        tick.ebr_pending = 0;
+        tick.ebr_advances = 4;
+        tick.pair_samples = 16;
+        tick.sum_tm = 16 * 200e-6;
+        tick.sum_bound = 16 * 250e-6;
+        engine.onTickWindow(tick);
+    }
+
+    EXPECT_TRUE(engine.alerts().empty());
+    EXPECT_EQ(engine.alertsDropped(), 0u);
+    EXPECT_FALSE(engine.criticalActive());
+    for (const auto &state : engine.ruleStates()) {
+        EXPECT_FALSE(state.active) << state.rule;
+        EXPECT_EQ(state.fired, 0u) << state.rule;
+    }
+}
+
+TEST(HealthEngine, HysteresisPreventsFlapping)
+{
+    HealthConfig config;
+    config.enabled = true;
+    config.slo_burn_enabled = false; // isolate queue_growth
+    config.queue_growth_floor = 4;
+    ASSERT_EQ(config.fire_windows, 2);
+    ASSERT_EQ(config.clear_windows, 2);
+    HealthEngine engine(config);
+
+    // Alternating growth: every breach streak is broken before it
+    // reaches fire_windows, so the alert must never raise.
+    const long flapping[] = {10, 12, 11, 13, 12, 14, 13};
+    std::uint64_t w = 0;
+    for (long backlog : flapping)
+        engine.onJobWindow(jobWindow(w++, 16, 0, 0, backlog));
+    EXPECT_TRUE(engine.alerts().empty());
+
+    // Sustained growth fires exactly once...
+    engine.onJobWindow(jobWindow(w++, 16, 0, 0, 15)); // streak 1
+    engine.onJobWindow(jobWindow(w++, 16, 0, 0, 16)); // streak 2
+    ASSERT_EQ(engine.alerts().size(), 1u);
+    EXPECT_EQ(engine.alerts()[0].rule, "queue_growth");
+    EXPECT_EQ(engine.alerts()[0].edge, AlertEdge::Fired);
+    EXPECT_EQ(engine.alerts()[0].severity, AlertSeverity::Warning);
+    EXPECT_EQ(engine.alerts()[0].window, 8u);
+
+    // ...and sustained flatness clears exactly once.
+    engine.onJobWindow(jobWindow(w++, 16, 0, 0, 16));
+    engine.onJobWindow(jobWindow(w++, 16, 0, 0, 16));
+    ASSERT_EQ(engine.alerts().size(), 2u);
+    EXPECT_EQ(engine.alerts()[1].edge, AlertEdge::Cleared);
+    EXPECT_EQ(engine.alerts()[1].window, 10u);
+    EXPECT_FALSE(engine.criticalActive()); // warning severity only
+}
+
+TEST(HealthEngine, SloBurnFiresUnderMissesAndClearsOnRecovery)
+{
+    HealthConfig config;
+    config.enabled = true;
+    HealthEngine engine(config);
+
+    // Two fully-missed windows: burn = 1.0 / 0.05 = 20x the budget
+    // in both EWMA windows, completing the fire streak.
+    engine.onJobWindow(jobWindow(0, 16, 16, 0, 0));
+    engine.onJobWindow(jobWindow(1, 16, 12, 4, 0));
+    {
+        const std::vector<AlertEvent> &alerts = engine.alerts();
+        ASSERT_EQ(alerts.size(), 1u);
+        EXPECT_EQ(alerts[0].rule, "slo_burn");
+        EXPECT_EQ(alerts[0].severity, AlertSeverity::Critical);
+        EXPECT_EQ(alerts[0].edge, AlertEdge::Fired);
+        EXPECT_EQ(alerts[0].window, 1u);
+        EXPECT_GE(alerts[0].observed, alerts[0].threshold);
+    }
+    EXPECT_TRUE(engine.criticalActive());
+
+    // Clean windows decay both EWMAs below their thresholds; the
+    // clear streak then drops the alert exactly once.
+    for (std::uint64_t w = 2; w < 14; ++w)
+        engine.onJobWindow(jobWindow(w, 16, 0, 0, 0));
+    ASSERT_EQ(engine.alerts().size(), 2u);
+    EXPECT_EQ(engine.alerts()[1].rule, "slo_burn");
+    EXPECT_EQ(engine.alerts()[1].edge, AlertEdge::Cleared);
+    EXPECT_FALSE(engine.criticalActive());
+}
+
+TEST(HealthEngine, TickDetectorsFireOnSaturationAndModelBreach)
+{
+    HealthConfig config;
+    config.enabled = true;
+    config.model_tml = 200e-6;
+    config.model_tql = 50e-6;
+    HealthEngine engine(config);
+
+    TickWindowSample tick;
+    tick.gate_folds = 100;
+    tick.gate_failures = 90; // ratio 0.9 >= 0.5
+    tick.records = 100;
+    tick.ebr_pending = 3;
+    tick.ebr_advances = 0; // limbo stuck
+    tick.pair_samples = 10;
+    tick.sum_tm = 1.0;
+    tick.sum_bound = 0.1; // limit 0.2 << measured 1.0
+    tick.window = 0;
+    engine.onTickWindow(tick);
+    EXPECT_TRUE(engine.alerts().empty()) << "fired before streak";
+    tick.window = 1;
+    engine.onTickWindow(tick);
+
+    bool gate_fired = false;
+    bool ebr_fired = false;
+    bool model_fired = false;
+    for (const AlertEvent &alert : engine.alerts()) {
+        EXPECT_EQ(alert.edge, AlertEdge::Fired);
+        gate_fired |= alert.rule == "gate_saturation";
+        ebr_fired |= alert.rule == "ebr_lag";
+        model_fired |= alert.rule == "model_bound";
+    }
+    EXPECT_TRUE(gate_fired);
+    EXPECT_TRUE(ebr_fired);
+    EXPECT_TRUE(model_fired);
+    EXPECT_TRUE(engine.criticalActive()); // model_bound is critical
+}
+
+TEST(HealthEngine, ModelBoundStaysDisarmedWithoutAFit)
+{
+    HealthConfig config;
+    config.enabled = true; // model_tml left at 0: no fit, no rule
+    HealthEngine engine(config);
+
+    TickWindowSample tick;
+    tick.pair_samples = 10;
+    tick.sum_tm = 10.0;
+    tick.sum_bound = 0.1;
+    for (std::uint64_t w = 0; w < 4; ++w) {
+        tick.window = w;
+        engine.onTickWindow(tick);
+    }
+    EXPECT_TRUE(engine.alerts().empty());
+
+    // The rule still appears (disabled) so the metric schema is
+    // stable across configurations, in a fixed order.
+    const auto states = engine.ruleStates();
+    ASSERT_EQ(states.size(), 6u);
+    EXPECT_STREQ(states[0].rule, "slo_burn");
+    EXPECT_STREQ(states[5].rule, "model_bound");
+    EXPECT_FALSE(states[5].enabled);
+}
+
+TEST(HealthEngine, AlertRingIsBoundedAndCountsEvictions)
+{
+    HealthConfig config;
+    config.enabled = true;
+    config.slo_burn_enabled = false;
+    config.alert_capacity = 1;
+    HealthEngine engine(config);
+
+    // One fired + one cleared edge through a capacity-1 ring.
+    std::uint64_t w = 0;
+    for (long backlog : {10, 12, 14, 14, 14})
+        engine.onJobWindow(jobWindow(w++, 16, 0, 0, backlog));
+    ASSERT_EQ(engine.alerts().size(), 1u);
+    EXPECT_EQ(engine.alerts()[0].edge, AlertEdge::Cleared);
+    EXPECT_EQ(engine.alertsDropped(), 1u);
+}
+
+/** ~tens of microseconds of real work for host task bodies. */
+void
+spin()
+{
+    volatile double acc = 0.0;
+    for (int i = 0; i < 20000; ++i)
+        acc = acc + static_cast<double>(i);
+}
+
+/** One graph both backends can execute (see test_cross_backend.cc). */
+TaskGraph
+dualGraph(int pairs)
+{
+    StreamProgramBuilder builder;
+    builder.beginPhase("p");
+    builder.addPairs(pairs, [](int) {
+        PairSpec spec;
+        spec.bytes = 128 * 1024;
+        spec.compute_cycles = 200000;
+        spec.host_memory = [] { spin(); };
+        spec.host_compute = [] { spin(); };
+        return spec;
+    });
+    return std::move(builder).build();
+}
+
+tt::cpu::MachineConfig
+simConfig(int contexts)
+{
+    auto config = tt::cpu::MachineConfig::i7_860_1dimm();
+    config.cores = contexts;
+    config.smt_ways = 1;
+    return config;
+}
+
+/**
+ * The tentpole acceptance contract: a seeded arrival-burst overload
+ * produces the identical ordered alert sequence -- same rule, same
+ * edge, same window index -- on real threads and on simulated time.
+ * Only the job-window detectors run here: their inputs (sheds,
+ * predicted-late admits, model backlog) are functions of the arrival
+ * plan and the admission model alone, which existing cross-backend
+ * tests prove identical. The tick-window detectors read live
+ * hot-path counters and are explicitly excluded from the contract.
+ */
+TEST(CrossBackendHealth, SeededBurstOverloadAlertSequencesMatch)
+{
+    const TaskGraph graph = dualGraph(64);
+
+    tt::fault::FaultConfig fault_config;
+    fault_config.seed = 17;
+    fault_config.arrival_burst_p = 0.5; // --inject-arrival-burst 0.5
+    const tt::fault::FaultPlan fault_plan(fault_config);
+
+    tt::load::ArrivalConfig arrivals;
+    arrivals.seed = 13;
+    arrivals.process = tt::load::ArrivalProcess::Bursty;
+    arrivals.rate = 20000.0;
+    arrivals.burst_period_seconds = 1e-3;
+    arrivals.burst_fraction = 0.25;
+    arrivals.burst_rate_factor = 3.0;
+    arrivals.slo_seconds = 500e-6;
+    const tt::load::ArrivalPlan plan = tt::load::buildArrivalPlan(
+        arrivals, graph.pairCount(), &fault_plan);
+
+    EngineOptions options;
+    options.threads = 2;
+    options.pin_affinity = false;
+    options.arrival_plan = &plan;
+    options.admission.queue_cap = 4;
+    options.admission.service_tml = 200e-6;
+    options.admission.service_tql = 50e-6;
+    options.health.enabled = true;
+    // Job-window detectors only (see the test comment).
+    options.health.gate_saturation_enabled = false;
+    options.health.drop_rate_enabled = false;
+    options.health.ebr_lag_enabled = false;
+    options.health.model_bound_enabled = false;
+
+    tt::MetricsRegistry host_metrics;
+    options.metrics = &host_metrics;
+    StaticMtlPolicy host_policy(1, 2);
+    tt::runtime::Runtime host(graph, host_policy, options);
+    const auto host_result = host.run();
+
+    tt::MetricsRegistry sim_metrics;
+    options.metrics = &sim_metrics;
+    tt::cpu::SimMachine machine(simConfig(2));
+    StaticMtlPolicy sim_policy(1, 2);
+    tt::simrt::SimRuntime sim(machine, graph, sim_policy, options);
+    const auto sim_result = sim.run();
+
+    ASSERT_FALSE(host_result.failed);
+    ASSERT_FALSE(sim_result.failed);
+    ASSERT_TRUE(host_result.health_enabled);
+    ASSERT_TRUE(sim_result.health_enabled);
+
+    // The overload must actually trip a detector, or the contract is
+    // vacuous.
+    ASSERT_FALSE(host_result.alerts.empty());
+
+    ASSERT_EQ(host_result.alerts.size(), sim_result.alerts.size());
+    for (std::size_t i = 0; i < host_result.alerts.size(); ++i) {
+        const AlertEvent &h = host_result.alerts[i];
+        const AlertEvent &s = sim_result.alerts[i];
+        EXPECT_EQ(h.rule, s.rule) << "alert " << i;
+        EXPECT_EQ(static_cast<int>(h.severity),
+                  static_cast<int>(s.severity))
+            << "alert " << i;
+        EXPECT_EQ(static_cast<int>(h.edge), static_cast<int>(s.edge))
+            << "alert " << i;
+        EXPECT_EQ(h.window, s.window) << "alert " << i;
+        // Same deterministic inputs, same detector arithmetic.
+        EXPECT_DOUBLE_EQ(h.observed, s.observed) << "alert " << i;
+        EXPECT_DOUBLE_EQ(h.threshold, s.threshold) << "alert " << i;
+    }
+    EXPECT_EQ(host_result.critical_alert_active,
+              sim_result.critical_alert_active);
+
+    // Both backends published identical edge counters too.
+    EXPECT_EQ(host_metrics.counter("obs.alerts_fired.slo_burn"),
+              sim_metrics.counter("obs.alerts_fired.slo_burn"));
+    EXPECT_GT(host_metrics.counter("obs.alerts_fired.slo_burn"), 0);
+}
+
+/**
+ * A healthy closed-loop run, watched by the full detector set, must
+ * end with an empty alert stream on both backends.
+ */
+TEST(CrossBackendHealth, QuietRunsEmitNoAlertsOnEitherBackend)
+{
+    const TaskGraph graph = dualGraph(24);
+    EngineOptions options;
+    options.threads = 2;
+    options.pin_affinity = false;
+    options.health.enabled = true;
+
+    StaticMtlPolicy host_policy(1, 2);
+    tt::runtime::Runtime host(graph, host_policy, options);
+    const auto host_result = host.run();
+
+    tt::cpu::SimMachine machine(simConfig(2));
+    StaticMtlPolicy sim_policy(1, 2);
+    tt::simrt::SimRuntime sim(machine, graph, sim_policy, options);
+    const auto sim_result = sim.run();
+
+    for (const tt::exec::RunResult *result :
+         {&host_result, &sim_result}) {
+        ASSERT_FALSE(result->failed);
+        EXPECT_TRUE(result->health_enabled);
+        EXPECT_TRUE(result->alerts.empty());
+        EXPECT_FALSE(result->critical_alert_active);
+    }
+}
+
+/**
+ * Acceptance: with every detector armed (model fit included), the
+ * health engine's self-measured cost stays under 3% of the makespan.
+ * Host backend, so both sides of the ratio are wall time.
+ */
+TEST(HealthOverhead, UnderThreePercentOfMakespanAllDetectorsOn)
+{
+    const TaskGraph graph = dualGraph(200);
+
+    tt::load::ArrivalConfig arrivals;
+    arrivals.seed = 3;
+    arrivals.rate = 4000.0;
+    arrivals.slo_seconds = 30.0; // generous: a *healthy* open loop
+    const tt::load::ArrivalPlan plan =
+        tt::load::buildArrivalPlan(arrivals, graph.pairCount());
+
+    tt::MetricsRegistry metrics;
+    EngineOptions options;
+    options.threads = 2;
+    options.pin_affinity = false;
+    options.metrics = &metrics;
+    options.arrival_plan = &plan;
+    options.admission.queue_cap = 64;
+    options.admission.service_tml = 200e-6;
+    options.admission.service_tql = 50e-6;
+    options.health.enabled = true;
+    options.health.tick_seconds = 0.001; // 10x the default tick rate
+
+    StaticMtlPolicy policy(1, 2);
+    tt::runtime::Runtime runtime(graph, policy, options);
+    const auto result = runtime.run();
+    ASSERT_FALSE(result.failed);
+    ASSERT_TRUE(result.health_enabled);
+
+    const double health_ns = static_cast<double>(
+        metrics.counter("obs.overhead.health_ns"));
+    const double makespan_ns = result.seconds * 1e9;
+    ASSERT_GT(makespan_ns, 0.0);
+    // The budget only means something on uninstrumented builds: the
+    // sanitizers slow the detector bookkeeping (mutexes, registry
+    // strings) far more than the arithmetic task bodies, so the
+    // ratio is not the one users pay. The sanitizer presets still
+    // run everything above -- the race coverage is the point there.
+#if !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
+    EXPECT_LT(health_ns, 0.03 * makespan_ns)
+        << "health engine cost " << health_ns << " ns of "
+        << makespan_ns << " ns makespan";
+#endif
+    EXPECT_GT(health_ns, 0.0);
+
+    // Satellite: the new hot-path substrate telemetry is published.
+    for (const char *name :
+         {"runtime.gate_admit_failures", "runtime.gate_folds",
+          "runtime.worker_parks", "runtime.worker_wakes",
+          "obs.ebr_epoch_advances", "obs.ebr_advance_stalls"}) {
+        bool found = false;
+        for (const std::string &counter : metrics.counterNames())
+            found |= counter == name;
+        EXPECT_TRUE(found) << name;
+    }
+    for (const char *name :
+         {"runtime.ring_peak_memory", "runtime.ring_peak_compute",
+          "obs.ebr_pending"}) {
+        bool found = false;
+        for (const std::string &gauge : metrics.gaugeNames())
+            found |= gauge == name;
+        EXPECT_TRUE(found) << name;
+    }
+}
+
+} // namespace
